@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the kernels behind the paper's mechanisms:
+//! batch-assembly gathers (per-row vs fused vs contiguous-chunk), GEMM,
+//! and SpMM (the preprocessing kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppgnn_graph::{gen, WeightedCsr};
+use ppgnn_tensor::{init, matmul, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-row copy vs fused gather vs contiguous chunk copy — the Section 4
+/// batch-assembly hierarchy measured on real memory.
+fn bench_gather(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let n = 100_000;
+    let f = 128;
+    let table = init::standard_normal(n, f, &mut rng);
+    let batch = 4096;
+    let random_idx: Vec<usize> = (0..batch).map(|_| rng.random_range(0..n)).collect();
+    let chunk_start = 40_000;
+
+    let mut group = c.benchmark_group("batch-assembly");
+    group.bench_function("per-row-copies", |b| {
+        let mut out = Matrix::zeros(batch, f);
+        b.iter(|| {
+            for (k, &i) in random_idx.iter().enumerate() {
+                out.row_mut(k).copy_from_slice(table.row(i));
+            }
+            black_box(&out);
+        });
+    });
+    group.bench_function("fused-gather", |b| {
+        let mut out = Matrix::zeros(batch, f);
+        b.iter(|| {
+            table.gather_rows_into(&random_idx, &mut out);
+            black_box(&out);
+        });
+    });
+    group.bench_function("contiguous-chunk", |b| {
+        b.iter(|| {
+            let out = table.slice_rows(chunk_start, chunk_start + batch);
+            black_box(out);
+        });
+    });
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("gemm");
+    for &dim in &[64usize, 256] {
+        let a = init::standard_normal(512, dim, &mut rng);
+        let b_mat = init::standard_normal(dim, dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("512xDxD", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(matmul(&a, &b_mat)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = gen::erdos_renyi(20_000, 16.0, &mut rng).expect("generation succeeds");
+    let op = WeightedCsr::sym_norm(&g, true);
+    let x = init::standard_normal(20_000, 64, &mut rng);
+    c.bench_function("spmm-20k-deg16-f64", |b| {
+        b.iter(|| black_box(op.spmm(&x)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gather, bench_gemm, bench_spmm
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Real-time benchmarks of the loader generations: one full epoch of batch
+//! assembly per generation over identical data — the CPU-measured analog of
+//! the Figure 9 ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use ppgnn_bench::MICRO_SCALE;
+use ppgnn_core::loader::{
+    BaselineLoader, ChunkReshuffleLoader, DoubleBufferLoader, FusedGatherLoader, Loader,
+};
+use ppgnn_core::preprocess::{PrepropFeatures, Preprocessor};
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+
+fn partition() -> Arc<PrepropFeatures> {
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(MICRO_SCALE), 0)
+        .expect("generation succeeds");
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 3).run(&data);
+    Arc::new(prep.train)
+}
+
+fn drain(loader: &mut dyn Loader) -> usize {
+    loader.start_epoch();
+    let mut batches = 0;
+    while let Some(b) = loader.next_batch() {
+        black_box(&b);
+        batches += 1;
+    }
+    batches
+}
+
+fn bench_loader_epoch(c: &mut Criterion) {
+    let data = partition();
+    const BATCH: usize = 128;
+    let mut group = c.benchmark_group("loader-epoch");
+    group.sample_size(10);
+    group.bench_function("gen0-baseline", |b| {
+        let mut l = BaselineLoader::new(data.clone(), BATCH, 1);
+        b.iter(|| black_box(drain(&mut l)));
+    });
+    group.bench_function("gen1-fused", |b| {
+        let mut l = FusedGatherLoader::new(data.clone(), BATCH, 1);
+        b.iter(|| black_box(drain(&mut l)));
+    });
+    group.bench_function("gen2-double-buffer", |b| {
+        let mut l = DoubleBufferLoader::new(data.clone(), BATCH, 1);
+        b.iter(|| black_box(drain(&mut l)));
+    });
+    group.bench_function("gen3-chunk-reshuffle", |b| {
+        let mut l = ChunkReshuffleLoader::new(data.clone(), BATCH, BATCH, 1);
+        b.iter(|| black_box(drain(&mut l)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loader_epoch);
+criterion_main!(benches);

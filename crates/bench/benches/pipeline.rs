@@ -1,0 +1,55 @@
+//! End-to-end pipeline benchmarks: preprocessing (SpMM chain) and one
+//! training step per PP-GNN model — the real-compute quantities behind the
+//! Figure 5 breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ppgnn_bench::{pp_models, MICRO_SCALE};
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+use ppgnn_nn::{CrossEntropyLoss, Mode};
+use ppgnn_tensor::Matrix;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(MICRO_SCALE), 0)
+        .expect("generation succeeds");
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    group.bench_function("sym-norm-3-hops", |b| {
+        let prep = Preprocessor::new(vec![Operator::SymNorm], 3);
+        b.iter(|| black_box(prep.run(&data)));
+    });
+    group.bench_function("ppr-3-hops", |b| {
+        let prep = Preprocessor::new(vec![Operator::Ppr { alpha: 0.15 }], 3);
+        b.iter(|| black_box(prep.run(&data)));
+    });
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let profile = DatasetProfile::pokec_sim().scaled(MICRO_SCALE);
+    let data = SynthDataset::generate(profile, 0).expect("generation succeeds");
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 3).run(&data);
+    let batch: Vec<Matrix> = prep.train.hops.iter().map(|h| h.slice_rows(0, 256)).collect();
+    let labels: Vec<u32> = prep.train.labels[..256].to_vec();
+
+    let mut group = c.benchmark_group("train-step-256");
+    group.sample_size(20);
+    for (name, mut model) in pp_models(3, profile.feature_dim, profile.num_classes, 64, 1) {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let logits = model.forward(&batch, Mode::Train);
+                let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+                model.zero_grad();
+                model.backward(&grad);
+                black_box(&model);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Sampler throughput benchmarks: the per-batch cost of each sampling
+//! algorithm on a products-like graph (the MP-GNN bottleneck of
+//! Section 2.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ppgnn_bench::MICRO_SCALE;
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_sampler::{LaborSampler, LadiesSampler, NeighborSampler, SaintNodeSampler, Sampler};
+
+fn bench_samplers(c: &mut Criterion) {
+    let data = SynthDataset::generate(DatasetProfile::products_sim().scaled(MICRO_SCALE), 0)
+        .expect("generation succeeds");
+    let seeds: Vec<usize> = (0..256).collect();
+    let mut group = c.benchmark_group("sampler-batch");
+    group.sample_size(20);
+
+    group.bench_function("neighbor-15-10-5", |b| {
+        let mut s = NeighborSampler::new(vec![15, 10, 5], 1);
+        b.iter(|| black_box(s.sample(&data.graph, &seeds)));
+    });
+    group.bench_function("labor-15-10-5", |b| {
+        let mut s = LaborSampler::new(vec![15, 10, 5], 1);
+        b.iter(|| black_box(s.sample(&data.graph, &seeds)));
+    });
+    group.bench_function("ladies-512", |b| {
+        let mut s = LadiesSampler::new(3, 512, 1);
+        b.iter(|| black_box(s.sample(&data.graph, &seeds)));
+    });
+    group.bench_function("saint-node-512", |b| {
+        let mut s = SaintNodeSampler::new(3, 512, 1);
+        b.iter(|| black_box(s.sample(&data.graph, &seeds)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Extension ablation: hardware-parameter sensitivity of the headline
+//! speedups. Perturbs one simulator knob at a time and reports how the
+//! Figure 9 total (baseline / chunk-reshuffle epoch time) responds —
+//! showing *which mechanism* each optimization removes.
+//!
+//! Run with: `cargo run --release -p ppgnn-bench --bin exp_ablation_hardware`
+
+use ppgnn_bench::print_markdown_table;
+use ppgnn_memsim::{pp_epoch, HardwareSpec, LoaderGen, Placement, PpWorkload};
+
+fn workload() -> PpWorkload {
+    // wiki-like: loading-dominated (F = 600, 4 hop matrices)
+    PpWorkload {
+        num_train: 960_000,
+        batch_size: 8000,
+        row_bytes: 4 * 600 * 4,
+        flops_per_example: 14_000_000,
+        chunk_size: 8000,
+        param_bytes: 4 << 20,
+    }
+}
+
+fn total_speedup(spec: &HardwareSpec) -> f64 {
+    let w = workload();
+    let base = pp_epoch(spec, &w, LoaderGen::Baseline, Placement::Host).epoch_time;
+    let chunk = pp_epoch(spec, &w, LoaderGen::ChunkReshuffle, Placement::Host).epoch_time;
+    base / chunk
+}
+
+fn main() {
+    println!("## Ablation — hardware sensitivity of the loader-stack speedup\n");
+    println!("(wiki-like workload, host placement; entries = baseline/chunk epoch ratio)\n");
+    let nominal = HardwareSpec::a6000_server();
+    let mut rows = vec![vec![
+        "nominal A6000 server".to_string(),
+        format!("{:.1}x", total_speedup(&nominal)),
+        "-".into(),
+    ]];
+
+    let knobs: Vec<(&str, Box<dyn Fn(&mut HardwareSpec)>, &str)> = vec![
+        (
+            "per-sample overhead x4 (slow framework)",
+            Box::new(|s: &mut HardwareSpec| s.per_sample_overhead *= 4.0),
+            "baseline pays per-row costs → stack gains grow",
+        ),
+        (
+            "per-sample overhead /4 (lean framework)",
+            Box::new(|s: &mut HardwareSpec| s.per_sample_overhead /= 4.0),
+            "less launch waste to recover → gains shrink",
+        ),
+        (
+            "host gather bw x4 (better DRAM)",
+            Box::new(|s: &mut HardwareSpec| s.host_gather_bw *= 4.0),
+            "host assembly cheap → chunk reshuffle matters less",
+        ),
+        (
+            "pcie bw /2 (PCIe 3.0)",
+            Box::new(|s: &mut HardwareSpec| s.pcie_bw /= 2.0),
+            "transfer-bound tail → all loaders converge to link speed",
+        ),
+        (
+            "gpu flops /8 (small GPU)",
+            Box::new(|s: &mut HardwareSpec| s.gpu_flops /= 8.0),
+            "compute-bound → loading optimizations buy little",
+        ),
+        (
+            "gpu flops x8 (H100-class)",
+            Box::new(|s: &mut HardwareSpec| s.gpu_flops *= 8.0),
+            "compute vanishes → loading is everything",
+        ),
+    ];
+    for (name, mutate, why) in &knobs {
+        let mut spec = nominal;
+        mutate(&mut spec);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}x", total_speedup(&spec)),
+            why.to_string(),
+        ]);
+    }
+    print_markdown_table(&["hardware variant", "total speedup", "mechanism exposed"], &rows);
+    println!("\nreading: the paper's 15x lives in the gap between per-sample framework");
+    println!("overheads + strided host gathers and the bulk-transfer path; faster GPUs");
+    println!("*increase* the value of the loading optimizations, slower ones mute them.");
+}

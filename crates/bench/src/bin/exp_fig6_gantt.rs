@@ -1,0 +1,41 @@
+//! Figure 6: pipeline schematics of the four loader generations, rendered
+//! as Gantt charts from the actual simulated schedules (first 4 batches).
+//!
+//! Run with: `cargo run --release -p ppgnn-bench --bin exp_fig6_gantt`
+
+use ppgnn_bench::exp::server;
+use ppgnn_memsim::trace::gantt;
+use ppgnn_memsim::{pp_epoch, LoaderGen, Placement, PpWorkload};
+
+fn main() {
+    let spec = server();
+    // A small workload so four batches fill the chart.
+    let w = PpWorkload {
+        num_train: 32_000,
+        batch_size: 8000,
+        row_bytes: 4 * 128 * 4,
+        flops_per_example: 3_000_000,
+        chunk_size: 2000,
+        param_bytes: 4 << 20,
+    };
+    println!("## Figure 6 — loader pipeline schedules (4 batches, host-resident input)\n");
+    for gen in LoaderGen::all() {
+        let rep = pp_epoch(&spec, &w, gen, Placement::Host);
+        println!("### ({}) {} — epoch {:.4}s\n", label(gen), gen.name(), rep.epoch_time);
+        println!("{}", gantt(&rep.schedule, 100));
+    }
+    println!("### (e) chunk reshuffling from SSD (GPUDirect) — Section 4.3\n");
+    let rep = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd);
+    println!("epoch {:.4}s\n{}", rep.epoch_time, gantt(&rep.schedule, 100));
+    println!("shape check: (a) serial per-sample assembly; (b) shorter host phase;");
+    println!("(c) transfer/compute overlap; (d) host idle, GPU-side assembly.");
+}
+
+fn label(gen: LoaderGen) -> &'static str {
+    match gen {
+        LoaderGen::Baseline => "a",
+        LoaderGen::FusedGather => "b",
+        LoaderGen::DoubleBuffer => "c",
+        LoaderGen::ChunkReshuffle => "d",
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 9: ablation of the data-loading optimizations — normalized epoch
+//! time for the four loader generations, per dataset × model, geometric
+//! mean over hops 2–6. Simulated at paper scale with host-resident input.
+//!
+//! Run with: `cargo run --release -p ppgnn-bench --bin exp_fig9`
+
+use ppgnn_bench::exp::server;
+use ppgnn_bench::{geomean, print_markdown_table};
+use ppgnn_graph::synth::DatasetProfile;
+use ppgnn_memsim::{pp_epoch, LoaderGen, Placement, PpWorkload};
+use ppgnn_models::{Hoga, PpModel, Sgc, Sign};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = server();
+    println!("## Figure 9 — loader ablation, normalized epoch time (geomean over hops 2–6)\n");
+    let mut rows = Vec::new();
+    let mut stage_speedups: Vec<[f64; 3]> = Vec::new();
+    for profile in DatasetProfile::medium_profiles() {
+        for model_name in ["HOGA", "SIGN", "SGC"] {
+            let mut per_gen: Vec<Vec<f64>> = vec![Vec::new(); 4];
+            for hops in 2..=6usize {
+                let mut rng = StdRng::seed_from_u64(1);
+                let f = profile.feature_dim;
+                let c = profile.num_classes;
+                let model: Box<dyn PpModel> = match model_name {
+                    "HOGA" => Box::new(Hoga::new(hops, f, 256, 4, c, 0.0, &mut rng)),
+                    "SIGN" => Box::new(Sign::new(hops, f, 512, c, 0.0, &mut rng)),
+                    _ => Box::new(Sgc::new(hops, f, c, &mut rng)),
+                };
+                let w = PpWorkload {
+                    num_train: (profile.paper.num_nodes as f64 * profile.paper.labeled_frac)
+                        as usize,
+                    batch_size: 8000,
+                    row_bytes: (hops as u64 + 1) * profile.paper.feature_dim as u64 * 4,
+                    flops_per_example: model.flops_per_example(),
+                    chunk_size: 8000,
+                    param_bytes: 4 << 20,
+                };
+                for (i, gen) in LoaderGen::all().iter().enumerate() {
+                    per_gen[i].push(pp_epoch(&spec, &w, *gen, Placement::Host).epoch_time);
+                }
+            }
+            let g: Vec<f64> = per_gen.iter().map(|v| geomean(v)).collect();
+            rows.push(vec![
+                format!("{}-{}", &profile.name[..1].to_uppercase(), model_name),
+                "1.00".to_string(),
+                format!("{:.2}", g[1] / g[0]),
+                format!("{:.2}", g[2] / g[0]),
+                format!("{:.2}", g[3] / g[0]),
+            ]);
+            stage_speedups.push([g[0] / g[1], g[1] / g[2], g[2] / g[3]]);
+        }
+    }
+    print_markdown_table(
+        &["dataset-model", "baseline", "+fused assembly", "+double buffer", "+chunk reshuffle"],
+        &rows,
+    );
+    let s1 = geomean(&stage_speedups.iter().map(|s| s[0]).collect::<Vec<_>>());
+    let s2 = geomean(&stage_speedups.iter().map(|s| s[1]).collect::<Vec<_>>());
+    let s3 = geomean(&stage_speedups.iter().map(|s| s[2]).collect::<Vec<_>>());
+    println!("\ngeomean stage speedups: fused {s1:.1}x, +double-buffer {s2:.1}x, +chunk {s3:.1}x");
+    println!("total {:.1}x (paper: 3.3x · 1.9x · 2.4x = 15x)", s1 * s2 * s3);
+}

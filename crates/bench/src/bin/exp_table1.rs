@@ -1,0 +1,61 @@
+//! Table 1: asymptotic training-memory and computational-cost comparison,
+//! evaluated at the paper's nominal parameters.
+//!
+//! Run with: `cargo run --release -p ppgnn-bench --bin exp_table1`
+
+use ppgnn_bench::print_markdown_table;
+use ppgnn_models::complexity::{Approach, CostModel, CostParams};
+
+fn main() {
+    println!("## Table 1 — complexity comparison (L = 3, b = 8000, C = 10, F = 128, n = 2.4M)\n");
+    let p = CostParams {
+        layers: 3,
+        batch: 8000,
+        fanout: 10,
+        feature_dim: 128,
+        num_nodes: 2_400_000,
+    };
+    let m = CostModel;
+    let rows: Vec<Vec<String>> = Approach::all()
+        .iter()
+        .map(|&a| {
+            let mem = m.training_memory(a, p);
+            let cost = m.computational_cost(a, p);
+            vec![
+                a.name().to_string(),
+                if a.is_pp() { "PP".into() } else { "MP".into() },
+                format!("{:.2e}", mem as f64),
+                format!("{:.2e}", cost.propagation as f64),
+                format!("{:.2e}", cost.transformation as f64),
+                format!("{:.2e}", cost.total() as f64),
+            ]
+        })
+        .collect();
+    print_markdown_table(
+        &["model", "family", "train memory", "propagation (red)", "transformation (blue)", "total compute"],
+        &rows,
+    );
+
+    println!("\n## Depth scaling (total compute, normalized to L = 2)\n");
+    let rows: Vec<Vec<String>> = Approach::all()
+        .iter()
+        .map(|&a| {
+            let at = |l: usize| {
+                let mut q = p;
+                q.layers = l;
+                m.computational_cost(a, q).total() as f64
+            };
+            let base = at(2);
+            vec![
+                a.name().to_string(),
+                format!("{:.1}x", at(3) / base),
+                format!("{:.1}x", at(4) / base),
+                format!("{:.1}x", at(5) / base),
+                format!("{:.1}x", at(6) / base),
+            ]
+        })
+        .collect();
+    print_markdown_table(&["model", "L=3", "L=4", "L=5", "L=6"], &rows);
+    println!("\nshape check: node-wise samplers (GraphSAGE/LABOR) explode exponentially;");
+    println!("PP-GNNs and graph-wise samplers grow linearly; SGC is depth-free.");
+}

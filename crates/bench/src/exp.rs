@@ -1,0 +1,155 @@
+//! Shared experiment plumbing for the `exp_*` binaries.
+
+use ppgnn_core::bridge::{mp_workload, pp_workload, WorkloadScale};
+use ppgnn_core::preprocess::PrepropOutput;
+use ppgnn_core::trainer::{self, LoaderKind, MpTrainReport, TrainConfig, TrainReport, Trainer};
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_memsim::{HardwareSpec, MpWorkload, PpWorkload};
+use ppgnn_models::{Gat, GraphSage, MpModel, PpModel};
+use ppgnn_sampler::{
+    LaborSampler, LadiesSampler, NeighborSampler, SaintNodeSampler, SampleStats, Sampler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default epoch budget for accuracy experiments (kept small; trends, not
+/// SOTA numbers, are the target).
+pub const ACC_EPOCHS: usize = 12;
+
+/// Default harness batch size (the paper uses 8000 at full scale; 256
+/// preserves the batches-per-epoch ratio at harness scale).
+pub const BATCH: usize = 256;
+
+/// Standard training config for PP-GNN accuracy runs.
+pub fn pp_config(epochs: usize, loader: LoaderKind) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: BATCH,
+        loader,
+        lr: 3e-3,
+        ..TrainConfig::default()
+    }
+}
+
+/// Trains a PP model and returns its report.
+pub fn train_pp(
+    model: &mut dyn PpModel,
+    prep: &PrepropOutput,
+    epochs: usize,
+    loader: LoaderKind,
+) -> TrainReport {
+    let mut t = Trainer::new(pp_config(epochs, loader));
+    t.fit(model, prep).expect("training partition is non-empty")
+}
+
+/// Trains an MP model with the given sampler and returns its report.
+pub fn train_mp(
+    model: &mut dyn MpModel,
+    sampler: &mut dyn Sampler,
+    data: &SynthDataset,
+    epochs: usize,
+) -> MpTrainReport {
+    trainer::fit_mp(
+        model,
+        sampler,
+        &data.graph,
+        &data.features,
+        &data.labels,
+        &data.split.train,
+        &data.split.val,
+        &data.split.test,
+        &pp_config(epochs, LoaderKind::DoubleBuffer),
+    )
+    .expect("training partition is non-empty")
+}
+
+/// Builds a sampler by name at the paper's fanout settings (scaled depth).
+pub fn make_sampler(name: &str, layers: usize, seed: u64) -> Box<dyn Sampler> {
+    // Paper fanouts: [15 10 5 (3 3 3)] for SAGE, LADIES budget 512,
+    // SAINT node budget = batch size.
+    let fanouts: Vec<usize> = [15usize, 10, 5, 3, 3, 3][..layers].to_vec();
+    match name {
+        "neighbor" => Box::new(NeighborSampler::new(fanouts, seed)),
+        "labor" => Box::new(LaborSampler::new(fanouts, seed)),
+        "ladies" => Box::new(LadiesSampler::new(layers, 512, seed)),
+        "saint" => Box::new(SaintNodeSampler::new(layers, BATCH, seed)),
+        other => panic!("unknown sampler {other}"),
+    }
+}
+
+/// Builds MP backbones at harness dimensions.
+pub fn make_sage(layers: usize, profile: &DatasetProfile, seed: u64) -> GraphSage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    GraphSage::new(layers, profile.feature_dim, 64, profile.num_classes, &mut rng)
+}
+
+/// GAT backbone at harness dimensions (paper: 128 per channel × 4 heads).
+pub fn make_gat(layers: usize, profile: &DatasetProfile, seed: u64) -> Gat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Gat::new(layers, profile.feature_dim, 16, 4, profile.num_classes, &mut rng)
+}
+
+/// Measured MP workload: runs the sampler at two probe batch sizes, fits
+/// the sublinear growth of unique sampled nodes (dedup increases with the
+/// seed count), and extrapolates the statistics to the paper's batch size
+/// of 8000 — so the simulated epochs move a realistic byte volume instead
+/// of the saturation-capped probe numbers.
+pub fn measured_mp_workload(
+    profile: &DatasetProfile,
+    data: &SynthDataset,
+    sampler: &mut dyn Sampler,
+    model: &dyn MpModel,
+    batches: usize,
+) -> MpWorkload {
+    const PAPER_BATCH: usize = 8000;
+    let n = data.graph.num_nodes();
+    let probe = |seeds_per_batch: usize,
+                 sampler: &mut dyn Sampler|
+     -> (SampleStats, u64) {
+        let mut stats = SampleStats::default();
+        let mut flops = 0u64;
+        for b in 0..batches {
+            let seeds: Vec<usize> = (0..seeds_per_batch)
+                .map(|i| (b * seeds_per_batch + i) % n)
+                .collect();
+            let batch = sampler.sample(&data.graph, &seeds);
+            flops += model.flops_per_batch(&batch);
+            stats.accumulate(&batch.stats);
+        }
+        (stats, flops / batches as u64)
+    };
+    let (small, _) = probe(BATCH / 4, sampler);
+    let (large, flops_per_batch) = probe(BATCH, sampler);
+
+    // unique-node growth exponent: nodes ∝ b^e, e = log ratio / log 4
+    let ratio = large.input_nodes as f64 / small.input_nodes.max(1) as f64;
+    let exponent = (ratio.ln() / 4.0f64.ln()).clamp(0.5, 1.0);
+    let scale_up = (PAPER_BATCH as f64 / BATCH as f64).powf(exponent);
+    let linear_up = PAPER_BATCH as f64 / BATCH as f64;
+
+    let mut stats = large;
+    stats.input_nodes = (stats.input_nodes as f64 * scale_up) as usize;
+    stats.total_nodes = (stats.total_nodes as f64 * scale_up) as usize;
+    stats.total_edges = (stats.total_edges as f64 * linear_up) as usize;
+    stats.seeds = PAPER_BATCH * batches;
+    mp_workload(
+        profile,
+        &stats,
+        batches,
+        (flops_per_batch as f64 * linear_up) as u64,
+        PAPER_BATCH,
+        4 << 20,
+        WorkloadScale::Paper,
+    )
+}
+
+/// Paper-scale PP workload for a model on a profile (batch 8000, chunk
+/// 8000, single sym-norm operator — the paper's evaluation setting).
+pub fn paper_pp_workload(profile: &DatasetProfile, model: &dyn PpModel) -> PpWorkload {
+    pp_workload(profile, model, 1, 8000, 8000, WorkloadScale::Paper)
+}
+
+/// The simulation server used by every performance-plane experiment.
+pub fn server() -> HardwareSpec {
+    HardwareSpec::a6000_server()
+}

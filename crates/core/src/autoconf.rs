@@ -1,0 +1,266 @@
+//! The automated training-configuration system (Section 5).
+//!
+//! Given the hardware description and the expanded input size, decide
+//! **where the data lives** and **which training method runs**:
+//!
+//! | Condition | Placement | Method |
+//! |---|---|---|
+//! | fits in (aggregate) GPU memory alongside the model | GPU | SGD-RR (+ double buffer); chunk reshuffling adds nothing at HBM bandwidth |
+//! | fits in host memory | Host | SGD-RR by default; SGD-CR when the user opts in (CR requires pinning the whole input) |
+//! | exceeds host memory | Storage (GPUDirect) | SGD-CR only — SGD-RR would issue per-row random reads |
+//!
+//! The model's peak memory requirement comes from a PaGraph-style one-shot
+//! probe ([`probe_model_peak_bytes`]): run a single batch and measure what
+//! training needs beyond the input data.
+
+use ppgnn_memsim::{HardwareSpec, Placement};
+
+/// Training method chosen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Stochastic gradient descent with random reshuffling (row-level).
+    SgdRr,
+    /// Chunk reshuffling (Section 4.2).
+    SgdCr,
+}
+
+impl Method {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::SgdRr => "sgd-rr",
+            Method::SgdCr => "sgd-cr",
+        }
+    }
+}
+
+/// The planner's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingPlan {
+    /// Where the expanded input is placed.
+    pub placement: Placement,
+    /// Training method.
+    pub method: Method,
+    /// GPUs the plan uses (input may be sharded across them).
+    pub num_gpus: usize,
+    /// Bytes of host memory that must be pinned for non-blocking transfer.
+    pub pinned_host_bytes: u64,
+    /// Human-readable justification (surfaced by the harness).
+    pub reason: String,
+}
+
+/// Planner options the user can override.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoConfig {
+    /// Opt in to chunk reshuffling for host-resident data (the paper's
+    /// default is SGD-RR there, to avoid pinning the whole input).
+    pub prefer_chunk_reshuffle_on_host: bool,
+    /// Fraction of each memory pool the planner is allowed to fill.
+    pub memory_headroom: f64,
+}
+
+impl Default for AutoConfig {
+    fn default() -> Self {
+        AutoConfig {
+            prefer_chunk_reshuffle_on_host: false,
+            memory_headroom: 0.9,
+        }
+    }
+}
+
+impl AutoConfig {
+    /// Decides placement and method for an input of `input_bytes` and a
+    /// model needing `model_peak_bytes` of GPU memory per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails validation or `memory_headroom ∉ (0, 1]`.
+    pub fn plan(
+        &self,
+        spec: &HardwareSpec,
+        input_bytes: u64,
+        model_peak_bytes: u64,
+    ) -> TrainingPlan {
+        spec.validate().expect("invalid hardware spec");
+        assert!(
+            self.memory_headroom > 0.0 && self.memory_headroom <= 1.0,
+            "memory headroom must be in (0, 1]"
+        );
+        let usable_gpu =
+            ((spec.gpu_mem_bytes as f64 * self.memory_headroom) as u64).saturating_sub(model_peak_bytes);
+        // Sharding across GPUs is not free space: locality-aware fetching
+        // (Yang & Cong 2019, the Section 5 policy) replicates hot rows, so
+        // only a fraction of the aggregate capacity is usable for the
+        // partitioned input.
+        const SHARD_EFFICIENCY: f64 = 0.75;
+        let usable_gpu_total =
+            (usable_gpu as f64 * spec.num_gpus as f64 * SHARD_EFFICIENCY) as u64;
+        let usable_host = (spec.host_mem_bytes as f64 * self.memory_headroom) as u64;
+
+        if input_bytes <= usable_gpu {
+            return TrainingPlan {
+                placement: Placement::Gpu,
+                method: Method::SgdRr,
+                num_gpus: 1,
+                pinned_host_bytes: 0,
+                reason: format!(
+                    "input ({input_bytes} B) fits one GPU's free memory ({usable_gpu} B); \
+                     SGD-RR with double-buffer prefetching"
+                ),
+            };
+        }
+        if input_bytes <= usable_gpu_total {
+            return TrainingPlan {
+                placement: Placement::Gpu,
+                method: Method::SgdRr,
+                num_gpus: spec.num_gpus,
+                pinned_host_bytes: 0,
+                reason: format!(
+                    "input ({input_bytes} B) fits across {} GPUs with locality-aware \
+                     fetching; SGD-RR",
+                    spec.num_gpus
+                ),
+            };
+        }
+        if input_bytes <= usable_host {
+            let (method, pinned) = if self.prefer_chunk_reshuffle_on_host {
+                (Method::SgdCr, input_bytes)
+            } else {
+                (Method::SgdRr, 0)
+            };
+            return TrainingPlan {
+                placement: Placement::Host,
+                method,
+                num_gpus: spec.num_gpus,
+                pinned_host_bytes: pinned,
+                reason: format!(
+                    "input ({input_bytes} B) exceeds GPU memory but fits host memory \
+                     ({usable_host} B); {} ({})",
+                    method.name(),
+                    if pinned > 0 {
+                        "whole input pinned for non-blocking chunk transfers"
+                    } else {
+                        "default avoids pinning the full input"
+                    }
+                ),
+            };
+        }
+        TrainingPlan {
+            placement: Placement::Ssd,
+            method: Method::SgdCr,
+            num_gpus: 1,
+            pinned_host_bytes: 0,
+            reason: format!(
+                "input ({input_bytes} B) exceeds host memory ({usable_host} B); \
+                 GPUDirect storage with chunk reshuffling (SGD-RR would issue \
+                 per-row random reads)"
+            ),
+        }
+    }
+}
+
+/// PaGraph-style peak-memory probe: estimates the GPU bytes one training
+/// step needs beyond the resident input — parameters (+gradients, +Adam
+/// moments) and the activations of a `batch_size` minibatch.
+///
+/// `param_count` is the model's scalar parameter count,
+/// `activation_floats_per_example` the per-example activation footprint
+/// (roughly `Σ layer widths`, times `hops + 1` for token models).
+pub fn probe_model_peak_bytes(
+    param_count: usize,
+    batch_size: usize,
+    activation_floats_per_example: usize,
+) -> u64 {
+    // params + grads + Adam m/v = 4 copies, f32
+    let params = 4 * param_count as u64 * 4;
+    // double-buffered batch activations
+    let acts = 2 * (batch_size * activation_floats_per_example) as u64 * 4;
+    params + acts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HardwareSpec {
+        HardwareSpec::tiny() // 64 MB GPU ×2, 512 MB host
+    }
+
+    #[test]
+    fn small_input_goes_to_single_gpu_rr() {
+        let plan = AutoConfig::default().plan(&tiny(), 10 << 20, 1 << 20);
+        assert_eq!(plan.placement, Placement::Gpu);
+        assert_eq!(plan.method, Method::SgdRr);
+        assert_eq!(plan.num_gpus, 1);
+    }
+
+    #[test]
+    fn medium_input_shards_across_gpus() {
+        // > one GPU (~56 MB usable), ≤ two GPUs × sharding efficiency
+        let plan = AutoConfig::default().plan(&tiny(), 80 << 20, 1 << 20);
+        assert_eq!(plan.placement, Placement::Gpu);
+        assert_eq!(plan.num_gpus, 2);
+    }
+
+    #[test]
+    fn host_input_defaults_to_rr_without_pinning() {
+        let plan = AutoConfig::default().plan(&tiny(), 300 << 20, 1 << 20);
+        assert_eq!(plan.placement, Placement::Host);
+        assert_eq!(plan.method, Method::SgdRr);
+        assert_eq!(plan.pinned_host_bytes, 0);
+    }
+
+    #[test]
+    fn host_input_with_cr_preference_pins_everything() {
+        let cfg = AutoConfig {
+            prefer_chunk_reshuffle_on_host: true,
+            ..AutoConfig::default()
+        };
+        let plan = cfg.plan(&tiny(), 300 << 20, 1 << 20);
+        assert_eq!(plan.method, Method::SgdCr);
+        assert_eq!(plan.pinned_host_bytes, 300 << 20);
+    }
+
+    #[test]
+    fn oversized_input_goes_to_storage_with_cr() {
+        let plan = AutoConfig::default().plan(&tiny(), 2 << 30, 1 << 20);
+        assert_eq!(plan.placement, Placement::Ssd);
+        assert_eq!(plan.method, Method::SgdCr);
+        assert!(plan.reason.contains("random reads"));
+    }
+
+    #[test]
+    fn model_footprint_can_evict_input_from_gpu() {
+        // same input, huge model → GPU budget shrinks → host placement
+        let small_model = AutoConfig::default().plan(&tiny(), 50 << 20, 1 << 20);
+        assert_eq!(small_model.placement, Placement::Gpu);
+        let big_model = AutoConfig::default().plan(&tiny(), 50 << 20, 60 << 20);
+        assert_ne!(big_model.placement, Placement::Gpu);
+    }
+
+    #[test]
+    fn probe_scales_with_params_and_batch() {
+        let a = probe_model_peak_bytes(1000, 10, 100);
+        let b = probe_model_peak_bytes(2000, 10, 100);
+        let c = probe_model_peak_bytes(1000, 20, 100);
+        assert!(b > a);
+        assert!(c > a);
+        assert_eq!(a, 4 * 1000 * 4 + 2 * 10 * 100 * 4);
+    }
+
+    #[test]
+    fn paper_scale_decisions_match_section6() {
+        // papers100M: 0.8 GB/hop × 5 hops of retained labeled rows →
+        // "fitting comfortably into GPU memory" (Section 6.4)
+        let server = HardwareSpec::a6000_server();
+        let papers = AutoConfig::default().plan(&server, 4 << 30, 2 << 30);
+        assert_eq!(papers.placement, Placement::Gpu);
+        // igb-medium: 40 GB raw × 4 hops = 160 GB → host
+        let igb_medium = AutoConfig::default().plan(&server, 160 << 30, 2 << 30);
+        assert_eq!(igb_medium.placement, Placement::Host);
+        // igb-large: 1.6 TB → storage + CR
+        let igb_large = AutoConfig::default().plan(&server, 1600 << 30, 2 << 30);
+        assert_eq!(igb_large.placement, Placement::Ssd);
+        assert_eq!(igb_large.method, Method::SgdCr);
+    }
+}

@@ -1,0 +1,202 @@
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver};
+use ppgnn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::loader::{permutation, Loader, LoaderCounters, PpBatch};
+use crate::preprocess::PrepropFeatures;
+
+/// Generation 2: double-buffer prefetching (second half of Section 4.1).
+///
+/// A dedicated producer thread assembles batches (fused gathers, like
+/// generation 1) and pushes them into a **bounded channel of capacity 2**
+/// — the software double buffer. The consumer (training loop) overlaps its
+/// compute with the producer's assembly, which is precisely the pipelining
+/// Figure 6(c) illustrates; on real hardware the two buffers live in GPU
+/// memory and the channel is a pair of CUDA events.
+#[derive(Debug)]
+pub struct DoubleBufferLoader {
+    data: Arc<PrepropFeatures>,
+    batch_size: usize,
+    rng: StdRng,
+    rx: Option<Receiver<PpBatch>>,
+    worker: Option<JoinHandle<LoaderCounters>>,
+    counters: LoaderCounters,
+}
+
+impl DoubleBufferLoader {
+    /// Creates a double-buffered loader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or `data` is empty.
+    pub fn new(data: Arc<PrepropFeatures>, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!data.is_empty(), "cannot iterate an empty partition");
+        DoubleBufferLoader {
+            data,
+            batch_size,
+            rng: StdRng::seed_from_u64(seed),
+            rx: None,
+            worker: None,
+            counters: LoaderCounters::default(),
+        }
+    }
+
+    fn reap_worker(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            if let Ok(c) = handle.join() {
+                self.counters.gather_ops += c.gather_ops;
+                self.counters.bytes_assembled += c.bytes_assembled;
+                self.counters.batches += c.batches;
+            }
+        }
+    }
+}
+
+impl Loader for DoubleBufferLoader {
+    fn start_epoch(&mut self) {
+        // Drain any unfinished previous epoch first.
+        self.rx = None;
+        self.reap_worker();
+
+        let order = permutation(self.data.len(), &mut self.rng);
+        let data = Arc::clone(&self.data);
+        let batch_size = self.batch_size;
+        // Capacity 2 = the double buffer: the producer runs at most two
+        // batches ahead of the consumer.
+        let (tx, rx) = bounded::<PpBatch>(2);
+        let handle = std::thread::spawn(move || {
+            let mut counters = LoaderCounters::default();
+            let f = data.hops[0].cols();
+            let mut cursor = 0;
+            while cursor < order.len() {
+                let end = (cursor + batch_size).min(order.len());
+                let indices = order[cursor..end].to_vec();
+                cursor = end;
+                let mut hops = Vec::with_capacity(data.hops.len());
+                for src in &data.hops {
+                    let mut stage = Matrix::zeros(indices.len(), f);
+                    src.gather_rows_into(&indices, &mut stage);
+                    counters.gather_ops += 1;
+                    counters.bytes_assembled += (indices.len() * f * 4) as u64;
+                    hops.push(stage);
+                }
+                let labels = indices.iter().map(|&i| data.labels[i]).collect();
+                counters.batches += 1;
+                if tx
+                    .send(PpBatch {
+                        indices,
+                        hops,
+                        labels,
+                    })
+                    .is_err()
+                {
+                    break; // consumer dropped the epoch early
+                }
+            }
+            counters
+        });
+        self.rx = Some(rx);
+        self.worker = Some(handle);
+    }
+
+    fn next_batch(&mut self) -> Option<PpBatch> {
+        let rx = self.rx.as_ref()?;
+        match rx.recv() {
+            Ok(batch) => Some(batch),
+            Err(_) => {
+                self.rx = None;
+                self.reap_worker();
+                None
+            }
+        }
+    }
+
+    fn num_batches(&self) -> usize {
+        self.data.len().div_ceil(self.batch_size)
+    }
+
+    fn counters(&self) -> LoaderCounters {
+        self.counters
+    }
+
+    fn name(&self) -> &'static str {
+        "double-buffer"
+    }
+}
+
+impl Drop for DoubleBufferLoader {
+    fn drop(&mut self) {
+        self.rx = None; // closes the channel, unblocking the producer
+        self.reap_worker();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::tests_support::tiny_features;
+    use crate::loader::FusedGatherLoader;
+
+    #[test]
+    fn identical_stream_to_fused_for_equal_seed() {
+        let data = Arc::new(tiny_features(29, 2, 3));
+        let mut a = FusedGatherLoader::new(data.clone(), 6, 9);
+        let mut b = DoubleBufferLoader::new(data, 6, 9);
+        a.start_epoch();
+        b.start_epoch();
+        loop {
+            match (a.next_batch(), b.next_batch()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.indices, y.indices);
+                    assert_eq!(x.hops, y.hops);
+                    assert_eq!(x.labels, y.labels);
+                }
+                _ => panic!("loaders disagree on batch count"),
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_epochs_work_and_reshuffle() {
+        let data = Arc::new(tiny_features(40, 1, 2));
+        let mut l = DoubleBufferLoader::new(data, 40, 4);
+        l.start_epoch();
+        let e1 = l.next_batch().unwrap().indices;
+        assert!(l.next_batch().is_none());
+        l.start_epoch();
+        let e2 = l.next_batch().unwrap().indices;
+        assert!(l.next_batch().is_none());
+        assert_ne!(e1, e2);
+        let c = l.counters();
+        assert_eq!(c.batches, 2);
+    }
+
+    #[test]
+    fn abandoning_an_epoch_does_not_deadlock() {
+        let data = Arc::new(tiny_features(100, 1, 2));
+        let mut l = DoubleBufferLoader::new(data, 5, 5);
+        l.start_epoch();
+        let _ = l.next_batch(); // take one of twenty, then abandon
+        l.start_epoch(); // must not hang on the old producer
+        let mut count = 0;
+        while l.next_batch().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn drop_mid_epoch_terminates_worker() {
+        let data = Arc::new(tiny_features(100, 1, 2));
+        let mut l = DoubleBufferLoader::new(data, 5, 6);
+        l.start_epoch();
+        let _ = l.next_batch();
+        drop(l); // must join cleanly without hanging the test
+    }
+}

@@ -1,0 +1,223 @@
+//! Persistence of preprocessed outputs — the amortization workflow.
+//!
+//! The paper's central cost argument (Section 3.5 / Table 7) is that
+//! preprocessing is a **one-time** cost amortized over many training runs.
+//! That only works if the preprocessed hop features are saved and reloaded;
+//! this module persists a whole [`PrepropOutput`] (all three partitions,
+//! labels, node ids, timing, expansion metadata) to a directory and loads
+//! it back bit-exactly, so hyperparameter sweeps skip the SpMM chain.
+//!
+//! Layout: one sub-store per partition in the Section 4.3 file-per-hop
+//! format, plus `labels_<part>.ppgt` / `nodes_<part>.ppgt` sidecars (labels
+//! and ids stored as 1×n f32 matrices — exact for values < 2²⁴) and a
+//! `preprop.txt` manifest.
+
+use std::fs;
+use std::path::Path;
+
+use ppgnn_dataio::{DataIoError, FeatureStore, FeatureStoreWriter, StoreMeta};
+use ppgnn_tensor::{io as tio, Matrix};
+
+use crate::preprocess::{ExpansionReport, PrepropFeatures, PrepropOutput};
+
+const MANIFEST: &str = "preprop.txt";
+const PARTS: [&str; 3] = ["train", "val", "test"];
+
+/// Saves `out` under `dir` (created if needed).
+///
+/// # Errors
+///
+/// Propagates filesystem and store-layer failures; a partially written
+/// directory is left behind for inspection (callers should treat any error
+/// as "re-run preprocessing").
+pub fn save(out: &PrepropOutput, dir: impl AsRef<Path>, chunk_size: usize) -> Result<(), DataIoError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let manifest = format!(
+        "version=1\npreprocess_seconds={}\nraw_bytes={}\nexpanded_bytes={}\nnum_operators={}\nhops={}\n",
+        out.preprocess_seconds,
+        out.expansion.raw_bytes,
+        out.expansion.expanded_bytes,
+        out.expansion.num_operators,
+        out.expansion.hops,
+    );
+    fs::write(dir.join(MANIFEST), manifest)?;
+    for (part, features) in PARTS.iter().zip([&out.train, &out.val, &out.test]) {
+        save_partition(features, dir, part, chunk_size)?;
+    }
+    Ok(())
+}
+
+fn save_partition(
+    f: &PrepropFeatures,
+    dir: &Path,
+    part: &str,
+    chunk_size: usize,
+) -> Result<(), DataIoError> {
+    let rows = f.len();
+    let cols = f.hops.first().map(|h| h.cols()).unwrap_or(0);
+    let meta = StoreMeta {
+        dataset: part.to_string(),
+        num_hops: f.hops.len(),
+        rows,
+        cols,
+        chunk_size: chunk_size.max(1),
+    };
+    let sub = dir.join(part);
+    let mut writer = FeatureStoreWriter::create(&sub, meta)?;
+    for (k, hop) in f.hops.iter().enumerate() {
+        writer.write_hop(k, hop)?;
+    }
+    writer.finish()?;
+    let labels = Matrix::from_fn(1, rows, |_, c| f.labels[c] as f32);
+    let nodes = Matrix::from_fn(1, rows, |_, c| f.node_ids[c] as f32);
+    write_sidecar(&sub.join("labels.ppgt"), &labels)?;
+    write_sidecar(&sub.join("nodes.ppgt"), &nodes)?;
+    Ok(())
+}
+
+fn write_sidecar(path: &Path, m: &Matrix) -> Result<(), DataIoError> {
+    let file = fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    tio::write_matrix(&mut w, m).map_err(|e| DataIoError::Io(e.to_string()))?;
+    Ok(())
+}
+
+fn read_sidecar(path: &Path) -> Result<Matrix, DataIoError> {
+    let mut f = fs::File::open(path)?;
+    tio::read_matrix(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))
+}
+
+/// Loads a [`PrepropOutput`] previously written by [`save`].
+///
+/// # Errors
+///
+/// Fails on missing/corrupt manifest, stores, or sidecars.
+pub fn load(dir: impl AsRef<Path>) -> Result<PrepropOutput, DataIoError> {
+    let dir = dir.as_ref();
+    let text = fs::read_to_string(dir.join(MANIFEST))
+        .map_err(|e| DataIoError::Io(format!("{}: {e}", dir.display())))?;
+    let field = |key: &str| -> Result<f64, DataIoError> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .ok_or_else(|| DataIoError::BadManifest(format!("missing {key}")))?
+            .parse::<f64>()
+            .map_err(|_| DataIoError::BadManifest(format!("bad {key}")))
+    };
+    let preprocess_seconds = field("preprocess_seconds")?;
+    let expansion = ExpansionReport {
+        raw_bytes: field("raw_bytes")? as u64,
+        expanded_bytes: field("expanded_bytes")? as u64,
+        num_operators: field("num_operators")? as usize,
+        hops: field("hops")? as usize,
+    };
+    let mut parts = Vec::with_capacity(3);
+    for part in PARTS {
+        parts.push(load_partition(dir, part)?);
+    }
+    let mut it = parts.into_iter();
+    Ok(PrepropOutput {
+        train: it.next().expect("three partitions"),
+        val: it.next().expect("three partitions"),
+        test: it.next().expect("three partitions"),
+        preprocess_seconds,
+        expansion,
+    })
+}
+
+fn load_partition(dir: &Path, part: &str) -> Result<PrepropFeatures, DataIoError> {
+    let sub = dir.join(part);
+    let mut store = FeatureStore::open(&sub)?;
+    let num_hops = store.meta().num_hops;
+    let mut hops = Vec::with_capacity(num_hops);
+    for k in 0..num_hops {
+        hops.push(store.read_full_hop(k)?);
+    }
+    let labels = read_sidecar(&sub.join("labels.ppgt"))?;
+    let nodes = read_sidecar(&sub.join("nodes.ppgt"))?;
+    Ok(PrepropFeatures {
+        hops,
+        labels: labels.as_slice().iter().map(|&v| v as u32).collect(),
+        node_ids: nodes.as_slice().iter().map(|&v| v as usize).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::Preprocessor;
+    use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+    use ppgnn_graph::Operator;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ppgnn-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip_is_exact() {
+        let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 3).unwrap();
+        let out = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+        let dir = temp("roundtrip");
+        save(&out, &dir, 64).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.train.labels, out.train.labels);
+        assert_eq!(loaded.val.node_ids, out.val.node_ids);
+        assert_eq!(loaded.expansion, out.expansion);
+        for (a, b) in loaded.train.hops.iter().zip(&out.train.hops) {
+            assert_eq!(a, b, "hop features changed across persistence");
+        }
+        for (a, b) in loaded.test.hops.iter().zip(&out.test.hops) {
+            assert_eq!(a, b);
+        }
+        assert!((loaded.preprocess_seconds - out.preprocess_seconds).abs() < 1e-9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loaded_output_trains_identically() {
+        use crate::trainer::{LoaderKind, TrainConfig, Trainer};
+        use ppgnn_models::Sgc;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 4).unwrap();
+        let out = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
+        let dir = temp("train");
+        save(&out, &dir, 32).unwrap();
+        let loaded = load(&dir).unwrap();
+
+        let run = |prep: &PrepropOutput| {
+            let mut model = Sgc::new(1, data.profile.feature_dim, 2, &mut StdRng::seed_from_u64(1));
+            let mut t = Trainer::new(TrainConfig {
+                epochs: 3,
+                batch_size: 64,
+                loader: LoaderKind::Fused,
+                ..TrainConfig::default()
+            });
+            t.fit(&mut model, prep).unwrap().test_acc
+        };
+        assert_eq!(run(&out), run(&loaded));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_fails_cleanly() {
+        let dir = temp("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(load(&dir), Err(DataIoError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_partition_fails_cleanly() {
+        let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.015), 5).unwrap();
+        let out = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
+        let dir = temp("corrupt");
+        save(&out, &dir, 32).unwrap();
+        fs::remove_file(dir.join("val").join("labels.ppgt")).unwrap();
+        assert!(load(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

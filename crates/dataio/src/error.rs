@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+use ppgnn_tensor::TensorError;
+
+/// Errors from the feature store.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataIoError {
+    /// Underlying filesystem error (path + message).
+    Io(String),
+    /// The manifest file is missing a key or malformed.
+    BadManifest(String),
+    /// A request referenced a hop or row outside the stored range.
+    OutOfRange(String),
+    /// A stored matrix failed to parse.
+    Corrupt(String),
+}
+
+impl fmt::Display for DataIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataIoError::Io(m) => write!(f, "feature-store i/o failure: {m}"),
+            DataIoError::BadManifest(m) => write!(f, "bad manifest: {m}"),
+            DataIoError::OutOfRange(m) => write!(f, "request out of range: {m}"),
+            DataIoError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl Error for DataIoError {}
+
+impl From<std::io::Error> for DataIoError {
+    fn from(e: std::io::Error) -> Self {
+        DataIoError::Io(e.to_string())
+    }
+}
+
+impl From<TensorError> for DataIoError {
+    fn from(e: TensorError) -> Self {
+        DataIoError::Corrupt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DataIoError = io.into();
+        assert!(e.to_string().contains("gone"));
+        let t: DataIoError = TensorError::BadHeader("x".into()).into();
+        assert!(matches!(t, DataIoError::Corrupt(_)));
+    }
+}

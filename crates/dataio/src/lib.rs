@@ -1,0 +1,25 @@
+//! On-disk feature store for preprocessed hop features.
+//!
+//! Implements the storage layout of Section 4.3: **one file per (operator,
+//! hop)** so parallel read requests can target different files, row-major
+//! `f32` payloads so a contiguous row range *is* a chunk, and two read
+//! paths:
+//!
+//! * [`AccessPath::Direct`] — the GPUDirect-Storage analog: chunk reads go
+//!   "straight to the device buffer" (one read syscall, no bounce copy);
+//! * [`AccessPath::HostBounce`] — the conventional path through a host
+//!   staging buffer (an extra memcpy per read, which the I/O counters
+//!   expose).
+//!
+//! Every read updates [`IoCounters`], the measured quantities the
+//! performance simulator replays at paper scale — sequential vs random
+//! request counts and byte volumes are what separate chunk reshuffling from
+//! SGD-RR on storage.
+
+#![deny(missing_docs)]
+
+mod error;
+mod store;
+
+pub use error::DataIoError;
+pub use store::{AccessPath, FeatureStore, FeatureStoreWriter, IoCounters, StoreMeta};

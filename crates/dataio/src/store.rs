@@ -1,0 +1,546 @@
+use std::fs::{self, File};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ppgnn_tensor::{io as tio, Matrix};
+
+use crate::DataIoError;
+
+const MANIFEST: &str = "manifest.txt";
+
+/// Store-level metadata persisted in `manifest.txt` (simple `key=value`
+/// lines; no external parser dependency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Dataset name the features were preprocessed from.
+    pub dataset: String,
+    /// Number of hop files (`R + 1`).
+    pub num_hops: usize,
+    /// Rows per hop file (training-relevant nodes).
+    pub rows: usize,
+    /// Feature dimension per hop.
+    pub cols: usize,
+    /// Rows per chunk for chunked access.
+    pub chunk_size: usize,
+}
+
+impl StoreMeta {
+    fn to_manifest(&self) -> String {
+        format!(
+            "dataset={}\nnum_hops={}\nrows={}\ncols={}\nchunk_size={}\n",
+            self.dataset, self.num_hops, self.rows, self.cols, self.chunk_size
+        )
+    }
+
+    fn from_manifest(text: &str) -> Result<Self, DataIoError> {
+        let mut dataset = None;
+        let mut num_hops = None;
+        let mut rows = None;
+        let mut cols = None;
+        let mut chunk_size = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| DataIoError::BadManifest(format!("bad line: {line}")))?;
+            let parse = |v: &str| {
+                v.parse::<usize>()
+                    .map_err(|_| DataIoError::BadManifest(format!("bad value for {k}: {v}")))
+            };
+            match k {
+                "dataset" => dataset = Some(v.to_string()),
+                "num_hops" => num_hops = Some(parse(v)?),
+                "rows" => rows = Some(parse(v)?),
+                "cols" => cols = Some(parse(v)?),
+                "chunk_size" => chunk_size = Some(parse(v)?),
+                _ => {} // forward compatible: unknown keys ignored
+            }
+        }
+        let missing = |f: &str| DataIoError::BadManifest(format!("missing key {f}"));
+        Ok(StoreMeta {
+            dataset: dataset.ok_or_else(|| missing("dataset"))?,
+            num_hops: num_hops.ok_or_else(|| missing("num_hops"))?,
+            rows: rows.ok_or_else(|| missing("rows"))?,
+            cols: cols.ok_or_else(|| missing("cols"))?,
+            chunk_size: chunk_size.ok_or_else(|| missing("chunk_size"))?,
+        })
+    }
+
+    /// Number of chunks per hop file (last chunk may be partial).
+    pub fn num_chunks(&self) -> usize {
+        if self.rows == 0 {
+            0
+        } else {
+            self.rows.div_ceil(self.chunk_size)
+        }
+    }
+
+    /// Total stored bytes across all hop files (payload only).
+    pub fn total_bytes(&self) -> u64 {
+        (self.num_hops * self.rows * self.cols * 4) as u64
+    }
+}
+
+/// Which copy path a read takes (GPUDirect analog vs host bounce buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Storage → device buffer directly (NVIDIA GDS analog).
+    Direct,
+    /// Storage → host staging buffer → device buffer.
+    HostBounce,
+}
+
+/// Byte/request accounting for one reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoCounters {
+    /// Sequential (chunk) read requests issued.
+    pub seq_requests: u64,
+    /// Bytes read sequentially.
+    pub seq_bytes: u64,
+    /// Random (row) read requests issued.
+    pub rand_requests: u64,
+    /// Bytes read randomly.
+    pub rand_bytes: u64,
+    /// Extra bytes copied through the host bounce buffer.
+    pub bounce_bytes: u64,
+}
+
+impl IoCounters {
+    /// Total bytes read from storage.
+    pub fn total_bytes(&self) -> u64 {
+        self.seq_bytes + self.rand_bytes
+    }
+}
+
+/// Writes a feature store to a directory: `manifest.txt` + one
+/// `hop_<k>.ppgt` file per hop.
+#[derive(Debug)]
+pub struct FeatureStoreWriter {
+    dir: PathBuf,
+    meta: StoreMeta,
+    written: Vec<bool>,
+}
+
+impl FeatureStoreWriter {
+    /// Creates the directory (if needed) and writes the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or the manifest cannot be
+    /// written, or if `meta` has a zero chunk size.
+    pub fn create(dir: impl AsRef<Path>, meta: StoreMeta) -> Result<Self, DataIoError> {
+        if meta.chunk_size == 0 {
+            return Err(DataIoError::BadManifest("chunk_size must be positive".into()));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join(MANIFEST), meta.to_manifest())?;
+        Ok(FeatureStoreWriter {
+            written: vec![false; meta.num_hops],
+            dir,
+            meta,
+        })
+    }
+
+    /// Writes hop `k`'s feature matrix to its own file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` is out of range, the matrix shape disagrees with the
+    /// manifest, or I/O fails.
+    pub fn write_hop(&mut self, k: usize, features: &Matrix) -> Result<(), DataIoError> {
+        if k >= self.meta.num_hops {
+            return Err(DataIoError::OutOfRange(format!(
+                "hop {k} out of range ({} hops)",
+                self.meta.num_hops
+            )));
+        }
+        if features.shape() != (self.meta.rows, self.meta.cols) {
+            return Err(DataIoError::BadManifest(format!(
+                "hop {k} shape {:?} disagrees with manifest ({}, {})",
+                features.shape(),
+                self.meta.rows,
+                self.meta.cols
+            )));
+        }
+        let file = File::create(hop_path(&self.dir, k))?;
+        let mut w = BufWriter::new(file);
+        tio::write_matrix(&mut w, features).map_err(|e| DataIoError::Io(e.to_string()))?;
+        w.flush()?;
+        self.written[k] = true;
+        Ok(())
+    }
+
+    /// Finishes writing, verifying every hop was stored.
+    ///
+    /// # Errors
+    ///
+    /// Fails listing the missing hops if any were never written.
+    pub fn finish(self) -> Result<FeatureStore, DataIoError> {
+        let missing: Vec<usize> = self
+            .written
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| !w)
+            .map(|(k, _)| k)
+            .collect();
+        if !missing.is_empty() {
+            return Err(DataIoError::BadManifest(format!(
+                "hops never written: {missing:?}"
+            )));
+        }
+        FeatureStore::open(&self.dir)
+    }
+}
+
+fn hop_path(dir: &Path, k: usize) -> PathBuf {
+    dir.join(format!("hop_{k}.ppgt"))
+}
+
+/// Read handle over a feature-store directory with I/O accounting.
+#[derive(Debug)]
+pub struct FeatureStore {
+    dir: PathBuf,
+    meta: StoreMeta,
+    counters: IoCounters,
+}
+
+impl FeatureStore {
+    /// Opens a store, validating the manifest and each hop file's header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing/corrupt manifest, missing hop files, or header
+    /// shapes that disagree with the manifest.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, DataIoError> {
+        let dir = dir.as_ref().to_path_buf();
+        let text = fs::read_to_string(dir.join(MANIFEST))
+            .map_err(|e| DataIoError::Io(format!("{}: {e}", dir.display())))?;
+        let meta = StoreMeta::from_manifest(&text)?;
+        for k in 0..meta.num_hops {
+            let mut f = File::open(hop_path(&dir, k))
+                .map_err(|e| DataIoError::Io(format!("hop {k}: {e}")))?;
+            let (rows, cols) =
+                tio::read_header(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?;
+            if (rows, cols) != (meta.rows, meta.cols) {
+                return Err(DataIoError::Corrupt(format!(
+                    "hop {k} header ({rows},{cols}) disagrees with manifest ({},{})",
+                    meta.rows, meta.cols
+                )));
+            }
+            // validate payload length without reading it
+            let expected = tio::HEADER_BYTES as u64 + (rows * cols * 4) as u64;
+            let actual = f.metadata()?.len();
+            if actual < expected {
+                return Err(DataIoError::Corrupt(format!(
+                    "hop {k} file truncated: {actual} < {expected} bytes"
+                )));
+            }
+        }
+        Ok(FeatureStore {
+            dir,
+            meta,
+            counters: IoCounters::default(),
+        })
+    }
+
+    /// Store metadata.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Accumulated I/O counters.
+    pub fn counters(&self) -> IoCounters {
+        self.counters
+    }
+
+    /// Resets the I/O counters (between measured epochs).
+    pub fn reset_counters(&mut self) {
+        self.counters = IoCounters::default();
+    }
+
+    /// Randomly reads individual `rows` of hop `k` — the SGD-RR storage
+    /// access pattern (one request per row).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` or any row index is out of range, or on I/O errors.
+    pub fn read_rows(
+        &mut self,
+        k: usize,
+        rows: &[usize],
+        path: AccessPath,
+    ) -> Result<Matrix, DataIoError> {
+        self.check_hop(k)?;
+        let row_bytes = self.meta.cols * 4;
+        let mut file = File::open(hop_path(&self.dir, k))?;
+        let mut out = Matrix::zeros(rows.len(), self.meta.cols);
+        let mut buf = vec![0u8; row_bytes];
+        for (i, &r) in rows.iter().enumerate() {
+            if r >= self.meta.rows {
+                return Err(DataIoError::OutOfRange(format!(
+                    "row {r} out of range ({} rows)",
+                    self.meta.rows
+                )));
+            }
+            let offset = tio::HEADER_BYTES as u64 + (r * row_bytes) as u64;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+            for (j, chunk) in buf.chunks_exact(4).enumerate() {
+                out.set(i, j, f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+            }
+            self.counters.rand_requests += 1;
+            self.counters.rand_bytes += row_bytes as u64;
+            if path == AccessPath::HostBounce {
+                self.counters.bounce_bytes += row_bytes as u64;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sequentially reads chunk `chunk_id` of hop `k` (one request) — the
+    /// chunk-reshuffling access pattern. The final chunk may be short.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` or `chunk_id` is out of range, or on I/O errors.
+    pub fn read_chunk(
+        &mut self,
+        k: usize,
+        chunk_id: usize,
+        path: AccessPath,
+    ) -> Result<Matrix, DataIoError> {
+        self.check_hop(k)?;
+        let num_chunks = self.meta.num_chunks();
+        if chunk_id >= num_chunks {
+            return Err(DataIoError::OutOfRange(format!(
+                "chunk {chunk_id} out of range ({num_chunks} chunks)"
+            )));
+        }
+        let start_row = chunk_id * self.meta.chunk_size;
+        let rows = self.meta.chunk_size.min(self.meta.rows - start_row);
+        let row_bytes = self.meta.cols * 4;
+        let mut file = File::open(hop_path(&self.dir, k))?;
+        let offset = tio::HEADER_BYTES as u64 + (start_row * row_bytes) as u64;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut bytes = vec![0u8; rows * row_bytes];
+        file.read_exact(&mut bytes)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        self.counters.seq_requests += 1;
+        self.counters.seq_bytes += (rows * row_bytes) as u64;
+        if path == AccessPath::HostBounce {
+            self.counters.bounce_bytes += (rows * row_bytes) as u64;
+        }
+        Matrix::from_vec(rows, self.meta.cols, data).map_err(|e| DataIoError::Corrupt(e.to_string()))
+    }
+
+    /// Reads chunk `chunk_id` across **all** hops (one request per hop file,
+    /// the parallel-file layout of Section 4.3).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FeatureStore::read_chunk`].
+    pub fn read_chunk_all_hops(
+        &mut self,
+        chunk_id: usize,
+        path: AccessPath,
+    ) -> Result<Vec<Matrix>, DataIoError> {
+        (0..self.meta.num_hops)
+            .map(|k| self.read_chunk(k, chunk_id, path))
+            .collect()
+    }
+
+    /// Reads an entire hop matrix (preloading path).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` is out of range or the payload is corrupt.
+    pub fn read_full_hop(&mut self, k: usize) -> Result<Matrix, DataIoError> {
+        self.check_hop(k)?;
+        let mut f = File::open(hop_path(&self.dir, k))?;
+        let m = tio::read_matrix(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?;
+        self.counters.seq_requests += 1;
+        self.counters.seq_bytes += m.size_bytes() as u64;
+        Ok(m)
+    }
+
+    fn check_hop(&self, k: usize) -> Result<(), DataIoError> {
+        if k >= self.meta.num_hops {
+            return Err(DataIoError::OutOfRange(format!(
+                "hop {k} out of range ({} hops)",
+                self.meta.num_hops
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ppgnn-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_meta() -> StoreMeta {
+        StoreMeta {
+            dataset: "test".into(),
+            num_hops: 3,
+            rows: 10,
+            cols: 4,
+            chunk_size: 4,
+        }
+    }
+
+    fn build_store(dir: &Path) -> FeatureStore {
+        let meta = sample_meta();
+        let mut w = FeatureStoreWriter::create(dir, meta).unwrap();
+        for k in 0..3 {
+            let m = Matrix::from_fn(10, 4, |r, c| (k * 1000 + r * 10 + c) as f32);
+            w.write_hop(k, &m).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_rows_and_chunks() {
+        let dir = temp_dir("roundtrip");
+        let mut store = build_store(&dir);
+        // random rows
+        let rows = store.read_rows(1, &[7, 0, 3], AccessPath::Direct).unwrap();
+        assert_eq!(rows.get(0, 2), 1072.0);
+        assert_eq!(rows.get(1, 0), 1000.0);
+        // chunk 1 = rows 4..8
+        let chunk = store.read_chunk(2, 1, AccessPath::Direct).unwrap();
+        assert_eq!(chunk.rows(), 4);
+        assert_eq!(chunk.get(0, 0), 2040.0);
+        // last chunk is short: rows 8..10
+        let last = store.read_chunk(0, 2, AccessPath::Direct).unwrap();
+        assert_eq!(last.rows(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn counters_distinguish_access_patterns() {
+        let dir = temp_dir("counters");
+        let mut store = build_store(&dir);
+        store.read_rows(0, &[1, 2, 3], AccessPath::Direct).unwrap();
+        let c = store.counters();
+        assert_eq!(c.rand_requests, 3);
+        assert_eq!(c.rand_bytes, 3 * 16);
+        assert_eq!(c.seq_requests, 0);
+        assert_eq!(c.bounce_bytes, 0);
+
+        store.reset_counters();
+        store.read_chunk_all_hops(0, AccessPath::HostBounce).unwrap();
+        let c = store.counters();
+        assert_eq!(c.seq_requests, 3); // one per hop file
+        assert_eq!(c.seq_bytes, 3 * 4 * 16);
+        assert_eq!(c.bounce_bytes, c.seq_bytes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunked_reads_issue_far_fewer_requests_than_row_reads() {
+        // the quantitative heart of Section 4.3
+        let dir = temp_dir("requests");
+        let mut store = build_store(&dir);
+        let all: Vec<usize> = (0..10).collect();
+        store.read_rows(0, &all, AccessPath::Direct).unwrap();
+        let rand_reqs = store.counters().rand_requests;
+        store.reset_counters();
+        for c in 0..store.meta().num_chunks() {
+            store.read_chunk(0, c, AccessPath::Direct).unwrap();
+        }
+        let seq_reqs = store.counters().seq_requests;
+        assert!(seq_reqs * 3 <= rand_reqs, "{seq_reqs} vs {rand_reqs}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_truncated_files() {
+        let dir = temp_dir("truncated");
+        build_store(&dir);
+        // truncate hop 1
+        let path = dir.join("hop_1.ppgt");
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 10]).unwrap();
+        let err = FeatureStore::open(&dir).unwrap_err();
+        assert!(matches!(err, DataIoError::Corrupt(_)), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_bad_manifest() {
+        let dir = temp_dir("manifest");
+        build_store(&dir);
+        fs::write(dir.join(MANIFEST), "dataset=x\nnum_hops=nope\n").unwrap();
+        assert!(matches!(
+            FeatureStore::open(&dir),
+            Err(DataIoError::BadManifest(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_refuses_wrong_shapes_and_incomplete_stores() {
+        let dir = temp_dir("writer");
+        let mut w = FeatureStoreWriter::create(&dir, sample_meta()).unwrap();
+        assert!(matches!(
+            w.write_hop(0, &Matrix::zeros(5, 4)),
+            Err(DataIoError::BadManifest(_))
+        ));
+        assert!(matches!(
+            w.write_hop(9, &Matrix::zeros(10, 4)),
+            Err(DataIoError::OutOfRange(_))
+        ));
+        w.write_hop(0, &Matrix::zeros(10, 4)).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("never written"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_requests_fail_cleanly() {
+        let dir = temp_dir("range");
+        let mut store = build_store(&dir);
+        assert!(store.read_rows(0, &[99], AccessPath::Direct).is_err());
+        assert!(store.read_chunk(0, 99, AccessPath::Direct).is_err());
+        assert!(store.read_chunk(9, 0, AccessPath::Direct).is_err());
+        assert!(store.read_full_hop(9).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn full_hop_read_matches_written_matrix() {
+        let dir = temp_dir("full");
+        let mut store = build_store(&dir);
+        let m = store.read_full_hop(1).unwrap();
+        assert_eq!(m.shape(), (10, 4));
+        assert_eq!(m.get(9, 3), 1093.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_round_trips_and_ignores_unknown_keys() {
+        let meta = sample_meta();
+        let mut text = meta.to_manifest();
+        text.push_str("future_key=whatever\n");
+        let parsed = StoreMeta::from_manifest(&text).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(parsed.num_chunks(), 3);
+        assert_eq!(parsed.total_bytes(), 3 * 10 * 4 * 4);
+    }
+}

@@ -1,0 +1,267 @@
+use crate::GraphError;
+
+/// An unweighted graph in compressed-sparse-row form.
+///
+/// Node ids are `usize` in `0..num_nodes`; neighbor lists are stored sorted
+/// and de-duplicated. The graph is *directed* at this level — undirected
+/// graphs are represented by storing both edge directions (which
+/// [`CsrGraph::from_edges`] does when `symmetrize` is set, matching how
+/// OGB/DGL materialize undirected benchmarks).
+///
+/// # Example
+///
+/// ```
+/// use ppgnn_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true)?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 4); // both directions stored
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// # Ok::<(), ppgnn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an edge list.
+    ///
+    /// Self-loops are kept as given (normalization adds its own), parallel
+    /// edges are collapsed, and neighbor lists are sorted. With
+    /// `symmetrize = true` each `(u, v)` also inserts `(v, u)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is
+    /// `>= num_nodes`.
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(usize, usize)],
+        symmetrize: bool,
+    ) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            for node in [u, v] {
+                if node >= num_nodes {
+                    return Err(GraphError::NodeOutOfBounds { node, num_nodes });
+                }
+            }
+        }
+        // Counting sort into CSR: one pass for degrees, one for placement.
+        let mut degree = vec![0usize; num_nodes];
+        for &(u, v) in edges {
+            degree[u] += 1;
+            if symmetrize && u != v {
+                degree[v] += 1;
+            }
+        }
+        let mut indptr = Vec::with_capacity(num_nodes + 1);
+        indptr.push(0);
+        for d in &degree {
+            indptr.push(indptr.last().expect("non-empty") + d);
+        }
+        let mut indices = vec![0u32; indptr[num_nodes]];
+        let mut cursor = indptr[..num_nodes].to_vec();
+        for &(u, v) in edges {
+            indices[cursor[u]] = v as u32;
+            cursor[u] += 1;
+            if symmetrize && u != v {
+                indices[cursor[v]] = u as u32;
+                cursor[v] += 1;
+            }
+        }
+        // Sort + dedup each neighbor list in place.
+        let mut out_indptr = vec![0usize; num_nodes + 1];
+        let mut out_indices = Vec::with_capacity(indices.len());
+        for v in 0..num_nodes {
+            let row = &mut indices[indptr[v]..indptr[v + 1]];
+            row.sort_unstable();
+            let mut prev = None;
+            for &n in row.iter() {
+                if prev != Some(n) {
+                    out_indices.push(n);
+                    prev = Some(n);
+                }
+            }
+            out_indptr[v + 1] = out_indices.len();
+        }
+        Ok(CsrGraph {
+            num_nodes,
+            indptr: out_indptr,
+            indices: out_indices,
+        })
+    }
+
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] if `indptr` is not monotonically
+    /// non-decreasing starting at 0, its length is not `num_nodes + 1`, its
+    /// last entry is not `indices.len()`, or an index is out of bounds.
+    pub fn from_csr(
+        num_nodes: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+    ) -> Result<Self, GraphError> {
+        if indptr.len() != num_nodes + 1 {
+            return Err(GraphError::InvalidCsr(format!(
+                "indptr length {} != num_nodes + 1 = {}",
+                indptr.len(),
+                num_nodes + 1
+            )));
+        }
+        if indptr[0] != 0 || *indptr.last().expect("len >= 1") != indices.len() {
+            return Err(GraphError::InvalidCsr(
+                "indptr must start at 0 and end at indices.len()".into(),
+            ));
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidCsr("indptr must be non-decreasing".into()));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i as usize >= num_nodes) {
+            return Err(GraphError::NodeOutOfBounds {
+                node: bad as usize,
+                num_nodes,
+            });
+        }
+        Ok(CsrGraph {
+            num_nodes,
+            indptr,
+            indices,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_nodes`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.indptr[v + 1] - self.indptr[v]
+    }
+
+    /// Sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_nodes`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.indices[self.indptr[v]..self.indptr[v + 1]]
+    }
+
+    /// `true` if the directed edge `(u, v)` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= num_nodes`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// The CSR row-pointer array (length `num_nodes + 1`).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The CSR column-index array.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Approximate in-memory size of the topology in bytes (used by the
+    /// auto-configuration system for placement decisions).
+    pub fn size_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Average degree (`0.0` for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.indices.len() as f64 / self.num_nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_symmetrizes_and_dedupes() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (1, 2), (2, 3)], true).unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn directed_mode_keeps_one_direction() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], false).unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert!(g.neighbors(1).len() == 1 && g.neighbors(1)[0] == 2);
+        assert!(g.neighbors(2).is_empty());
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn self_loops_are_preserved_once() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 0), (0, 1)], true).unwrap();
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_edge_is_rejected() {
+        let err = CsrGraph::from_edges(2, &[(0, 5)], true).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfBounds { node: 5, num_nodes: 2 });
+    }
+
+    #[test]
+    fn from_csr_validates_structure() {
+        assert!(CsrGraph::from_csr(2, vec![0, 1, 2], vec![1, 0]).is_ok());
+        assert!(CsrGraph::from_csr(2, vec![0, 1], vec![1, 0]).is_err());
+        assert!(CsrGraph::from_csr(2, vec![0, 3, 2], vec![1, 0]).is_err());
+        assert!(CsrGraph::from_csr(2, vec![0, 1, 2], vec![1, 9]).is_err());
+        assert!(CsrGraph::from_csr(2, vec![1, 1, 2], vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CsrGraph::from_edges(0, &[], true).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighborhoods() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)], true).unwrap();
+        assert!(g.neighbors(3).is_empty());
+        assert_eq!(g.degree(3), 0);
+    }
+}

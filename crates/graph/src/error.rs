@@ -1,0 +1,42 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node id `>= num_nodes`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph under construction.
+        num_nodes: usize,
+    },
+    /// CSR index arrays are internally inconsistent.
+    InvalidCsr(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidCsr(msg) => write!(f, "invalid csr structure: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = GraphError::NodeOutOfBounds { node: 9, num_nodes: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,260 @@
+//! Seeded synthetic graph generators.
+//!
+//! These stand in for the paper's benchmark graphs (OGB, SNAP, IGB). Two
+//! structural properties drive every result in the paper, and both are
+//! controllable here:
+//!
+//! * **degree skew** — neighbor explosion and sampler behaviour depend on
+//!   heavy-tailed degrees; [`rmat`] and the `skew` parameter of
+//!   [`labeled_graph`] provide it,
+//! * **label–edge correlation** — accuracy trends (more hops help; `wiki` is
+//!   harder) depend on how informative neighborhoods are;
+//!   [`Mixing`] controls it.
+
+use rand::{Rng, RngExt};
+
+use crate::{CsrGraph, GraphError};
+
+/// How edges correlate with class labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mixing {
+    /// With probability `h` an edge stays inside the endpoint's class
+    /// (classic homophily, like `ogbn-products`).
+    Homophilous(f32),
+    /// With probability `h` an edge goes to class `(c + 1) % C` — strongly
+    /// structured but *heterophilous*, standing in for the non-homophilous
+    /// `wiki` benchmark (Lim et al. 2021). Neighborhoods remain predictive,
+    /// but same-class edges are rare.
+    Shifted(f32),
+}
+
+impl Mixing {
+    /// The structure probability `h` regardless of variant.
+    pub fn strength(&self) -> f32 {
+        match *self {
+            Mixing::Homophilous(h) | Mixing::Shifted(h) => h,
+        }
+    }
+}
+
+/// Erdős–Rényi-style random graph with expected average degree `avg_degree`
+/// (undirected; both directions stored).
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from graph construction (cannot occur for
+/// in-range generated edges).
+pub fn erdos_renyi(
+    n: usize,
+    avg_degree: f64,
+    rng: &mut impl Rng,
+) -> Result<CsrGraph, GraphError> {
+    let m = ((n as f64) * avg_degree / 2.0).round() as usize;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, &edges, true)
+}
+
+/// R-MAT generator (Chakrabarti et al. 2004) producing a power-law-ish
+/// degree distribution, the skew that makes node-wise sampling explode.
+///
+/// `scale` gives `n = 2^scale` nodes; partition probabilities `(a, b, c)`
+/// (with `d = 1 - a - b - c`) default-like values are `(0.57, 0.19, 0.19)`.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from graph construction.
+///
+/// # Panics
+///
+/// Panics if `a + b + c >= 1.0`.
+pub fn rmat(
+    scale: u32,
+    num_edges: usize,
+    (a, b, c): (f64, f64, f64),
+    rng: &mut impl Rng,
+) -> Result<CsrGraph, GraphError> {
+    assert!(a + b + c < 1.0, "rmat probabilities must leave room for d");
+    let n = 1usize << scale;
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.random();
+            if r < a {
+                // top-left quadrant: no bits set
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, &edges, true)
+}
+
+/// Generates a graph whose edges correlate with the supplied `labels`
+/// according to `mixing`, with expected average (undirected) degree
+/// `avg_degree` and power-law target skew `skew` (`0.0` = uniform; larger
+/// values concentrate edges on low-index nodes within each class, creating
+/// hubs).
+///
+/// For each of `n · avg_degree / 2` stubs from a uniformly random source
+/// `u`, the target is drawn from `u`'s structural class (own class for
+/// [`Mixing::Homophilous`], next class for [`Mixing::Shifted`]) with
+/// probability `h`, otherwise uniformly from all nodes.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from graph construction.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != n` or a label is `>= num_classes`.
+pub fn labeled_graph(
+    n: usize,
+    avg_degree: f64,
+    labels: &[u32],
+    num_classes: usize,
+    mixing: Mixing,
+    skew: f64,
+    rng: &mut impl Rng,
+) -> Result<CsrGraph, GraphError> {
+    assert_eq!(labels.len(), n, "labels must cover every node");
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (v, &c) in labels.iter().enumerate() {
+        assert!((c as usize) < num_classes, "label {c} out of range");
+        by_class[c as usize].push(v);
+    }
+    let h = mixing.strength();
+    let m = ((n as f64) * avg_degree / 2.0).round() as usize;
+    let mut edges = Vec::with_capacity(m);
+    let pick_skewed = |len: usize, rng: &mut dyn rand::Rng| -> usize {
+        let u: f64 = rand::RngExt::random(rng);
+        if skew <= 0.0 {
+            (u * len as f64) as usize % len.max(1)
+        } else {
+            // u^(1+skew) concentrates mass near index 0.
+            ((u.powf(1.0 + skew)) * len as f64) as usize % len.max(1)
+        }
+    };
+    for _ in 0..m {
+        let u = rng.random_range(0..n);
+        let structured: f32 = rng.random();
+        let v = if structured < h {
+            let target_class = match mixing {
+                Mixing::Homophilous(_) => labels[u] as usize,
+                Mixing::Shifted(_) => (labels[u] as usize + 1) % num_classes,
+            };
+            let members = &by_class[target_class];
+            if members.is_empty() {
+                rng.random_range(0..n)
+            } else {
+                members[pick_skewed(members.len(), rng)]
+            }
+        } else {
+            rng.random_range(0..n)
+        };
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, &edges, true)
+}
+
+/// Draws `n` labels approximately uniformly over `num_classes` classes.
+pub fn uniform_labels(n: usize, num_classes: usize, rng: &mut impl Rng) -> Vec<u32> {
+    (0..n).map(|_| rng.random_range(0..num_classes) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_hits_expected_density() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(2000, 10.0, &mut rng).unwrap();
+        let avg = g.avg_degree();
+        // dedup removes a few collisions; allow slack
+        assert!((8.0..=10.5).contains(&avg), "avg degree was {avg}");
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = rmat(10, 8192, (0.57, 0.19, 0.19), &mut rng).unwrap();
+        let max_deg = (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "rmat should produce hubs: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn homophilous_graph_has_high_edge_homophily() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels = uniform_labels(3000, 4, &mut rng);
+        let g = labeled_graph(3000, 12.0, &labels, 4, Mixing::Homophilous(0.8), 0.0, &mut rng)
+            .unwrap();
+        let h = stats::edge_homophily(&g, &labels);
+        // 0.8 structured + 0.2 * 1/4 random ≈ 0.85
+        assert!(h > 0.7, "edge homophily was {h}");
+    }
+
+    #[test]
+    fn shifted_graph_has_low_edge_homophily_but_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels = uniform_labels(3000, 5, &mut rng);
+        let g =
+            labeled_graph(3000, 12.0, &labels, 5, Mixing::Shifted(0.8), 0.0, &mut rng).unwrap();
+        let h = stats::edge_homophily(&g, &labels);
+        assert!(h < 0.35, "shifted mixing should be heterophilous, got {h}");
+        // ... but next-class edges dominate.
+        let mut next = 0usize;
+        let mut total = 0usize;
+        for v in 0..g.num_nodes() {
+            for &u in g.neighbors(v) {
+                total += 1;
+                if labels[u as usize] == (labels[v] + 1) % 5 || labels[v] == (labels[u as usize] + 1) % 5 {
+                    next += 1;
+                }
+            }
+        }
+        assert!(next as f64 / total as f64 > 0.5);
+    }
+
+    #[test]
+    fn skew_creates_hubs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let labels = uniform_labels(2000, 2, &mut rng);
+        let flat =
+            labeled_graph(2000, 10.0, &labels, 2, Mixing::Homophilous(0.7), 0.0, &mut rng).unwrap();
+        let skewed =
+            labeled_graph(2000, 10.0, &labels, 2, Mixing::Homophilous(0.7), 3.0, &mut rng).unwrap();
+        let max = |g: &CsrGraph| (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap();
+        assert!(max(&skewed) > 2 * max(&flat));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let labels = uniform_labels(500, 3, &mut rng);
+            labeled_graph(500, 8.0, &labels, 3, Mixing::Homophilous(0.6), 1.0, &mut rng).unwrap()
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,201 @@
+//! Graph-signal filter operators used during pre-propagation.
+//!
+//! PP-GNNs compute `S_k = {X, B_k X, …, B_k^R X}` (Eq. 2). The operator
+//! `B_k` is derived from the adjacency matrix; from the spectral view these
+//! are low-pass filters on the graph signal (Gasteiger et al. 2019; Nt &
+//! Maehara 2019). Four choices cover the models in the paper:
+//!
+//! * [`Operator::SymNorm`] — `D̃^(-1/2) Ã D̃^(-1/2)`, used by SGC, SIGN and
+//!   HOGA (the single-kernel configuration of the evaluation),
+//! * [`Operator::RowNorm`] — the random-walk transition matrix,
+//! * [`Operator::Ppr`] — truncated Personalized-PageRank diffusion,
+//! * [`Operator::Heat`] — truncated heat-kernel diffusion.
+
+use ppgnn_tensor::Matrix;
+
+use crate::{CsrGraph, WeightedCsr};
+
+/// Number of power-series terms used to approximate the diffusion operators.
+const DIFFUSION_TERMS: usize = 10;
+
+/// A graph filter `B` applied as `X ↦ B·X` during preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Operator {
+    /// GCN-style symmetric normalization with self-loops.
+    SymNorm,
+    /// Random-walk (row-stochastic) normalization with self-loops.
+    RowNorm,
+    /// Personalized PageRank diffusion with restart probability `alpha`,
+    /// approximated by a truncated power series
+    /// `α Σ_i (1-α)^i Ā^i` with [`DIFFUSION_TERMS`] terms.
+    Ppr {
+        /// Restart probability in `(0, 1)`.
+        alpha: f32,
+    },
+    /// Heat-kernel diffusion `e^{-t(I - Ā)}`, approximated by a truncated
+    /// series `e^{-t} Σ_i t^i/i! Ā^i`.
+    Heat {
+        /// Diffusion time `t > 0`.
+        t: f32,
+    },
+}
+
+impl Operator {
+    /// Short, stable identifier used in file names and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Operator::SymNorm => "sym",
+            Operator::RowNorm => "rw",
+            Operator::Ppr { .. } => "ppr",
+            Operator::Heat { .. } => "heat",
+        }
+    }
+
+    /// Materializes the base normalized adjacency this operator diffuses
+    /// over.
+    pub fn base(&self, graph: &CsrGraph) -> WeightedCsr {
+        match self {
+            Operator::RowNorm => WeightedCsr::row_norm(graph, true),
+            _ => WeightedCsr::sym_norm(graph, true),
+        }
+    }
+
+    /// Applies the operator once: `X ↦ B·X`.
+    ///
+    /// For `SymNorm`/`RowNorm` this is a single SpMM; for `Ppr`/`Heat` it is
+    /// a truncated diffusion series (each term one SpMM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != graph.num_nodes()`.
+    pub fn apply(&self, graph: &CsrGraph, x: &Matrix) -> Matrix {
+        let base = self.base(graph);
+        self.apply_with_base(&base, x)
+    }
+
+    /// Applies the operator given a pre-materialized base adjacency.
+    ///
+    /// Preprocessing calls this in a loop over hops so the normalization is
+    /// computed once per graph, not once per hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != base.cols()`.
+    pub fn apply_with_base(&self, base: &WeightedCsr, x: &Matrix) -> Matrix {
+        match *self {
+            Operator::SymNorm | Operator::RowNorm => base.spmm(x),
+            Operator::Ppr { alpha } => {
+                assert!((0.0..1.0).contains(&alpha), "ppr alpha must be in (0,1)");
+                let mut term = x.clone(); // Ā^0 X
+                let mut acc = x.clone();
+                acc.scale(alpha);
+                let mut coeff = alpha;
+                for _ in 1..=DIFFUSION_TERMS {
+                    term = base.spmm(&term);
+                    coeff *= 1.0 - alpha;
+                    acc.axpy(coeff, &term);
+                }
+                acc
+            }
+            Operator::Heat { t } => {
+                assert!(t > 0.0, "heat diffusion time must be positive");
+                let scale = (-t).exp();
+                let mut term = x.clone();
+                let mut acc = x.clone(); // i = 0 term, coefficient 1
+                let mut coeff = 1.0f32;
+                for i in 1..=DIFFUSION_TERMS {
+                    term = base.spmm(&term);
+                    coeff *= t / i as f32;
+                    acc.axpy(coeff, &term);
+                }
+                acc.scale(scale);
+                acc
+            }
+        }
+    }
+
+    /// Number of SpMM invocations one application costs (used by the
+    /// preprocessing-time model in `ppgnn-memsim`).
+    pub fn spmm_count(&self) -> usize {
+        match self {
+            Operator::SymNorm | Operator::RowNorm => 1,
+            Operator::Ppr { .. } | Operator::Heat { .. } => DIFFUSION_TERMS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> CsrGraph {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        CsrGraph::from_edges(n, &edges, true).unwrap()
+    }
+
+    #[test]
+    fn sym_norm_smooths_constant_signal_exactly_on_regular_graph() {
+        // On a d-regular graph with self-loops, the constant vector is an
+        // eigenvector with eigenvalue 1 of the symmetric normalization.
+        let g = cycle(6);
+        let x = Matrix::full(6, 2, 3.0);
+        let y = Operator::SymNorm.apply(&g, &x);
+        assert!(y.max_abs_diff(&x) < 1e-5);
+    }
+
+    #[test]
+    fn row_norm_preserves_constants_on_any_graph() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 4), (2, 4)], true).unwrap();
+        let x = Matrix::full(5, 1, 2.5);
+        let y = Operator::RowNorm.apply(&g, &x);
+        assert!(y.max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn ppr_preserves_constants_on_regular_graph() {
+        // Σ α(1-α)^i over 10 terms ≈ 1, so constants map near themselves.
+        let g = cycle(8);
+        let x = Matrix::full(8, 1, 1.0);
+        let y = Operator::Ppr { alpha: 0.15 }.apply(&g, &x);
+        let expected: f32 = (0..=10).map(|i| 0.15f32 * 0.85f32.powi(i)).sum();
+        for v in y.as_slice() {
+            assert!((v - expected).abs() < 1e-4, "value {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn heat_kernel_is_near_identity_for_small_t() {
+        let g = cycle(6);
+        let x = Matrix::from_fn(6, 2, |r, c| (r + c) as f32);
+        let y = Operator::Heat { t: 0.01 }.apply(&g, &x);
+        assert!(y.max_abs_diff(&x) < 0.05);
+    }
+
+    #[test]
+    fn repeated_application_converges_toward_smooth_signal() {
+        // High-frequency alternating signal should shrink under low-pass
+        // filtering.
+        let g = cycle(8);
+        let x = Matrix::from_fn(8, 1, |r, _| if r % 2 == 0 { 1.0 } else { -1.0 });
+        let mut y = x.clone();
+        for _ in 0..4 {
+            y = Operator::SymNorm.apply(&g, &y);
+        }
+        assert!(y.frobenius_norm() < 0.5 * x.frobenius_norm());
+    }
+
+    #[test]
+    fn operator_names_are_stable() {
+        assert_eq!(Operator::SymNorm.name(), "sym");
+        assert_eq!(Operator::Ppr { alpha: 0.1 }.name(), "ppr");
+        assert_eq!(Operator::Heat { t: 1.0 }.name(), "heat");
+        assert_eq!(Operator::RowNorm.name(), "rw");
+    }
+
+    #[test]
+    fn spmm_counts_reflect_series_length() {
+        assert_eq!(Operator::SymNorm.spmm_count(), 1);
+        assert!(Operator::Ppr { alpha: 0.2 }.spmm_count() > 1);
+    }
+}

@@ -1,0 +1,354 @@
+//! Weighted CSR matrices and the sparse×dense multiplication kernel.
+//!
+//! Pre-propagation (Eq. 2 of the paper) is `R` successive SpMM calls per
+//! operator; this is the dominant preprocessing cost measured in Table 2 /
+//! Table 7. The kernel parallelizes over output rows with scoped threads,
+//! mirroring `ppgnn-tensor`'s GEMM.
+
+use ppgnn_tensor::Matrix;
+
+use crate::{CsrGraph, GraphError};
+
+/// A sparse matrix in CSR form with `f32` edge weights — the materialized
+/// form of a normalized-adjacency operator.
+///
+/// # Example
+///
+/// ```
+/// use ppgnn_graph::{CsrGraph, WeightedCsr};
+/// use ppgnn_tensor::Matrix;
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true)?;
+/// let op = WeightedCsr::sym_norm(&g, true);
+/// let smoothed = op.spmm(&Matrix::eye(3));
+/// // Symmetric normalization keeps rows stochastic-ish: entries are finite.
+/// assert!(smoothed.as_slice().iter().all(|v| v.is_finite()));
+/// # Ok::<(), ppgnn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedCsr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    weights: Vec<f32>,
+}
+
+impl WeightedCsr {
+    /// Builds a weighted CSR from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] when the arrays are inconsistent.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        weights: Vec<f32>,
+    ) -> Result<Self, GraphError> {
+        if indptr.len() != rows + 1 {
+            return Err(GraphError::InvalidCsr(format!(
+                "indptr length {} != rows + 1 = {}",
+                indptr.len(),
+                rows + 1
+            )));
+        }
+        if indices.len() != weights.len() {
+            return Err(GraphError::InvalidCsr(
+                "indices and weights must have equal length".into(),
+            ));
+        }
+        if indptr[0] != 0
+            || *indptr.last().expect("len >= 1") != indices.len()
+            || indptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(GraphError::InvalidCsr("indptr not a valid prefix array".into()));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| (i as usize) >= cols) {
+            return Err(GraphError::NodeOutOfBounds {
+                node: bad as usize,
+                num_nodes: cols,
+            });
+        }
+        Ok(WeightedCsr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            weights,
+        })
+    }
+
+    /// The GCN operator `D̃^(-1/2) Ã D̃^(-1/2)` where `Ã = A (+ I)`.
+    ///
+    /// `add_self_loops` controls the `+ I` term (SGC/SIGN/HOGA all use it).
+    /// Isolated nodes without self-loops produce all-zero rows rather than
+    /// NaNs.
+    pub fn sym_norm(graph: &CsrGraph, add_self_loops: bool) -> Self {
+        Self::normalized(graph, add_self_loops, true)
+    }
+
+    /// The random-walk operator `D̃^(-1) Ã`.
+    pub fn row_norm(graph: &CsrGraph, add_self_loops: bool) -> Self {
+        Self::normalized(graph, add_self_loops, false)
+    }
+
+    fn normalized(graph: &CsrGraph, add_self_loops: bool, symmetric: bool) -> Self {
+        let n = graph.num_nodes();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(graph.num_edges() + if add_self_loops { n } else { 0 });
+        let mut weights = Vec::with_capacity(indices.capacity());
+
+        // Degrees of Ã (self-loop adds 1 unless already present).
+        let deg: Vec<f32> = (0..n)
+            .map(|v| {
+                let mut d = graph.degree(v) as f32;
+                if add_self_loops && !graph.has_edge(v, v) {
+                    d += 1.0;
+                }
+                d
+            })
+            .collect();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let inv: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+            .collect();
+
+        indptr.push(0);
+        for v in 0..n {
+            let mut self_loop_emitted = false;
+            let push = |u: u32, indices: &mut Vec<u32>, weights: &mut Vec<f32>| {
+                let w = if symmetric {
+                    inv_sqrt[v] * inv_sqrt[u as usize]
+                } else {
+                    inv[v]
+                };
+                indices.push(u);
+                weights.push(w);
+            };
+            for &u in graph.neighbors(v) {
+                if add_self_loops && !self_loop_emitted && u as usize >= v {
+                    if u as usize != v {
+                        push(v as u32, &mut indices, &mut weights);
+                    }
+                    self_loop_emitted = true;
+                }
+                push(u, &mut indices, &mut weights);
+            }
+            if add_self_loops && !self_loop_emitted {
+                push(v as u32, &mut indices, &mut weights);
+            }
+            indptr.push(indices.len());
+        }
+        WeightedCsr {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            weights,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Non-zero entries of row `r` as `(col, weight)` pairs.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&c, &w)| (c as usize, w))
+    }
+
+    /// Sparse × dense product `Y = S · X`.
+    ///
+    /// Parallelizes over output rows once the work estimate
+    /// (`nnz · X.cols()`) exceeds ~2M multiply-adds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != self.cols()`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.cols,
+            "spmm dimension mismatch: operator has {} cols, features have {} rows",
+            self.cols,
+            x.rows()
+        );
+        let f = x.cols();
+        let mut out = Matrix::zeros(self.rows, f);
+        let work = self.nnz() * f;
+        let nthreads = if work < 2_000_000 {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        };
+        let x_data = x.as_slice();
+        let rows = self.rows;
+
+        if nthreads <= 1 || rows <= 1 {
+            let out_data = out.as_mut_slice();
+            for r in 0..rows {
+                Self::spmm_row(self, r, x_data, f, &mut out_data[r * f..(r + 1) * f]);
+            }
+            return out;
+        }
+
+        let per = rows.div_ceil(nthreads);
+        let mut chunks: Vec<(usize, &mut [f32])> = Vec::new();
+        let mut rest = out.as_mut_slice();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + per).min(rows);
+            let (head, tail) = rest.split_at_mut((end - start) * f);
+            chunks.push((start, head));
+            rest = tail;
+            start = end;
+        }
+        crossbeam::scope(|s| {
+            for (start, chunk) in chunks {
+                s.spawn(move |_| {
+                    for (i, row_out) in chunk.chunks_exact_mut(f).enumerate() {
+                        Self::spmm_row(self, start + i, x_data, f, row_out);
+                    }
+                });
+            }
+        })
+        .expect("spmm worker panicked");
+        out
+    }
+
+    #[inline]
+    fn spmm_row(&self, r: usize, x: &[f32], f: usize, out: &mut [f32]) {
+        for idx in self.indptr[r]..self.indptr[r + 1] {
+            let c = self.indices[idx] as usize;
+            let w = self.weights[idx];
+            let x_row = &x[c * f..(c + 1) * f];
+            for (o, v) in out.iter_mut().zip(x_row) {
+                *o += w * v;
+            }
+        }
+    }
+
+    /// Materializes the operator as a dense matrix (test/debug helper;
+    /// quadratic memory).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, w) in self.row_entries(r) {
+                m.set(r, c, m.get(r, c) + w);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true).unwrap()
+    }
+
+    #[test]
+    fn sym_norm_matches_hand_computation() {
+        // Path 0-1-2 with self-loops: deg = [2, 3, 2].
+        let op = WeightedCsr::sym_norm(&path3(), true);
+        let d = op.to_dense();
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((d.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        assert!((d.get(1, 1) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(d.get(0, 2), 0.0);
+        // Symmetric.
+        assert!(d.max_abs_diff(&d.transpose()) < 1e-6);
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one() {
+        let op = WeightedCsr::row_norm(&path3(), true);
+        let d = op.to_dense();
+        for r in 0..3 {
+            let sum: f32 = d.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn isolated_node_without_self_loop_gives_zero_row() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)], true).unwrap();
+        let op = WeightedCsr::sym_norm(&g, false);
+        let d = op.to_dense();
+        assert!(d.row(2).iter().all(|&v| v == 0.0));
+        assert!(d.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn existing_self_loop_is_not_doubled() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)], true).unwrap();
+        let op = WeightedCsr::sym_norm(&g, true);
+        // row 0 has entries for 0 and 1 only.
+        assert_eq!(op.row_entries(0).count(), 2);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], true).unwrap();
+        let op = WeightedCsr::sym_norm(&g, true);
+        let x = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.1);
+        let sparse = op.spmm(&x);
+        let dense = ppgnn_tensor::matmul(&op.to_dense(), &x);
+        assert!(sparse.max_abs_diff(&dense) < 1e-5);
+    }
+
+    #[test]
+    fn spmm_identity_operator_is_noop() {
+        let n = 5;
+        let indptr: Vec<usize> = (0..=n).collect();
+        let indices: Vec<u32> = (0..n as u32).collect();
+        let op = WeightedCsr::from_raw(n, n, indptr, indices, vec![1.0; n]).unwrap();
+        let x = Matrix::from_fn(n, 2, |r, c| (r + c) as f32);
+        assert!(op.spmm(&x).max_abs_diff(&x) < 1e-7);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(WeightedCsr::from_raw(1, 1, vec![0, 1], vec![0], vec![1.0]).is_ok());
+        assert!(WeightedCsr::from_raw(1, 1, vec![0, 2], vec![0], vec![1.0]).is_err());
+        assert!(WeightedCsr::from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        assert!(WeightedCsr::from_raw(1, 1, vec![0, 1], vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn spmm_shape_mismatch_panics() {
+        let op = WeightedCsr::sym_norm(&path3(), true);
+        op.spmm(&Matrix::zeros(5, 2));
+    }
+}

@@ -1,0 +1,156 @@
+//! Graph statistics used by the characterization experiments.
+
+use crate::CsrGraph;
+
+/// Fraction of edges whose endpoints share a label (edge homophily,
+/// Lim et al. 2021). Returns `0.0` for edgeless graphs.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != graph.num_nodes()`.
+pub fn edge_homophily(graph: &CsrGraph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), graph.num_nodes(), "labels must cover every node");
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for v in 0..graph.num_nodes() {
+        for &u in graph.neighbors(v) {
+            total += 1;
+            if labels[u as usize] == labels[v] {
+                same += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Fraction of nodes with zero neighbors.
+    pub isolated_frac: f64,
+}
+
+/// Computes [`DegreeStats`] in one pass (plus a sort for the median).
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            isolated_frac: 0.0,
+        };
+    }
+    let mut degrees: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+    let isolated = degrees.iter().take_while(|&&d| d == 0).count();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean: graph.avg_degree(),
+        median: degrees[n / 2],
+        isolated_frac: isolated as f64 / n as f64,
+    }
+}
+
+/// Size of the `r`-hop neighborhood of `seed` (breadth-first, including the
+/// seed). Quantifies neighbor explosion for the characterization plots.
+pub fn receptive_field_size(graph: &CsrGraph, seed: usize, hops: usize) -> usize {
+    let mut visited = vec![false; graph.num_nodes()];
+    let mut frontier = vec![seed];
+    visited[seed] = true;
+    let mut count = 1usize;
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in graph.neighbors(v) {
+                let u = u as usize;
+                if !visited[u] {
+                    visited[u] = true;
+                    count += 1;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], true).unwrap()
+    }
+
+    #[test]
+    fn homophily_of_perfectly_sorted_labels() {
+        let g = path4();
+        assert_eq!(edge_homophily(&g, &[0, 0, 0, 0]), 1.0);
+        // alternating labels on a path: no same-label edges
+        assert_eq!(edge_homophily(&g, &[0, 1, 0, 1]), 0.0);
+        // half/half split: only the middle edge crosses
+        let h = edge_homophily(&g, &[0, 0, 1, 1]);
+        assert!((h - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn homophily_of_edgeless_graph_is_zero() {
+        let g = CsrGraph::from_edges(3, &[], true).unwrap();
+        assert_eq!(edge_homophily(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-9);
+        assert_eq!(s.isolated_frac, 0.0);
+    }
+
+    #[test]
+    fn degree_stats_counts_isolated() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)], true).unwrap();
+        let s = degree_stats(&g);
+        assert!((s.isolated_frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receptive_field_grows_then_saturates() {
+        let g = path4();
+        assert_eq!(receptive_field_size(&g, 0, 0), 1);
+        assert_eq!(receptive_field_size(&g, 0, 1), 2);
+        assert_eq!(receptive_field_size(&g, 0, 2), 3);
+        assert_eq!(receptive_field_size(&g, 0, 3), 4);
+        assert_eq!(receptive_field_size(&g, 0, 10), 4);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = CsrGraph::from_edges(0, &[], true).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for graph structures, normalization, and SpMM.
+
+use ppgnn_graph::{CsrGraph, Operator, WeightedCsr};
+use ppgnn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` nodes.
+fn edges(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n);
+        prop::collection::vec(edge, 0..=max_edges).prop_map(move |es| (n, es))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_construction_is_valid((n, es) in edges(40, 200)) {
+        let g = CsrGraph::from_edges(n, &es, true).expect("in-range edges");
+        // indptr is a valid prefix array
+        prop_assert_eq!(g.indptr().len(), n + 1);
+        prop_assert_eq!(*g.indptr().last().unwrap(), g.num_edges());
+        // neighbor lists sorted and deduped
+        for v in 0..n {
+            let ns = g.neighbors(v);
+            for w in ns.windows(2) {
+                prop_assert!(w[0] < w[1], "unsorted or duplicate neighbors");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_graph_is_symmetric((n, es) in edges(30, 150)) {
+        let g = CsrGraph::from_edges(n, &es, true).expect("in-range edges");
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.has_edge(u as usize, v), "missing reverse edge");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sums_match_edge_count((n, es) in edges(30, 150)) {
+        let g = CsrGraph::from_edges(n, &es, false).expect("in-range edges");
+        let total: usize = (0..n).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one_or_zero((n, es) in edges(25, 120)) {
+        let g = CsrGraph::from_edges(n, &es, true).expect("in-range edges");
+        let op = WeightedCsr::row_norm(&g, true);
+        let dense = op.to_dense();
+        for r in 0..n {
+            let sum: f32 = dense.row(r).iter().sum();
+            // self-loops make every row non-empty → sums to 1
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn sym_norm_is_symmetric_matrix((n, es) in edges(25, 120)) {
+        let g = CsrGraph::from_edges(n, &es, true).expect("in-range edges");
+        let dense = WeightedCsr::sym_norm(&g, true).to_dense();
+        prop_assert!(dense.max_abs_diff(&dense.transpose()) < 1e-5);
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference((n, es) in edges(20, 100), cols in 1usize..5) {
+        let g = CsrGraph::from_edges(n, &es, true).expect("in-range edges");
+        let op = WeightedCsr::sym_norm(&g, true);
+        let x = Matrix::from_fn(n, cols, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.25 - 1.0);
+        let sparse = op.spmm(&x);
+        let dense = ppgnn_tensor::matmul(&op.to_dense(), &x);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-4);
+    }
+
+    #[test]
+    fn operators_are_contractive_in_the_right_norms((n, es) in edges(20, 100)) {
+        // Row normalization is an ∞-norm contraction (convex combinations);
+        // symmetric normalization has spectral radius ≤ 1, so it contracts
+        // the L2 norm of each signal column (but *not* the max-norm — a
+        // degree-1 node next to a hub can locally amplify).
+        let g = CsrGraph::from_edges(n, &es, true).expect("in-range edges");
+        let x = Matrix::from_fn(n, 1, |r, _| if r % 2 == 0 { 1.0 } else { -1.0 });
+        let y_rw = Operator::RowNorm.apply(&g, &x);
+        let max = y_rw.as_slice().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        prop_assert!(max <= 1.0 + 1e-4, "row-norm amplified max-norm to {max}");
+        let y_sym = Operator::SymNorm.apply(&g, &x);
+        prop_assert!(
+            y_sym.frobenius_norm() <= x.frobenius_norm() * (1.0 + 1e-4),
+            "sym-norm amplified L2: {} > {}",
+            y_sym.frobenius_norm(),
+            x.frobenius_norm()
+        );
+    }
+
+    #[test]
+    fn preprocessing_chain_is_associative((n, es) in edges(20, 80)) {
+        // B(B X) == B² X computed stepwise — the invariant the hop loop
+        // relies on.
+        let g = CsrGraph::from_edges(n, &es, true).expect("in-range edges");
+        let base = Operator::SymNorm.base(&g);
+        let x = Matrix::from_fn(n, 2, |r, c| (r + c) as f32 * 0.1);
+        let two_step = base.spmm(&base.spmm(&x));
+        let dense2 = ppgnn_tensor::matmul(
+            &base.to_dense(),
+            &ppgnn_tensor::matmul(&base.to_dense(), &x),
+        );
+        prop_assert!(two_step.max_abs_diff(&dense2) < 1e-3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Hardware parameter sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Bandwidths, overheads, and capacities of a simulated training server.
+///
+/// Defaults ([`HardwareSpec::a6000_server`]) approximate the paper's
+/// testbed (Appendix C): 2× Xeon Gold 6248R, 380 GB DRAM, RTX A6000 GPUs
+/// (48 GB, ~768 GB/s HBM), PCIe 4.0 ×16 links, and Samsung PM9A3 NVMe SSDs.
+/// Values are effective (achievable) rates, not datasheet peaks.
+///
+/// All fields are public: experiments shrink capacities to trigger the
+/// placement policy at laptop scale, and the ablation harness perturbs
+/// overheads to show which mechanism each optimization removes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// GPUs available.
+    pub num_gpus: usize,
+    /// Usable GPU memory per device, bytes.
+    pub gpu_mem_bytes: u64,
+    /// Usable host memory, bytes.
+    pub host_mem_bytes: u64,
+
+    /// Effective GPU HBM bandwidth (sequential), bytes/s.
+    pub gpu_mem_bw: f64,
+    /// Effective GPU gather/scatter bandwidth (batch assembly on device),
+    /// bytes/s.
+    pub gpu_gather_bw: f64,
+    /// Effective GPU f32 throughput, FLOP/s (with utilization discount).
+    pub gpu_flops: f64,
+
+    /// Host DRAM bandwidth for *strided row gathers* (the batch-assembly
+    /// pattern), bytes/s. Far below streaming bandwidth.
+    pub host_gather_bw: f64,
+    /// Host DRAM streaming copy bandwidth, bytes/s.
+    pub host_memcpy_bw: f64,
+    /// Aggregate host-memory bandwidth available to CPU-side loader
+    /// processes (gathers scale with workers up to this), bytes/s.
+    pub host_mem_total_bw: f64,
+    /// Aggregate host-memory bandwidth reachable by all GPUs' DMA engines
+    /// for bulk reads (NUMA-interleaved, far below the CPU-side aggregate) —
+    /// the multi-GPU chunk-reshuffle bottleneck of Table 4, bytes/s.
+    pub host_dma_total_bw: f64,
+
+    /// Effective host→device PCIe bandwidth per GPU, bytes/s.
+    pub pcie_bw: f64,
+    /// Fixed cost per DMA request (descriptor setup + doorbell), seconds.
+    pub dma_latency: f64,
+    /// Fixed cost of one host-side operator/kernel launch, seconds.
+    pub host_op_overhead: f64,
+    /// Per-sample framework overhead of the baseline loader
+    /// (`__getitem__` + collate per row, amortized over loader workers),
+    /// seconds — paid `O(batch)` times per batch (Section 4.1).
+    pub per_sample_overhead: f64,
+    /// Efficiency factor for fine-grained UVA/zero-copy reads over PCIe
+    /// (fraction of `pcie_bw` achieved by 4–256 B random accesses).
+    pub uva_efficiency: f64,
+
+    /// SSD sequential read bandwidth, bytes/s.
+    pub ssd_seq_bw: f64,
+    /// SSD random-read bandwidth for ~4 KB requests, bytes/s.
+    pub ssd_rand_bw: f64,
+    /// Fixed cost per storage request via GPUDirect Storage, seconds.
+    pub ssd_req_overhead: f64,
+
+    /// CPU sampling cost per traversed edge, seconds (single worker,
+    /// amortized over the DGL sampler thread pool).
+    pub cpu_sample_per_edge: f64,
+    /// GPU-sampling speedup over the CPU sampler (DGL ≥ 0.8 UVA sampling).
+    pub gpu_sample_speedup: f64,
+    /// Per-iteration framework overhead of the MP-GNN training loop
+    /// (block construction, per-layer kernel launches, Python dispatch) —
+    /// the fixed cost DGL pays per minibatch regardless of batch size.
+    pub mp_batch_overhead: f64,
+
+    /// Per-batch gradient all-reduce latency floor, seconds.
+    pub allreduce_latency: f64,
+}
+
+impl HardwareSpec {
+    /// The paper's evaluation server (Appendix C), effective rates.
+    pub fn a6000_server() -> Self {
+        HardwareSpec {
+            num_gpus: 4,
+            gpu_mem_bytes: 48 << 30,
+            host_mem_bytes: 380 << 30,
+            gpu_mem_bw: 600e9,
+            gpu_gather_bw: 350e9,
+            gpu_flops: 30e12,
+            host_gather_bw: 6e9,
+            host_memcpy_bw: 20e9,
+            host_mem_total_bw: 70e9,
+            host_dma_total_bw: 26e9,
+            pcie_bw: 22e9,
+            dma_latency: 12e-6,
+            host_op_overhead: 9e-6,
+            per_sample_overhead: 3e-6,
+            uva_efficiency: 0.35,
+            ssd_seq_bw: 6e9,
+            ssd_rand_bw: 1.8e9,
+            ssd_req_overhead: 25e-6,
+            cpu_sample_per_edge: 45e-9,
+            gpu_sample_speedup: 8.0,
+            mp_batch_overhead: 2e-3,
+            allreduce_latency: 60e-6,
+        }
+    }
+
+    /// A deliberately tiny machine for tests: 64 MB GPU, 512 MB host.
+    /// Triggers every placement branch with megabyte-scale datasets.
+    pub fn tiny() -> Self {
+        HardwareSpec {
+            num_gpus: 2,
+            gpu_mem_bytes: 64 << 20,
+            host_mem_bytes: 512 << 20,
+            ..Self::a6000_server()
+        }
+    }
+
+    /// Seconds to move `bytes` host→device in one DMA request.
+    pub fn h2d_time(&self, bytes: u64) -> f64 {
+        self.dma_latency + bytes as f64 / self.pcie_bw
+    }
+
+    /// Seconds of GPU compute for `flops` floating-point operations.
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 / self.gpu_flops
+    }
+
+    /// Validates that rates are positive and capacities non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("gpu_mem_bw", self.gpu_mem_bw),
+            ("gpu_gather_bw", self.gpu_gather_bw),
+            ("gpu_flops", self.gpu_flops),
+            ("host_gather_bw", self.host_gather_bw),
+            ("host_memcpy_bw", self.host_memcpy_bw),
+            ("host_mem_total_bw", self.host_mem_total_bw),
+            ("host_dma_total_bw", self.host_dma_total_bw),
+            ("pcie_bw", self.pcie_bw),
+            ("ssd_seq_bw", self.ssd_seq_bw),
+            ("ssd_rand_bw", self.ssd_rand_bw),
+        ];
+        for (name, v) in positive {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if self.num_gpus == 0 {
+            return Err("num_gpus must be at least 1".into());
+        }
+        if self.gpu_mem_bytes == 0 || self.host_mem_bytes == 0 {
+            return Err("memory capacities must be non-zero".into());
+        }
+        if !(0.0..=1.0).contains(&self.uva_efficiency) {
+            return Err(format!("uva_efficiency must be in [0,1], got {}", self.uva_efficiency));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HardwareSpec {
+    fn default() -> Self {
+        Self::a6000_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(HardwareSpec::a6000_server().validate().is_ok());
+        assert!(HardwareSpec::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn bandwidth_hierarchy_is_ordered() {
+        // The entire paper rests on this ordering.
+        let h = HardwareSpec::a6000_server();
+        assert!(h.gpu_mem_bw > h.host_memcpy_bw);
+        assert!(h.host_memcpy_bw > h.host_gather_bw);
+        assert!(h.pcie_bw > h.ssd_seq_bw);
+        assert!(h.ssd_seq_bw > h.ssd_rand_bw);
+        assert!(h.gpu_gather_bw > h.host_gather_bw * 10.0);
+    }
+
+    #[test]
+    fn h2d_time_includes_latency() {
+        let h = HardwareSpec::a6000_server();
+        assert!(h.h2d_time(0) >= h.dma_latency);
+        let t1 = h.h2d_time(1 << 20);
+        let t2 = h.h2d_time(2 << 20);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut h = HardwareSpec::a6000_server();
+        h.pcie_bw = 0.0;
+        assert!(h.validate().is_err());
+        let mut h = HardwareSpec::a6000_server();
+        h.num_gpus = 0;
+        assert!(h.validate().is_err());
+        let mut h = HardwareSpec::a6000_server();
+        h.uva_efficiency = 1.5;
+        assert!(h.validate().is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Discrete-event simulator of the GNN training memory/compute hierarchy.
+//!
+//! The paper's throughput results are *structural*: they follow from how
+//! data-loading work (host-side gathers, kernel launches, DMA transfers,
+//! storage reads) overlaps — or fails to overlap — with GPU compute. This
+//! crate models exactly those mechanisms:
+//!
+//! * [`HardwareSpec`] — bandwidths, per-operation overheads, and capacities
+//!   of an A6000-class server (the paper's testbed, Appendix C), fully
+//!   configurable so placement decisions can be exercised at any scale;
+//! * [`engine`] — a deterministic discrete-event engine where resources are
+//!   in-order queues (CUDA-stream semantics) and tasks carry dependency
+//!   edges; double buffering falls out of `transfer[i+2] → compute[i]`
+//!   dependencies rather than special cases;
+//! * [`pipelines`] — schedule builders for every data-loading generation of
+//!   Section 4 (baseline per-sample assembly, fused batch assembly,
+//!   double-buffer prefetching, chunk reshuffling, direct-storage access)
+//!   and for the MP-GNN training systems compared in the evaluation
+//!   (CPU-sampled vanilla, UVA, GPU preload);
+//! * [`multigpu`] — synchronous data-parallel scaling with shared
+//!   host-link/storage contention and per-batch gradient all-reduce.
+//!
+//! Workload parameters (batch counts, byte volumes, sampled-subgraph sizes,
+//! FLOPs) come from the *functional* plane — they are measured from the real
+//! loaders, samplers and models, then replayed here at paper scale.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod hardware;
+pub mod multigpu;
+pub mod pipelines;
+pub mod trace;
+
+pub use engine::{Category, Schedule, Sim, TaskId};
+pub use hardware::HardwareSpec;
+pub use multigpu::multi_gpu_epoch;
+pub use pipelines::{
+    mp_epoch, pp_epoch, EpochReport, LoaderGen, MpSystem, MpWorkload, Placement, PpWorkload,
+};

@@ -1,0 +1,174 @@
+//! Synchronous data-parallel multi-GPU scaling.
+//!
+//! Models the paper's Tables 3–4 scaling study: each GPU trains on
+//! `1/num_gpus` of the batches, with a per-batch gradient all-reduce and —
+//! the interesting part — *shared* host-memory/storage bandwidth. For
+//! host-resident chunk reshuffling, adding GPUs does not add host DRAM
+//! bandwidth, so scaling saturates (the Table 4 observation: CR delivers
+//! only ~1.3× on 4 GPUs, while SGD-RR from GPU memory scales near-linearly).
+
+use crate::engine::Category;
+use crate::pipelines::{pp_epoch, EpochReport, LoaderGen, Placement, PpWorkload};
+use crate::HardwareSpec;
+
+/// Simulates a data-parallel PP-GNN epoch on `num_gpus` GPUs.
+///
+/// Returns the per-epoch wall-clock report of the slowest replica with
+/// all-reduce time folded in. Contention model:
+///
+/// * host placement — each GPU's DMA bandwidth is
+///   `min(pcie_bw, host_dma_total_bw / num_gpus)` while CPU-side gathers
+///   are capped by `host_mem_total_bw / num_gpus`;
+/// * SSD placement — each GPU's effective read bandwidth is
+///   `ssd_seq_bw / num_gpus` (single drive shared);
+/// * GPU placement — no shared-path contention (data pre-partitioned,
+///   locality-aware fetch as in Section 5).
+///
+/// # Panics
+///
+/// Panics if `num_gpus == 0` or exceeds `spec.num_gpus`.
+pub fn multi_gpu_epoch(
+    spec: &HardwareSpec,
+    w: &PpWorkload,
+    gen: LoaderGen,
+    placement: Placement,
+    num_gpus: usize,
+) -> EpochReport {
+    assert!(num_gpus >= 1, "need at least one GPU");
+    assert!(
+        num_gpus <= spec.num_gpus,
+        "requested {num_gpus} GPUs but the machine has {}",
+        spec.num_gpus
+    );
+
+    // Contention-adjusted per-GPU spec.
+    let mut per_gpu = *spec;
+    match placement {
+        Placement::Host => {
+            // Bulk DMA reads share the (NUMA-limited) host DMA ceiling;
+            // CPU-side gathers run in per-GPU loader processes and only
+            // contend once they exhaust the CPU-side aggregate.
+            per_gpu.pcie_bw = spec
+                .pcie_bw
+                .min(spec.host_dma_total_bw / num_gpus as f64);
+            per_gpu.host_gather_bw = spec
+                .host_gather_bw
+                .min(spec.host_mem_total_bw / num_gpus as f64);
+        }
+        Placement::Ssd => {
+            per_gpu.ssd_seq_bw = spec.ssd_seq_bw / num_gpus as f64;
+            per_gpu.ssd_rand_bw = spec.ssd_rand_bw / num_gpus as f64;
+        }
+        Placement::Gpu => {}
+    }
+
+    // Each replica sees 1/g of the training set.
+    let mut shard = *w;
+    shard.num_train = (w.num_train / num_gpus).max(w.batch_size);
+
+    let mut report = pp_epoch(&per_gpu, &shard, gen, placement);
+
+    // Per-batch ring all-reduce on the shared interconnect: each GPU sends
+    // and receives 2(g-1)/g of the gradient bytes.
+    if num_gpus > 1 {
+        let volume = 2.0 * (num_gpus as f64 - 1.0) / num_gpus as f64 * w.param_bytes as f64;
+        let per_batch = spec.allreduce_latency + volume / spec.pcie_bw;
+        let allreduce_total = per_batch * shard.num_batches() as f64;
+        report.epoch_time += allreduce_total;
+        // Fold the all-reduce busy time into the breakdown for reporting.
+        let mut sim = crate::engine::Sim::new();
+        let link = sim.resource("interconnect");
+        sim.task(link, allreduce_total, &[], Category::AllReduce);
+        let _ = sim.run();
+    }
+    report
+}
+
+/// Convenience: epoch throughput (epochs/s) for a GPU-count sweep.
+pub fn scaling_curve(
+    spec: &HardwareSpec,
+    w: &PpWorkload,
+    gen: LoaderGen,
+    placement: Placement,
+    gpu_counts: &[usize],
+) -> Vec<(usize, f64)> {
+    gpu_counts
+        .iter()
+        .map(|&g| {
+            let rep = multi_gpu_epoch(spec, w, gen, placement, g);
+            (g, rep.throughput())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> PpWorkload {
+        PpWorkload {
+            num_train: 1_000_000,
+            batch_size: 8000,
+            row_bytes: 4 * 128 * 4,
+            flops_per_example: 3_000_000,
+            chunk_size: 8000,
+            param_bytes: 8 << 20,
+        }
+    }
+
+    #[test]
+    fn gpu_placement_scales_nearly_linearly() {
+        let spec = HardwareSpec::a6000_server();
+        let curve = scaling_curve(
+            &spec,
+            &workload(),
+            LoaderGen::DoubleBuffer,
+            Placement::Gpu,
+            &[1, 2, 4],
+        );
+        let s4 = curve[2].1 / curve[0].1;
+        // The paper's own Table 3 shows ~2.25x for SIGN on 4 GPUs (all-reduce
+        // overhead); require better-than-2x, not ideal scaling.
+        assert!(s4 > 2.0, "4-GPU speedup only {s4:.2}");
+    }
+
+    #[test]
+    fn host_chunk_reshuffle_scaling_saturates() {
+        // Table 4: CR is host-bandwidth-bound; 4 GPUs deliver well under 4x.
+        let spec = HardwareSpec::a6000_server();
+        let curve = scaling_curve(
+            &spec,
+            &workload(),
+            LoaderGen::ChunkReshuffle,
+            Placement::Host,
+            &[1, 2, 4],
+        );
+        let s4 = curve[2].1 / curve[0].1;
+        assert!(s4 < 3.0, "host CR should saturate, got {s4:.2}x");
+        // ... and still be monotone non-decreasing-ish (no catastrophic loss)
+        assert!(curve[1].1 >= curve[0].1 * 0.8);
+    }
+
+    #[test]
+    fn storage_scaling_is_worst() {
+        // Section 6.4: "this issue is more pronounced with direct storage
+        // access" — the paper only implements single-GPU GDS.
+        let spec = HardwareSpec::a6000_server();
+        let w = workload();
+        let host = scaling_curve(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Host, &[1, 4]);
+        let ssd = scaling_curve(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd, &[1, 4]);
+        let host_scale = host[1].1 / host[0].1;
+        let ssd_scale = ssd[1].1 / ssd[0].1;
+        assert!(
+            ssd_scale <= host_scale + 1e-9,
+            "ssd scaling {ssd_scale:.2} should not beat host {host_scale:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn too_many_gpus_panics() {
+        let spec = HardwareSpec::a6000_server();
+        multi_gpu_epoch(&spec, &workload(), LoaderGen::DoubleBuffer, Placement::Gpu, 8);
+    }
+}

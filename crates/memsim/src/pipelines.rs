@@ -1,0 +1,578 @@
+//! Schedule builders for every data-loading strategy in the paper.
+//!
+//! Each builder turns a workload descriptor plus a [`HardwareSpec`] into a
+//! task graph and runs it, producing an [`EpochReport`]. The four PP-GNN
+//! loader generations map onto Figure 6:
+//!
+//! * [`LoaderGen::Baseline`] — per-sample host gathers, one op launch per
+//!   row, single device buffer (Figure 6a);
+//! * [`LoaderGen::FusedGather`] — one fused index op per batch into a
+//!   pinned buffer, async transfer, still single-buffered (Figure 6b);
+//! * [`LoaderGen::DoubleBuffer`] — dedicated assembly thread + two device
+//!   buffers, loading pipelined with compute (Figure 6c);
+//! * [`LoaderGen::ChunkReshuffle`] — chunk-granular transfers and GPU-side
+//!   assembly at HBM bandwidth (Figure 6d); with [`Placement::Ssd`], chunks
+//!   stream from storage via GPUDirect (Section 4.3).
+
+use crate::engine::{Category, Schedule, Sim, TaskId};
+use crate::HardwareSpec;
+
+/// Where the preprocessed input features live during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Preloaded into GPU memory.
+    Gpu,
+    /// Pinned in host memory.
+    Host,
+    /// On SSD, accessed via GPUDirect Storage.
+    Ssd,
+}
+
+impl Placement {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::Gpu => "gpu",
+            Placement::Host => "host",
+            Placement::Ssd => "ssd",
+        }
+    }
+}
+
+/// Data-loading generation (Section 4 optimizations, cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoaderGen {
+    /// PyTorch-DataLoader-style per-sample assembly.
+    Baseline,
+    /// One fused index operation per batch (Section 4.1, first half).
+    FusedGather,
+    /// Fused assembly + GPU double-buffer prefetching (Section 4.1).
+    DoubleBuffer,
+    /// Chunk reshuffling with GPU-side assembly (Section 4.2); the only
+    /// generation supporting [`Placement::Ssd`] (Section 4.3).
+    ChunkReshuffle,
+}
+
+impl LoaderGen {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoaderGen::Baseline => "baseline",
+            LoaderGen::FusedGather => "fused-assembly",
+            LoaderGen::DoubleBuffer => "double-buffer",
+            LoaderGen::ChunkReshuffle => "chunk-reshuffle",
+        }
+    }
+
+    /// All generations in ablation order.
+    pub fn all() -> [LoaderGen; 4] {
+        [
+            LoaderGen::Baseline,
+            LoaderGen::FusedGather,
+            LoaderGen::DoubleBuffer,
+            LoaderGen::ChunkReshuffle,
+        ]
+    }
+}
+
+/// PP-GNN epoch workload, measured from the functional plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpWorkload {
+    /// Training examples per epoch.
+    pub num_train: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Bytes of input per example across all `K(R+1)` hop matrices.
+    pub row_bytes: u64,
+    /// Forward+backward+optimizer FLOPs per example
+    /// (`PpModel::flops_per_example`).
+    pub flops_per_example: u64,
+    /// Chunk size (rows) for chunk reshuffling.
+    pub chunk_size: usize,
+    /// Model parameter bytes (all-reduce volume).
+    pub param_bytes: u64,
+}
+
+impl PpWorkload {
+    /// Number of whole batches per epoch (trailing partial batch dropped,
+    /// matching the training loop's `drop_last` behaviour).
+    pub fn num_batches(&self) -> usize {
+        self.num_train / self.batch_size
+    }
+
+    /// Bytes per batch.
+    pub fn batch_bytes(&self) -> u64 {
+        self.batch_size as u64 * self.row_bytes
+    }
+
+    /// Total input bytes after expansion (the Section 3.4 quantity).
+    pub fn total_input_bytes(&self) -> u64 {
+        self.num_train as u64 * self.row_bytes
+    }
+}
+
+/// MP-GNN epoch workload, measured from the real samplers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpWorkload {
+    /// Training seeds per epoch.
+    pub num_train: usize,
+    /// Seeds per batch.
+    pub batch_size: usize,
+    /// Raw feature bytes per node row.
+    pub feature_row_bytes: u64,
+    /// Measured unique input nodes per batch (sampler statistic).
+    pub input_nodes_per_batch: u64,
+    /// Measured total edges per batch across layers (sampler statistic).
+    pub edges_per_batch: u64,
+    /// Measured model FLOPs per batch (`MpModel::flops_per_batch`).
+    pub flops_per_batch: u64,
+    /// Model parameter bytes.
+    pub param_bytes: u64,
+}
+
+impl MpWorkload {
+    /// Whole batches per epoch.
+    pub fn num_batches(&self) -> usize {
+        self.num_train / self.batch_size
+    }
+}
+
+/// MP-GNN training-system variants compared in Figure 4 / Tables 3–5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MpSystem {
+    /// DGL with CPU sampling and host-resident features.
+    VanillaCpu,
+    /// GPU sampling with UVA zero-copy feature access.
+    Uva,
+    /// Everything preloaded in GPU memory.
+    Preload,
+    /// Storage-resident features with host-side caching (Ginex-like);
+    /// `cache_hit_rate` of feature reads hit host memory.
+    Storage {
+        /// Fraction of feature bytes served from the host cache.
+        cache_hit_rate: f64,
+    },
+}
+
+impl MpSystem {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpSystem::VanillaCpu => "dgl-vanilla",
+            MpSystem::Uva => "dgl-uva",
+            MpSystem::Preload => "dgl-preload",
+            MpSystem::Storage { .. } => "ginex-storage",
+        }
+    }
+}
+
+/// Outcome of simulating one training epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Wall-clock epoch time, seconds.
+    pub epoch_time: f64,
+    /// Batches simulated.
+    pub num_batches: usize,
+    /// Full schedule (category breakdown, Gantt rendering).
+    pub schedule: Schedule,
+}
+
+impl EpochReport {
+    /// Epochs per second.
+    pub fn throughput(&self) -> f64 {
+        if self.epoch_time > 0.0 {
+            1.0 / self.epoch_time
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of busy time in data-loading categories (Figure 5).
+    pub fn data_loading_fraction(&self) -> f64 {
+        self.schedule.data_loading_fraction()
+    }
+}
+
+/// Simulates one PP-GNN training epoch.
+///
+/// Invalid combinations ([`Placement::Ssd`] with a non-chunked loader —
+/// SGD-RR random reads from storage, which the training system refuses, as
+/// in Section 5) are still simulated faithfully so the harness can show
+/// *why* the policy forbids them; the per-row random-read cost is charged.
+///
+/// # Panics
+///
+/// Panics if the workload has a zero batch size or the spec fails
+/// validation.
+pub fn pp_epoch(
+    spec: &HardwareSpec,
+    w: &PpWorkload,
+    gen: LoaderGen,
+    placement: Placement,
+) -> EpochReport {
+    spec.validate().expect("invalid hardware spec");
+    assert!(w.batch_size > 0, "batch size must be positive");
+    let num_batches = w.num_batches().max(1);
+    let batch_bytes = w.batch_bytes();
+    let compute_s = spec.compute_time(w.flops_per_example * w.batch_size as u64);
+
+    let mut sim = Sim::new();
+    let host = sim.resource("host");
+    let dma = sim.resource("dma");
+    let gpu_copy = sim.resource("gpu-copy");
+    let gpu = sim.resource("gpu-compute");
+    let ssd = sim.resource("ssd");
+
+    let mut computes: Vec<TaskId> = Vec::with_capacity(num_batches);
+    for i in 0..num_batches {
+        // Buffer-reuse dependency: single buffer → wait on compute[i-1];
+        // double buffer → wait on compute[i-2].
+        let buffer_dep: Vec<TaskId> = match gen {
+            LoaderGen::Baseline | LoaderGen::FusedGather => {
+                if i >= 1 {
+                    vec![computes[i - 1]]
+                } else {
+                    vec![]
+                }
+            }
+            LoaderGen::DoubleBuffer | LoaderGen::ChunkReshuffle => {
+                if i >= 2 {
+                    vec![computes[i - 2]]
+                } else {
+                    vec![]
+                }
+            }
+        };
+
+        let ready = match (gen, placement) {
+            // ---------- features resident in GPU memory ----------
+            (LoaderGen::ChunkReshuffle, Placement::Gpu)
+            | (LoaderGen::DoubleBuffer, Placement::Gpu) => {
+                // on-device gather at HBM gather bandwidth, double buffered
+                let t = spec.host_op_overhead
+                    + batch_bytes as f64 / spec.gpu_gather_bw;
+                sim.task(gpu_copy, t, &buffer_dep, Category::GpuAssembly)
+            }
+            (LoaderGen::Baseline, Placement::Gpu) | (LoaderGen::FusedGather, Placement::Gpu) => {
+                // per-batch gather kernel, single-buffered
+                let t = spec.host_op_overhead + batch_bytes as f64 / spec.gpu_gather_bw;
+                sim.task(gpu_copy, t, &buffer_dep, Category::GpuAssembly)
+            }
+
+            // ---------- features in host memory ----------
+            (LoaderGen::Baseline, Placement::Host) => {
+                // per-sample framework overhead + strided copy per sample,
+                // then sync H2D
+                let assemble_s = w.batch_size as f64 * spec.per_sample_overhead
+                    + batch_bytes as f64 / spec.host_gather_bw;
+                let a = sim.task(host, assemble_s, &buffer_dep, Category::HostGather);
+                sim.task(
+                    dma,
+                    spec.h2d_time(batch_bytes),
+                    &[a],
+                    Category::Transfer,
+                )
+            }
+            (LoaderGen::FusedGather, Placement::Host) => {
+                // one launch per batch; gather at full host bandwidth
+                let assemble_s =
+                    spec.host_op_overhead + batch_bytes as f64 / spec.host_gather_bw;
+                let a = sim.task(host, assemble_s, &buffer_dep, Category::HostGather);
+                sim.task(dma, spec.h2d_time(batch_bytes), &[a], Category::Transfer)
+            }
+            (LoaderGen::DoubleBuffer, Placement::Host) => {
+                // dedicated assembly thread + prefetch stream
+                let assemble_s =
+                    spec.host_op_overhead + batch_bytes as f64 / spec.host_gather_bw;
+                let a = sim.task(host, assemble_s, &buffer_dep, Category::HostGather);
+                sim.task(dma, spec.h2d_time(batch_bytes), &[a], Category::Transfer)
+            }
+            (LoaderGen::ChunkReshuffle, Placement::Host) => {
+                // per-chunk DMA directly from (sequential) host memory, then
+                // GPU-side assembly
+                let chunks = (w.batch_size.div_ceil(w.chunk_size)).max(1);
+                let chunk_bytes = batch_bytes / chunks as u64;
+                let mut last = None;
+                for c in 0..chunks {
+                    let deps: Vec<TaskId> = if c == 0 {
+                        buffer_dep.clone()
+                    } else {
+                        vec![last.expect("set on previous iteration")]
+                    };
+                    last = Some(sim.task(
+                        dma,
+                        spec.h2d_time(chunk_bytes),
+                        &deps,
+                        Category::Transfer,
+                    ));
+                }
+                let assemble = spec.host_op_overhead
+                    + batch_bytes as f64 / spec.gpu_gather_bw;
+                sim.task(
+                    gpu_copy,
+                    assemble,
+                    &[last.expect("at least one chunk")],
+                    Category::GpuAssembly,
+                )
+            }
+
+            // ---------- features on SSD ----------
+            (LoaderGen::ChunkReshuffle, Placement::Ssd) => {
+                // GPUDirect chunk reads, then GPU-side assembly
+                let chunks = (w.batch_size.div_ceil(w.chunk_size)).max(1);
+                let chunk_bytes = batch_bytes / chunks as u64;
+                let mut last = None;
+                for c in 0..chunks {
+                    let deps: Vec<TaskId> = if c == 0 {
+                        buffer_dep.clone()
+                    } else {
+                        vec![last.expect("set on previous iteration")]
+                    };
+                    let t = spec.ssd_req_overhead + chunk_bytes as f64 / spec.ssd_seq_bw;
+                    last = Some(sim.task(ssd, t, &deps, Category::StorageRead));
+                }
+                let assemble =
+                    spec.host_op_overhead + batch_bytes as f64 / spec.gpu_gather_bw;
+                sim.task(
+                    gpu_copy,
+                    assemble,
+                    &[last.expect("at least one chunk")],
+                    Category::GpuAssembly,
+                )
+            }
+            (_, Placement::Ssd) => {
+                // SGD-RR against storage: one random read per row (the
+                // pathological case motivating Section 4.3)
+                let per_row = spec.ssd_req_overhead + w.row_bytes as f64 / spec.ssd_rand_bw;
+                let read_s = w.batch_size as f64 * per_row;
+                let r = sim.task(ssd, read_s, &buffer_dep, Category::StorageRead);
+                sim.task(dma, spec.h2d_time(batch_bytes), &[r], Category::Transfer)
+            }
+        };
+
+        let launch = sim.task(host, spec.host_op_overhead, &[], Category::Launch);
+        let c = sim.task(gpu, compute_s, &[ready, launch], Category::Compute);
+        computes.push(c);
+    }
+
+    let schedule = sim.run();
+    EpochReport {
+        epoch_time: schedule.makespan(),
+        num_batches,
+        schedule,
+    }
+}
+
+/// Simulates one MP-GNN training epoch under the given training system.
+///
+/// # Panics
+///
+/// Panics if the workload has a zero batch size or the spec fails
+/// validation.
+pub fn mp_epoch(spec: &HardwareSpec, w: &MpWorkload, system: MpSystem) -> EpochReport {
+    spec.validate().expect("invalid hardware spec");
+    assert!(w.batch_size > 0, "batch size must be positive");
+    let num_batches = w.num_batches().max(1);
+    let feature_bytes = w.input_nodes_per_batch * w.feature_row_bytes;
+    let compute_s = spec.compute_time(w.flops_per_batch);
+    // Sampling walks every candidate edge of the fanout frontier; the
+    // sampled edge count is the measured proxy.
+    let cpu_sample_s = w.edges_per_batch as f64 * spec.cpu_sample_per_edge;
+
+    let mut sim = Sim::new();
+    let host = sim.resource("host");
+    let dma = sim.resource("dma");
+    let gpu_copy = sim.resource("gpu-copy");
+    let gpu = sim.resource("gpu-compute");
+    let ssd = sim.resource("ssd");
+
+    let mut computes: Vec<TaskId> = Vec::with_capacity(num_batches);
+    for i in 0..num_batches {
+        let prev: Vec<TaskId> = if i >= 1 { vec![computes[i - 1]] } else { vec![] };
+        let double: Vec<TaskId> = if i >= 2 { vec![computes[i - 2]] } else { vec![] };
+        let ready = match system {
+            MpSystem::VanillaCpu => {
+                // CPU sampling → host feature extraction → sync H2D
+                let s = sim.task(host, cpu_sample_s, &prev, Category::Sampling);
+                let gather_s = feature_bytes as f64 / spec.host_gather_bw
+                    + spec.host_op_overhead;
+                let g = sim.task(host, gather_s, &[s], Category::HostGather);
+                let xfer_bytes = feature_bytes + w.edges_per_batch * 8;
+                sim.task(dma, spec.h2d_time(xfer_bytes), &[g], Category::Transfer)
+            }
+            MpSystem::Uva => {
+                // GPU sampling over UVA + zero-copy feature reads at
+                // degraded PCIe efficiency; pipelined (DGL prefetching)
+                let s = sim.task(
+                    gpu_copy,
+                    cpu_sample_s / spec.gpu_sample_speedup,
+                    &double,
+                    Category::Sampling,
+                );
+                let read_s =
+                    feature_bytes as f64 / (spec.pcie_bw * spec.uva_efficiency);
+                sim.task(gpu_copy, read_s, &[s], Category::Transfer)
+            }
+            MpSystem::Preload => {
+                // everything on device: GPU sampling + HBM gathers
+                let s = sim.task(
+                    gpu_copy,
+                    cpu_sample_s / spec.gpu_sample_speedup,
+                    &double,
+                    Category::Sampling,
+                );
+                let gather_s = feature_bytes as f64 / spec.gpu_gather_bw;
+                sim.task(gpu_copy, gather_s, &[s], Category::GpuAssembly)
+            }
+            MpSystem::Storage { cache_hit_rate } => {
+                // CPU sampling; misses hit SSD with random reads
+                let s = sim.task(host, cpu_sample_s, &prev, Category::Sampling);
+                let miss_bytes = (feature_bytes as f64 * (1.0 - cache_hit_rate)) as u64;
+                let reads = (miss_bytes / w.feature_row_bytes.max(1)).max(1);
+                let read_s = reads as f64 * spec.ssd_req_overhead
+                    + miss_bytes as f64 / spec.ssd_rand_bw;
+                let r = sim.task(ssd, read_s, &[s], Category::StorageRead);
+                let hit_bytes = feature_bytes - miss_bytes;
+                let gather_s =
+                    hit_bytes as f64 / spec.host_gather_bw + spec.host_op_overhead;
+                let g = sim.task(host, gather_s, &[r], Category::HostGather);
+                sim.task(dma, spec.h2d_time(feature_bytes), &[g], Category::Transfer)
+            }
+        };
+        // Framework overhead: block construction + per-layer launches on
+        // the host thread, serialized across iterations (the Python loop).
+        let overhead = sim.task(host, spec.mp_batch_overhead, &[], Category::Launch);
+        let c = sim.task(gpu, compute_s, &[ready, overhead], Category::Compute);
+        computes.push(c);
+    }
+
+    let schedule = sim.run();
+    EpochReport {
+        epoch_time: schedule.makespan(),
+        num_batches,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> PpWorkload {
+        PpWorkload {
+            num_train: 160_000,
+            batch_size: 8000,
+            row_bytes: 4 * 128 * 4, // 4 hop matrices of F=128
+            flops_per_example: 2_000_000,
+            chunk_size: 8000,
+            param_bytes: 4 << 20,
+        }
+    }
+
+    #[test]
+    fn ablation_ordering_matches_figure9() {
+        // baseline > fused > double-buffer ≥ chunk-reshuffle on host data
+        let spec = HardwareSpec::a6000_server();
+        let w = workload();
+        let t = |g| pp_epoch(&spec, &w, g, Placement::Host).epoch_time;
+        let base = t(LoaderGen::Baseline);
+        let fused = t(LoaderGen::FusedGather);
+        let dbuf = t(LoaderGen::DoubleBuffer);
+        let chunk = t(LoaderGen::ChunkReshuffle);
+        assert!(base > 2.0 * fused, "fused assembly should give ≥2x: {base} vs {fused}");
+        assert!(fused > dbuf, "double buffering should help: {fused} vs {dbuf}");
+        assert!(dbuf > chunk, "chunk reshuffling should help: {dbuf} vs {chunk}");
+        assert!(base > 10.0 * chunk, "stacked speedup should be ≥10x");
+    }
+
+    #[test]
+    fn baseline_is_dominated_by_data_loading() {
+        // Figure 5: ≥ 60 % of vanilla PP-GNN time is loading.
+        let spec = HardwareSpec::a6000_server();
+        let rep = pp_epoch(&spec, &workload(), LoaderGen::Baseline, Placement::Host);
+        assert!(
+            rep.data_loading_fraction() > 0.6,
+            "loading fraction {}",
+            rep.data_loading_fraction()
+        );
+    }
+
+    #[test]
+    fn gpu_placement_is_fastest() {
+        let spec = HardwareSpec::a6000_server();
+        let w = workload();
+        let gpu = pp_epoch(&spec, &w, LoaderGen::DoubleBuffer, Placement::Gpu).epoch_time;
+        let host = pp_epoch(&spec, &w, LoaderGen::DoubleBuffer, Placement::Host).epoch_time;
+        assert!(gpu <= host);
+    }
+
+    #[test]
+    fn chunked_storage_beats_random_storage_by_far() {
+        let spec = HardwareSpec::a6000_server();
+        let w = workload();
+        let cr = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd).epoch_time;
+        let rr = pp_epoch(&spec, &w, LoaderGen::DoubleBuffer, Placement::Ssd).epoch_time;
+        assert!(rr > 5.0 * cr, "random storage reads should be ≫ chunked: {rr} vs {cr}");
+    }
+
+    #[test]
+    fn ssd_chunked_is_close_to_host_chunked() {
+        // the headline Section 4.3 result: storage CR ≈ host-memory speeds
+        let spec = HardwareSpec::a6000_server();
+        let w = workload();
+        let host = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Host).epoch_time;
+        let ssd = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd).epoch_time;
+        assert!(ssd < 4.0 * host, "ssd {ssd} vs host {host}");
+    }
+
+    #[test]
+    fn mp_systems_order_correctly() {
+        // Figure 4: vanilla ≫ UVA > preload
+        let spec = HardwareSpec::a6000_server();
+        let w = MpWorkload {
+            num_train: 160_000,
+            batch_size: 8000,
+            feature_row_bytes: 128 * 4,
+            input_nodes_per_batch: 600_000,
+            edges_per_batch: 2_000_000,
+            flops_per_batch: 5_000_000_000,
+            param_bytes: 4 << 20,
+        };
+        let v = mp_epoch(&spec, &w, MpSystem::VanillaCpu).epoch_time;
+        let u = mp_epoch(&spec, &w, MpSystem::Uva).epoch_time;
+        let p = mp_epoch(&spec, &w, MpSystem::Preload).epoch_time;
+        assert!(v > u, "vanilla {v} vs uva {u}");
+        assert!(u > p, "uva {u} vs preload {p}");
+    }
+
+    #[test]
+    fn optimized_pp_beats_optimized_mp() {
+        // the paper's headline: optimized PP-GNNs beat the best MP systems
+        // because they move ~20x fewer bytes and skip sampling
+        let spec = HardwareSpec::a6000_server();
+        let pp = pp_epoch(&spec, &workload(), LoaderGen::ChunkReshuffle, Placement::Host);
+        let w = MpWorkload {
+            num_train: 160_000,
+            batch_size: 8000,
+            feature_row_bytes: 128 * 4,
+            input_nodes_per_batch: 600_000, // 75x expansion, as measured
+            edges_per_batch: 2_000_000,
+            flops_per_batch: 5_000_000_000,
+            param_bytes: 4 << 20,
+        };
+        let mp = mp_epoch(&spec, &w, MpSystem::Preload);
+        assert!(
+            pp.epoch_time * 3.0 < mp.epoch_time,
+            "pp {} vs mp {}",
+            pp.epoch_time,
+            mp.epoch_time
+        );
+    }
+
+    #[test]
+    fn throughput_is_reciprocal_of_epoch_time() {
+        let spec = HardwareSpec::a6000_server();
+        let rep = pp_epoch(&spec, &workload(), LoaderGen::DoubleBuffer, Placement::Gpu);
+        assert!((rep.throughput() * rep.epoch_time - 1.0).abs() < 1e-9);
+    }
+}

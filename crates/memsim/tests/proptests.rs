@@ -1,0 +1,109 @@
+//! Property-based tests for the discrete-event engine and pipelines.
+
+use ppgnn_memsim::engine::{Category, Sim};
+use ppgnn_memsim::{pp_epoch, HardwareSpec, LoaderGen, Placement, PpWorkload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn makespan_bounds_hold_for_random_chains(
+        durations in prop::collection::vec(0.0f64..10.0, 1..40),
+        two_resources in any::<bool>(),
+    ) {
+        let mut sim = Sim::new();
+        let r1 = sim.resource("a");
+        let r2 = if two_resources { sim.resource("b") } else { r1 };
+        let mut prev = None;
+        let total: f64 = durations.iter().sum();
+        let max = durations.iter().copied().fold(0.0, f64::max);
+        for (i, &d) in durations.iter().enumerate() {
+            let r = if i % 2 == 0 { r1 } else { r2 };
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(sim.task(r, d, &deps, Category::Other));
+        }
+        let s = sim.run();
+        // a full chain serializes exactly
+        prop_assert!((s.makespan() - total).abs() < 1e-9);
+        prop_assert!(s.makespan() >= max - 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_overlap_to_per_resource_busy(
+        a in prop::collection::vec(0.1f64..5.0, 1..20),
+        b in prop::collection::vec(0.1f64..5.0, 1..20),
+    ) {
+        let mut sim = Sim::new();
+        let ra = sim.resource("a");
+        let rb = sim.resource("b");
+        for &d in &a {
+            sim.task(ra, d, &[], Category::Other);
+        }
+        for &d in &b {
+            sim.task(rb, d, &[], Category::Other);
+        }
+        let s = sim.run();
+        let expect = a.iter().sum::<f64>().max(b.iter().sum::<f64>());
+        prop_assert!((s.makespan() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pp_epoch_is_monotone_in_batch_bytes(
+        rows in 1_000usize..100_000,
+        row_bytes in 64u64..8192,
+    ) {
+        let spec = HardwareSpec::a6000_server();
+        let make = |rb: u64| PpWorkload {
+            num_train: rows,
+            batch_size: 1000,
+            row_bytes: rb,
+            flops_per_example: 100_000,
+            chunk_size: 1000,
+            param_bytes: 1 << 20,
+        };
+        for gen in LoaderGen::all() {
+            let small = pp_epoch(&spec, &make(row_bytes), gen, Placement::Host).epoch_time;
+            let big = pp_epoch(&spec, &make(row_bytes * 2), gen, Placement::Host).epoch_time;
+            prop_assert!(big >= small - 1e-12, "{:?} not monotone", gen.name());
+        }
+    }
+
+    #[test]
+    fn double_buffer_never_loses_to_single_buffer(
+        rows in 10_000usize..200_000,
+        flops in 10_000u64..10_000_000,
+    ) {
+        let spec = HardwareSpec::a6000_server();
+        let w = PpWorkload {
+            num_train: rows,
+            batch_size: 2000,
+            row_bytes: 1024,
+            flops_per_example: flops,
+            chunk_size: 2000,
+            param_bytes: 1 << 20,
+        };
+        let fused = pp_epoch(&spec, &w, LoaderGen::FusedGather, Placement::Host).epoch_time;
+        let dbuf = pp_epoch(&spec, &w, LoaderGen::DoubleBuffer, Placement::Host).epoch_time;
+        prop_assert!(dbuf <= fused + 1e-9, "double buffer slower: {dbuf} vs {fused}");
+    }
+
+    #[test]
+    fn epoch_time_scales_with_training_set(
+        rows in 10_000usize..50_000,
+    ) {
+        let spec = HardwareSpec::a6000_server();
+        let make = |n: usize| PpWorkload {
+            num_train: n,
+            batch_size: 1000,
+            row_bytes: 2048,
+            flops_per_example: 1_000_000,
+            chunk_size: 1000,
+            param_bytes: 1 << 20,
+        };
+        let t1 = pp_epoch(&spec, &make(rows), LoaderGen::DoubleBuffer, Placement::Gpu).epoch_time;
+        let t2 = pp_epoch(&spec, &make(rows * 2), LoaderGen::DoubleBuffer, Placement::Gpu).epoch_time;
+        let ratio = t2 / t1;
+        prop_assert!((1.6..=2.4).contains(&ratio), "doubling rows gave {ratio:.2}x");
+    }
+}

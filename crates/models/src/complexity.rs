@@ -1,0 +1,240 @@
+//! Table 1 of the paper: asymptotic training memory and computational cost.
+//!
+//! Formulas are transcribed directly (asymptotic, Big-O constants dropped):
+//!
+//! | Model      | Training memory              | Computational cost                     |
+//! |------------|------------------------------|----------------------------------------|
+//! | GraphSAGE  | `L·b·Cᴸ·F + L·F²`            | `L·F·n·C^{L+1} + L·n·Cᴸ·F²`            |
+//! | LADIES     | `L²·b·F + L·F²`              | `L²·n·F·b + L²·n·F²`                   |
+//! | GraphSAINT | `L·b·F + L·F²`               | `L·n·F·b + L·n·F²`                     |
+//! | LABOR      | `L·b·Cᴸ·F + L·F²`            | `L·F·n·C^{L+1} + L·n·Cᴸ·F²`            |
+//! | SGC        | `b·F + F²`                   | `n·F²`                                 |
+//! | SIGN       | `L·b·F + L·F²`               | `L·n·F²`                               |
+//! | HOGA       | `L·b·F + L·F² + L·b·(r+1)²`  | `L·n·(r+1)·F² + L·n·F·(r+1)²`          |
+//!
+//! Red terms in the paper (feature propagation) and blue terms (feature
+//! transformation) are reported separately by
+//! [`CostModel::computational_cost`] so the harness can reproduce the
+//! color-coded table. The `exp_table1` binary prints the evaluated grid.
+
+use serde::{Deserialize, Serialize};
+
+/// The seven approaches compared in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Approach {
+    GraphSage,
+    Ladies,
+    GraphSaint,
+    Labor,
+    Sgc,
+    Sign,
+    Hoga,
+}
+
+impl Approach {
+    /// All approaches, in the table's row order.
+    pub fn all() -> [Approach; 7] {
+        [
+            Approach::GraphSage,
+            Approach::Ladies,
+            Approach::GraphSaint,
+            Approach::Labor,
+            Approach::Sgc,
+            Approach::Sign,
+            Approach::Hoga,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Approach::GraphSage => "GraphSAGE",
+            Approach::Ladies => "LADIES",
+            Approach::GraphSaint => "GraphSAINT",
+            Approach::Labor => "LABOR",
+            Approach::Sgc => "SGC",
+            Approach::Sign => "SIGN",
+            Approach::Hoga => "HOGA",
+        }
+    }
+
+    /// `true` for the pre-propagation family.
+    pub fn is_pp(&self) -> bool {
+        matches!(self, Approach::Sgc | Approach::Sign | Approach::Hoga)
+    }
+}
+
+/// Symbol assignment for the Table 1 formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Layers (MP) or hops (PP), `L` (and `r = L` for HOGA's token count).
+    pub layers: usize,
+    /// Minibatch size `b`.
+    pub batch: usize,
+    /// Post-sampling neighborhood size `C` (node-wise samplers).
+    pub fanout: usize,
+    /// Feature/hidden dimension `F` (assumed equal, as in the paper).
+    pub feature_dim: usize,
+    /// Total node count `n`.
+    pub num_nodes: usize,
+}
+
+/// Split of the computational cost into the paper's color-coded parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeCost {
+    /// Feature-propagation term (red in the paper) — sparse aggregation work.
+    pub propagation: u128,
+    /// Feature-transformation term (blue) — dense GEMM work.
+    pub transformation: u128,
+}
+
+impl ComputeCost {
+    /// Total cost.
+    pub fn total(&self) -> u128 {
+        self.propagation + self.transformation
+    }
+}
+
+/// Evaluates Table 1 rows at concrete parameter values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Training-memory complexity (in abstract units of `f32` slots).
+    pub fn training_memory(&self, approach: Approach, p: CostParams) -> u128 {
+        let l = p.layers as u128;
+        let b = p.batch as u128;
+        let c = p.fanout as u128;
+        let f = p.feature_dim as u128;
+        let r1 = (p.layers + 1) as u128; // r + 1 tokens for HOGA
+        match approach {
+            Approach::GraphSage | Approach::Labor => l * b * c.pow(p.layers as u32) * f + l * f * f,
+            Approach::Ladies => l * l * b * f + l * f * f,
+            Approach::GraphSaint => l * b * f + l * f * f,
+            Approach::Sgc => b * f + f * f,
+            Approach::Sign => l * b * f + l * f * f,
+            Approach::Hoga => l * b * f + l * f * f + l * b * r1 * r1,
+        }
+    }
+
+    /// Per-epoch computational cost split into propagation/transformation.
+    pub fn computational_cost(&self, approach: Approach, p: CostParams) -> ComputeCost {
+        let l = p.layers as u128;
+        let b = p.batch as u128;
+        let c = p.fanout as u128;
+        let f = p.feature_dim as u128;
+        let n = p.num_nodes as u128;
+        let r1 = (p.layers + 1) as u128;
+        match approach {
+            Approach::GraphSage | Approach::Labor => ComputeCost {
+                propagation: l * f * n * c.pow(p.layers as u32 + 1),
+                transformation: l * n * c.pow(p.layers as u32) * f * f,
+            },
+            Approach::Ladies => ComputeCost {
+                propagation: l * l * n * f * b,
+                transformation: l * l * n * f * f,
+            },
+            Approach::GraphSaint => ComputeCost {
+                propagation: l * n * f * b,
+                transformation: l * n * f * f,
+            },
+            Approach::Sgc => ComputeCost {
+                propagation: 0,
+                transformation: n * f * f,
+            },
+            Approach::Sign => ComputeCost {
+                propagation: 0,
+                transformation: l * n * f * f,
+            },
+            Approach::Hoga => ComputeCost {
+                propagation: 0,
+                transformation: l * n * r1 * f * f + l * n * f * r1 * r1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(layers: usize) -> CostParams {
+        CostParams {
+            layers,
+            batch: 1000,
+            fanout: 10,
+            feature_dim: 128,
+            num_nodes: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn pp_models_have_no_propagation_cost() {
+        let m = CostModel;
+        for a in Approach::all() {
+            let cost = m.computational_cost(a, params(3));
+            if a.is_pp() {
+                assert_eq!(cost.propagation, 0, "{} should be propagation-free", a.name());
+            } else {
+                assert!(cost.propagation > 0, "{} should pay propagation", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn node_wise_sampling_grows_exponentially_in_depth() {
+        let m = CostModel;
+        let c2 = m.computational_cost(Approach::GraphSage, params(2)).total();
+        let c4 = m.computational_cost(Approach::GraphSage, params(4)).total();
+        // growth must far exceed the 2× of linear-depth methods
+        assert!(c4 > 20 * c2, "SAGE cost should explode: {c2} → {c4}");
+        let s2 = m.computational_cost(Approach::Sign, params(2)).total();
+        let s4 = m.computational_cost(Approach::Sign, params(4)).total();
+        assert_eq!(s4, 2 * s2, "SIGN cost should be linear in depth");
+    }
+
+    #[test]
+    fn sgc_is_cheapest_everywhere() {
+        let m = CostModel;
+        let p = params(3);
+        let sgc = m.computational_cost(Approach::Sgc, p).total();
+        for a in Approach::all() {
+            if a != Approach::Sgc {
+                assert!(m.computational_cost(a, p).total() >= sgc);
+            }
+        }
+        let sgc_mem = m.training_memory(Approach::Sgc, p);
+        for a in Approach::all() {
+            if a != Approach::Sgc {
+                assert!(m.training_memory(a, p) >= sgc_mem);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_of_sampling_methods_depends_on_fanout() {
+        let m = CostModel;
+        let mut p = params(3);
+        let small = m.training_memory(Approach::Labor, p);
+        p.fanout = 20;
+        let big = m.training_memory(Approach::Labor, p);
+        assert!(big > 7 * small);
+        // PP memory is fanout-independent
+        assert_eq!(
+            m.training_memory(Approach::Sign, params(3)),
+            m.training_memory(Approach::Sign, p)
+        );
+    }
+
+    #[test]
+    fn hoga_pays_token_quadratic_extra() {
+        let m = CostModel;
+        let p = params(4);
+        assert!(m.training_memory(Approach::Hoga, p) > m.training_memory(Approach::Sign, p));
+        assert!(
+            m.computational_cost(Approach::Hoga, p).total()
+                > m.computational_cost(Approach::Sign, p).total()
+        );
+    }
+}

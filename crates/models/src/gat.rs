@@ -1,0 +1,528 @@
+use ppgnn_nn::{Mode, Param};
+use ppgnn_sampler::{Block, MiniBatch};
+use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
+use rand::Rng;
+
+use crate::mp::{gather_seed_rows, scatter_seed_grad, MpModel};
+
+const LEAKY_SLOPE: f32 = 0.2;
+
+/// Graph Attention Network (Veličković et al. 2018) over sampled blocks.
+///
+/// Per layer and head `k`: `e_ij = LeakyReLU(a_dstᵏ·zᵢ + a_srcᵏ·zⱼ)` with
+/// `z = h W`, softmax-normalized over the sampled neighborhood **plus a
+/// self edge**, then `h'_i = Σ_j α_ij z_j`. Hidden layers concatenate heads
+/// and apply ELU; the output layer averages heads into class logits. This
+/// is the accuracy-leaning MP-GNN baseline of the paper (hidden 128 × 4
+/// heads at full scale).
+pub struct Gat {
+    layers: Vec<GatLayer>,
+    caches: Vec<Option<GatCache>>,
+    elu_caches: Vec<Option<Matrix>>,
+    seed_local: Vec<usize>,
+    last_num_dst: usize,
+}
+
+struct GatLayer {
+    /// `in_dim x (heads * head_dim)` projection.
+    w: Param,
+    /// `heads x head_dim` source attention vectors.
+    a_src: Param,
+    /// `heads x head_dim` destination attention vectors.
+    a_dst: Param,
+    /// Output bias (`1 x out_dim`).
+    bias: Param,
+    heads: usize,
+    head_dim: usize,
+    /// `true` → concat heads (hidden layers); `false` → average (output).
+    concat: bool,
+}
+
+struct GatCache {
+    block: Block,
+    h_src: Matrix,
+    z: Matrix,
+    /// Per (dst, head): attention edge list `(src_local, alpha, pre_leaky)`.
+    edges: Vec<Vec<(usize, f32, f32)>>,
+}
+
+impl GatLayer {
+    fn new(in_dim: usize, heads: usize, head_dim: usize, concat: bool, rng: &mut impl Rng) -> Self {
+        let out_dim = if concat { heads * head_dim } else { head_dim };
+        GatLayer {
+            w: Param::new(init::xavier_uniform(in_dim, heads * head_dim, rng)),
+            a_src: Param::new(init::xavier_uniform(heads, head_dim, rng)),
+            a_dst: Param::new(init::xavier_uniform(heads, head_dim, rng)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+            heads,
+            head_dim,
+            concat,
+        }
+    }
+
+    fn forward(&self, block: &Block, h_src: &Matrix) -> (Matrix, GatCache) {
+        let z = matmul(h_src, &self.w.value); // [num_src, heads*dh]
+        let dh = self.head_dim;
+        let num_dst = block.num_dst();
+        let mut out_heads = Matrix::zeros(num_dst, self.heads * dh);
+        let mut edges: Vec<Vec<(usize, f32, f32)>> = Vec::with_capacity(num_dst * self.heads);
+
+        for i in 0..num_dst {
+            for k in 0..self.heads {
+                let off = k * dh;
+                let a_src = self.a_src.value.row(k);
+                let a_dst = self.a_dst.value.row(k);
+                let zi = &z.row(i)[off..off + dh];
+                let s_dst: f32 = zi.iter().zip(a_dst).map(|(a, b)| a * b).sum();
+                // self edge first, then sampled neighbors
+                let mut edge_list: Vec<(usize, f32, f32)> = Vec::new();
+                let push_edge = |j: usize, edge_list: &mut Vec<(usize, f32, f32)>| {
+                    let zj = &z.row(j)[off..off + dh];
+                    let s_src: f32 = zj.iter().zip(a_src).map(|(a, b)| a * b).sum();
+                    let pre = s_dst + s_src;
+                    let e = if pre > 0.0 { pre } else { LEAKY_SLOPE * pre };
+                    edge_list.push((j, e, pre));
+                };
+                push_edge(i, &mut edge_list);
+                for &j in block.neighbors(i) {
+                    push_edge(j as usize, &mut edge_list);
+                }
+                // softmax over the edge scores (alpha temporarily holds e)
+                let max = edge_list
+                    .iter()
+                    .map(|&(_, e, _)| e)
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for entry in &mut edge_list {
+                    entry.1 = (entry.1 - max).exp();
+                    sum += entry.1;
+                }
+                let inv = 1.0 / sum;
+                for entry in &mut edge_list {
+                    entry.1 *= inv;
+                }
+                // aggregate
+                {
+                    let out_row = &mut out_heads.row_mut(i)[off..off + dh];
+                    for &(j, alpha, _) in &edge_list {
+                        let zj = &z.row(j)[off..off + dh];
+                        for (o, v) in out_row.iter_mut().zip(zj) {
+                            *o += alpha * v;
+                        }
+                    }
+                }
+                edges.push(edge_list);
+            }
+        }
+
+        let mut out = if self.concat {
+            out_heads
+        } else {
+            // average heads
+            let mut avg = Matrix::zeros(num_dst, dh);
+            let inv = 1.0 / self.heads as f32;
+            for i in 0..num_dst {
+                for k in 0..self.heads {
+                    let src = out_heads.row(i)[k * dh..(k + 1) * dh].to_vec();
+                    for (o, v) in avg.row_mut(i).iter_mut().zip(&src) {
+                        *o += v * inv;
+                    }
+                }
+            }
+            avg
+        };
+        let bias = self.bias.value.row(0).to_vec();
+        for r in 0..out.rows() {
+            for (v, b) in out.row_mut(r).iter_mut().zip(&bias) {
+                *v += b;
+            }
+        }
+        (
+            out,
+            GatCache {
+                block: block.clone(),
+                h_src: h_src.clone(),
+                z,
+                edges,
+            },
+        )
+    }
+
+    /// Returns the gradient with respect to the layer's source features.
+    fn backward(&mut self, cache: GatCache, g_out: &Matrix) -> Matrix {
+        let GatCache {
+            block,
+            h_src,
+            z,
+            edges,
+        } = cache;
+        let dh = self.head_dim;
+        let num_dst = block.num_dst();
+        let num_src = block.num_src();
+
+        self.bias.grad.add_assign(&g_out.sum_rows());
+
+        // Per-head gradient of the (pre-bias) aggregation output.
+        let head_grad = |i: usize, k: usize| -> Vec<f32> {
+            if self.concat {
+                g_out.row(i)[k * dh..(k + 1) * dh].to_vec()
+            } else {
+                let inv = 1.0 / self.heads as f32;
+                g_out.row(i).iter().map(|&v| v * inv).collect()
+            }
+        };
+
+        let mut dz = Matrix::zeros(num_src, self.heads * dh);
+        let mut ds_src = vec![0.0f32; num_src * self.heads];
+        let mut ds_dst = vec![0.0f32; num_dst * self.heads];
+
+        for i in 0..num_dst {
+            for k in 0..self.heads {
+                let off = k * dh;
+                let g_i = head_grad(i, k);
+                let edge_list = &edges[i * self.heads + k];
+                // dalpha and dz (aggregation part)
+                let mut dalpha: Vec<f32> = Vec::with_capacity(edge_list.len());
+                for &(j, alpha, _) in edge_list {
+                    let zj = &z.row(j)[off..off + dh];
+                    let mut dot = 0.0;
+                    for (g, v) in g_i.iter().zip(zj) {
+                        dot += g * v;
+                    }
+                    dalpha.push(dot);
+                    let dz_row = &mut dz.row_mut(j)[off..off + dh];
+                    for (o, g) in dz_row.iter_mut().zip(&g_i) {
+                        *o += alpha * g;
+                    }
+                }
+                // softmax + leaky backward
+                let inner: f32 = edge_list
+                    .iter()
+                    .zip(&dalpha)
+                    .map(|(&(_, alpha, _), &da)| alpha * da)
+                    .sum();
+                for (&(j, alpha, pre), &da) in edge_list.iter().zip(&dalpha) {
+                    let de = alpha * (da - inner);
+                    let dpre = de * if pre > 0.0 { 1.0 } else { LEAKY_SLOPE };
+                    ds_dst[i * self.heads + k] += dpre;
+                    ds_src[j * self.heads + k] += dpre;
+                }
+            }
+        }
+
+        // s_src[u,k] = z_u[k]·a_src[k]  and  s_dst[i,k] = z_i[k]·a_dst[k]
+        for u in 0..num_src {
+            for k in 0..self.heads {
+                let off = k * dh;
+                let d = ds_src[u * self.heads + k];
+                if d != 0.0 {
+                    let zu = z.row(u)[off..off + dh].to_vec();
+                    {
+                        let a = self.a_src.value.row(k).to_vec();
+                        let dz_row = &mut dz.row_mut(u)[off..off + dh];
+                        for (o, av) in dz_row.iter_mut().zip(&a) {
+                            *o += d * av;
+                        }
+                    }
+                    let ga = self.a_src.grad.row_mut(k);
+                    for (o, zv) in ga.iter_mut().zip(&zu) {
+                        *o += d * zv;
+                    }
+                }
+            }
+        }
+        for i in 0..num_dst {
+            for k in 0..self.heads {
+                let off = k * dh;
+                let d = ds_dst[i * self.heads + k];
+                if d != 0.0 {
+                    let zi = z.row(i)[off..off + dh].to_vec();
+                    {
+                        let a = self.a_dst.value.row(k).to_vec();
+                        let dz_row = &mut dz.row_mut(i)[off..off + dh];
+                        for (o, av) in dz_row.iter_mut().zip(&a) {
+                            *o += d * av;
+                        }
+                    }
+                    let ga = self.a_dst.grad.row_mut(k);
+                    for (o, zv) in ga.iter_mut().zip(&zi) {
+                        *o += d * zv;
+                    }
+                }
+            }
+        }
+
+        self.w.grad.add_assign(&matmul_tn(&h_src, &dz));
+        matmul_nt(&dz, &self.w.value)
+    }
+}
+
+impl std::fmt::Debug for Gat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gat")
+            .field("num_layers", &self.layers.len())
+            .finish()
+    }
+}
+
+impl Gat {
+    /// Creates a GAT with `num_layers` layers, `heads` heads of width
+    /// `head_dim` on hidden layers, and an averaged single-width output
+    /// layer producing `num_classes` logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0` or a dimension is zero.
+    pub fn new(
+        num_layers: usize,
+        feature_dim: usize,
+        head_dim: usize,
+        heads: usize,
+        num_classes: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(num_layers > 0, "at least one layer required");
+        assert!(
+            feature_dim > 0 && head_dim > 0 && heads > 0 && num_classes > 0,
+            "dimensions must be positive"
+        );
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let in_dim = if l == 0 { feature_dim } else { heads * head_dim };
+            let is_last = l + 1 == num_layers;
+            if is_last {
+                layers.push(GatLayer::new(in_dim, heads, num_classes, false, rng));
+            } else {
+                layers.push(GatLayer::new(in_dim, heads, head_dim, true, rng));
+            }
+        }
+        Gat {
+            caches: (0..layers.len()).map(|_| None).collect(),
+            elu_caches: (0..layers.len()).map(|_| None).collect(),
+            layers,
+            seed_local: Vec::new(),
+            last_num_dst: 0,
+        }
+    }
+}
+
+fn elu(v: f32) -> f32 {
+    if v > 0.0 {
+        v
+    } else {
+        v.exp_m1()
+    }
+}
+
+impl MpModel for Gat {
+    fn forward(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(
+            batch.blocks.len(),
+            self.layers.len(),
+            "batch depth {} != model depth {}",
+            batch.blocks.len(),
+            self.layers.len()
+        );
+        assert_eq!(
+            x_input.rows(),
+            batch.blocks[0].num_src(),
+            "input features must cover the batch's input nodes"
+        );
+        let num_layers = self.layers.len();
+        let mut h = x_input.clone();
+        for (l, (layer, block)) in self.layers.iter_mut().zip(&batch.blocks).enumerate() {
+            let (mut out, cache) = layer.forward(block, &h);
+            let is_last = l + 1 == num_layers;
+            if !is_last {
+                if mode == Mode::Train {
+                    self.elu_caches[l] = Some(out.clone()); // pre-activation
+                }
+                out.map_inplace(elu);
+            }
+            if mode == Mode::Train {
+                self.caches[l] = Some(cache);
+            }
+            h = out;
+        }
+        if mode == Mode::Train {
+            self.seed_local = batch.seed_local.clone();
+            self.last_num_dst = batch.blocks.last().expect("non-empty").num_dst();
+        }
+        gather_seed_rows(&h, &batch.seed_local)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) {
+        assert!(
+            self.caches.iter().all(|c| c.is_some()),
+            "Gat::backward called without a training-mode forward"
+        );
+        let num_layers = self.layers.len();
+        let mut g = scatter_seed_grad(grad_out, &self.seed_local, self.last_num_dst);
+        for l in (0..num_layers).rev() {
+            if l + 1 != num_layers {
+                let pre = self.elu_caches[l].take().expect("hidden layers cache ELU input");
+                // d elu(x) = 1 if x > 0 else e^x
+                for (gv, &p) in g.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                    *gv *= if p > 0.0 { 1.0 } else { p.exp() };
+                }
+            }
+            let cache = self.caches[l].take().expect("cache presence checked above");
+            g = self.layers[l].backward(cache, &g);
+        }
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| vec![&mut l.w, &mut l.a_src, &mut l.a_dst, &mut l.bias])
+            .collect()
+    }
+
+    fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "gat"
+    }
+
+    fn flops_per_batch(&self, batch: &MiniBatch) -> u64 {
+        let mut flops = 0u64;
+        for (layer, block) in self.layers.iter().zip(&batch.blocks) {
+            let in_dim = layer.w.value.rows() as u64;
+            let proj = layer.w.value.cols() as u64;
+            // projection on src rows + per-edge attention (scores + weighted sum)
+            flops += 2 * block.num_src() as u64 * in_dim * proj;
+            flops += 4 * (block.num_edges() + block.num_dst()) as u64 * proj;
+        }
+        3 * flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgnn_graph::{gen, CsrGraph};
+    use ppgnn_nn::{metrics, Adam, CrossEntropyLoss, Optimizer};
+    use ppgnn_sampler::{NeighborSampler, Sampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CsrGraph, Matrix, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let labels = gen::uniform_labels(200, 2, &mut rng);
+        let g = gen::labeled_graph(200, 8.0, &labels, 2, gen::Mixing::Homophilous(0.9), 0.0, &mut rng)
+            .unwrap();
+        let mut x = init::standard_normal(200, 6, &mut rng);
+        for v in 0..200 {
+            x.row_mut(v)[labels[v] as usize] += 3.0;
+        }
+        (g, x, labels)
+    }
+
+    #[test]
+    fn forward_emits_seed_logits() {
+        let (g, x, _) = setup();
+        let mut sampler = NeighborSampler::new(vec![4, 4], 1);
+        let batch = sampler.sample(&g, &[0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = Gat::new(2, 6, 8, 2, 2, &mut rng);
+        let xin = x.gather_rows(batch.input_nodes());
+        let logits = model.forward(&batch, &xin, Mode::Eval);
+        assert_eq!(logits.shape(), (3, 2));
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one() {
+        let (g, x, _) = setup();
+        let mut sampler = NeighborSampler::new(vec![5], 3);
+        let batch = sampler.sample(&g, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = GatLayer::new(6, 2, 4, true, &mut rng);
+        let xin = x.gather_rows(batch.input_nodes());
+        let (_, cache) = layer.forward(&batch.blocks[0], &xin);
+        for edge_list in &cache.edges {
+            let sum: f32 = edge_list.iter().map(|&(_, a, _)| a).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "alphas sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (g, x, labels) = setup();
+        let mut sampler = NeighborSampler::new(vec![3, 3], 5);
+        let seeds = [1usize, 2, 3];
+        let batch = sampler.sample(&g, &seeds);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = Gat::new(2, 6, 4, 2, 2, &mut rng);
+        let xin = x.gather_rows(batch.input_nodes());
+        let y: Vec<u32> = seeds.iter().map(|&s| labels[s]).collect();
+
+        let logits = model.forward(&batch, &xin, Mode::Train);
+        let (_, gl) = CrossEntropyLoss.loss_and_grad(&logits, &y);
+        model.zero_grad();
+        model.backward(&gl);
+        let grads: Vec<Matrix> = model.params().iter().map(|p| p.grad.clone()).collect();
+
+        let eps = 1e-2f32;
+        let num_params = model.params().len();
+        for pi in 0..num_params {
+            let len = model.params()[pi].len();
+            let stride = (len / 4).max(1);
+            let mut k = 0;
+            while k < len {
+                let orig = model.params()[pi].value.as_slice()[k];
+                model.params()[pi].value.as_mut_slice()[k] = orig + eps;
+                let lp = CrossEntropyLoss.loss(&model.forward(&batch, &xin, Mode::Train), &y);
+                model.params()[pi].value.as_mut_slice()[k] = orig - eps;
+                let lm = CrossEntropyLoss.loss(&model.forward(&batch, &xin, Mode::Train), &y);
+                model.params()[pi].value.as_mut_slice()[k] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grads[pi].as_slice()[k];
+                let scale = numeric.abs().max(analytic.abs()).max(5e-2);
+                assert!(
+                    (numeric - analytic).abs() / scale < 6e-2,
+                    "param {pi}[{k}]: {numeric} vs {analytic}"
+                );
+                k += stride;
+            }
+        }
+    }
+
+    #[test]
+    fn learns_on_homophilous_graph() {
+        let (g, x, labels) = setup();
+        let mut sampler = NeighborSampler::new(vec![6, 6], 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut model = Gat::new(2, 6, 8, 2, 2, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let seeds: Vec<usize> = (0..80).collect();
+        let y: Vec<u32> = seeds.iter().map(|&s| labels[s]).collect();
+        for _ in 0..60 {
+            let batch = sampler.sample(&g, &seeds);
+            let xin = x.gather_rows(batch.input_nodes());
+            let logits = model.forward(&batch, &xin, Mode::Train);
+            let (_, gl) = CrossEntropyLoss.loss_and_grad(&logits, &y);
+            model.zero_grad();
+            model.backward(&gl);
+            opt.step(&mut model.params());
+        }
+        let batch = sampler.sample(&g, &seeds);
+        let xin = x.gather_rows(batch.input_nodes());
+        let logits = model.forward(&batch, &xin, Mode::Eval);
+        let acc = metrics::accuracy(&logits, &y);
+        assert!(acc > 0.85, "train accuracy only {acc}");
+    }
+
+    #[test]
+    fn isolated_node_attends_to_itself() {
+        let g = CsrGraph::from_edges(2, &[], true).unwrap();
+        let mut sampler = NeighborSampler::new(vec![4], 0);
+        let batch = sampler.sample(&g, &[0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = Gat::new(1, 3, 2, 1, 2, &mut rng);
+        let xin = Matrix::full(1, 3, 1.0);
+        let logits = model.forward(&batch, &xin, Mode::Eval);
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,43 @@
+//! GNN model zoo: the paper's three PP-GNNs and two MP-GNN backbones.
+//!
+//! **Pre-propagation models** ([`PpModel`]) consume `R + 1` hop-feature
+//! matrices produced offline by the preprocessing stage (Eq. 2) and involve
+//! only dense compute:
+//!
+//! * [`Sgc`] — logistic regression on the deepest hop (Wu et al. 2019),
+//! * [`Sign`] — per-hop inception branches + MLP head (Frasca et al. 2020),
+//! * [`Hoga`] — hop-wise multi-head attention over hop tokens
+//!   (Deng et al. 2024).
+//!
+//! **Message-passing models** ([`MpModel`]) consume sampled
+//! [`ppgnn_sampler::MiniBatch`]es:
+//!
+//! * [`GraphSage`] — mean aggregator (Hamilton et al. 2017),
+//! * [`Gat`] — multi-head additive attention (Veličković et al. 2018).
+//!
+//! Every model's backward pass is verified against central finite
+//! differences in its test module, and each exposes a FLOP estimator used by
+//! the performance-plane simulator.
+//!
+//! [`complexity`] transcribes Table 1 of the paper (asymptotic training
+//! memory and computational cost for all seven approaches).
+
+#![deny(missing_docs)]
+
+mod gat;
+mod hoga;
+mod mp;
+mod pp;
+mod sage;
+mod sgc;
+mod sign;
+
+pub mod complexity;
+
+pub use gat::Gat;
+pub use hoga::Hoga;
+pub use mp::MpModel;
+pub use pp::{hops_to_tokens, tokens_to_hops, PpModel};
+pub use sage::GraphSage;
+pub use sgc::Sgc;
+pub use sign::Sign;

@@ -1,0 +1,86 @@
+use ppgnn_nn::{Mode, Param};
+use ppgnn_sampler::MiniBatch;
+use ppgnn_tensor::Matrix;
+
+/// A message-passing GNN trained on sampled minibatches.
+///
+/// `forward` receives the sampled [`MiniBatch`] and the gathered raw
+/// features of `batch.input_nodes()` (one row per layer-0 source node) and
+/// returns logits for the **seed** nodes only. `backward` propagates the
+/// loss gradient back through every block.
+pub trait MpModel {
+    /// Computes `seeds × classes` logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_input.rows()` does not match the batch's input-node
+    /// count or the batch depth differs from the model's layer count.
+    fn forward(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode) -> Matrix;
+
+    /// Back-propagates the seed-logit gradient; accumulates parameter
+    /// gradients (input-feature gradients are discarded).
+    fn backward(&mut self, grad_out: &Matrix);
+
+    /// Parameters in a stable order.
+    fn params(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+
+    /// Number of message-passing layers.
+    fn num_layers(&self) -> usize;
+
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Estimated forward+backward FLOPs for one sampled batch (feeds the
+    /// performance simulator; dominated by per-node transforms plus
+    /// per-edge aggregation).
+    fn flops_per_batch(&self, batch: &MiniBatch) -> u64;
+
+    /// Total scalar parameter count.
+    fn num_params(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Scatters seed-row gradients into a zeroed `num_dst x c` matrix — the
+/// adapter between the loss (defined on seeds) and the last block's
+/// destination set (which may be a superset under GraphSAINT).
+pub(crate) fn scatter_seed_grad(
+    grad_seeds: &Matrix,
+    seed_local: &[usize],
+    num_dst: usize,
+) -> Matrix {
+    assert_eq!(grad_seeds.rows(), seed_local.len(), "seed grad row mismatch");
+    let mut out = Matrix::zeros(num_dst, grad_seeds.cols());
+    for (r, &d) in seed_local.iter().enumerate() {
+        out.row_mut(d).copy_from_slice(grad_seeds.row(r));
+    }
+    out
+}
+
+/// Gathers seed rows out of the last layer's destination activations.
+pub(crate) fn gather_seed_rows(h_dst: &Matrix, seed_local: &[usize]) -> Matrix {
+    h_dst.gather_rows(seed_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_gather_round_trip() {
+        let g = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let scattered = scatter_seed_grad(&g, &[3, 1], 5);
+        assert_eq!(scattered.row(3), &[1.0, 2.0]);
+        assert_eq!(scattered.row(1), &[3.0, 4.0]);
+        assert_eq!(scattered.row(0), &[0.0, 0.0]);
+        let back = gather_seed_rows(&scattered, &[3, 1]);
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,131 @@
+use ppgnn_nn::{Mode, Param};
+use ppgnn_tensor::Matrix;
+
+/// A pre-propagation GNN: a dense model over `R + 1` hop-feature matrices.
+///
+/// The training loop hands every model the same batch shape — a slice of
+/// `num_hops() + 1` matrices, each `batch x feature_dim`, where entry `r`
+/// holds `B^r X` rows for the batch nodes — and receives class logits.
+/// Models that ignore some hops (SGC) still receive the full set so loaders
+/// stay model-agnostic, mirroring the paper's system design where the data
+/// pipeline is shared across SGC/SIGN/HOGA.
+pub trait PpModel {
+    /// Computes logits `batch x num_classes` from hop features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops.len() != num_hops() + 1` or the matrices disagree on
+    /// row counts / feature dims.
+    fn forward(&mut self, hops: &[Matrix], mode: Mode) -> Matrix;
+
+    /// Back-propagates the loss gradient; accumulates parameter gradients.
+    /// (Input gradients are discarded — hop features are data, not
+    /// parameters.)
+    fn backward(&mut self, grad_out: &Matrix);
+
+    /// Parameters in a stable order.
+    fn params(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+
+    /// Number of propagation hops `R` (the model consumes `R + 1` inputs).
+    fn num_hops(&self) -> usize;
+
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Estimated forward+backward FLOPs for a single example (drives the
+    /// compute-time model in `ppgnn-memsim`).
+    fn flops_per_example(&self) -> u64;
+
+    /// Total scalar parameter count.
+    fn num_params(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Re-layouts hop matrices `[(b x F); R+1]` into the token matrix
+/// `[b·(R+1)] x F` expected by the HOGA attention block: example `i`'s
+/// tokens occupy rows `i·(R+1) .. (i+1)·(R+1)`, ordered hop 0 → hop R.
+///
+/// # Panics
+///
+/// Panics if `hops` is empty or shapes disagree.
+pub fn hops_to_tokens(hops: &[Matrix]) -> Matrix {
+    assert!(!hops.is_empty(), "at least one hop matrix required");
+    let b = hops[0].rows();
+    let f = hops[0].cols();
+    for (r, h) in hops.iter().enumerate() {
+        assert_eq!(h.shape(), (b, f), "hop {r} has mismatched shape");
+    }
+    let t = hops.len();
+    let mut out = Matrix::zeros(b * t, f);
+    for i in 0..b {
+        for (r, h) in hops.iter().enumerate() {
+            out.row_mut(i * t + r).copy_from_slice(h.row(i));
+        }
+    }
+    out
+}
+
+/// Checks the standard input contract shared by all PP models.
+pub(crate) fn validate_hops(hops: &[Matrix], expected: usize) -> (usize, usize) {
+    assert_eq!(
+        hops.len(),
+        expected,
+        "model expects {expected} hop matrices, got {}",
+        hops.len()
+    );
+    let (b, f) = hops[0].shape();
+    for (r, h) in hops.iter().enumerate() {
+        assert_eq!(h.shape(), (b, f), "hop {r} shape mismatch");
+    }
+    (b, f)
+}
+
+/// Scatters a token-matrix gradient back into per-hop gradients (inverse of
+/// [`hops_to_tokens`]); used by HOGA's backward when hop-level gradients are
+/// needed for diagnostics.
+pub fn tokens_to_hops(tokens: &Matrix, num_hops_plus_one: usize) -> Vec<Matrix> {
+    assert_eq!(tokens.rows() % num_hops_plus_one, 0, "ragged token matrix");
+    let b = tokens.rows() / num_hops_plus_one;
+    let f = tokens.cols();
+    let mut out = vec![Matrix::zeros(b, f); num_hops_plus_one];
+    for i in 0..b {
+        for r in 0..num_hops_plus_one {
+            out[r]
+                .row_mut(i)
+                .copy_from_slice(tokens.row(i * num_hops_plus_one + r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        let h0 = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let h1 = h0.map(|v| v + 100.0);
+        let tokens = hops_to_tokens(&[h0.clone(), h1.clone()]);
+        assert_eq!(tokens.shape(), (6, 2));
+        assert_eq!(tokens.row(0), h0.row(0));
+        assert_eq!(tokens.row(1), h1.row(0));
+        let back = tokens_to_hops(&tokens, 2);
+        assert_eq!(back[0], h0);
+        assert_eq!(back[1], h1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched shape")]
+    fn ragged_hops_panic() {
+        hops_to_tokens(&[Matrix::zeros(2, 3), Matrix::zeros(2, 4)]);
+    }
+}

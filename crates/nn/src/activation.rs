@@ -1,0 +1,149 @@
+use ppgnn_tensor::Matrix;
+
+use crate::{Mode, Module, Param};
+
+/// Rectified linear unit, `y = max(x, 0)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let y = x.map(|v| v.max(0.0));
+        if mode == Mode::Train {
+            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mask = self
+            .mask
+            .take()
+            .expect("Relu::backward called without a training-mode forward");
+        assert_eq!(mask.len(), grad_out.len(), "grad_out shape mismatch in Relu");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.as_mut_slice().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Parametric ReLU with a single learnable slope `α` for negative inputs:
+/// `y = max(x, 0) + α · min(x, 0)`. SIGN's inception branches use this.
+#[derive(Debug)]
+pub struct PRelu {
+    alpha: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl PRelu {
+    /// Creates a PReLU layer with the conventional initial slope `0.25`.
+    pub fn new() -> Self {
+        PRelu {
+            alpha: Param::new(Matrix::full(1, 1, 0.25)),
+            cached_input: None,
+        }
+    }
+
+    /// Current negative-side slope.
+    pub fn alpha(&self) -> f32 {
+        self.alpha.value.get(0, 0)
+    }
+}
+
+impl Default for PRelu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for PRelu {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let a = self.alpha();
+        let y = x.map(|v| if v > 0.0 { v } else { a * v });
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .take()
+            .expect("PRelu::backward called without a training-mode forward");
+        assert_eq!(x.shape(), grad_out.shape(), "grad_out shape mismatch in PRelu");
+        let a = self.alpha();
+        let mut gx = grad_out.clone();
+        let mut galpha = 0.0f32;
+        for ((g, &xv), gout) in gx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(x.as_slice())
+            .zip(grad_out.as_slice())
+        {
+            if xv > 0.0 {
+                // gradient passes through unchanged
+            } else {
+                galpha += gout * xv;
+                *g = a * gout;
+            }
+        }
+        let cur = self.alpha.grad.get(0, 0);
+        self.alpha.grad.set(0, 0, cur + galpha);
+        gx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.alpha]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+        let g = r.backward(&Matrix::full(1, 3, 1.0));
+        assert_eq!(g.row(0), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn prelu_uses_alpha_on_negatives() {
+        let mut p = PRelu::new();
+        let x = Matrix::from_rows(&[&[-4.0, 4.0]]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.row(0), &[-1.0, 4.0]); // alpha = 0.25
+        let gx = p.backward(&Matrix::full(1, 2, 1.0));
+        assert_eq!(gx.row(0), &[0.25, 1.0]);
+        // ∂α = Σ g·x over negative entries = 1 * -4
+        assert_eq!(p.params()[0].grad.get(0, 0), -4.0);
+    }
+
+    #[test]
+    fn relu_has_no_params() {
+        assert!(Relu::new().params().is_empty());
+        assert_eq!(PRelu::new().params().len(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
+use rand::Rng;
+
+use crate::{Mode, Module, Param};
+
+/// Multi-head self-attention over a fixed number of tokens per example.
+///
+/// HOGA (Deng et al. 2024) treats the `R + 1` hop-feature vectors of a node
+/// as tokens and applies one attention layer across them. The input is the
+/// flattened `[batch * tokens, dim]` matrix; attention is computed
+/// independently per example over its `tokens` consecutive rows.
+///
+/// Projections `W_q`, `W_k`, `W_v`, `W_o` are bias-free `dim x dim`
+/// matrices split into `heads` equal slices.
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    tokens: usize,
+    heads: usize,
+    dim: usize,
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug)]
+struct AttnCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Attention weights, stored as `batch * heads * tokens` rows of
+    /// `tokens` columns.
+    attn: Matrix,
+    /// Concatenated per-head outputs before the output projection.
+    merged: Matrix,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer for `tokens` tokens of `dim` features with
+    /// `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads` or any argument is zero.
+    pub fn new(tokens: usize, dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        assert!(tokens > 0 && dim > 0 && heads > 0, "attention dims must be positive");
+        assert_eq!(dim % heads, 0, "dim {dim} must be divisible by heads {heads}");
+        MultiHeadAttention {
+            tokens,
+            heads,
+            dim,
+            wq: Param::new(init::xavier_uniform(dim, dim, rng)),
+            wk: Param::new(init::xavier_uniform(dim, dim, rng)),
+            wv: Param::new(init::xavier_uniform(dim, dim, rng)),
+            wo: Param::new(init::xavier_uniform(dim, dim, rng)),
+            cache: None,
+        }
+    }
+
+    /// Tokens per example.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn batch_of(&self, x: &Matrix) -> usize {
+        assert_eq!(x.cols(), self.dim, "attention input dim mismatch");
+        assert_eq!(
+            x.rows() % self.tokens,
+            0,
+            "attention input rows {} not a multiple of tokens {}",
+            x.rows(),
+            self.tokens
+        );
+        x.rows() / self.tokens
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let b = self.batch_of(x);
+        let t = self.tokens;
+        let h = self.heads;
+        let dh = self.dim / h;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let q = matmul(x, &self.wq.value);
+        let k = matmul(x, &self.wk.value);
+        let v = matmul(x, &self.wv.value);
+
+        let mut attn = Matrix::zeros(b * h * t, t);
+        let mut merged = Matrix::zeros(b * t, self.dim);
+
+        for n in 0..b {
+            let base = n * t;
+            for head in 0..h {
+                let off = head * dh;
+                // scores[i][j] = q_i · k_j * scale
+                for i in 0..t {
+                    let q_row = &q.row(base + i)[off..off + dh];
+                    let a_row = attn.row_mut((n * h + head) * t + i);
+                    for j in 0..t {
+                        let k_row = &k.row(base + j)[off..off + dh];
+                        let mut dot = 0.0;
+                        for (qv, kv) in q_row.iter().zip(k_row) {
+                            dot += qv * kv;
+                        }
+                        a_row[j] = dot * scale;
+                    }
+                    // stable softmax in place
+                    let max = a_row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for av in a_row.iter_mut() {
+                        *av = (*av - max).exp();
+                        sum += *av;
+                    }
+                    let inv = 1.0 / sum;
+                    for av in a_row.iter_mut() {
+                        *av *= inv;
+                    }
+                }
+                // merged[i, off..off+dh] = Σ_j A[i][j] * v_j
+                for i in 0..t {
+                    let a_row = attn.row((n * h + head) * t + i).to_vec();
+                    let out_row = &mut merged.row_mut(base + i)[off..off + dh];
+                    for (j, &aij) in a_row.iter().enumerate() {
+                        let v_row = &v.row(base + j)[off..off + dh];
+                        for (o, vv) in out_row.iter_mut().zip(v_row) {
+                            *o += aij * vv;
+                        }
+                    }
+                }
+            }
+        }
+
+        let y = matmul(&merged, &self.wo.value);
+        if mode == Mode::Train {
+            self.cache = Some(AttnCache {
+                x: x.clone(),
+                q,
+                k,
+                v,
+                attn,
+                merged,
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let AttnCache {
+            x,
+            q,
+            k,
+            v,
+            attn,
+            merged,
+        } = self
+            .cache
+            .take()
+            .expect("MultiHeadAttention::backward called without a training-mode forward");
+        assert_eq!(grad_out.shape(), (x.rows(), self.dim), "grad_out shape mismatch");
+        let b = x.rows() / self.tokens;
+        let t = self.tokens;
+        let h = self.heads;
+        let dh = self.dim / h;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Output projection.
+        self.wo.grad.add_assign(&matmul_tn(&merged, grad_out));
+        let d_merged = matmul_nt(grad_out, &self.wo.value);
+
+        let mut dq = Matrix::zeros(x.rows(), self.dim);
+        let mut dk = Matrix::zeros(x.rows(), self.dim);
+        let mut dv = Matrix::zeros(x.rows(), self.dim);
+
+        for n in 0..b {
+            let base = n * t;
+            for head in 0..h {
+                let off = head * dh;
+                // dV[j] += Σ_i A[i][j] * dMerged[i]; dA[i][j] = dMerged[i]·V[j]
+                let mut d_attn = vec![0.0f32; t * t];
+                for i in 0..t {
+                    let a_row = attn.row((n * h + head) * t + i);
+                    let dm_row = &d_merged.row(base + i)[off..off + dh];
+                    for j in 0..t {
+                        let v_row = &v.row(base + j)[off..off + dh];
+                        let mut dot = 0.0;
+                        for (dm, vv) in dm_row.iter().zip(v_row) {
+                            dot += dm * vv;
+                        }
+                        d_attn[i * t + j] = dot;
+                        let dv_row = &mut dv.row_mut(base + j)[off..off + dh];
+                        let aij = a_row[j];
+                        for (dvv, dm) in dv_row.iter_mut().zip(dm_row) {
+                            *dvv += aij * dm;
+                        }
+                    }
+                }
+                // softmax backward per row: dS = A ⊙ (dA − Σ_j dA⊙A)
+                for i in 0..t {
+                    let a_row = attn.row((n * h + head) * t + i);
+                    let row = &mut d_attn[i * t..(i + 1) * t];
+                    let dot: f32 = row.iter().zip(a_row).map(|(d, a)| d * a).sum();
+                    for (d, &a) in row.iter_mut().zip(a_row) {
+                        *d = a * (*d - dot);
+                    }
+                }
+                // dQ[i] += scale * Σ_j dS[i][j] K[j];  dK[j] += scale * Σ_i dS[i][j] Q[i]
+                for i in 0..t {
+                    let dq_row = &mut dq.row_mut(base + i)[off..off + dh];
+                    for j in 0..t {
+                        let ds = d_attn[i * t + j] * scale;
+                        let k_row = &k.row(base + j)[off..off + dh];
+                        for (dqv, kv) in dq_row.iter_mut().zip(k_row) {
+                            *dqv += ds * kv;
+                        }
+                    }
+                }
+                for j in 0..t {
+                    let dk_row = &mut dk.row_mut(base + j)[off..off + dh];
+                    for i in 0..t {
+                        let ds = d_attn[i * t + j] * scale;
+                        let q_row = &q.row(base + i)[off..off + dh];
+                        for (dkv, qv) in dk_row.iter_mut().zip(q_row) {
+                            *dkv += ds * qv;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.wq.grad.add_assign(&matmul_tn(&x, &dq));
+        self.wk.grad.add_assign(&matmul_tn(&x, &dk));
+        self.wv.grad.add_assign(&matmul_tn(&x, &dv));
+
+        let mut gx = matmul_nt(&dq, &self.wq.value);
+        gx.add_assign(&matmul_nt(&dk, &self.wk.value));
+        gx.add_assign(&matmul_nt(&dv, &self.wv.value));
+        gx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut attn = MultiHeadAttention::new(4, 8, 2, &mut rng);
+        let x = init::standard_normal(3 * 4, 8, &mut rng);
+        let y = attn.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), (12, 8));
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        // With Wv = Wo = I and attention weights summing to 1, each output
+        // token lies in the convex hull of the value tokens; with a constant
+        // value signal the output is exactly that constant.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut attn = MultiHeadAttention::new(3, 4, 1, &mut rng);
+        attn.wv.value = Matrix::eye(4);
+        attn.wo.value = Matrix::eye(4);
+        let x = Matrix::full(3, 4, 2.0); // one example, all tokens identical
+        let y = attn.forward(&x, Mode::Eval);
+        assert!(y.max_abs_diff(&x) < 1e-5);
+    }
+
+    #[test]
+    fn examples_do_not_attend_across_each_other() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut attn = MultiHeadAttention::new(2, 4, 2, &mut rng);
+        let a = init::standard_normal(2, 4, &mut rng);
+        let b = init::standard_normal(2, 4, &mut rng);
+        let ab = Matrix::vstack(&[&a, &b]);
+        let ya = attn.forward(&a, Mode::Eval);
+        let yab = attn.forward(&ab, Mode::Eval);
+        assert!(yab.slice_rows(0, 2).max_abs_diff(&ya) < 1e-5);
+        // changing example b must not affect example a's output
+        let b2 = init::standard_normal(2, 4, &mut rng);
+        let ab2 = Matrix::vstack(&[&a, &b2]);
+        let yab2 = attn.forward(&ab2, Mode::Eval);
+        assert!(yab2.slice_rows(0, 2).max_abs_diff(&yab.slice_rows(0, 2)) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of tokens")]
+    fn ragged_batch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut attn = MultiHeadAttention::new(3, 4, 1, &mut rng);
+        attn.forward(&Matrix::zeros(4, 4), Mode::Eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by heads")]
+    fn indivisible_heads_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        MultiHeadAttention::new(2, 6, 4, &mut rng);
+    }
+
+    #[test]
+    fn params_exposes_four_projections() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut attn = MultiHeadAttention::new(2, 4, 2, &mut rng);
+        assert_eq!(attn.params().len(), 4);
+        assert_eq!(attn.num_params(), 4 * 16);
+    }
+}

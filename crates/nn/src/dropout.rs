@@ -1,0 +1,131 @@
+use ppgnn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Mode, Module, Param};
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; evaluation is the identity.
+///
+/// The layer owns a seeded RNG so whole-model training stays reproducible
+/// from construction-time seeds.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| {
+                if self.rng.random::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut y = x.clone();
+        for (v, m) in y.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match self.mask.take() {
+            None => grad_out.clone(), // p == 0 or eval-mode forward
+            Some(mask) => {
+                assert_eq!(mask.len(), grad_out.len(), "grad_out shape mismatch in Dropout");
+                let mut g = grad_out.clone();
+                for (v, m) in g.as_mut_slice().iter_mut().zip(&mask) {
+                    *v *= m;
+                }
+                g
+            }
+        }
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.9, 0);
+        let x = Matrix::full(4, 4, 2.0);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Matrix::full(200, 50, 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean was {mean}");
+        // surviving entries are scaled by 2
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Matrix::full(10, 10, 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Matrix::full(10, 10, 1.0));
+        // gradient must be zero exactly where the output was zeroed
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 0);
+        let x = Matrix::full(3, 3, 5.0);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn p_of_one_is_rejected() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,157 @@
+use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
+use rand::Rng;
+
+use crate::{Mode, Module, Param};
+
+/// Affine layer `y = x · W + b`.
+///
+/// `W` is `in_dim x out_dim` (He-normal initialized), `b` is `1 x out_dim`
+/// (zeros). Backward computes `∂W = xᵀ · ∂y`, `∂b = Σ_rows ∂y`,
+/// `∂x = ∂y · Wᵀ` using the transposed GEMM kernels.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Creates a layer mapping `in_dim` features to `out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: Param::new(init::he_normal(in_dim, out_dim, rng)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a layer with explicit weights (tests, loading checkpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x weight.cols()`.
+    pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
+        assert_eq!(bias.shape(), (1, weight.cols()), "bias must be 1 x out_dim");
+        Linear {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.in_dim(),
+            "linear layer expects {} input features, got {}",
+            self.in_dim(),
+            x.cols()
+        );
+        let mut y = matmul(x, &self.weight.value);
+        let bias = self.bias.value.row(0);
+        for r in 0..y.rows() {
+            for (v, b) in y.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Linear::backward called without a training-mode forward");
+        assert_eq!(
+            grad_out.shape(),
+            (x.rows(), self.out_dim()),
+            "grad_out shape mismatch in Linear::backward"
+        );
+        self.weight.grad.add_assign(&matmul_tn(&x, grad_out));
+        self.bias.grad.add_assign(&grad_out.sum_rows());
+        matmul_nt(grad_out, &self.weight.value)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let mut l = Linear::from_parts(w, b);
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.row(0), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_computes_known_gradients() {
+        // y = xW + b, L = sum(y) → ∂W = xᵀ·1, ∂b = row-count, ∂x = 1·Wᵀ
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::zeros(1, 2);
+        let mut l = Linear::from_parts(w, b);
+        let x = Matrix::from_rows(&[&[5.0, 7.0], &[11.0, 13.0]]);
+        l.forward(&x, Mode::Train);
+        let gx = l.backward(&Matrix::full(2, 2, 1.0));
+        assert_eq!(l.params()[0].grad.row(0), &[16.0, 16.0]); // col sums of x
+        assert_eq!(l.params()[0].grad.row(1), &[20.0, 20.0]);
+        assert_eq!(l.params()[1].grad.row(0), &[2.0, 2.0]);
+        assert_eq!(gx.row(0), &[3.0, 7.0]); // row sums of W
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Matrix::full(1, 3, 1.0);
+        let g = Matrix::full(1, 2, 1.0);
+        l.forward(&x, Mode::Train);
+        l.backward(&g);
+        let first = l.params()[0].grad.clone();
+        l.forward(&x, Mode::Train);
+        l.backward(&g);
+        let mut doubled = first.clone();
+        doubled.scale(2.0);
+        assert!(l.params()[0].grad.max_abs_diff(&doubled) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training-mode forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn eval_forward_does_not_cache() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.forward(&Matrix::zeros(1, 2), Mode::Eval);
+        assert!(l.cached_input.is_none());
+    }
+}

@@ -1,0 +1,106 @@
+use ppgnn_tensor::Matrix;
+
+/// Softmax cross-entropy over class logits.
+///
+/// The combined loss-and-gradient form is used everywhere (the separate
+/// softmax is never materialized in training), matching
+/// `torch.nn.CrossEntropyLoss` semantics with mean reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Computes the mean cross-entropy loss and its gradient with respect to
+    /// the logits.
+    ///
+    /// Returns `(loss, grad)` where `grad = (softmax(logits) − onehot) / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()`, a label is out of range,
+    /// or `logits` is empty.
+    pub fn loss_and_grad(&self, logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+        assert_eq!(labels.len(), logits.rows(), "one label per logit row required");
+        assert!(!logits.is_empty(), "cross-entropy of an empty batch");
+        let b = logits.rows();
+        let c = logits.cols();
+        let mut grad = logits.softmax_rows();
+        let mut loss = 0.0f64;
+        for (r, &y) in labels.iter().enumerate() {
+            let y = y as usize;
+            assert!(y < c, "label {y} out of range for {c} classes");
+            let p = grad.get(r, y).max(1e-12);
+            loss -= (p as f64).ln();
+            grad.set(r, y, grad.get(r, y) - 1.0);
+        }
+        grad.scale(1.0 / b as f32);
+        ((loss / b as f64) as f32, grad)
+    }
+
+    /// Loss only (validation loops).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CrossEntropyLoss::loss_and_grad`].
+    pub fn loss(&self, logits: &Matrix, labels: &[u32]) -> f32 {
+        self.loss_and_grad(logits, labels).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Matrix::zeros(4, 8);
+        let labels = [0u32, 1, 2, 3];
+        let (loss, _) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+        assert!((loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 2, 20.0);
+        let (loss, _) = CrossEntropyLoss.loss_and_grad(&logits, &[2]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, -1.0]]);
+        let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &[0, 1]);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.8, 1.2]]);
+        let labels = [1u32];
+        let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+        let eps = 1e-3;
+        for k in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, k, plus.get(0, k) + eps);
+            let mut minus = logits.clone();
+            minus.set(0, k, minus.get(0, k) - eps);
+            let num = (CrossEntropyLoss.loss(&plus, &labels)
+                - CrossEntropyLoss.loss(&minus, &labels))
+                / (2.0 * eps);
+            assert!(
+                (num - grad.get(0, k)).abs() < 1e-3,
+                "k={k}: numeric {num} vs analytic {}",
+                grad.get(0, k)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        CrossEntropyLoss.loss_and_grad(&Matrix::zeros(1, 2), &[5]);
+    }
+}

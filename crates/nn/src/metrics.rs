@@ -1,0 +1,96 @@
+//! Classification metrics used by the evaluation harness.
+
+use ppgnn_tensor::Matrix;
+
+/// Top-1 accuracy of `logits` against `labels`, in `[0, 1]`.
+///
+/// Returns `0.0` for an empty batch.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), logits.rows(), "one label per logit row required");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let pred = logits.argmax_rows();
+    let hits = pred
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| p as u32 == y)
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Macro-averaged F1 score over `num_classes` classes.
+///
+/// Classes absent from both predictions and labels contribute an F1 of 0
+/// and still count toward the average (scikit-learn's `zero_division=0`
+/// behaviour).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn macro_f1(logits: &Matrix, labels: &[u32], num_classes: usize) -> f64 {
+    assert_eq!(labels.len(), logits.rows(), "one label per logit row required");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let pred = logits.argmax_rows();
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fnn = vec![0usize; num_classes];
+    for (&p, &y) in pred.iter().zip(labels) {
+        let y = y as usize;
+        assert!(y < num_classes, "label {y} out of range");
+        if p == y {
+            tp[y] += 1;
+        } else {
+            fp[p] += 1;
+            fnn[y] += 1;
+        }
+    }
+    let mut f1_sum = 0.0;
+    for k in 0..num_classes {
+        let denom = 2 * tp[k] + fp[k] + fnn[k];
+        if denom > 0 {
+            f1_sum += 2.0 * tp[k] as f64 / denom as f64;
+        }
+    }
+    f1_sum / num_classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let logits = Matrix::from_rows(&[&[9.0, 0.0], &[0.0, 9.0]]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert!((macro_f1(&logits, &[0, 1], 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_right_scores_half() {
+        let logits = Matrix::from_rows(&[&[9.0, 0.0], &[9.0, 0.0]]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 0.5);
+    }
+
+    #[test]
+    fn empty_batch_scores_zero() {
+        let logits = Matrix::zeros(0, 3);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+        assert_eq!(macro_f1(&logits, &[], 3), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_missing_classes() {
+        // predict class 0 always; class 1 gets F1 = 0
+        let logits = Matrix::from_rows(&[&[9.0, 0.0], &[9.0, 0.0]]);
+        let f1 = macro_f1(&logits, &[0, 1], 2);
+        // class 0: tp=1 fp=1 fn=0 → F1 = 2/3; class 1: 0 → macro = 1/3
+        assert!((f1 - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

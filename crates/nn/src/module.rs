@@ -1,0 +1,178 @@
+use ppgnn_tensor::Matrix;
+
+use crate::Param;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Layers with stochastic or statistics-tracking behaviour (dropout, batch
+/// norm) branch on this; pure layers ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: dropout active, batch statistics updated, caches retained
+    /// for [`Module::backward`].
+    Train,
+    /// Inference: deterministic, no caches required.
+    Eval,
+}
+
+/// A differentiable computation unit.
+///
+/// The contract mirrors a classic layer API:
+///
+/// 1. `forward(x, Mode::Train)` computes the output **and caches** whatever
+///    the gradient needs;
+/// 2. `backward(grad_out)` consumes that cache, **accumulates** parameter
+///    gradients into [`Param::grad`], and returns the gradient with respect
+///    to the input;
+/// 3. `params()` exposes parameters in a stable order for the optimizer.
+///
+/// `backward` must be called at most once per training-mode `forward`, with
+/// a `grad_out` shaped like that forward's output.
+pub trait Module {
+    /// Computes the layer output for input `x`.
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix;
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients, and
+    /// returns the gradient with respect to the last training-mode input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called without a preceding training-mode
+    /// [`Module::forward`] or with a mis-shaped `grad_out`.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Mutable references to the parameters, in a stable order.
+    fn params(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters (reporting / Table 1 checks).
+    fn num_params(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Runs layers in order; the workhorse container for MLP heads.
+///
+/// # Example
+///
+/// ```
+/// use ppgnn_nn::{Linear, Mode, Module, Relu, Sequential};
+/// use ppgnn_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut mlp = Sequential::new(vec![
+///     Box::new(Linear::new(8, 16, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Linear::new(16, 4, &mut rng)),
+/// ]);
+/// let y = mlp.forward(&Matrix::zeros(3, 8), Mode::Eval);
+/// assert_eq!(y.shape(), (3, 4));
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("num_layers", &self.layers.len())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Builds a pipeline from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Module>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Module>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut s = Sequential::new(vec![]);
+        let x = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        assert_eq!(s.forward(&x, Mode::Train), x);
+        assert_eq!(s.backward(&x), x);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sequential_chains_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Sequential::new(vec![
+            Box::new(Linear::new(5, 7, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(7, 2, &mut rng)),
+        ]);
+        let y = s.forward(&Matrix::zeros(4, 5), Mode::Train);
+        assert_eq!(y.shape(), (4, 2));
+        let gx = s.backward(&Matrix::zeros(4, 2));
+        assert_eq!(gx.shape(), (4, 5));
+        // params: 2 linears * (W, b)
+        assert_eq!(s.params().len(), 4);
+        assert_eq!(s.num_params(), 5 * 7 + 7 + 7 * 2 + 2);
+    }
+
+    #[test]
+    fn zero_grad_reaches_nested_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Sequential::new(vec![Box::new(Linear::new(3, 3, &mut rng))]);
+        let x = Matrix::full(2, 3, 1.0);
+        s.forward(&x, Mode::Train);
+        s.backward(&Matrix::full(2, 3, 1.0));
+        assert!(s.params()[0].grad.frobenius_norm() > 0.0);
+        s.zero_grad();
+        assert!(s.params().iter().all(|p| p.grad.frobenius_norm() == 0.0));
+    }
+}

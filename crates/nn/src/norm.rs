@@ -1,0 +1,363 @@
+use ppgnn_tensor::Matrix;
+
+use crate::{Mode, Module, Param};
+
+/// Layer normalization over the feature dimension with learnable scale and
+/// shift (`γ`, `β`), as used inside HOGA's attention block.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug)]
+struct LnCache {
+    normalized: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `dim` features (`γ = 1`, `β = 0`,
+    /// `ε = 1e-5`).
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Matrix::full(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Normalized feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(x.cols(), self.dim(), "LayerNorm dim mismatch");
+        let d = x.cols();
+        let mut normalized = Matrix::zeros(x.rows(), d);
+        let mut inv_std = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for (o, &v) in normalized.row_mut(r).iter_mut().zip(row) {
+                *o = (v - mean) * istd;
+            }
+        }
+        let mut y = normalized.clone();
+        let gamma = self.gamma.value.row(0).to_vec();
+        let beta = self.beta.value.row(0).to_vec();
+        for r in 0..y.rows() {
+            for ((v, g), b) in y.row_mut(r).iter_mut().zip(&gamma).zip(&beta) {
+                *v = *v * g + b;
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(LnCache { normalized, inv_std });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let LnCache { normalized, inv_std } = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward called without a training-mode forward");
+        assert_eq!(grad_out.shape(), normalized.shape(), "grad_out shape mismatch");
+        let d = normalized.cols();
+        let gamma = self.gamma.value.row(0).to_vec();
+
+        // Parameter grads: ∂γ = Σ_rows g ⊙ x̂ ; ∂β = Σ_rows g.
+        {
+            let ggamma = self.gamma.grad.row_mut(0);
+            for r in 0..grad_out.rows() {
+                for ((gg, &g), &nx) in ggamma
+                    .iter_mut()
+                    .zip(grad_out.row(r))
+                    .zip(normalized.row(r))
+                {
+                    *gg += g * nx;
+                }
+            }
+        }
+        {
+            let gbeta = self.beta.grad.row_mut(0);
+            for r in 0..grad_out.rows() {
+                for (gb, &g) in gbeta.iter_mut().zip(grad_out.row(r)) {
+                    *gb += g;
+                }
+            }
+        }
+
+        // Input grad (standard layer-norm backward):
+        // ∂x = istd/d · (d·h − Σh − x̂·Σ(h⊙x̂)), where h = g ⊙ γ.
+        let mut gx = Matrix::zeros(grad_out.rows(), d);
+        for r in 0..grad_out.rows() {
+            let g = grad_out.row(r);
+            let nx = normalized.row(r);
+            let mut sum_h = 0.0f32;
+            let mut sum_hx = 0.0f32;
+            for ((&gv, &gam), &nv) in g.iter().zip(&gamma).zip(nx) {
+                let h = gv * gam;
+                sum_h += h;
+                sum_hx += h * nv;
+            }
+            let istd = inv_std[r];
+            for (k, o) in gx.row_mut(r).iter_mut().enumerate() {
+                let h = g[k] * gamma[k];
+                *o = istd / d as f32 * (d as f32 * h - sum_h - nx[k] * sum_hx);
+            }
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+/// Batch normalization over the batch dimension with running statistics,
+/// matching `torch.nn.BatchNorm1d` semantics (SIGN's MLP head uses it).
+#[derive(Debug)]
+pub struct BatchNorm1d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    normalized: Matrix,
+    inv_std: Vec<f32>,
+    /// `false` when a size-1 training batch fell back to running statistics,
+    /// in which case backward treats mean/var as constants.
+    used_batch_stats: bool,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm over `dim` features (momentum `0.1`, `ε = 1e-5`).
+    pub fn new(dim: usize) -> Self {
+        BatchNorm1d {
+            gamma: Param::new(Matrix::full(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Normalized feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+}
+
+impl Module for BatchNorm1d {
+    fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(x.cols(), self.dim(), "BatchNorm1d dim mismatch");
+        let (n, d) = x.shape();
+        let gamma = self.gamma.value.row(0).to_vec();
+        let beta = self.beta.value.row(0).to_vec();
+        let mut y = Matrix::zeros(n, d);
+
+        if mode == Mode::Eval || n <= 1 {
+            let inv_std: Vec<f32> = self
+                .running_var
+                .iter()
+                .map(|&v| 1.0 / (v + self.eps).sqrt())
+                .collect();
+            let mut normalized = Matrix::zeros(n, d);
+            for r in 0..n {
+                for (k, o) in normalized.row_mut(r).iter_mut().enumerate() {
+                    *o = (x.get(r, k) - self.running_mean[k]) * inv_std[k];
+                }
+                for (k, o) in y.row_mut(r).iter_mut().enumerate() {
+                    *o = normalized.get(r, k) * gamma[k] + beta[k];
+                }
+            }
+            if mode == Mode::Train {
+                self.cache = Some(BnCache {
+                    normalized,
+                    inv_std,
+                    used_batch_stats: false,
+                });
+            }
+            return y;
+        }
+
+        // Batch statistics per feature column.
+        let mut mean = vec![0.0f32; d];
+        for r in 0..n {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        let mut var = vec![0.0f32; d];
+        for r in 0..n {
+            for ((vv, &v), &m) in var.iter_mut().zip(x.row(r)).zip(&mean) {
+                *vv += (v - m).powi(2);
+            }
+        }
+        for v in &mut var {
+            *v /= n as f32;
+        }
+        for k in 0..d {
+            self.running_mean[k] =
+                (1.0 - self.momentum) * self.running_mean[k] + self.momentum * mean[k];
+            self.running_var[k] =
+                (1.0 - self.momentum) * self.running_var[k] + self.momentum * var[k];
+        }
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut normalized = Matrix::zeros(n, d);
+        for r in 0..n {
+            for (k, o) in normalized.row_mut(r).iter_mut().enumerate() {
+                *o = (x.get(r, k) - mean[k]) * inv_std[k];
+            }
+        }
+        for r in 0..n {
+            for (k, o) in y.row_mut(r).iter_mut().enumerate() {
+                *o = normalized.get(r, k) * gamma[k] + beta[k];
+            }
+        }
+        self.cache = Some(BnCache {
+            normalized,
+            inv_std,
+            used_batch_stats: true,
+        });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let BnCache {
+            normalized,
+            inv_std,
+            used_batch_stats,
+        } = self
+            .cache
+            .take()
+            .expect("BatchNorm1d::backward called without a training-mode forward");
+        assert_eq!(grad_out.shape(), normalized.shape(), "grad_out shape mismatch");
+        let (n, d) = normalized.shape();
+        let gamma = self.gamma.value.row(0).to_vec();
+
+        let mut sum_g = vec![0.0f32; d];
+        let mut sum_gx = vec![0.0f32; d];
+        for r in 0..n {
+            for k in 0..d {
+                let g = grad_out.get(r, k);
+                sum_g[k] += g;
+                sum_gx[k] += g * normalized.get(r, k);
+            }
+        }
+        for k in 0..d {
+            let gg = self.gamma.grad.get(0, k);
+            self.gamma.grad.set(0, k, gg + sum_gx[k]);
+            let gb = self.beta.grad.get(0, k);
+            self.beta.grad.set(0, k, gb + sum_g[k]);
+        }
+
+        let mut gx = Matrix::zeros(n, d);
+        if !used_batch_stats {
+            // Running statistics were constants in this forward.
+            for r in 0..n {
+                for k in 0..d {
+                    gx.set(r, k, grad_out.get(r, k) * gamma[k] * inv_std[k]);
+                }
+            }
+            return gx;
+        }
+        for r in 0..n {
+            for k in 0..d {
+                let g = grad_out.get(r, k) * gamma[k];
+                let nx = normalized.get(r, k);
+                let val = inv_std[k] / n as f32
+                    * (n as f32 * g - gamma[k] * sum_g[k] - nx * gamma[k] * sum_gx[k]);
+                gx.set(r, k, val);
+            }
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layernorm_output_rows_are_standardized() {
+        let mut ln = LayerNorm::new(4);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[10.0, 10.0, 10.0, 30.0]]);
+        let y = ln.forward(&x, Mode::Train);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_is_zero_mean_per_row() {
+        // The projection in LN backward makes row gradients sum to ~0 when
+        // gamma is uniform.
+        let mut ln = LayerNorm::new(3);
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 0.5]]);
+        ln.forward(&x, Mode::Train);
+        let gx = ln.backward(&Matrix::from_rows(&[&[0.3, -0.7, 1.1]]));
+        let sum: f32 = gx.row(0).iter().sum();
+        assert!(sum.abs() < 1e-5, "row-grad sum {sum}");
+    }
+
+    #[test]
+    fn batchnorm_standardizes_columns_in_train() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Matrix::from_rows(&[&[1.0, 100.0], &[3.0, 300.0], &[5.0, 500.0]]);
+        let y = bn.forward(&x, Mode::Train);
+        for k in 0..2 {
+            let col: Vec<f32> = (0..3).map(|r| y.get(r, k)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Matrix::from_rows(&[&[2.0], &[4.0]]);
+        for _ in 0..200 {
+            bn.forward(&x, Mode::Train);
+        }
+        // running mean → 3, running var → 1; eval normalizes accordingly
+        let y = bn.forward(&Matrix::from_rows(&[&[3.0]]), Mode::Eval);
+        assert!(y.get(0, 0).abs() < 0.05, "got {}", y.get(0, 0));
+    }
+
+    #[test]
+    fn single_row_batch_falls_back_to_running_stats() {
+        let mut bn = BatchNorm1d::new(2);
+        let y = bn.forward(&Matrix::from_rows(&[&[1.0, 2.0]]), Mode::Train);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,265 @@
+use ppgnn_tensor::Matrix;
+
+use crate::Param;
+
+/// First-order optimizer over a stable, positionally-keyed parameter list.
+///
+/// Implementations lazily allocate per-slot state on the first step and
+/// require every later call to pass the **same parameters in the same
+/// order** (which [`crate::Module::params`] guarantees).
+pub trait Optimizer {
+    /// Applies one update using the gradients currently stored in `params`.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Replaces the learning rate (schedulers call this between epochs).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_options(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum and weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, `momentum < 0`, or `weight_decay < 0`.
+    pub fn with_options(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!(momentum >= 0.0 && weight_decay >= 0.0, "hyperparameters must be non-negative");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() && self.momentum > 0.0 {
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut g = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, &p.value);
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                assert_eq!(v.shape(), g.shape(), "optimizer state shape drift at slot {i}");
+                v.scale(self.momentum);
+                v.add_assign(&g);
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, &g);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with L2 weight decay folded into the gradient.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the conventional defaults `β = (0.9, 0.999)`, `ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_options(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or betas are outside `[0, 1)`.
+    pub fn with_options(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            assert_eq!(m.shape(), p.grad.shape(), "optimizer state shape drift at slot {i}");
+            let wd = self.weight_decay;
+            for (((mv, vv), &g0), w) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_slice())
+            {
+                let g = g0 + wd * w;
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            for ((w, mv), vv) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+            {
+                let m_hat = mv / bc1;
+                let v_hat = vv / bc2;
+                *w -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(start: f32) -> Param {
+        Param::new(Matrix::full(1, 1, start))
+    }
+
+    /// One gradient evaluation of L(w) = w².
+    fn grad_of_square(p: &mut Param) {
+        let w = p.value.get(0, 0);
+        p.grad.set(0, 0, 2.0 * w);
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut p = quadratic_param(5.0);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..50 {
+            p.zero_grad();
+            grad_of_square(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut p = quadratic_param(5.0);
+            let mut opt = Sgd::with_options(0.02, momentum, 0.0);
+            for _ in 0..40 {
+                p.zero_grad();
+                grad_of_square(&mut p);
+                opt.step(&mut [&mut p]);
+            }
+            p.value.get(0, 0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut p = quadratic_param(3.0);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..200 {
+            p.zero_grad();
+            grad_of_square(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0).abs() < 1e-2, "ended at {}", p.value.get(0, 0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut p = quadratic_param(1.0);
+        let mut opt = Sgd::with_options(0.1, 0.0, 0.5);
+        for _ in 0..10 {
+            p.zero_grad(); // gradient stays zero; only decay acts
+            opt.step(&mut [&mut p]);
+        }
+        let w = p.value.get(0, 0);
+        assert!(w < 1.0 && w > 0.0);
+    }
+
+    #[test]
+    fn set_lr_takes_effect() {
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.lr(), 0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_bounded_by_lr() {
+        // Bias correction makes the first Adam step ≈ lr regardless of
+        // gradient scale.
+        let mut p = quadratic_param(100.0);
+        let mut opt = Adam::new(0.5);
+        p.zero_grad();
+        grad_of_square(&mut p);
+        opt.step(&mut [&mut p]);
+        let moved = (100.0 - p.value.get(0, 0)).abs();
+        assert!((moved - 0.5).abs() < 1e-3, "moved {moved}");
+    }
+}

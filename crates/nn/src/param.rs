@@ -1,0 +1,58 @@
+use ppgnn_tensor::Matrix;
+
+/// A trainable parameter: a value matrix and its accumulated gradient.
+///
+/// Layers expose their parameters through [`crate::Module::params`]; the
+/// order must be stable across calls because optimizers key their per-slot
+/// state (momentum, Adam moments) by position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Matrix,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient to zero (keeps the allocation).
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_of_same_shape() {
+        let p = Param::new(Matrix::full(2, 3, 1.5));
+        assert_eq!(p.grad.shape(), (2, 3));
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut p = Param::new(Matrix::eye(2));
+        p.grad.add_assign(&Matrix::full(2, 2, 3.0));
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Learning-rate schedules.
+//!
+//! The paper tunes a fixed learning rate per run, but long convergence
+//! studies (Figures 3/10/13) benefit from decay; these schedulers drive any
+//! [`crate::Optimizer`] through its `set_lr` hook.
+
+use crate::Optimizer;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier of the
+/// base learning rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base LR at `epoch` (0-based).
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Applies the schedule to `opt` for `epoch`, given the base LR.
+    fn apply(&self, opt: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        opt.set_lr(base_lr * self.factor(epoch));
+    }
+}
+
+/// Constant learning rate (the paper's setting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `step_size` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Epochs between decays.
+    pub step_size: usize,
+    /// Multiplicative decay factor per step.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step_size.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from 1 down to `min_factor` over `total_epochs`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealing {
+    /// Length of the annealing horizon.
+    pub total_epochs: usize,
+    /// Floor multiplier at the end of the horizon.
+    pub min_factor: f32,
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch as f32 / self.total_epochs.max(1) as f32).min(1.0);
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_factor + (1.0 - self.min_factor) * cos
+    }
+}
+
+/// Linear warmup for `warmup_epochs`, then an inner schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Warmup<S> {
+    /// Epochs of linear ramp from ~0 to the full rate.
+    pub warmup_epochs: usize,
+    /// Schedule that takes over after the ramp (epoch re-based to 0).
+    pub inner: S,
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn factor(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup_epochs {
+            (epoch + 1) as f32 / self.warmup_epochs as f32
+        } else {
+            self.inner.factor(epoch - self.warmup_epochs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sgd;
+
+    #[test]
+    fn constant_never_changes() {
+        for e in 0..100 {
+            assert_eq!(Constant.factor(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay { step_size: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing_to_floor() {
+        let s = CosineAnnealing { total_epochs: 50, min_factor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        let mut prev = 2.0f32;
+        for e in 0..=50 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6, "not monotone at {e}");
+            prev = f;
+        }
+        assert!((s.factor(50) - 0.1).abs() < 1e-5);
+        assert!((s.factor(80) - 0.1).abs() < 1e-5, "clamped past horizon");
+    }
+
+    #[test]
+    fn warmup_ramps_then_hands_over() {
+        let s = Warmup { warmup_epochs: 4, inner: Constant };
+        assert!((s.factor(0) - 0.25).abs() < 1e-6);
+        assert!((s.factor(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.factor(10), 1.0);
+    }
+
+    #[test]
+    fn apply_drives_optimizer_lr() {
+        let mut opt = Sgd::new(0.1);
+        let s = StepDecay { step_size: 1, gamma: 0.5 };
+        s.apply(&mut opt, 0.1, 2);
+        assert!((opt.lr() - 0.025).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for layers, loss, and optimizers.
+
+use ppgnn_nn::{
+    Adam, CrossEntropyLoss, Linear, Mode, Module, Optimizer, Relu, Sequential, Sgd,
+};
+use ppgnn_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized"))
+}
+
+proptest! {
+    #[test]
+    fn cross_entropy_is_nonnegative_and_grad_rows_sum_to_zero(
+        logits in small_matrix(6, 4),
+        seed in 0u32..100,
+    ) {
+        let labels: Vec<u32> = (0..6).map(|i| ((i + seed as usize) % 4) as u32).collect();
+        let (loss, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_shift_invariance(logits in small_matrix(4, 3), shift in -5.0f32..5.0) {
+        // softmax CE is invariant to adding a constant to every logit
+        let labels = [0u32, 1, 2, 0];
+        let (l1, _) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+        let shifted = logits.map(|v| v + shift);
+        let (l2, _) = CrossEntropyLoss.loss_and_grad(&shifted, &labels);
+        prop_assert!((l1 - l2).abs() < 1e-4, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn linear_forward_is_linear(x in small_matrix(3, 5), alpha in -2.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(5, 4, &mut rng);
+        let y1 = layer.forward(&x, Mode::Eval);
+        let mut scaled = x.clone();
+        scaled.scale(alpha);
+        let y2 = layer.forward(&scaled, Mode::Eval);
+        // affine: f(αx) − b = α(f(x) − b)
+        let bias = layer.forward(&Matrix::zeros(3, 5), Mode::Eval);
+        let mut lhs = y2.clone();
+        lhs.sub_assign(&bias);
+        let mut rhs = y1.clone();
+        rhs.sub_assign(&bias);
+        rhs.scale(alpha);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn relu_output_is_nonnegative_and_idempotent(x in small_matrix(4, 6)) {
+        let mut r = Relu::new();
+        let y = r.forward(&x, Mode::Eval);
+        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        let y2 = r.forward(&y, Mode::Eval);
+        prop_assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(start in -3.0f32..3.0, lr in 0.001f32..0.1) {
+        let mut p = ppgnn_nn::Param::new(Matrix::full(1, 1, start));
+        p.grad.set(0, 0, 2.0 * start); // d/dw w²
+        let before = 0.5 * (2.0 * start) * (2.0 * start); // grad magnitude proxy
+        let mut opt = Sgd::new(lr);
+        opt.step(&mut [&mut p]);
+        let after = p.value.get(0, 0);
+        // moved toward zero (the minimum of w²) unless already there
+        if start.abs() > 1e-6 {
+            prop_assert!(after.abs() <= start.abs() + 1e-6, "{start} → {after}");
+        }
+        let _ = before;
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized(g in 0.01f32..100.0, lr in 0.001f32..0.5) {
+        // bias-corrected Adam's first update ≈ lr · sign(grad)
+        let mut p = ppgnn_nn::Param::new(Matrix::full(1, 1, 0.0));
+        p.grad.set(0, 0, g);
+        let mut opt = Adam::new(lr);
+        opt.step(&mut [&mut p]);
+        let moved = p.value.get(0, 0).abs();
+        prop_assert!((moved - lr).abs() < lr * 0.05, "moved {moved}, lr {lr}");
+    }
+
+    #[test]
+    fn mlp_train_eval_forward_agree_without_stochastic_layers(x in small_matrix(3, 4)) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, &mut rng)),
+        ]);
+        let train = mlp.forward(&x, Mode::Train);
+        let eval = mlp.forward(&x, Mode::Eval);
+        prop_assert!(train.max_abs_diff(&eval) < 1e-6);
+    }
+
+    #[test]
+    fn backward_scales_linearly_with_upstream_gradient(
+        x in small_matrix(3, 4),
+        alpha in 0.1f32..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Linear::new(4, 2, &mut rng);
+        let g = Matrix::full(3, 2, 1.0);
+
+        layer.forward(&x, Mode::Train);
+        layer.zero_grad();
+        let gx1 = layer.backward(&g);
+        let w1 = layer.params()[0].grad.clone();
+
+        let mut g2 = g.clone();
+        g2.scale(alpha);
+        layer.forward(&x, Mode::Train);
+        layer.zero_grad();
+        let gx2 = layer.backward(&g2);
+        let w2 = layer.params()[0].grad.clone();
+
+        let mut gx1s = gx1.clone();
+        gx1s.scale(alpha);
+        let mut w1s = w1.clone();
+        w1s.scale(alpha);
+        prop_assert!(gx2.max_abs_diff(&gx1s) < 1e-3);
+        prop_assert!(w2.max_abs_diff(&w1s) < 1e-3);
+    }
+}

@@ -1,0 +1,314 @@
+use std::collections::HashMap;
+
+use ppgnn_tensor::Matrix;
+
+use crate::SampleStats;
+
+/// One layer of a sampled computation graph (a message-flow graph).
+///
+/// Maps `num_src` source nodes to `num_dst` destination nodes through a
+/// local CSR. **Invariant:** `src_nodes[..num_dst]` are exactly the
+/// destination nodes, so models can slice self features without a lookup.
+/// Optional per-edge weights carry the importance corrections of LABOR /
+/// LADIES; unweighted blocks aggregate with uniform weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Global ids of source nodes; the first [`Block::num_dst`] entries are
+    /// the destination nodes.
+    src_nodes: Vec<usize>,
+    num_dst: usize,
+    indptr: Vec<usize>,
+    /// Local indices into `src_nodes`.
+    indices: Vec<u32>,
+    weights: Option<Vec<f32>>,
+}
+
+impl Block {
+    /// Assembles a block, validating the structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_dst > src_nodes.len()`, `indptr` is not a valid prefix
+    /// array over `indices`, an index exceeds `src_nodes`, or a weight
+    /// vector of the wrong length is supplied.
+    pub fn new(
+        src_nodes: Vec<usize>,
+        num_dst: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        weights: Option<Vec<f32>>,
+    ) -> Self {
+        assert!(num_dst <= src_nodes.len(), "num_dst exceeds src_nodes");
+        assert_eq!(indptr.len(), num_dst + 1, "indptr must have num_dst + 1 entries");
+        assert_eq!(indptr[0], 0, "indptr must start at 0");
+        assert_eq!(*indptr.last().expect("non-empty"), indices.len(), "indptr end mismatch");
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        assert!(
+            indices.iter().all(|&i| (i as usize) < src_nodes.len()),
+            "block index out of bounds"
+        );
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), indices.len(), "one weight per edge required");
+        }
+        Block {
+            src_nodes,
+            num_dst,
+            indptr,
+            indices,
+            weights,
+        }
+    }
+
+    /// Global ids of all source nodes.
+    pub fn src_nodes(&self) -> &[usize] {
+        &self.src_nodes
+    }
+
+    /// Number of destination nodes.
+    pub fn num_dst(&self) -> usize {
+        self.num_dst
+    }
+
+    /// Number of source nodes.
+    pub fn num_src(&self) -> usize {
+        self.src_nodes.len()
+    }
+
+    /// Number of message edges.
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Local neighbor indices of destination `d`.
+    pub fn neighbors(&self, d: usize) -> &[u32] {
+        &self.indices[self.indptr[d]..self.indptr[d + 1]]
+    }
+
+    /// Edge weights of destination `d` (`None` → uniform).
+    pub fn edge_weights(&self, d: usize) -> Option<&[f32]> {
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.indptr[d]..self.indptr[d + 1]])
+    }
+
+    /// Weighted-mean aggregation: `y[d] = Σ w_e · x[src_e] / Σ w_e`
+    /// (zero row for destinations without sampled neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_src.rows() != num_src`.
+    pub fn mean_forward(&self, x_src: &Matrix) -> Matrix {
+        assert_eq!(x_src.rows(), self.num_src(), "src feature row mismatch");
+        let f = x_src.cols();
+        let mut out = Matrix::zeros(self.num_dst, f);
+        for d in 0..self.num_dst {
+            let lo = self.indptr[d];
+            let hi = self.indptr[d + 1];
+            if lo == hi {
+                continue;
+            }
+            let mut wsum = 0.0f32;
+            {
+                let row = out.row_mut(d);
+                for e in lo..hi {
+                    let s = self.indices[e] as usize;
+                    let w = self.weights.as_ref().map_or(1.0, |ws| ws[e]);
+                    wsum += w;
+                    for (o, v) in row.iter_mut().zip(x_src.row(s)) {
+                        *o += w * v;
+                    }
+                }
+            }
+            if wsum > 0.0 {
+                let inv = 1.0 / wsum;
+                for o in out.row_mut(d) {
+                    *o *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward of [`Block::mean_forward`]: scatters `grad_dst` to source
+    /// rows with the same normalized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_dst.rows() != num_dst`.
+    pub fn mean_backward(&self, grad_dst: &Matrix, feature_dim: usize) -> Matrix {
+        assert_eq!(grad_dst.rows(), self.num_dst, "dst grad row mismatch");
+        assert_eq!(grad_dst.cols(), feature_dim, "grad feature mismatch");
+        let mut out = Matrix::zeros(self.num_src(), feature_dim);
+        for d in 0..self.num_dst {
+            let lo = self.indptr[d];
+            let hi = self.indptr[d + 1];
+            if lo == hi {
+                continue;
+            }
+            let wsum: f32 = match &self.weights {
+                Some(ws) => ws[lo..hi].iter().sum(),
+                None => (hi - lo) as f32,
+            };
+            if wsum <= 0.0 {
+                continue;
+            }
+            let g = grad_dst.row(d).to_vec();
+            for e in lo..hi {
+                let s = self.indices[e] as usize;
+                let w = self.weights.as_ref().map_or(1.0, |ws| ws[e]) / wsum;
+                let row = out.row_mut(s);
+                for (o, gv) in row.iter_mut().zip(&g) {
+                    *o += w * gv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates `(dst_local, src_local, weight)` over all edges (GAT path).
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.num_dst).flat_map(move |d| {
+            let lo = self.indptr[d];
+            let hi = self.indptr[d + 1];
+            (lo..hi).map(move |e| {
+                (
+                    d,
+                    self.indices[e] as usize,
+                    self.weights.as_ref().map_or(1.0, |w| w[e]),
+                )
+            })
+        })
+    }
+}
+
+/// A sampled minibatch: blocks ordered **input → output**.
+///
+/// `blocks[0].src_nodes()` are the nodes whose raw features must be
+/// gathered; `blocks.last().num_dst()` destinations align with `seed_local`
+/// positions carrying the loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniBatch {
+    /// Message-flow blocks, input layer first.
+    pub blocks: Vec<Block>,
+    /// Seed (training) node ids this batch was sampled for.
+    pub seeds: Vec<usize>,
+    /// Positions of the seeds within the last block's destinations.
+    pub seed_local: Vec<usize>,
+    /// Per-batch sampling statistics.
+    pub stats: SampleStats,
+}
+
+impl MiniBatch {
+    /// Global ids whose input features this batch needs.
+    pub fn input_nodes(&self) -> &[usize] {
+        self.blocks
+            .first()
+            .map(|b| b.src_nodes())
+            .unwrap_or(&self.seeds)
+    }
+
+    /// Builds the helper mapping global→local used during block assembly.
+    pub(crate) fn local_index(nodes: &[usize]) -> HashMap<usize, u32> {
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_block() -> Block {
+        // 2 dst (global 10, 11), sources [10, 11, 20, 21];
+        // dst0 ← {20, 21}, dst1 ← {20}
+        Block::new(
+            vec![10, 11, 20, 21],
+            2,
+            vec![0, 2, 3],
+            vec![2, 3, 2],
+            None,
+        )
+    }
+
+    #[test]
+    fn invariants_are_enforced() {
+        let b = simple_block();
+        assert_eq!(b.num_dst(), 2);
+        assert_eq!(b.num_src(), 4);
+        assert_eq!(b.num_edges(), 3);
+        assert_eq!(b.neighbors(0), &[2, 3]);
+        assert_eq!(&b.src_nodes()[..b.num_dst()], &[10, 11]);
+    }
+
+    #[test]
+    fn mean_forward_averages_neighbors() {
+        let b = simple_block();
+        let x = Matrix::from_rows(&[&[0.0], &[0.0], &[2.0], &[4.0]]);
+        let y = b.mean_forward(&x);
+        assert_eq!(y.get(0, 0), 3.0);
+        assert_eq!(y.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let b = Block::new(
+            vec![0, 1, 2],
+            1,
+            vec![0, 2],
+            vec![1, 2],
+            Some(vec![3.0, 1.0]),
+        );
+        let x = Matrix::from_rows(&[&[0.0], &[4.0], &[8.0]]);
+        let y = b.mean_forward(&x);
+        assert!((y.get(0, 0) - (3.0 * 4.0 + 8.0) / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_neighborhood_gives_zero_row() {
+        let b = Block::new(vec![5], 1, vec![0, 0], vec![], None);
+        let x = Matrix::from_rows(&[&[7.0]]);
+        assert_eq!(b.mean_forward(&x).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_backward_matches_numeric_jacobian() {
+        let b = simple_block();
+        let x = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 0.3);
+        // loss = sum(mean_forward(x)); numeric grad wrt x
+        let base: f32 = b.mean_forward(&x).sum();
+        let g = b.mean_backward(&Matrix::full(2, 2, 1.0), 2);
+        let eps = 1e-2;
+        for k in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[k] += eps;
+            let num = (b.mean_forward(&xp).sum() - base) / eps;
+            assert!(
+                (num - g.as_slice()[k]).abs() < 1e-3,
+                "coord {k}: numeric {num} vs analytic {}",
+                g.as_slice()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn iter_edges_yields_all() {
+        let b = simple_block();
+        let edges: Vec<_> = b.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 2, 1.0), (0, 3, 1.0), (1, 2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "indptr must have")]
+    fn bad_indptr_panics() {
+        Block::new(vec![0], 1, vec![0], vec![], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn bad_weights_panics() {
+        Block::new(vec![0, 1], 1, vec![0, 1], vec![1], Some(vec![1.0, 2.0]));
+    }
+}

@@ -1,0 +1,118 @@
+use ppgnn_graph::CsrGraph;
+
+use crate::neighbor::expand_layer;
+use crate::{Block, MiniBatch, SampleStats, Sampler};
+
+/// Exact (no-sampling) block construction: every layer takes the **full**
+/// neighborhood.
+///
+/// This is how MP-GNN *inference* is usually run (DGL's
+/// `MultiLayerFullNeighborSampler`): accuracy numbers are then free of
+/// sampling variance, at the cost of the full neighbor explosion — which
+/// makes this builder double as the ground-truth generator for
+/// receptive-field measurements (its `SampleStats` are the exact
+/// explosion counts the samplers approximate).
+#[derive(Debug, Clone)]
+pub struct FullNeighborSampler {
+    num_layers: usize,
+}
+
+impl FullNeighborSampler {
+    /// Creates an exact block builder for `num_layers`-deep models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0`.
+    pub fn new(num_layers: usize) -> Self {
+        assert!(num_layers > 0, "at least one layer required");
+        FullNeighborSampler { num_layers }
+    }
+}
+
+impl Sampler for FullNeighborSampler {
+    fn sample(&mut self, graph: &CsrGraph, seeds: &[usize]) -> MiniBatch {
+        let mut blocks_rev: Vec<Block> = Vec::with_capacity(self.num_layers);
+        let mut current: Vec<usize> = seeds.to_vec();
+        for _ in 0..self.num_layers {
+            let block = expand_layer(&current, |t| (graph.neighbors(t).to_vec(), None));
+            current = block.src_nodes().to_vec();
+            blocks_rev.push(block);
+        }
+        blocks_rev.reverse();
+        let stats = SampleStats {
+            input_nodes: blocks_rev[0].num_src(),
+            total_nodes: blocks_rev.iter().map(|b| b.num_src()).sum(),
+            total_edges: blocks_rev.iter().map(|b| b.num_edges()).sum(),
+            seeds: seeds.len(),
+        };
+        MiniBatch {
+            blocks: blocks_rev,
+            seeds: seeds.to_vec(),
+            seed_local: (0..seeds.len()).collect(),
+            stats,
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    fn name(&self) -> &'static str {
+        "full-neighbor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NeighborSampler;
+    use ppgnn_graph::{gen, stats};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_graph() -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(0);
+        gen::erdos_renyi(300, 10.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn every_neighbor_is_included() {
+        let g = test_graph();
+        let mut s = FullNeighborSampler::new(1);
+        let batch = s.sample(&g, &[0, 1, 2]);
+        for d in 0..3 {
+            assert_eq!(
+                batch.blocks[0].neighbors(d).len(),
+                g.degree(batch.blocks[0].src_nodes()[d]),
+                "missing neighbors for dst {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_nodes_match_exact_receptive_field() {
+        let g = test_graph();
+        let mut s = FullNeighborSampler::new(2);
+        let batch = s.sample(&g, &[7]);
+        let exact = stats::receptive_field_size(&g, 7, 2);
+        assert_eq!(batch.stats.input_nodes, exact);
+    }
+
+    #[test]
+    fn dominates_any_sampled_batch() {
+        let g = test_graph();
+        let seeds: Vec<usize> = (0..20).collect();
+        let full = FullNeighborSampler::new(2).sample(&g, &seeds);
+        let sampled = NeighborSampler::new(vec![5, 5], 1).sample(&g, &seeds);
+        assert!(full.stats.input_nodes >= sampled.stats.input_nodes);
+        assert!(full.stats.total_edges >= sampled.stats.total_edges);
+    }
+
+    #[test]
+    fn deterministic_without_randomness() {
+        let g = test_graph();
+        let a = FullNeighborSampler::new(3).sample(&g, &[1, 2]);
+        let b = FullNeighborSampler::new(3).sample(&g, &[1, 2]);
+        assert_eq!(a, b);
+    }
+}

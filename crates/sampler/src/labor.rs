@@ -1,0 +1,207 @@
+use ppgnn_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::neighbor::expand_layer;
+use crate::{Block, MiniBatch, SampleStats, Sampler};
+
+/// LABOR-style layer-neighbor sampling (Balin & Çatalyürek 2024).
+///
+/// The key idea: instead of each destination sampling its neighbors
+/// independently (as [`crate::NeighborSampler`] does), all destinations in
+/// a layer share **one uniform variate `r_u` per candidate node `u`**.
+/// Destination `t` keeps neighbor `u` iff `r_u ≤ fanout / degree(t)`. Nodes
+/// wanted by many destinations are then sampled *once* rather than once per
+/// destination, so the number of unique sources per layer is provably no
+/// larger than independent sampling — the property that makes LABOR the
+/// strongest MP-GNN baseline in the paper (and which
+/// `tests` assert against [`crate::NeighborSampler`]).
+///
+/// Kept edges carry importance weights `1 / min(1, fanout/degree)` so the
+/// weighted-mean aggregation stays unbiased.
+#[derive(Debug)]
+pub struct LaborSampler {
+    fanouts: Vec<usize>,
+    rng: StdRng,
+}
+
+impl LaborSampler {
+    /// Creates a sampler with per-layer fanouts (input layer first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanouts` is empty or contains a zero.
+    pub fn new(fanouts: Vec<usize>, seed: u64) -> Self {
+        assert!(!fanouts.is_empty(), "at least one layer fanout required");
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        LaborSampler {
+            fanouts,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured fanouts (input layer first).
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+}
+
+/// Deterministic per-(round, node) uniform variate in `[0, 1)` via
+/// SplitMix64 — the shared randomness at the heart of LABOR.
+fn shared_uniform(round: u64, node: u32) -> f32 {
+    let mut z = round
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(node as u64)
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32) / ((1u64 << 24) as f32)
+}
+
+impl Sampler for LaborSampler {
+    fn sample(&mut self, graph: &CsrGraph, seeds: &[usize]) -> MiniBatch {
+        let mut blocks_rev: Vec<Block> = Vec::with_capacity(self.fanouts.len());
+        let mut current: Vec<usize> = seeds.to_vec();
+        for &fanout in self.fanouts.iter().rev() {
+            // Fresh shared-randomness round per layer per batch.
+            let round: u64 = self.rng.random();
+            let block = expand_layer(&current, |t| {
+                let neigh = graph.neighbors(t);
+                let deg = neigh.len();
+                if deg == 0 {
+                    return (Vec::new(), Some(Vec::new()));
+                }
+                let p = (fanout as f32 / deg as f32).min(1.0);
+                let mut kept = Vec::new();
+                let mut weights = Vec::new();
+                for &u in neigh {
+                    if shared_uniform(round, u) <= p {
+                        kept.push(u);
+                        weights.push(1.0 / p);
+                    }
+                }
+                (kept, Some(weights))
+            });
+            current = block.src_nodes().to_vec();
+            blocks_rev.push(block);
+        }
+        blocks_rev.reverse();
+        let stats = SampleStats {
+            input_nodes: blocks_rev[0].num_src(),
+            total_nodes: blocks_rev.iter().map(|b| b.num_src()).sum(),
+            total_edges: blocks_rev.iter().map(|b| b.num_edges()).sum(),
+            seeds: seeds.len(),
+        };
+        MiniBatch {
+            blocks: blocks_rev,
+            seeds: seeds.to_vec(),
+            seed_local: (0..seeds.len()).collect(),
+            stats,
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "labor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NeighborSampler;
+    use ppgnn_graph::gen;
+
+    fn test_graph() -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(0);
+        gen::erdos_renyi(500, 16.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn expected_neighbor_count_tracks_fanout() {
+        let g = test_graph();
+        let mut s = LaborSampler::new(vec![8], 7);
+        let seeds: Vec<usize> = (0..100).collect();
+        let batch = s.sample(&g, &seeds);
+        let avg_deg: f64 = (0..100)
+            .map(|d| batch.blocks[0].neighbors(d).len() as f64)
+            .sum::<f64>()
+            / 100.0;
+        // E[kept] = deg * min(1, 8/deg) ≈ 8 for deg ≥ 8
+        assert!((4.0..=10.0).contains(&avg_deg), "avg kept {avg_deg}");
+    }
+
+    #[test]
+    fn fewer_unique_nodes_than_independent_sampling() {
+        // The LABOR selling point: at equal fanout, shared randomness yields
+        // fewer unique sampled nodes than per-destination sampling.
+        let g = test_graph();
+        let seeds: Vec<usize> = (0..200).collect();
+        let mut labor = LaborSampler::new(vec![8, 8], 1);
+        let mut neigh = NeighborSampler::new(vec![8, 8], 1);
+        let lb = labor.sample(&g, &seeds);
+        let nb = neigh.sample(&g, &seeds);
+        assert!(
+            lb.stats.input_nodes < nb.stats.input_nodes,
+            "labor {} vs neighbor {}",
+            lb.stats.input_nodes,
+            nb.stats.input_nodes
+        );
+    }
+
+    #[test]
+    fn importance_weights_are_inverse_probabilities() {
+        let g = test_graph();
+        let mut s = LaborSampler::new(vec![4], 3);
+        let batch = s.sample(&g, &[0, 1, 2]);
+        let block = &batch.blocks[0];
+        for d in 0..block.num_dst() {
+            let deg = g.degree(block.src_nodes()[d]);
+            let p = (4.0f32 / deg as f32).min(1.0);
+            if let Some(w) = block.edge_weights(d) {
+                for &wv in w {
+                    assert!((wv - 1.0 / p).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_mean_is_unbiased_for_constant_signal() {
+        // Whatever the sampling realization, a constant signal must average
+        // to itself (for nodes with at least one kept neighbor).
+        let g = test_graph();
+        let mut s = LaborSampler::new(vec![4], 5);
+        let batch = s.sample(&g, &(0..50).collect::<Vec<_>>());
+        let block = &batch.blocks[0];
+        let x = ppgnn_tensor::Matrix::full(block.num_src(), 1, 3.0);
+        let y = block.mean_forward(&x);
+        for d in 0..block.num_dst() {
+            if !block.neighbors(d).is_empty() {
+                assert!((y.get(d, 0) - 3.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_seed_yields_empty_neighborhood() {
+        let g = CsrGraph::from_edges(3, &[(1, 2)], true).unwrap();
+        let mut s = LaborSampler::new(vec![4], 0);
+        let batch = s.sample(&g, &[0]);
+        assert!(batch.blocks[0].neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn shared_uniform_is_deterministic_and_bounded() {
+        for node in 0..1000u32 {
+            let v = shared_uniform(42, node);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, shared_uniform(42, node));
+        }
+        assert_ne!(shared_uniform(1, 7), shared_uniform(2, 7));
+    }
+}

@@ -1,0 +1,59 @@
+//! Graph-sampling algorithms for MP-GNN minibatch training.
+//!
+//! Implements the four sampler families the paper benchmarks against
+//! (Section 2.3 / 6):
+//!
+//! * [`NeighborSampler`] — GraphSAGE node-wise fanout sampling
+//!   (Hamilton et al. 2017),
+//! * [`LaborSampler`] — layer-neighbor sampling with shared per-node
+//!   randomness and importance-corrected edge weights
+//!   (Balin & Çatalyürek 2024),
+//! * [`LadiesSampler`] — layer-dependent importance sampling with a fixed
+//!   per-layer node budget (Zou et al. 2019),
+//! * [`SaintNodeSampler`] — GraphSAINT node-induced subgraph sampling
+//!   (Zeng et al. 2020).
+//!
+//! All samplers produce [`MiniBatch`]es of [`Block`]s (message-flow graphs in
+//! DGL terminology) ordered input→output, with the invariant that a block's
+//! first `num_dst` source nodes *are* its destination nodes — the convention
+//! GraphSAGE/GAT rely on to read "self" features.
+//!
+//! Every batch carries [`SampleStats`]; the neighbor-explosion and
+//! data-transfer analyses (Table 1 intuition, Appendix I) are measured from
+//! these counters rather than assumed.
+
+#![deny(missing_docs)]
+
+mod block;
+mod full;
+mod labor;
+mod ladies;
+mod neighbor;
+mod saint;
+mod stats;
+
+pub use block::{Block, MiniBatch};
+pub use full::FullNeighborSampler;
+pub use labor::LaborSampler;
+pub use ladies::LadiesSampler;
+pub use neighbor::NeighborSampler;
+pub use saint::SaintNodeSampler;
+pub use stats::SampleStats;
+
+use ppgnn_graph::CsrGraph;
+
+/// A minibatch sampler: maps a seed set to a stack of message-flow blocks.
+pub trait Sampler {
+    /// Samples the computation graph for `seeds` (training-node ids).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if a seed id is out of bounds for `graph`.
+    fn sample(&mut self, graph: &CsrGraph, seeds: &[usize]) -> MiniBatch;
+
+    /// Number of GNN layers the produced batches serve.
+    fn num_layers(&self) -> usize;
+
+    /// Stable display name (used in reports and harness tables).
+    fn name(&self) -> &'static str;
+}

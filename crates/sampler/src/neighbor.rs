@@ -1,0 +1,239 @@
+use std::collections::HashMap;
+
+use ppgnn_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Block, MiniBatch, SampleStats, Sampler};
+
+/// GraphSAGE node-wise neighbor sampling (Hamilton et al. 2017).
+///
+/// For each destination node at layer `l`, samples up to `fanouts[l]`
+/// distinct neighbors without replacement. The per-layer source sets grow
+/// roughly multiplicatively in the fanouts — the neighbor-explosion
+/// behaviour the paper characterizes.
+///
+/// `fanouts` is ordered **input layer first** (e.g. `[15, 10, 5]`, the
+/// paper's GraphSAGE setting).
+#[derive(Debug)]
+pub struct NeighborSampler {
+    fanouts: Vec<usize>,
+    rng: StdRng,
+}
+
+impl NeighborSampler {
+    /// Creates a sampler with the given per-layer fanouts and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanouts` is empty or contains a zero.
+    pub fn new(fanouts: Vec<usize>, seed: u64) -> Self {
+        assert!(!fanouts.is_empty(), "at least one layer fanout required");
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        NeighborSampler {
+            fanouts,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured fanouts (input layer first).
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+}
+
+/// Samples `k` distinct elements of `pool` (all of them if `k >= len`),
+/// using Floyd's algorithm so hubs don't cost `O(degree)`.
+pub(crate) fn sample_distinct(pool: &[u32], k: usize, rng: &mut StdRng) -> Vec<u32> {
+    let n = pool.len();
+    if k >= n {
+        return pool.to_vec();
+    }
+    let mut chosen: HashMap<usize, usize> = HashMap::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    // Floyd: for j in n-k..n, pick t in [0..=j]; if taken, use j.
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        let pick = if chosen.contains_key(&t) { j } else { t };
+        chosen.insert(pick, pick);
+        out.push(pool[pick]);
+    }
+    out
+}
+
+/// Builds one block layer: expands `dst_nodes` by `sample_fn`, preserving
+/// the dst-prefix invariant.
+pub(crate) fn expand_layer(
+    dst_nodes: &[usize],
+    mut sample_fn: impl FnMut(usize) -> (Vec<u32>, Option<Vec<f32>>),
+) -> Block {
+    let mut src_nodes = dst_nodes.to_vec();
+    let mut local = MiniBatch::local_index(dst_nodes);
+    let mut indptr = Vec::with_capacity(dst_nodes.len() + 1);
+    let mut indices = Vec::new();
+    let mut weights: Option<Vec<f32>> = None;
+    indptr.push(0);
+    for (_, &t) in dst_nodes.iter().enumerate() {
+        let (neigh, w) = sample_fn(t);
+        if let Some(w) = w {
+            weights.get_or_insert_with(Vec::new).extend(w);
+        }
+        for u in neigh {
+            let next_id = src_nodes.len() as u32;
+            let local_id = *local.entry(u as usize).or_insert_with(|| {
+                src_nodes.push(u as usize);
+                next_id
+            });
+            indices.push(local_id);
+        }
+        indptr.push(indices.len());
+    }
+    if let Some(w) = &weights {
+        assert_eq!(w.len(), indices.len(), "sampler emitted ragged weights");
+    }
+    Block::new(src_nodes, dst_nodes.len(), indptr, indices, weights)
+}
+
+impl Sampler for NeighborSampler {
+    fn sample(&mut self, graph: &CsrGraph, seeds: &[usize]) -> MiniBatch {
+        let mut blocks_rev: Vec<Block> = Vec::with_capacity(self.fanouts.len());
+        let mut current: Vec<usize> = seeds.to_vec();
+        // Walk output → input, so iterate fanouts back to front.
+        for &fanout in self.fanouts.iter().rev() {
+            let rng = &mut self.rng;
+            let block = expand_layer(&current, |t| {
+                (sample_distinct(graph.neighbors(t), fanout, rng), None)
+            });
+            current = block.src_nodes().to_vec();
+            blocks_rev.push(block);
+        }
+        blocks_rev.reverse();
+        let stats = SampleStats {
+            input_nodes: blocks_rev[0].num_src(),
+            total_nodes: blocks_rev.iter().map(|b| b.num_src()).sum(),
+            total_edges: blocks_rev.iter().map(|b| b.num_edges()).sum(),
+            seeds: seeds.len(),
+        };
+        MiniBatch {
+            blocks: blocks_rev,
+            seeds: seeds.to_vec(),
+            seed_local: (0..seeds.len()).collect(),
+            stats,
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "neighbor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgnn_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_graph() -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(0);
+        gen::erdos_renyi(200, 12.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn fanout_caps_are_respected() {
+        let g = test_graph();
+        let mut s = NeighborSampler::new(vec![5, 3], 1);
+        let batch = s.sample(&g, &[0, 1, 2, 3]);
+        assert_eq!(batch.blocks.len(), 2);
+        // output block (last) obeys fanout 3; input block fanout 5
+        for d in 0..batch.blocks[1].num_dst() {
+            assert!(batch.blocks[1].neighbors(d).len() <= 3);
+        }
+        for d in 0..batch.blocks[0].num_dst() {
+            assert!(batch.blocks[0].neighbors(d).len() <= 5);
+        }
+    }
+
+    #[test]
+    fn sampled_neighbors_are_true_neighbors() {
+        let g = test_graph();
+        let mut s = NeighborSampler::new(vec![4, 4], 2);
+        let batch = s.sample(&g, &[5, 9]);
+        for block in &batch.blocks {
+            for d in 0..block.num_dst() {
+                let dst_global = block.src_nodes()[d];
+                for &n in block.neighbors(d) {
+                    let src_global = block.src_nodes()[n as usize];
+                    assert!(
+                        g.has_edge(dst_global, src_global),
+                        "({dst_global},{src_global}) is not an edge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dst_prefix_invariant_holds_across_layers() {
+        let g = test_graph();
+        let mut s = NeighborSampler::new(vec![3, 3, 3], 3);
+        let batch = s.sample(&g, &[1, 2, 3]);
+        // layer l's dst nodes are layer l+1's src nodes
+        for w in batch.blocks.windows(2) {
+            let upper_src = w[1].src_nodes();
+            assert_eq!(&w[0].src_nodes()[..w[0].num_dst()], &upper_src[..]);
+        }
+        assert_eq!(&batch.blocks.last().unwrap().src_nodes()[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn sampled_neighbors_are_distinct() {
+        let g = test_graph();
+        let mut s = NeighborSampler::new(vec![6], 4);
+        let batch = s.sample(&g, &(0..50).collect::<Vec<_>>());
+        for d in 0..batch.blocks[0].num_dst() {
+            let mut ns: Vec<u32> = batch.blocks[0].neighbors(d).to_vec();
+            let before = ns.len();
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), before, "duplicate neighbor sampled");
+        }
+    }
+
+    #[test]
+    fn node_count_grows_with_layers() {
+        let g = test_graph();
+        let seeds: Vec<usize> = (0..20).collect();
+        let mut s1 = NeighborSampler::new(vec![10], 5);
+        let mut s3 = NeighborSampler::new(vec![10, 10, 10], 5);
+        let b1 = s1.sample(&g, &seeds);
+        let b3 = s3.sample(&g, &seeds);
+        assert!(b3.stats.input_nodes > b1.stats.input_nodes);
+        assert!(b3.stats.expansion_factor() > b1.stats.expansion_factor());
+    }
+
+    #[test]
+    fn low_degree_nodes_take_all_neighbors() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2)], true).unwrap();
+        let mut s = NeighborSampler::new(vec![10], 0);
+        let batch = s.sample(&g, &[0]);
+        assert_eq!(batch.blocks[0].neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn sample_distinct_returns_subset_without_replacement() {
+        let pool: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut got = sample_distinct(&pool, 30, &mut rng);
+        assert_eq!(got.len(), 30);
+        got.sort_unstable();
+        let before = got.len();
+        got.dedup();
+        assert_eq!(got.len(), before);
+        assert!(got.iter().all(|&v| v < 100));
+    }
+}

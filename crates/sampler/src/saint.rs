@@ -1,0 +1,191 @@
+use ppgnn_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Block, MiniBatch, SampleStats, Sampler};
+
+/// GraphSAINT node sampler (Zeng et al. 2020).
+///
+/// Samples a node-induced subgraph per batch: the seed nodes plus uniformly
+/// drawn extras up to `node_budget`, with **all** edges among them. Every
+/// GNN layer then runs over the same subgraph (so the per-batch node count
+/// is independent of model depth — the "graph-wise" scaling behaviour),
+/// and the loss is computed only at the seeds.
+///
+/// Expressed in the block API: `num_layers` identical blocks whose source
+/// and destination sets coincide.
+#[derive(Debug)]
+pub struct SaintNodeSampler {
+    num_layers: usize,
+    node_budget: usize,
+    rng: StdRng,
+}
+
+impl SaintNodeSampler {
+    /// Creates a sampler producing subgraphs of at most `node_budget` nodes
+    /// for a `num_layers`-deep model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0` or `node_budget == 0`.
+    pub fn new(num_layers: usize, node_budget: usize, seed: u64) -> Self {
+        assert!(num_layers > 0, "at least one layer required");
+        assert!(node_budget > 0, "node budget must be positive");
+        SaintNodeSampler {
+            num_layers,
+            node_budget,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Subgraph node budget.
+    pub fn node_budget(&self) -> usize {
+        self.node_budget
+    }
+}
+
+impl Sampler for SaintNodeSampler {
+    fn sample(&mut self, graph: &CsrGraph, seeds: &[usize]) -> MiniBatch {
+        // Node set: seeds first (so seed_local is the identity prefix),
+        // then uniform extras up to the budget.
+        let mut in_set = vec![false; graph.num_nodes()];
+        let mut nodes: Vec<usize> = Vec::with_capacity(self.node_budget.max(seeds.len()));
+        for &s in seeds {
+            assert!(s < graph.num_nodes(), "seed {s} out of bounds");
+            if !in_set[s] {
+                in_set[s] = true;
+                nodes.push(s);
+            }
+        }
+        while nodes.len() < self.node_budget {
+            let v = self.rng.random_range(0..graph.num_nodes());
+            if !in_set[v] {
+                in_set[v] = true;
+                nodes.push(v);
+            }
+            // Dense budgets terminate via the pigeonhole: every miss is a
+            // retry, but budget ≤ num_nodes keeps this bounded in practice.
+            if nodes.len() == graph.num_nodes() {
+                break;
+            }
+        }
+
+        // Induced subgraph in local ids.
+        let local = MiniBatch::local_index(&nodes);
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        for &v in &nodes {
+            for &u in graph.neighbors(v) {
+                if let Some(&lu) = local.get(&(u as usize)) {
+                    indices.push(lu);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        let block = Block::new(nodes.clone(), nodes.len(), indptr, indices, None);
+        let blocks: Vec<Block> = std::iter::repeat_with(|| block.clone())
+            .take(self.num_layers)
+            .collect();
+
+        let stats = SampleStats {
+            input_nodes: nodes.len(),
+            total_nodes: nodes.len() * self.num_layers,
+            total_edges: block.num_edges() * self.num_layers,
+            seeds: seeds.len(),
+        };
+        MiniBatch {
+            blocks,
+            seeds: seeds.to_vec(),
+            seed_local: (0..seeds.len()).collect(),
+            stats,
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    fn name(&self) -> &'static str {
+        "saint-node"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgnn_graph::gen;
+
+    fn test_graph() -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(0);
+        gen::erdos_renyi(400, 10.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn subgraph_size_is_depth_independent() {
+        let g = test_graph();
+        let seeds: Vec<usize> = (0..32).collect();
+        let mut s2 = SaintNodeSampler::new(2, 128, 1);
+        let mut s5 = SaintNodeSampler::new(5, 128, 1);
+        let b2 = s2.sample(&g, &seeds);
+        let b5 = s5.sample(&g, &seeds);
+        assert_eq!(b2.stats.input_nodes, b5.stats.input_nodes);
+        assert_eq!(b2.stats.input_nodes, 128);
+    }
+
+    #[test]
+    fn all_layers_share_the_subgraph() {
+        let g = test_graph();
+        let mut s = SaintNodeSampler::new(3, 64, 2);
+        let batch = s.sample(&g, &[0, 1]);
+        assert_eq!(batch.blocks.len(), 3);
+        assert_eq!(batch.blocks[0], batch.blocks[1]);
+        assert_eq!(batch.blocks[1], batch.blocks[2]);
+    }
+
+    #[test]
+    fn seeds_lead_the_node_list() {
+        let g = test_graph();
+        let mut s = SaintNodeSampler::new(2, 50, 3);
+        let batch = s.sample(&g, &[9, 17, 33]);
+        assert_eq!(&batch.blocks[0].src_nodes()[..3], &[9, 17, 33]);
+        assert_eq!(batch.seed_local, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn induced_edges_are_complete() {
+        // every edge of the original graph between sampled nodes must appear
+        let g = test_graph();
+        let mut s = SaintNodeSampler::new(1, 80, 4);
+        let batch = s.sample(&g, &[0]);
+        let block = &batch.blocks[0];
+        let nodes = block.src_nodes();
+        let mut expected = 0usize;
+        for (i, &v) in nodes.iter().enumerate() {
+            for &u in nodes {
+                if g.has_edge(v, u) {
+                    expected += 1;
+                }
+            }
+            let _ = i;
+        }
+        assert_eq!(block.num_edges(), expected);
+    }
+
+    #[test]
+    fn budget_smaller_than_seed_count_keeps_all_seeds() {
+        let g = test_graph();
+        let seeds: Vec<usize> = (0..60).collect();
+        let mut s = SaintNodeSampler::new(1, 10, 5);
+        let batch = s.sample(&g, &seeds);
+        assert_eq!(batch.blocks[0].num_src(), 60);
+    }
+
+    #[test]
+    fn duplicate_seeds_are_collapsed() {
+        let g = test_graph();
+        let mut s = SaintNodeSampler::new(1, 8, 6);
+        let batch = s.sample(&g, &[5, 5, 5]);
+        let nodes = batch.blocks[0].src_nodes();
+        assert_eq!(nodes.iter().filter(|&&v| v == 5).count(), 1);
+    }
+}

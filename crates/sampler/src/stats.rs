@@ -1,0 +1,87 @@
+//! Per-batch sampling statistics.
+//!
+//! The paper's complexity table (Table 1) and data-transfer analysis
+//! (Appendix I) reduce to three measured quantities per batch: how many
+//! unique input-feature rows must be fetched, how many nodes appear across
+//! all layers, and how many message edges flow. [`SampleStats`] accumulates
+//! them as sampling happens.
+
+/// Size counters for one sampled minibatch (or an accumulated epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleStats {
+    /// Unique nodes whose raw features must be gathered (layer-0 sources).
+    pub input_nodes: usize,
+    /// Total source nodes summed over every block/layer.
+    pub total_nodes: usize,
+    /// Total message edges summed over every block/layer.
+    pub total_edges: usize,
+    /// Seeds (labeled nodes) served.
+    pub seeds: usize,
+}
+
+impl SampleStats {
+    /// Bytes of raw features this batch pulls for `feature_dim` f32 features.
+    pub fn feature_bytes(&self, feature_dim: usize) -> u64 {
+        (self.input_nodes * feature_dim * 4) as u64
+    }
+
+    /// Adds another batch's counters (epoch accumulation).
+    pub fn accumulate(&mut self, other: &SampleStats) {
+        self.input_nodes += other.input_nodes;
+        self.total_nodes += other.total_nodes;
+        self.total_edges += other.total_edges;
+        self.seeds += other.seeds;
+    }
+
+    /// Input-feature amplification relative to the seed count — the measured
+    /// face of the neighbor-explosion problem (`1.0` means no expansion, as
+    /// in PP-GNN training).
+    pub fn expansion_factor(&self) -> f64 {
+        if self.seeds == 0 {
+            0.0
+        } else {
+            self.input_nodes as f64 / self.seeds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_bytes_scale_with_dim() {
+        let s = SampleStats {
+            input_nodes: 10,
+            total_nodes: 20,
+            total_edges: 30,
+            seeds: 5,
+        };
+        assert_eq!(s.feature_bytes(100), 10 * 100 * 4);
+    }
+
+    #[test]
+    fn accumulate_adds_fields() {
+        let mut a = SampleStats {
+            input_nodes: 1,
+            total_nodes: 2,
+            total_edges: 3,
+            seeds: 4,
+        };
+        a.accumulate(&a.clone());
+        assert_eq!(a.input_nodes, 2);
+        assert_eq!(a.seeds, 8);
+    }
+
+    #[test]
+    fn expansion_factor_handles_zero_seeds() {
+        assert_eq!(SampleStats::default().expansion_factor(), 0.0);
+        let s = SampleStats {
+            input_nodes: 50,
+            total_nodes: 0,
+            total_edges: 0,
+            seeds: 10,
+        };
+        assert_eq!(s.expansion_factor(), 5.0);
+    }
+}

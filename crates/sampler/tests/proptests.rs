@@ -1,0 +1,132 @@
+//! Property-based tests for the sampling algorithms.
+
+use ppgnn_graph::gen;
+use ppgnn_sampler::{LaborSampler, LadiesSampler, NeighborSampler, SaintNodeSampler, Sampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_graph(seed: u64, n: usize) -> ppgnn_graph::CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::erdos_renyi(n, 8.0, &mut rng).expect("generation succeeds")
+}
+
+/// Checks the structural invariants every sampler must uphold.
+fn check_batch(
+    g: &ppgnn_graph::CsrGraph,
+    batch: &ppgnn_sampler::MiniBatch,
+    seeds: &[usize],
+) -> Result<(), TestCaseError> {
+    prop_assert!(!batch.blocks.is_empty());
+    // seeds resolve through seed_local into the last block's destinations
+    let last = batch.blocks.last().expect("non-empty");
+    for (&s, &loc) in seeds.iter().zip(&batch.seed_local) {
+        prop_assert_eq!(last.src_nodes()[loc], s, "seed mapping broken");
+    }
+    for block in &batch.blocks {
+        // dst-prefix invariant
+        prop_assert!(block.num_dst() <= block.num_src());
+        // every edge references a true graph edge
+        for d in 0..block.num_dst() {
+            let dst_global = block.src_nodes()[d];
+            for &n in block.neighbors(d) {
+                let src_global = block.src_nodes()[n as usize];
+                prop_assert!(
+                    g.has_edge(dst_global, src_global),
+                    "({dst_global},{src_global}) not an edge"
+                );
+            }
+        }
+    }
+    // layer chaining: block l's dst == block l+1's src prefix
+    for w in batch.blocks.windows(2) {
+        prop_assert_eq!(
+            &w[0].src_nodes()[..w[0].num_dst()],
+            &w[1].src_nodes()[..]
+        );
+    }
+    // stats consistency
+    prop_assert_eq!(batch.stats.seeds, seeds.len());
+    prop_assert_eq!(batch.stats.input_nodes, batch.blocks[0].num_src());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn neighbor_sampler_invariants(seed in 0u64..50, num_seeds in 1usize..30) {
+        let g = test_graph(seed, 150);
+        let seeds: Vec<usize> = (0..num_seeds).map(|i| (i * 7) % 150).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assume!(dedup.len() == seeds.len());
+        let mut s = NeighborSampler::new(vec![4, 4], seed);
+        let batch = s.sample(&g, &seeds);
+        check_batch(&g, &batch, &seeds)?;
+        // fanout cap
+        for block in &batch.blocks {
+            for d in 0..block.num_dst() {
+                prop_assert!(block.neighbors(d).len() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn labor_sampler_invariants(seed in 0u64..50, num_seeds in 1usize..30) {
+        let g = test_graph(seed.wrapping_add(1), 150);
+        let seeds: Vec<usize> = (0..num_seeds).map(|i| (i * 11) % 149).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assume!(dedup.len() == seeds.len());
+        let mut s = LaborSampler::new(vec![4, 4], seed);
+        let batch = s.sample(&g, &seeds);
+        check_batch(&g, &batch, &seeds)?;
+        // importance weights are ≥ 1 (inverse probabilities)
+        for block in &batch.blocks {
+            for d in 0..block.num_dst() {
+                if let Some(ws) = block.edge_weights(d) {
+                    prop_assert!(ws.iter().all(|&w| w >= 1.0 - 1e-5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladies_sampler_invariants(seed in 0u64..50, budget in 4usize..64) {
+        let g = test_graph(seed.wrapping_add(2), 150);
+        let seeds: Vec<usize> = vec![3, 17, 42, 99];
+        let mut s = LadiesSampler::new(2, budget, seed);
+        let batch = s.sample(&g, &seeds);
+        check_batch(&g, &batch, &seeds)?;
+        // budget bound: src ≤ dst + budget per layer
+        for block in &batch.blocks {
+            prop_assert!(block.num_src() <= block.num_dst() + budget);
+        }
+    }
+
+    #[test]
+    fn saint_sampler_invariants(seed in 0u64..50, budget in 8usize..80) {
+        let g = test_graph(seed.wrapping_add(3), 150);
+        let seeds: Vec<usize> = vec![5, 10];
+        let mut s = SaintNodeSampler::new(3, budget, seed);
+        let batch = s.sample(&g, &seeds);
+        check_batch(&g, &batch, &seeds)?;
+        // depth-independent subgraph: all blocks identical
+        for w in batch.blocks.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+        prop_assert!(batch.blocks[0].num_src() <= budget.max(seeds.len()));
+    }
+
+    #[test]
+    fn same_seed_same_batch(seed in 0u64..50) {
+        let g = test_graph(7, 120);
+        let seeds: Vec<usize> = vec![1, 2, 3, 4, 5];
+        let b1 = NeighborSampler::new(vec![3, 3], seed).sample(&g, &seeds);
+        let b2 = NeighborSampler::new(vec![3, 3], seed).sample(&g, &seeds);
+        prop_assert_eq!(b1, b2);
+    }
+}

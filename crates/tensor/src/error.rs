@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible tensor operations.
+///
+/// Hot-path kernels (GEMM, gathers) use documented panics instead so the
+/// inner loops stay branch-free; `TensorError` covers construction and I/O,
+/// where inputs come from outside the crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A constructor was given a buffer whose length does not match the
+    /// requested shape.
+    ShapeMismatch {
+        /// Rows requested by the caller.
+        rows: usize,
+        /// Columns requested by the caller.
+        cols: usize,
+        /// Length of the buffer actually supplied.
+        len: usize,
+    },
+    /// A reshape was requested that changes the total number of elements.
+    BadReshape {
+        /// Element count of the source matrix.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// A serialized matrix had a corrupt or unsupported header.
+    BadHeader(String),
+    /// An underlying I/O operation failed (message of the source error).
+    Io(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { rows, cols, len } => write!(
+                f,
+                "buffer of length {len} cannot form a {rows}x{cols} matrix ({} elements)",
+                rows * cols
+            ),
+            TensorError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::BadHeader(msg) => write!(f, "corrupt matrix header: {msg}"),
+            TensorError::Io(msg) => write!(f, "i/o failure: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+impl From<std::io::Error> for TensorError {
+    fn from(err: std::io::Error) -> Self {
+        TensorError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('5') && msg.contains("2x3"), "got: {msg}");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let err: TensorError = io.into();
+        assert!(matches!(err, TensorError::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,260 @@
+//! Blocked, multi-threaded matrix-multiplication kernels.
+//!
+//! Three variants cover everything the training stack needs:
+//!
+//! * [`matmul`] — `C = A · B` (forward passes),
+//! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients: `∂W = Xᵀ · ∂Y`),
+//! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients: `∂X = ∂Y · Wᵀ`).
+//!
+//! All three parallelize over output rows with `crossbeam::scope` once the
+//! FLOP count crosses a threshold (tunable via [`set_parallel_threshold`],
+//! mostly so tests can force both paths).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::Matrix;
+
+/// FLOP count above which kernels go multi-threaded. Default ≈ 4 M multiplies.
+static PARALLEL_THRESHOLD: AtomicUsize = AtomicUsize::new(4_000_000);
+
+/// Overrides the FLOP threshold above which GEMM kernels use worker threads.
+///
+/// Primarily for tests and benchmarks; `0` forces the threaded path,
+/// `usize::MAX` forces single-threaded execution.
+pub fn set_parallel_threshold(flops: usize) {
+    PARALLEL_THRESHOLD.store(flops, Ordering::Relaxed);
+}
+
+fn threads_for(flops: usize) -> usize {
+    if flops <= PARALLEL_THRESHOLD.load(Ordering::Relaxed) {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+    }
+}
+
+/// Runs `body(row_range, out_chunk)` over disjoint row blocks of `out`,
+/// spawning scoped threads when `nthreads > 1`.
+fn parallel_over_rows<F>(out: &mut Matrix, nthreads: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    let rows = out.rows();
+    let cols = out.cols();
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    if nthreads <= 1 || rows == 1 {
+        body(0..rows, out.as_mut_slice());
+        return;
+    }
+    let per = rows.div_ceil(nthreads);
+    let mut slices: Vec<(std::ops::Range<usize>, &mut [f32])> = Vec::new();
+    let mut rest = out.as_mut_slice();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + per).min(rows);
+        let (head, tail) = rest.split_at_mut((end - start) * cols);
+        slices.push((start..end, head));
+        rest = tail;
+        start = end;
+    }
+    crossbeam::scope(|s| {
+        for (range, chunk) in slices {
+            let body = &body;
+            s.spawn(move |_| body(range, chunk));
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// `C = A · B`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · B` into a pre-allocated output (overwrites `c`).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `c` is not `a.rows() x b.cols()`.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
+    assert_eq!(c.shape(), (m, n), "matmul output shape mismatch");
+    c.fill_zero();
+    let flops = m * n * k;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    parallel_over_rows(c, threads_for(flops), |range, chunk| {
+        // i-k-j loop: the inner j loop is a contiguous axpy over B's row k,
+        // which the compiler auto-vectorizes.
+        for (local_i, i) in range.clone().enumerate() {
+            let c_row = &mut chunk[local_i * n..(local_i + 1) * n];
+            let a_row = &a_data[i * k..(i + 1) * k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `C = Aᵀ · B` where `A` is `k x m` and `B` is `k x n`.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_tn shared-dimension mismatch: {k} vs {k2}");
+    let mut c = Matrix::zeros(m, n);
+    let flops = m * n * k;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    parallel_over_rows(&mut c, threads_for(flops), |range, chunk| {
+        // For each output row i (a column of A): C[i,:] = Σ_k A[k,i] * B[k,:].
+        for (local_i, i) in range.clone().enumerate() {
+            let c_row = &mut chunk[local_i * n..(local_i + 1) * n];
+            for kk in 0..k {
+                let aki = a_data[kk * m + i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aki * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// `C = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_nt inner-dimension mismatch: {k} vs {k2}");
+    let mut c = Matrix::zeros(m, n);
+    let flops = m * n * k;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    parallel_over_rows(&mut c, threads_for(flops), |range, chunk| {
+        // C[i,j] = dot(A[i,:], B[j,:]) — both operands are contiguous rows.
+        for (local_i, i) in range.clone().enumerate() {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            let c_row = &mut chunk[local_i * n..(local_i + 1) * n];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &b_data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (av, bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *cv = acc;
+            }
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // tiny deterministic LCG so this module has no test-only deps
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_mat(7, 5, 1);
+        let b = rand_mat(5, 9, 2);
+        assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_mat(4, 4, 3);
+        assert!(matmul(&a, &Matrix::eye(4)).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&Matrix::eye(4), &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let a = rand_mat(6, 4, 4);
+        let b = rand_mat(6, 5, 5);
+        assert!(matmul_tn(&a, &b).max_abs_diff(&matmul(&a.transpose(), &b)) < 1e-4);
+        let c = rand_mat(3, 6, 6);
+        assert!(matmul_nt(&c, &b.transpose()).max_abs_diff(&matmul(&c, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn threaded_path_matches_serial() {
+        let a = rand_mat(33, 17, 7);
+        let b = rand_mat(17, 29, 8);
+        set_parallel_threshold(usize::MAX);
+        let serial = matmul(&a, &b);
+        set_parallel_threshold(0);
+        let threaded = matmul(&a, &b);
+        set_parallel_threshold(4_000_000);
+        assert!(serial.max_abs_diff(&threaded) < 1e-5);
+    }
+
+    #[test]
+    fn empty_dimensions_are_fine() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(matmul(&a, &b).shape(), (0, 4));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 4));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dimension mismatch")]
+    fn mismatched_shapes_panic() {
+        matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+}

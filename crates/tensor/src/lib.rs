@@ -1,0 +1,42 @@
+//! Dense `f32` matrix kernels for the `preprop-gnn` stack.
+//!
+//! This crate is the lowest layer of the workspace: a small, dependency-light
+//! dense linear-algebra library providing exactly the operations the
+//! pre-propagation GNN training stack needs:
+//!
+//! * a row-major [`Matrix`] type with shape-checked constructors,
+//! * blocked, multi-threaded [`matmul`]/[`matmul_tn`]/[`matmul_nt`] kernels
+//!   (the `tn`/`nt` variants back the hand-written backward passes in
+//!   `ppgnn-nn`),
+//! * batch-assembly primitives ([`Matrix::gather_rows`],
+//!   [`Matrix::gather_rows_into`], [`Matrix::scatter_add_rows`]) that the data
+//!   loaders in `ppgnn-core` are built from,
+//! * row-wise reductions and transforms (softmax, argmax, normalization),
+//! * seeded random initializers ([`init`]) and a binary (de)serialization
+//!   format ([`io`]) used by the on-disk feature store.
+//!
+//! # Example
+//!
+//! ```
+//! use ppgnn_tensor::Matrix;
+//!
+//! let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Matrix::eye(3);
+//! let c = ppgnn_tensor::matmul(&a, &b);
+//! assert_eq!(c, a);
+//! # Ok::<(), ppgnn_tensor::TensorError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod gemm;
+mod matrix;
+mod ops;
+
+pub mod init;
+pub mod io;
+
+pub use error::TensorError;
+pub use gemm::{matmul, matmul_into, matmul_nt, matmul_tn, set_parallel_threshold};
+pub use matrix::Matrix;

@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor kernels.
+
+use ppgnn_tensor::{io, matmul, matmul_nt, matmul_tn, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dimensions in `1..=max_dim` and small values.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-8.0f32..8.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized by construction"))
+    })
+}
+
+/// Strategy: a compatible (A, B) pair for `A · B`.
+fn matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-4.0f32..4.0, m * k),
+            prop::collection::vec(-4.0f32..4.0, k * n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Matrix::from_vec(m, k, a).expect("sized"),
+                    Matrix::from_vec(k, n, b).expect("sized"),
+                )
+            })
+    })
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f64;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+            }
+            c.set(i, j, acc as f32);
+        }
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn gemm_matches_naive((a, b) in matmul_pair(12)) {
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-3);
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose((a, b) in matmul_pair(10)) {
+        // A: m x k. Use Aᵀ (k x m) as the `tn` operand so shapes line up.
+        let at = a.transpose();
+        let via_tn = matmul_tn(&at, &b);
+        let direct = matmul(&a, &b);
+        prop_assert!(via_tn.max_abs_diff(&direct) < 1e-3);
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose((a, b) in matmul_pair(10)) {
+        let bt = b.transpose();
+        let via_nt = matmul_nt(&a, &bt);
+        let direct = matmul(&a, &b);
+        prop_assert!(via_nt.max_abs_diff(&direct) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involution(m in matrix(16)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gather_picks_exact_rows(m in matrix(16), seed in 0u64..1000) {
+        let mut idx = Vec::new();
+        let mut s = seed;
+        for _ in 0..m.rows() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            idx.push((s >> 33) as usize % m.rows());
+        }
+        let g = m.gather_rows(&idx);
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(k), m.row(i));
+        }
+    }
+
+    #[test]
+    fn hstack_hsplit_round_trip(m in matrix(8), parts in 1usize..4) {
+        // widen m so cols divide evenly
+        let wide = Matrix::hstack(&vec![&m; parts]);
+        let split = wide.hsplit(parts);
+        for piece in split {
+            prop_assert_eq!(piece, m.clone());
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(12)) {
+        let s = m.softmax_rows();
+        for row in s.iter_rows() {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn io_round_trip(m in matrix(16)) {
+        let mut buf = Vec::new();
+        io::write_matrix(&mut buf, &m).expect("write to Vec cannot fail");
+        let back = io::read_matrix(&mut buf.as_slice()).expect("fresh buffer parses");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn scatter_add_conserves_mass(m in matrix(10)) {
+        let idx: Vec<usize> = (0..m.rows()).collect();
+        let mut dst = Matrix::zeros(m.rows(), m.cols());
+        dst.scatter_add_rows(&idx, &m);
+        prop_assert!((dst.sum() - m.sum()).abs() < 1e-3 * (1.0 + m.sum().abs()));
+    }
+}

@@ -1,0 +1,84 @@
+//! The papers100M scenario (Section 6.4 / Table 3): only 1.4 % of nodes are
+//! labeled, so pre-propagation shrinks the training input ~70× — small
+//! enough to preload into GPU memory while MP-GNNs still need the full
+//! 77 GB graph.
+//!
+//! Functional plane: trains SIGN and HOGA on the scaled analog and reports
+//! real accuracy and convergence. Performance plane: replays the paper-scale
+//! workload through the hardware simulator for 1/2/4 GPUs.
+//!
+//! Run with: `cargo run --release --example papers100m_pipeline`
+
+use ppgnn_core::bridge::{pp_workload, WorkloadScale};
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_core::trainer::{LoaderKind, TrainConfig, Trainer};
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+use ppgnn_models::{Hoga, PpModel, Sign};
+use ppgnn_memsim::{multigpu, HardwareSpec, LoaderGen, Placement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::papers100m_sim().scaled(0.5);
+    let data = SynthDataset::generate(profile, 1)?;
+    println!(
+        "papers100m-sim: {} nodes, {} labeled ({:.1}%)",
+        data.graph.num_nodes(),
+        data.split.num_labeled(),
+        100.0 * data.split.num_labeled() as f64 / data.graph.num_nodes() as f64,
+    );
+
+    let hops = 3;
+    let prep = Preprocessor::new(vec![Operator::SymNorm], hops).run(&data);
+    let full_raw = (data.graph.num_nodes() * profile.feature_dim * 4) as f64;
+    println!(
+        "retention: full-graph features {:.1} MB -> expanded training input {:.1} MB",
+        full_raw / 1e6,
+        prep.expansion.expanded_bytes as f64 / 1e6,
+    );
+
+    // --- functional plane: real training ---
+    let c = profile.num_classes;
+    let f = profile.feature_dim;
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut models: Vec<(&str, Box<dyn PpModel>)> = vec![
+        ("SIGN", Box::new(Sign::new(hops, f, 64, c, 0.1, &mut rng))),
+        ("HOGA", Box::new(Hoga::new(hops, f, 64, 4, c, 0.1, &mut rng))),
+    ];
+    for (name, model) in models.iter_mut() {
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 128,
+            loader: LoaderKind::DoubleBuffer,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit(model.as_mut(), &prep)?;
+        println!(
+            "{name}: test acc {:.1}% | convergence epoch {:?} | mean epoch {:.3}s",
+            100.0 * report.test_acc,
+            report.convergence_point,
+            report.mean_epoch_seconds(),
+        );
+    }
+
+    // --- performance plane: paper-scale throughput, Table 3 shape ---
+    let spec = HardwareSpec::a6000_server();
+    println!("\nsimulated paper-scale throughput (epochs/sec), SIGN {hops} hops:");
+    println!("{:<8} {:>10} {:>10} {:>10}", "gpus", "1", "2", "4");
+    let mut rng = StdRng::seed_from_u64(3);
+    let sign = Sign::new(hops, profile.feature_dim, 512, c, 0.0, &mut rng);
+    let w = pp_workload(&profile, &sign, 1, 8000, 8000, WorkloadScale::Paper);
+    let curve = multigpu::scaling_curve(&spec, &w, LoaderGen::DoubleBuffer, Placement::Gpu, &[1, 2, 4]);
+    print!("{:<8}", "SIGN");
+    for (_, tput) in &curve {
+        print!(" {:>10.2}", tput);
+    }
+    println!();
+    println!(
+        "(paper reports 2.94 / 3.23 / 6.62 epoch/sec for SIGN at 2 hops — the\n\
+         shape to compare is near-linear scaling from GPU-resident data)"
+    );
+    Ok(())
+}

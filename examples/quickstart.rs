@@ -1,0 +1,72 @@
+//! Quickstart: the full PP-GNN pipeline on a small synthetic benchmark.
+//!
+//! Generates a scaled-down `ogbn-products` analog, pre-propagates features
+//! (Eq. 2 of the paper), trains SIGN with the optimized double-buffered
+//! loader, and prints accuracy plus the training-time breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_core::trainer::{LoaderKind, TrainConfig, Trainer};
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::{stats, Operator};
+use ppgnn_models::Sign;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a products-like graph (scaled for a quick demo).
+    let profile = DatasetProfile::products_sim().scaled(0.25);
+    let data = SynthDataset::generate(profile, 42)?;
+    println!(
+        "dataset: {} — {} nodes, {} edges, {} classes, homophily {:.2}",
+        profile.name,
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        profile.num_classes,
+        stats::edge_homophily(&data.graph, &data.labels),
+    );
+
+    // 2. One-time pre-propagation: S = {X, ÂX, Â²X, Â³X}.
+    let hops = 3;
+    let prep = Preprocessor::new(vec![Operator::SymNorm], hops).run(&data);
+    println!(
+        "preprocessing: {:.2}s, input expanded {}x ({} -> {} bytes)",
+        prep.preprocess_seconds,
+        prep.expansion.factor(),
+        prep.expansion.raw_bytes,
+        prep.expansion.expanded_bytes,
+    );
+
+    // 3. Train SIGN with the optimized loader (double-buffer prefetching).
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = Sign::new(hops, profile.feature_dim, 64, profile.num_classes, 0.2, &mut rng);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 20,
+        batch_size: 256,
+        loader: LoaderKind::DoubleBuffer,
+        lr: 3e-3,
+        ..TrainConfig::default()
+    });
+    let report = trainer.fit(&mut model, &prep)?;
+
+    // 4. Report.
+    println!(
+        "test accuracy: {:.1}% (majority baseline {:.1}%)",
+        100.0 * report.test_acc,
+        100.0 * data.majority_baseline(),
+    );
+    println!(
+        "convergence point (99% of peak val acc): epoch {:?}",
+        report.convergence_point
+    );
+    let last = report.history.last().expect("at least one epoch");
+    println!(
+        "epoch breakdown: loading {:.1}% | forward {:.1}% | backward {:.1}% | optim {:.1}%",
+        100.0 * last.loading_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
+        100.0 * last.forward_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
+        100.0 * last.backward_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
+        100.0 * last.optim_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! The automated-configuration decision matrix (Section 5), exercised at
+//! paper scale for all six benchmark profiles against the paper's server.
+
+use ppgnn_core::autoconf::{probe_model_peak_bytes, AutoConfig, Method};
+use ppgnn_core::bridge::{expanded_input_bytes, WorkloadScale};
+use ppgnn_graph::synth::DatasetProfile;
+use ppgnn_memsim::{HardwareSpec, Placement};
+
+/// Resident expanded input: every labeled row across `R + 1` hop matrices
+/// (train + val + test all stay resident during a run).
+fn paper_input_bytes(profile: &DatasetProfile, hops: usize) -> u64 {
+    expanded_input_bytes(profile, hops, 1, WorkloadScale::Paper)
+}
+
+#[test]
+fn paper_scale_placements_match_the_evaluation_section() {
+    let server = HardwareSpec::a6000_server();
+    let cfg = AutoConfig::default();
+    let probe = probe_model_peak_bytes(3_000_000, 8000, 4096);
+
+    // papers100M §6.4: labeled rows shrink the input to GPU-resident size.
+    let papers = DatasetProfile::papers100m_sim();
+    let plan = cfg.plan(&server, paper_input_bytes(&papers, 3), probe);
+    assert_eq!(plan.placement, Placement::Gpu, "papers100M: {}", plan.reason);
+
+    // igb-medium §6.4: 40 GB raw × (R+1) → exceeds one GPU, fits host.
+    let medium = DatasetProfile::igb_medium_sim();
+    let plan = cfg.plan(&server, paper_input_bytes(&medium, 3), probe);
+    assert_eq!(plan.placement, Placement::Host, "igb-medium: {}", plan.reason);
+    assert_eq!(plan.method, Method::SgdRr, "host default is SGD-RR");
+
+    // igb-large §6.4: 1.6 TB → storage, chunk reshuffling mandatory.
+    let large = DatasetProfile::igb_large_sim();
+    let plan = cfg.plan(&server, paper_input_bytes(&large, 3), probe);
+    assert_eq!(plan.placement, Placement::Ssd, "igb-large: {}", plan.reason);
+    assert_eq!(plan.method, Method::SgdCr);
+
+    // medium-sized graphs (products/pokec/wiki) fit on the GPU.
+    for profile in DatasetProfile::medium_profiles() {
+        let plan = cfg.plan(&server, paper_input_bytes(&profile, 6), probe);
+        assert_eq!(
+            plan.placement,
+            Placement::Gpu,
+            "{}: {}",
+            profile.name,
+            plan.reason
+        );
+    }
+}
+
+#[test]
+fn user_cr_preference_only_affects_host_placement() {
+    let server = HardwareSpec::a6000_server();
+    let cfg = AutoConfig {
+        prefer_chunk_reshuffle_on_host: true,
+        ..AutoConfig::default()
+    };
+    let probe = probe_model_peak_bytes(3_000_000, 8000, 4096);
+
+    let gpu_plan = cfg.plan(&server, 1 << 30, probe);
+    assert_eq!(gpu_plan.method, Method::SgdRr, "GPU placement keeps RR");
+
+    let host_plan = cfg.plan(&server, 200 << 30, probe);
+    assert_eq!(host_plan.placement, Placement::Host);
+    assert_eq!(host_plan.method, Method::SgdCr);
+    assert_eq!(host_plan.pinned_host_bytes, 200 << 30, "CR pins the whole input");
+}
+
+#[test]
+fn growing_hops_walks_the_full_placement_ladder() {
+    // On the tiny test machine, raising R walks one profile's input from
+    // GPU → host → storage: the input-expansion problem driving Section 5.
+    let tiny = HardwareSpec::tiny();
+    let cfg = AutoConfig::default();
+    let profile = DatasetProfile::igb_medium_sim().scaled(0.25); // 10k × 1024 f32
+    let probe = probe_model_peak_bytes(100_000, 512, 1024);
+
+    let bytes_at = |hops: usize| (profile.feature_bytes()) * (hops as u64 + 1);
+    let p0 = cfg.plan(&tiny, bytes_at(0), probe);
+    let p3 = cfg.plan(&tiny, bytes_at(3), probe);
+    let p30 = cfg.plan(&tiny, bytes_at(30), probe);
+    assert_eq!(p0.placement, Placement::Gpu, "{}", p0.reason);
+    assert_eq!(p3.placement, Placement::Host, "{}", p3.reason);
+    assert_eq!(p30.placement, Placement::Ssd, "{}", p30.reason);
+}

@@ -1,0 +1,106 @@
+//! End-to-end pipeline test: synthesize → preprocess → train → evaluate,
+//! across all three PP-GNN models.
+
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_core::trainer::{LoaderKind, TrainConfig, Trainer};
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+use ppgnn_models::{Hoga, PpModel, Sgc, Sign};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 64,
+        loader: LoaderKind::DoubleBuffer,
+        lr: 3e-3,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_beats_majority_for_every_pp_model() {
+    let profile = DatasetProfile::products_sim().scaled(0.15);
+    let data = SynthDataset::generate(profile, 42).expect("generation succeeds");
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 3).run(&data);
+    let majority = data.majority_baseline();
+
+    let f = profile.feature_dim;
+    let c = profile.num_classes;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut results = Vec::new();
+    let mut models: Vec<(&str, Box<dyn PpModel>)> = vec![
+        ("sgc", Box::new(Sgc::new(3, f, c, &mut rng))),
+        ("sign", Box::new(Sign::new(3, f, 48, c, 0.1, &mut rng))),
+        ("hoga", Box::new(Hoga::new(3, f, 48, 4, c, 0.1, &mut rng))),
+    ];
+    for (name, model) in models.iter_mut() {
+        let mut trainer = Trainer::new(config(25));
+        let report = trainer.fit(model.as_mut(), &prep).expect("training runs");
+        assert!(
+            report.test_acc > majority + 0.1,
+            "{name}: test acc {:.3} vs majority {:.3}",
+            report.test_acc,
+            majority
+        );
+        assert!(report.convergence_point.is_some(), "{name} never converged");
+        results.push((*name, report.test_acc));
+    }
+
+    // On this centroid-signal synthetic task the deepest hop is already
+    // nearly linearly separable, so SGC (one linear layer, few parameters)
+    // can lead at small training budgets — unlike the paper's real
+    // benchmarks. The hop-*interaction* advantage of SIGN/HOGA is pinned by
+    // dedicated XOR-across-hops tests in `ppgnn-models`; here we only guard
+    // against a multi-hop model collapsing.
+    let sgc = results.iter().find(|(n, _)| *n == "sgc").expect("sgc ran").1;
+    let best_multi_hop = results
+        .iter()
+        .filter(|(n, _)| *n != "sgc")
+        .map(|&(_, a)| a)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_multi_hop >= 0.5 * sgc,
+        "multi-hop models ({best_multi_hop:.3}) collapsed relative to SGC ({sgc:.3})"
+    );
+}
+
+#[test]
+fn more_hops_help_on_homophilous_graphs() {
+    // The Figure 2 trend, measured for real: 3-hop SIGN beats 0-hop
+    // (pure-MLP) SIGN on a noisy homophilous dataset.
+    let profile = DatasetProfile::pokec_sim().scaled(0.12);
+    let data = SynthDataset::generate(profile, 11).expect("generation succeeds");
+
+    let acc_at = |hops: usize| {
+        let prep = Preprocessor::new(vec![Operator::SymNorm], hops).run(&data);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = Sign::new(hops, profile.feature_dim, 32, 2, 0.1, &mut rng);
+        let mut trainer = Trainer::new(config(10));
+        trainer.fit(&mut model, &prep).expect("training runs").test_acc
+    };
+    let mlp = acc_at(0);
+    let three_hop = acc_at(3);
+    assert!(
+        three_hop > mlp + 0.03,
+        "3 hops ({three_hop:.3}) should clearly beat 0 hops ({mlp:.3})"
+    );
+}
+
+#[test]
+fn heterophilous_wiki_profile_is_harder_but_learnable() {
+    let wiki = DatasetProfile::wiki_sim().scaled(0.05);
+    let data = SynthDataset::generate(wiki, 5).expect("generation succeeds");
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut model = Sign::new(2, wiki.feature_dim, 32, wiki.num_classes, 0.1, &mut rng);
+    let mut trainer = Trainer::new(config(10));
+    let report = trainer.fit(&mut model, &prep).expect("training runs");
+    assert!(
+        report.test_acc > data.majority_baseline() + 0.1,
+        "wiki-sim should still be learnable: {:.3}",
+        report.test_acc
+    );
+}

@@ -1,0 +1,145 @@
+//! Storage-path integration: preprocessed features written to the on-disk
+//! store come back bit-exact, and the storage chunk loader produces the
+//! same batch stream as the in-memory chunk loader.
+
+use std::sync::Arc;
+
+use ppgnn_core::loader::{ChunkReshuffleLoader, Loader, StorageChunkLoader};
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_dataio::{AccessPath, FeatureStore};
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppgnn-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn store_round_trip_is_bit_exact() {
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 3).unwrap();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+    let dir = temp_dir("bitexact");
+    let mut store = prep.write_store(&dir, "pokec-sim", 32).expect("store written");
+    for (k, hop) in prep.train.hops.iter().enumerate() {
+        let loaded = store.read_full_hop(k).expect("hop reads back");
+        assert_eq!(&loaded, hop, "hop {k} differs after round trip");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn storage_loader_matches_in_memory_chunk_loader() {
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 4).unwrap();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+    let dir = temp_dir("loadermatch");
+    const CHUNK: usize = 16;
+    const BATCH: usize = 48;
+    const SEED: u64 = 77;
+    prep.write_store(&dir, "pokec-sim", CHUNK).expect("store written");
+
+    let store = FeatureStore::open(&dir).expect("store reopens");
+    let mut disk = StorageChunkLoader::new(
+        store,
+        prep.train.labels.clone(),
+        BATCH,
+        AccessPath::Direct,
+        SEED,
+    );
+    let mut mem = ChunkReshuffleLoader::new(Arc::new(prep.train.clone()), BATCH, CHUNK, SEED);
+
+    disk.start_epoch();
+    mem.start_epoch();
+    let mut batches = 0;
+    loop {
+        match (disk.next_batch(), mem.next_batch()) {
+            (None, None) => break,
+            (Some(d), Some(m)) => {
+                assert_eq!(d.indices, m.indices, "batch {batches} indices differ");
+                assert_eq!(d.labels, m.labels, "batch {batches} labels differ");
+                for (hd, hm) in d.hops.iter().zip(&m.hops) {
+                    assert!(hd.max_abs_diff(hm) == 0.0, "batch {batches} features differ");
+                }
+                batches += 1;
+            }
+            _ => panic!("storage and memory loaders disagree on batch count"),
+        }
+    }
+    assert!(batches > 1);
+
+    // The disk loader must have used sequential chunk reads only.
+    let io = disk.io_counters();
+    assert_eq!(io.rand_requests, 0);
+    assert!(io.seq_requests > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_store_fails_closed_not_wrong() {
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.015), 5).unwrap();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
+    let dir = temp_dir("corrupt");
+    prep.write_store(&dir, "pokec-sim", 16).expect("store written");
+
+    // Truncate one hop file: opening the store must fail cleanly.
+    let hop1 = dir.join("hop_1.ppgt");
+    let bytes = std::fs::read(&hop1).unwrap();
+    std::fs::write(&hop1, &bytes[..bytes.len() / 2]).unwrap();
+    let err = FeatureStore::open(&dir).expect_err("truncation must be detected");
+    assert!(err.to_string().contains("truncated"), "unexpected error: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn training_from_storage_matches_training_from_memory() {
+    // Same seed + chunked order ⇒ training through the storage loader must
+    // produce numerically identical parameters to in-memory training.
+    use ppgnn_models::{PpModel, Sgc};
+    use ppgnn_nn::{CrossEntropyLoss, Mode, Optimizer, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 6).unwrap();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
+    let dir = temp_dir("trainmatch");
+    prep.write_store(&dir, "pokec-sim", 32).expect("store written");
+
+    let run = |use_disk: bool| -> Vec<f32> {
+        let mut model = Sgc::new(1, data.profile.feature_dim, 2, &mut StdRng::seed_from_u64(1));
+        let mut opt = Sgd::new(0.05);
+        let mut loader: Box<dyn Loader> = if use_disk {
+            let store = FeatureStore::open(&dir).expect("store reopens");
+            Box::new(StorageChunkLoader::new(
+                store,
+                prep.train.labels.clone(),
+                64,
+                AccessPath::Direct,
+                5,
+            ))
+        } else {
+            Box::new(ChunkReshuffleLoader::new(
+                Arc::new(prep.train.clone()),
+                64,
+                32,
+                5,
+            ))
+        };
+        for _ in 0..2 {
+            loader.start_epoch();
+            while let Some(batch) = loader.next_batch() {
+                let logits = model.forward(&batch.hops, Mode::Train);
+                let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &batch.labels);
+                model.zero_grad();
+                model.backward(&grad);
+                opt.step(&mut model.params());
+            }
+        }
+        model.params()[0].value.as_slice().to_vec()
+    };
+
+    let from_memory = run(false);
+    let from_disk = run(true);
+    assert_eq!(from_memory, from_disk, "storage training diverged from memory training");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
