@@ -8,7 +8,7 @@ use std::hint::black_box;
 use ppgnn_graph::{gen, WeightedCsr};
 use ppgnn_tensor::{init, matmul, Matrix};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Per-row copy vs fused gather vs contiguous chunk copy — the Section 4
 /// batch-assembly hierarchy measured on real memory.

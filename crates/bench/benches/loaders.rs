@@ -10,7 +10,7 @@ use ppgnn_bench::MICRO_SCALE;
 use ppgnn_core::loader::{
     BaselineLoader, ChunkReshuffleLoader, DoubleBufferLoader, FusedGatherLoader, Loader,
 };
-use ppgnn_core::preprocess::{PrepropFeatures, Preprocessor};
+use ppgnn_core::preprocess::{Preprocessor, PrepropFeatures};
 use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
 use ppgnn_graph::Operator;
 

@@ -32,7 +32,12 @@ fn bench_train_step(c: &mut Criterion) {
     let profile = DatasetProfile::pokec_sim().scaled(MICRO_SCALE);
     let data = SynthDataset::generate(profile, 0).expect("generation succeeds");
     let prep = Preprocessor::new(vec![Operator::SymNorm], 3).run(&data);
-    let batch: Vec<Matrix> = prep.train.hops.iter().map(|h| h.slice_rows(0, 256)).collect();
+    let batch: Vec<Matrix> = prep
+        .train
+        .hops
+        .iter()
+        .map(|h| h.slice_rows(0, 256))
+        .collect();
     let labels: Vec<u32> = prep.train.labels[..256].to_vec();
 
     let mut group = c.benchmark_group("train-step-256");

@@ -78,7 +78,10 @@ fn main() {
             why.to_string(),
         ]);
     }
-    print_markdown_table(&["hardware variant", "total speedup", "mechanism exposed"], &rows);
+    print_markdown_table(
+        &["hardware variant", "total speedup", "mechanism exposed"],
+        &rows,
+    );
     println!("\nreading: the paper's 15x lives in the gap between per-sample framework");
     println!("overheads + strided host gathers and the bulk-transfer path; faster GPUs");
     println!("*increase* the value of the loading optimizations, slower ones mute them.");

@@ -26,7 +26,10 @@ fn main() {
         ("random-walk", vec![Operator::RowNorm]),
         ("ppr(0.15)", vec![Operator::Ppr { alpha: 0.15 }]),
         ("heat(3.0)", vec![Operator::Heat { t: 3.0 }]),
-        ("adj+ppr (K=2)", vec![Operator::SymNorm, Operator::Ppr { alpha: 0.15 }]),
+        (
+            "adj+ppr (K=2)",
+            vec![Operator::SymNorm, Operator::Ppr { alpha: 0.15 }],
+        ),
         (
             "adj+ppr+heat (K=3)",
             vec![
@@ -65,7 +68,13 @@ fn main() {
             ]);
         }
         print_markdown_table(
-            &["operator set", "K", "test acc %", "input expansion", "preproc time"],
+            &[
+                "operator set",
+                "K",
+                "test acc %",
+                "input expansion",
+                "preproc time",
+            ],
             &rows,
         );
         println!();

@@ -15,8 +15,8 @@ fn main() {
     let mut rows = Vec::new();
     for profile in DatasetProfile::all_profiles() {
         // Measure sampler expansion on the analog graph.
-        let data = SynthDataset::generate(profile.scaled(HARNESS_SCALE), 1)
-            .expect("generation succeeds");
+        let data =
+            SynthDataset::generate(profile.scaled(HARNESS_SCALE), 1).expect("generation succeeds");
         let mut sampler = make_sampler("neighbor", hops, 1);
         let mut stats = SampleStats::default();
         let probes = 4;

@@ -23,7 +23,10 @@ fn main() {
         let c = profile.num_classes;
         let mut rng = StdRng::seed_from_u64(17);
         let mut entries: Vec<(&str, Box<dyn PpModel>)> = vec![
-            ("HOGA", Box::new(Hoga::new(hops, f, 64, 4, c, 0.1, &mut rng))),
+            (
+                "HOGA",
+                Box::new(Hoga::new(hops, f, 64, 4, c, 0.1, &mut rng)),
+            ),
             ("SIGN", Box::new(Sign::new(hops, f, 64, c, 0.1, &mut rng))),
         ];
         for (name, model) in entries.iter_mut() {
@@ -44,7 +47,13 @@ fn main() {
         }
     }
     print_markdown_table(
-        &["model", "conv. epoch", "best val %", "test %", "val curve (every 4th epoch)"],
+        &[
+            "model",
+            "conv. epoch",
+            "best val %",
+            "test %",
+            "val curve (every 4th epoch)",
+        ],
         &rows,
     );
     println!("\nshape check: both PP models converge within a few tens of epochs (paper:");

@@ -43,7 +43,13 @@ fn main() {
         let mut sampler = make_sampler("neighbor", depth, 3);
         let gat_rep = train_mp(&mut gat, sampler.as_mut(), &data, epochs);
 
-        let fmt = |cp: Option<usize>, acc: f64| format!("{} ({:.1}%)", cp.map_or("-".into(), |e| e.to_string()), 100.0 * acc);
+        let fmt = |cp: Option<usize>, acc: f64| {
+            format!(
+                "{} ({:.1}%)",
+                cp.map_or("-".into(), |e| e.to_string()),
+                100.0 * acc
+            )
+        };
         rows.push(vec![
             profile.name.to_string(),
             fmt(hoga_rep.convergence_point, hoga_rep.best_val_acc),

@@ -40,8 +40,13 @@ fn main() {
         let sign = Sign::new(depth, f, 512, c, 0.0, &mut rng);
         let sgc = Sgc::new(depth, f, c, &mut rng);
         let pp_time = |m: &dyn ppgnn_models::PpModel| {
-            pp_epoch(&spec, &paper_pp_workload(&profile, m), LoaderGen::Baseline, Placement::Host)
-                .epoch_time
+            pp_epoch(
+                &spec,
+                &paper_pp_workload(&profile, m),
+                LoaderGen::Baseline,
+                Placement::Host,
+            )
+            .epoch_time
         };
 
         rows.push(vec![
@@ -55,7 +60,15 @@ fn main() {
         ]);
     }
     print_markdown_table(
-        &["dataset", "SAGE-Vanilla", "SAGE-UVA", "SAGE-Preload", "HOGA", "SIGN", "SGC"],
+        &[
+            "dataset",
+            "SAGE-Vanilla",
+            "SAGE-UVA",
+            "SAGE-Preload",
+            "HOGA",
+            "SIGN",
+            "SGC",
+        ],
         &rows,
     );
     println!("\nshape check: DGL optimizations give order-of-magnitude gains over vanilla");

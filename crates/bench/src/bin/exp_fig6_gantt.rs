@@ -21,12 +21,21 @@ fn main() {
     println!("## Figure 6 — loader pipeline schedules (4 batches, host-resident input)\n");
     for gen in LoaderGen::all() {
         let rep = pp_epoch(&spec, &w, gen, Placement::Host);
-        println!("### ({}) {} — epoch {:.4}s\n", label(gen), gen.name(), rep.epoch_time);
+        println!(
+            "### ({}) {} — epoch {:.4}s\n",
+            label(gen),
+            gen.name(),
+            rep.epoch_time
+        );
         println!("{}", gantt(&rep.schedule, 100));
     }
     println!("### (e) chunk reshuffling from SSD (GPUDirect) — Section 4.3\n");
     let rep = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd);
-    println!("epoch {:.4}s\n{}", rep.epoch_time, gantt(&rep.schedule, 100));
+    println!(
+        "epoch {:.4}s\n{}",
+        rep.epoch_time,
+        gantt(&rep.schedule, 100)
+    );
     println!("shape check: (a) serial per-sample assembly; (b) shorter host phase;");
     println!("(c) transfer/compute overlap; (d) host idle, GPU-side assembly.");
 }

@@ -27,7 +27,10 @@ fn main() {
     };
     let profile = ppgnn_bench::harness_profile(paper_profile, HARNESS_SCALE);
     let spec = server();
-    println!("## Figure 7/11 — accuracy vs throughput, {}\n", paper_profile.name);
+    println!(
+        "## Figure 7/11 — accuracy vs throughput, {}\n",
+        paper_profile.name
+    );
     println!("(accuracy: real training at harness scale; throughput: simulated paper scale)\n");
 
     let mut rows = Vec::new();
@@ -41,14 +44,16 @@ fn main() {
         let mut pp_entries: Vec<(&str, Box<dyn ppgnn_models::PpModel>)> = vec![
             ("SGC", Box::new(Sgc::new(depth, f, c, &mut rng))),
             ("SIGN", Box::new(Sign::new(depth, f, 48, c, 0.1, &mut rng))),
-            ("HOGA", Box::new(Hoga::new(depth, f, 48, 4, c, 0.1, &mut rng))),
+            (
+                "HOGA",
+                Box::new(Hoga::new(depth, f, 48, 4, c, 0.1, &mut rng)),
+            ),
         ];
         for (name, model) in pp_entries.iter_mut() {
             let acc =
                 train_pp(model.as_mut(), &prep, ACC_EPOCHS, LoaderKind::DoubleBuffer).test_acc;
             let w = paper_pp_workload(&paper_profile, model.as_ref());
-            let t =
-                pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Host).epoch_time;
+            let t = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Host).epoch_time;
             rows.push(vec![
                 format!("{name}-{depth}"),
                 format!("{:.1}", 100.0 * acc),
@@ -62,8 +67,7 @@ fn main() {
             let mut model = make_sage(depth, &profile, 11);
             let acc = train_mp(&mut model, sampler.as_mut(), &data, ACC_EPOCHS).test_acc;
             let probe_data =
-                SynthDataset::generate(paper_profile.scaled(0.5), 1)
-                    .expect("generation succeeds");
+                SynthDataset::generate(paper_profile.scaled(0.5), 1).expect("generation succeeds");
             let mut probe_sampler = make_sampler(sampler_name, depth, 12);
             let mp: Box<dyn MpModel> = Box::new(make_sage(depth, &profile, 11));
             let w = measured_mp_workload(
@@ -86,8 +90,7 @@ fn main() {
             let mut model = make_gat(depth, &profile, 11);
             let acc = train_mp(&mut model, sampler.as_mut(), &data, ACC_EPOCHS).test_acc;
             let probe_data =
-                SynthDataset::generate(paper_profile.scaled(0.5), 1)
-                    .expect("generation succeeds");
+                SynthDataset::generate(paper_profile.scaled(0.5), 1).expect("generation succeeds");
             let mut probe_sampler = make_sampler("labor", depth, 12);
             let mp: Box<dyn MpModel> = Box::new(make_gat(depth, &profile, 11));
             let w = measured_mp_workload(

@@ -62,7 +62,13 @@ fn main() {
             }
         }
         print_markdown_table(
-            &["model", "chunk size", "best val acc %", "test acc %", "conv. epoch"],
+            &[
+                "model",
+                "chunk size",
+                "best val acc %",
+                "test acc %",
+                "conv. epoch",
+            ],
             &rows,
         );
         println!();

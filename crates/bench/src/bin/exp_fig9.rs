@@ -54,12 +54,21 @@ fn main() {
         }
     }
     print_markdown_table(
-        &["dataset-model", "baseline", "+fused assembly", "+double buffer", "+chunk reshuffle"],
+        &[
+            "dataset-model",
+            "baseline",
+            "+fused assembly",
+            "+double buffer",
+            "+chunk reshuffle",
+        ],
         &rows,
     );
     let s1 = geomean(&stage_speedups.iter().map(|s| s[0]).collect::<Vec<_>>());
     let s2 = geomean(&stage_speedups.iter().map(|s| s[1]).collect::<Vec<_>>());
     let s3 = geomean(&stage_speedups.iter().map(|s| s[2]).collect::<Vec<_>>());
     println!("\ngeomean stage speedups: fused {s1:.1}x, +double-buffer {s2:.1}x, +chunk {s3:.1}x");
-    println!("total {:.1}x (paper: 3.3x · 1.9x · 2.4x = 15x)", s1 * s2 * s3);
+    println!(
+        "total {:.1}x (paper: 3.3x · 1.9x · 2.4x = 15x)",
+        s1 * s2 * s3
+    );
 }

@@ -32,7 +32,14 @@ fn main() {
         })
         .collect();
     print_markdown_table(
-        &["model", "family", "train memory", "propagation (red)", "transformation (blue)", "total compute"],
+        &[
+            "model",
+            "family",
+            "train memory",
+            "propagation (red)",
+            "transformation (blue)",
+            "total compute",
+        ],
         &rows,
     );
 

@@ -14,7 +14,11 @@ fn main() {
     let mut rows = Vec::new();
     for profile in DatasetProfile::all_profiles() {
         // Large profiles are scaled harder to keep this binary quick.
-        let scale = if profile.num_nodes > 50_000 { HARNESS_SCALE / 2.0 } else { HARNESS_SCALE };
+        let scale = if profile.num_nodes > 50_000 {
+            HARNESS_SCALE / 2.0
+        } else {
+            HARNESS_SCALE
+        };
         let scaled = profile.scaled(scale);
         let data = SynthDataset::generate(scaled, 42).expect("generation succeeds");
         // Paper hop counts (Appendix G): 6 for medium, 4 for papers, 3 for IGB.
@@ -28,8 +32,16 @@ fn main() {
         let _ = t;
         rows.push(vec![
             profile.name.to_string(),
-            format!("{} ({:.1}M)", data.graph.num_nodes(), profile.paper.num_nodes as f64 / 1e6),
-            format!("{} ({:.0}M)", data.graph.num_edges(), profile.paper.num_edges as f64 / 1e6),
+            format!(
+                "{} ({:.1}M)",
+                data.graph.num_nodes(),
+                profile.paper.num_nodes as f64 / 1e6
+            ),
+            format!(
+                "{} ({:.0}M)",
+                data.graph.num_edges(),
+                profile.paper.num_edges as f64 / 1e6
+            ),
             format!("{:.1}%", 100.0 * profile.labeled_frac),
             profile.feature_dim.to_string(),
             profile.num_classes.to_string(),

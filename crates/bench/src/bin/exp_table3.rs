@@ -17,7 +17,9 @@ use rand::SeedableRng;
 fn main() {
     let paper = DatasetProfile::papers100m_sim();
     let spec = server();
-    println!("## Table 3 — papers100M: accuracy (real, analog) + throughput (simulated, epoch/s)\n");
+    println!(
+        "## Table 3 — papers100M: accuracy (real, analog) + throughput (simulated, epoch/s)\n"
+    );
     let mut rows = Vec::new();
     for hops in [2usize, 3, 4] {
         let profile = paper;
@@ -48,7 +50,10 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(8);
         let mut entries: Vec<(&str, Box<dyn PpModel>)> = vec![
             ("SIGN", Box::new(Sign::new(hops, f, 64, c, 0.1, &mut rng))),
-            ("HOGA", Box::new(Hoga::new(hops, f, 64, 4, c, 0.1, &mut rng))),
+            (
+                "HOGA",
+                Box::new(Hoga::new(hops, f, 64, 4, c, 0.1, &mut rng)),
+            ),
         ];
         for (name, model) in entries.iter_mut() {
             let rep = train_pp(model.as_mut(), &prep, 15, LoaderKind::DoubleBuffer);
@@ -74,7 +79,14 @@ fn main() {
         }
     }
     print_markdown_table(
-        &["hops/layers", "model", "test acc %", "1 GPU", "2 GPUs", "4 GPUs"],
+        &[
+            "hops/layers",
+            "model",
+            "test acc %",
+            "1 GPU",
+            "2 GPUs",
+            "4 GPUs",
+        ],
         &rows,
     );
     println!("\nshape check: PP-GNN accuracy ≥ SAGE; SIGN throughput ≫ SAGE (paper: up to");

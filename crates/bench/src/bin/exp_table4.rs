@@ -23,23 +23,52 @@ fn main() {
     let c = profile.num_classes;
 
     let mut rows = Vec::new();
-    let mut rng = StdRng::seed_from_u64(4);
-    let mut entries: Vec<(&str, Box<dyn PpModel>)> = vec![
-        ("SIGN", Box::new(Sign::new(hops, f, 48, c, 0.1, &mut rng))),
-        ("HOGA", Box::new(Hoga::new(hops, f, 48, 4, c, 0.1, &mut rng))),
+    // Each training method must start from identical fresh weights —
+    // reusing one instance would hand the second method a head start of
+    // the first method's epochs.
+    type ModelFactory = Box<dyn Fn() -> Box<dyn PpModel>>;
+    let factories: Vec<(&str, ModelFactory)> = vec![
+        (
+            "SIGN",
+            Box::new(move || {
+                Box::new(Sign::new(
+                    hops,
+                    f,
+                    48,
+                    c,
+                    0.1,
+                    &mut StdRng::seed_from_u64(4),
+                ))
+            }),
+        ),
+        (
+            "HOGA",
+            Box::new(move || {
+                Box::new(Hoga::new(
+                    hops,
+                    f,
+                    48,
+                    4,
+                    c,
+                    0.1,
+                    &mut StdRng::seed_from_u64(5),
+                ))
+            }),
+        ),
     ];
-    for (name, model) in entries.iter_mut() {
-        // Accuracy under both training methods (real).
-        let rr_acc = {
-            let mut t = Trainer::new(pp_config(12, LoaderKind::DoubleBuffer));
-            t.fit(model.as_mut(), &prep).expect("training runs").test_acc
+    for (name, make) in &factories {
+        // Accuracy under both training methods (real), fresh model each.
+        let train_with = |loader: LoaderKind| {
+            let mut model = make();
+            let mut t = Trainer::new(pp_config(12, loader));
+            t.fit(model.as_mut(), &prep)
+                .expect("training runs")
+                .test_acc
         };
-        let cr_acc = {
-            let mut t = Trainer::new(pp_config(12, LoaderKind::Chunk { chunk_size: 256 }));
-            t.fit(model.as_mut(), &prep).expect("training runs").test_acc
-        };
+        let rr_acc = train_with(LoaderKind::DoubleBuffer);
+        let cr_acc = train_with(LoaderKind::Chunk { chunk_size: 256 });
         // Throughput at paper scale (epoch/minute, as in the table).
-        let w = paper_pp_workload(&paper, model.as_ref());
+        let w = paper_pp_workload(&paper, make().as_ref());
         let tput = |gen: LoaderGen, gpus: usize| {
             60.0 / multigpu::multi_gpu_epoch(&spec, &w, gen, Placement::Host, gpus).epoch_time
         };

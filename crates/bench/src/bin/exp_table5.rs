@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release -p ppgnn-bench --bin exp_table5`
 
-use ppgnn_bench::exp::{
-    make_sage, make_sampler, measured_mp_workload, paper_pp_workload, server,
-};
+use ppgnn_bench::exp::{make_sage, make_sampler, measured_mp_workload, paper_pp_workload, server};
 use ppgnn_bench::{prepared, print_markdown_table};
 use ppgnn_core::loader::{Loader, StorageChunkLoader};
 use ppgnn_dataio::{AccessPath, FeatureStore};
@@ -29,7 +27,8 @@ fn main() {
     let (_, prep) = prepared(profile, hops, 42);
     let dir = std::env::temp_dir().join(format!("ppgnn-t5-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    prep.write_store(&dir, profile.name, 256).expect("store written");
+    prep.write_store(&dir, profile.name, 256)
+        .expect("store written");
 
     let mut rows = Vec::new();
     let f = profile.feature_dim;
@@ -37,18 +36,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(6);
     let mut entries: Vec<(&str, Box<dyn PpModel>)> = vec![
         ("SIGN", Box::new(Sign::new(hops, f, 48, c, 0.1, &mut rng))),
-        ("HOGA", Box::new(Hoga::new(hops, f, 48, 4, c, 0.1, &mut rng))),
+        (
+            "HOGA",
+            Box::new(Hoga::new(hops, f, 48, 4, c, 0.1, &mut rng)),
+        ),
     ];
     for (name, model) in entries.iter_mut() {
         // Train 6 epochs *from disk* with chunk reshuffling.
         let store = FeatureStore::open(&dir).expect("store reopens");
-        let mut loader = StorageChunkLoader::new(
-            store,
-            prep.train.labels.clone(),
-            256,
-            AccessPath::Direct,
-            3,
-        );
+        let mut loader =
+            StorageChunkLoader::new(store, prep.train.labels.clone(), 256, AccessPath::Direct, 3);
         let mut opt = Adam::new(3e-3);
         for _ in 0..6 {
             loader.start_epoch();
@@ -82,8 +79,18 @@ fn main() {
     let sage: Box<dyn MpModel> = Box::new(make_sage(hops, &profile, 2));
     let mp_w = measured_mp_workload(&paper, &probe, sampler.as_mut(), sage.as_ref(), 3);
     for (system, label) in [
-        (MpSystem::Storage { cache_hit_rate: 0.3 }, "SAGE (DGL-mmap)"),
-        (MpSystem::Storage { cache_hit_rate: 0.7 }, "SAGE (Ginex)"),
+        (
+            MpSystem::Storage {
+                cache_hit_rate: 0.3,
+            },
+            "SAGE (DGL-mmap)",
+        ),
+        (
+            MpSystem::Storage {
+                cache_hit_rate: 0.7,
+            },
+            "SAGE (Ginex)",
+        ),
     ] {
         let t = mp_epoch(&spec, &mp_w, system).epoch_time;
         rows.push(vec![
@@ -95,7 +102,13 @@ fn main() {
         ]);
     }
     print_markdown_table(
-        &["model", "system", "test acc % (analog)", "epoch/hour (paper scale)", "io pattern"],
+        &[
+            "model",
+            "system",
+            "test acc % (analog)",
+            "epoch/hour (paper scale)",
+            "io pattern",
+        ],
         &rows,
     );
     std::fs::remove_dir_all(&dir).ok();

@@ -17,7 +17,11 @@ fn main() {
     println!("## Table 7 — preprocessing overhead vs one training run (all measured)\n");
     let mut rows = Vec::new();
     for profile in DatasetProfile::all_profiles() {
-        let scale = if profile.num_nodes > 50_000 { HARNESS_SCALE / 2.0 } else { HARNESS_SCALE };
+        let scale = if profile.num_nodes > 50_000 {
+            HARNESS_SCALE / 2.0
+        } else {
+            HARNESS_SCALE
+        };
         let profile = profile.scaled(scale);
         // Paper hop/epoch settings per dataset (Appendix G).
         let (hops, epochs) = match profile.name {

@@ -80,13 +80,26 @@ pub fn make_sampler(name: &str, layers: usize, seed: u64) -> Box<dyn Sampler> {
 /// Builds MP backbones at harness dimensions.
 pub fn make_sage(layers: usize, profile: &DatasetProfile, seed: u64) -> GraphSage {
     let mut rng = StdRng::seed_from_u64(seed);
-    GraphSage::new(layers, profile.feature_dim, 64, profile.num_classes, &mut rng)
+    GraphSage::new(
+        layers,
+        profile.feature_dim,
+        64,
+        profile.num_classes,
+        &mut rng,
+    )
 }
 
 /// GAT backbone at harness dimensions (paper: 128 per channel × 4 heads).
 pub fn make_gat(layers: usize, profile: &DatasetProfile, seed: u64) -> Gat {
     let mut rng = StdRng::seed_from_u64(seed);
-    Gat::new(layers, profile.feature_dim, 16, 4, profile.num_classes, &mut rng)
+    Gat::new(
+        layers,
+        profile.feature_dim,
+        16,
+        4,
+        profile.num_classes,
+        &mut rng,
+    )
 }
 
 /// Measured MP workload: runs the sampler at two probe batch sizes, fits
@@ -103,9 +116,7 @@ pub fn measured_mp_workload(
 ) -> MpWorkload {
     const PAPER_BATCH: usize = 8000;
     let n = data.graph.num_nodes();
-    let probe = |seeds_per_batch: usize,
-                 sampler: &mut dyn Sampler|
-     -> (SampleStats, u64) {
+    let probe = |seeds_per_batch: usize, sampler: &mut dyn Sampler| -> (SampleStats, u64) {
         let mut stats = SampleStats::default();
         let mut flops = 0u64;
         for b in 0..batches {

@@ -9,7 +9,7 @@
 
 pub mod exp;
 
-use ppgnn_core::preprocess::{PrepropOutput, Preprocessor};
+use ppgnn_core::preprocess::{Preprocessor, PrepropOutput};
 use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
 use ppgnn_graph::Operator;
 use ppgnn_models::{Hoga, PpModel, Sgc, Sign};
@@ -57,14 +57,32 @@ pub fn pp_models(
 ) -> Vec<(&'static str, Box<dyn PpModel>)> {
     let mut rng = StdRng::seed_from_u64(seed);
     vec![
-        ("SGC", Box::new(Sgc::new(hops, feature_dim, num_classes, &mut rng)) as Box<dyn PpModel>),
+        (
+            "SGC",
+            Box::new(Sgc::new(hops, feature_dim, num_classes, &mut rng)) as Box<dyn PpModel>,
+        ),
         (
             "SIGN",
-            Box::new(Sign::new(hops, feature_dim, hidden, num_classes, 0.1, &mut rng)),
+            Box::new(Sign::new(
+                hops,
+                feature_dim,
+                hidden,
+                num_classes,
+                0.1,
+                &mut rng,
+            )),
         ),
         (
             "HOGA",
-            Box::new(Hoga::new(hops, feature_dim, hidden, 4, num_classes, 0.1, &mut rng)),
+            Box::new(Hoga::new(
+                hops,
+                feature_dim,
+                hidden,
+                4,
+                num_classes,
+                0.1,
+                &mut rng,
+            )),
         ),
     ]
 }
@@ -84,7 +102,10 @@ pub fn print_markdown_table(headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    println!("{}", line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("{}", line(&sep));
     for row in rows {

@@ -86,15 +86,14 @@ impl AutoConfig {
             self.memory_headroom > 0.0 && self.memory_headroom <= 1.0,
             "memory headroom must be in (0, 1]"
         );
-        let usable_gpu =
-            ((spec.gpu_mem_bytes as f64 * self.memory_headroom) as u64).saturating_sub(model_peak_bytes);
+        let usable_gpu = ((spec.gpu_mem_bytes as f64 * self.memory_headroom) as u64)
+            .saturating_sub(model_peak_bytes);
         // Sharding across GPUs is not free space: locality-aware fetching
         // (Yang & Cong 2019, the Section 5 policy) replicates hot rows, so
         // only a fraction of the aggregate capacity is usable for the
         // partitioned input.
         const SHARD_EFFICIENCY: f64 = 0.75;
-        let usable_gpu_total =
-            (usable_gpu as f64 * spec.num_gpus as f64 * SHARD_EFFICIENCY) as u64;
+        let usable_gpu_total = (usable_gpu as f64 * spec.num_gpus as f64 * SHARD_EFFICIENCY) as u64;
         let usable_host = (spec.host_mem_bytes as f64 * self.memory_headroom) as u64;
 
         if input_bytes <= usable_gpu {

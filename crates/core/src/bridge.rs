@@ -167,7 +167,14 @@ mod tests {
     fn pp_workload_honours_label_fraction() {
         let profile = DatasetProfile::papers100m_sim();
         let mut rng = StdRng::seed_from_u64(0);
-        let model = Sign::new(3, profile.feature_dim, 64, profile.num_classes, 0.0, &mut rng);
+        let model = Sign::new(
+            3,
+            profile.feature_dim,
+            64,
+            profile.num_classes,
+            0.0,
+            &mut rng,
+        );
         let w = pp_workload(&profile, &model, 1, 8000, 8000, WorkloadScale::Paper);
         // train split: 78% of the 1.4% labeled nodes
         let expected = (111_059_956f64 * 0.014 * 0.78) as usize;
@@ -180,7 +187,14 @@ mod tests {
     fn paper_scale_expands_input_past_host_memory_for_igb_large() {
         let profile = DatasetProfile::igb_large_sim();
         let mut rng = StdRng::seed_from_u64(1);
-        let model = Sign::new(3, profile.feature_dim, 64, profile.num_classes, 0.0, &mut rng);
+        let model = Sign::new(
+            3,
+            profile.feature_dim,
+            64,
+            profile.num_classes,
+            0.0,
+            &mut rng,
+        );
         // resident input: 4 × 400 GB = 1.6 TB, the Section 3.4 number
         let resident = expanded_input_bytes(&profile, 3, 1, WorkloadScale::Paper);
         assert!(resident > 1_500_000_000_000);
@@ -198,7 +212,15 @@ mod tests {
             total_edges: 30000,
             seeds: 100,
         };
-        let w = mp_workload(&profile, &stats, 10, 1_000_000, 8000, 1 << 20, WorkloadScale::Paper);
+        let w = mp_workload(
+            &profile,
+            &stats,
+            10,
+            1_000_000,
+            8000,
+            1 << 20,
+            WorkloadScale::Paper,
+        );
         assert_eq!(w.input_nodes_per_batch, 500);
         assert_eq!(w.edges_per_batch, 3000);
         assert_eq!(w.feature_row_bytes, 100 * 4);

@@ -55,12 +55,12 @@ pub mod trainer;
 
 pub use autoconf::{AutoConfig, Method, TrainingPlan};
 pub use loader::{Loader, PpBatch};
-pub use preprocess::{ExpansionReport, PrepropFeatures, PrepropOutput, Preprocessor};
+pub use preprocess::{ExpansionReport, Preprocessor, PrepropFeatures, PrepropOutput};
 pub use trainer::{ConvergenceTracker, EpochStats, TrainConfig, TrainReport, Trainer};
 
 /// Fisher–Yates shuffle shared by the MP-GNN training loop.
 pub(crate) fn loader_shuffle<T>(items: &mut [T], rng: &mut rand::rngs::StdRng) {
-    use rand::RngExt;
+    use rand::Rng;
     for i in (1..items.len()).rev() {
         let j = rng.random_range(0..=i);
         items.swap(i, j);

@@ -36,7 +36,12 @@ impl ChunkReshuffleLoader {
     /// # Panics
     ///
     /// Panics if `batch_size == 0`, `chunk_size == 0`, or `data` is empty.
-    pub fn new(data: Arc<PrepropFeatures>, batch_size: usize, chunk_size: usize, seed: u64) -> Self {
+    pub fn new(
+        data: Arc<PrepropFeatures>,
+        batch_size: usize,
+        chunk_size: usize,
+        seed: u64,
+    ) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         assert!(chunk_size > 0, "chunk size must be positive");
         assert!(!data.is_empty(), "cannot iterate an empty partition");
@@ -203,7 +208,10 @@ mod tests {
 
     #[test]
     fn contiguous_runs_detects_runs() {
-        assert_eq!(contiguous_runs(&[3, 4, 5, 9, 0, 1]), vec![(3, 3), (9, 1), (0, 2)]);
+        assert_eq!(
+            contiguous_runs(&[3, 4, 5, 9, 0, 1]),
+            vec![(3, 3), (9, 1), (0, 2)]
+        );
         assert_eq!(contiguous_runs(&[]), vec![]);
         assert_eq!(contiguous_runs(&[7]), vec![(7, 1)]);
     }

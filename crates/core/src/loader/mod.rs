@@ -28,7 +28,7 @@ pub use storage::StorageChunkLoader;
 
 use ppgnn_tensor::Matrix;
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// One training minibatch: hop features and labels for `indices` rows of
 /// the training partition.
@@ -129,9 +129,7 @@ pub(crate) mod tests_support {
     pub(crate) fn tiny_features(n: usize, hops: usize, f: usize) -> PrepropFeatures {
         PrepropFeatures {
             hops: (0..=hops)
-                .map(|k| {
-                    Matrix::from_fn(n, f, move |r, c| (k * 1_000_000 + r * 1_000 + c) as f32)
-                })
+                .map(|k| Matrix::from_fn(n, f, move |r, c| (k * 1_000_000 + r * 1_000 + c) as f32))
                 .collect(),
             labels: (0..n).map(|r| (r % 5) as u32).collect(),
             node_ids: (0..n).collect(),

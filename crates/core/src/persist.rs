@@ -30,7 +30,11 @@ const PARTS: [&str; 3] = ["train", "val", "test"];
 /// Propagates filesystem and store-layer failures; a partially written
 /// directory is left behind for inspection (callers should treat any error
 /// as "re-run preprocessing").
-pub fn save(out: &PrepropOutput, dir: impl AsRef<Path>, chunk_size: usize) -> Result<(), DataIoError> {
+pub fn save(
+    out: &PrepropOutput,
+    dir: impl AsRef<Path>,
+    chunk_size: usize,
+) -> Result<(), DataIoError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
     let manifest = format!(
@@ -189,7 +193,12 @@ mod tests {
         let loaded = load(&dir).unwrap();
 
         let run = |prep: &PrepropOutput| {
-            let mut model = Sgc::new(1, data.profile.feature_dim, 2, &mut StdRng::seed_from_u64(1));
+            let mut model = Sgc::new(
+                1,
+                data.profile.feature_dim,
+                2,
+                &mut StdRng::seed_from_u64(1),
+            );
             let mut t = Trainer::new(TrainConfig {
                 epochs: 3,
                 batch_size: 64,

@@ -255,8 +255,7 @@ mod tests {
     fn multi_operator_concatenates_features() {
         let data = small_data();
         let f = data.profile.feature_dim;
-        let out =
-            Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 1).run(&data);
+        let out = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 1).run(&data);
         assert_eq!(out.train.hops[0].cols(), 2 * f);
         assert_eq!(out.expansion.num_operators, 2);
         assert!((out.expansion.factor() - 4.0).abs() < 1e-9); // K(R+1) = 2·2
@@ -279,10 +278,7 @@ mod tests {
             SynthDataset::generate(DatasetProfile::papers100m_sim().scaled(0.05), 1).unwrap();
         let out = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
         let labeled = data.split.num_labeled();
-        assert_eq!(
-            out.train.len() + out.val.len() + out.test.len(),
-            labeled
-        );
+        assert_eq!(out.train.len() + out.val.len() + out.test.len(), labeled);
         // expanded bytes ≪ full-graph raw bytes — the papers100M effect
         let full_raw = (data.graph.num_nodes() * data.profile.feature_dim * 4) as u64;
         assert!(out.expansion.expanded_bytes < full_raw / 5);

@@ -38,9 +38,11 @@ pub struct SweepReport {
 impl SweepReport {
     /// The best result by validation accuracy.
     pub fn best(&self) -> Option<&SweepResult> {
-        self.results
-            .iter()
-            .max_by(|a, b| a.val_acc.partial_cmp(&b.val_acc).expect("accuracies are finite"))
+        self.results.iter().max_by(|a, b| {
+            a.val_acc
+                .partial_cmp(&b.val_acc)
+                .expect("accuracies are finite")
+        })
     }
 
     /// Preprocessing cost as a fraction of the *total* sweep compute — the
@@ -114,7 +116,12 @@ mod tests {
         let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 8).unwrap();
         let prep = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
         let report = run_sweep(&prep, &grid(), |_| {
-            Box::new(Sgc::new(1, data.profile.feature_dim, 2, &mut StdRng::seed_from_u64(0)))
+            Box::new(Sgc::new(
+                1,
+                data.profile.feature_dim,
+                2,
+                &mut StdRng::seed_from_u64(0),
+            ))
         })
         .unwrap();
         assert_eq!(report.results.len(), 2);
@@ -128,12 +135,22 @@ mod tests {
         let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 9).unwrap();
         let prep = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
         let make = |_: &TrainConfig| -> Box<dyn PpModel> {
-            Box::new(Sgc::new(1, data.profile.feature_dim, 2, &mut StdRng::seed_from_u64(0)))
+            Box::new(Sgc::new(
+                1,
+                data.profile.feature_dim,
+                2,
+                &mut StdRng::seed_from_u64(0),
+            ))
         };
         let small = run_sweep(&prep, &grid()[..1], make).unwrap();
         let big_grid: Vec<TrainConfig> = grid().into_iter().cycle().take(6).collect();
         let make2 = |_: &TrainConfig| -> Box<dyn PpModel> {
-            Box::new(Sgc::new(1, data.profile.feature_dim, 2, &mut StdRng::seed_from_u64(0)))
+            Box::new(Sgc::new(
+                1,
+                data.profile.feature_dim,
+                2,
+                &mut StdRng::seed_from_u64(0),
+            ))
         };
         let big = run_sweep(&prep, &big_grid, make2).unwrap();
         assert!(

@@ -147,7 +147,10 @@ impl TrainReport {
         if self.history.is_empty() {
             return 0.0;
         }
-        self.history.iter().map(|e| e.loading_fraction()).sum::<f64>()
+        self.history
+            .iter()
+            .map(|e| e.loading_fraction())
+            .sum::<f64>()
             / self.history.len() as f64
     }
 }
@@ -244,9 +247,7 @@ impl Trainer {
                 1e-8,
                 weight_decay,
             )),
-            OptKind::Sgd { momentum } => {
-                Box::new(Sgd::with_options(self.config.lr, momentum, 0.0))
-            }
+            OptKind::Sgd { momentum } => Box::new(Sgd::with_options(self.config.lr, momentum, 0.0)),
         }
     }
 
@@ -319,7 +320,11 @@ impl Trainer {
 
             history.push(EpochStats {
                 epoch,
-                train_loss: if batches > 0 { loss_sum / batches as f64 } else { 0.0 },
+                train_loss: if batches > 0 {
+                    loss_sum / batches as f64
+                } else {
+                    0.0
+                },
                 val_acc,
                 loading_s,
                 forward_s,
@@ -351,11 +356,7 @@ pub fn evaluate(model: &mut dyn PpModel, data: &PrepropFeatures, batch_size: usi
     let mut start = 0;
     while start < n {
         let end = (start + batch_size).min(n);
-        let hop_slices: Vec<Matrix> = data
-            .hops
-            .iter()
-            .map(|h| h.slice_rows(start, end))
-            .collect();
+        let hop_slices: Vec<Matrix> = data.hops.iter().map(|h| h.slice_rows(start, end)).collect();
         let logits = model.forward(&hop_slices, Mode::Eval);
         let labels = &data.labels[start..end];
         hits += (metrics::accuracy(&logits, labels) * labels.len() as f64).round() as usize;
@@ -419,9 +420,13 @@ pub fn fit_mp(
         return Err(TrainError::EmptyTrainSet);
     }
     let mut opt: Box<dyn Optimizer> = match config.optimizer {
-        OptKind::Adam { weight_decay } => {
-            Box::new(Adam::with_options(config.lr, 0.9, 0.999, 1e-8, weight_decay))
-        }
+        OptKind::Adam { weight_decay } => Box::new(Adam::with_options(
+            config.lr,
+            0.9,
+            0.999,
+            1e-8,
+            weight_decay,
+        )),
         OptKind::Sgd { momentum } => Box::new(Sgd::with_options(config.lr, momentum, 0.0)),
     };
     let loss_fn = CrossEntropyLoss;
@@ -467,12 +472,15 @@ pub fn fit_mp(
         tracker.record(val_acc);
         if val_acc >= best_val {
             best_val = val_acc;
-            test_at_best =
-                evaluate_mp(model, sampler, graph, features, labels, test_ids, config);
+            test_at_best = evaluate_mp(model, sampler, graph, features, labels, test_ids, config);
         }
         history.push(MpEpochStats {
             epoch,
-            train_loss: if batches > 0 { loss_sum / batches as f64 } else { 0.0 },
+            train_loss: if batches > 0 {
+                loss_sum / batches as f64
+            } else {
+                0.0
+            },
             val_acc,
             sampling_s,
             gather_s,
@@ -642,6 +650,9 @@ mod tests {
         .unwrap();
         assert!(report.test_acc > data.majority_baseline());
         let stats = report.history[0].sample_stats;
-        assert!(stats.input_nodes > stats.seeds, "neighbor expansion expected");
+        assert!(
+            stats.input_nodes > stats.seeds,
+            "neighbor expansion expected"
+        );
     }
 }

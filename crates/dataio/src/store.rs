@@ -133,7 +133,9 @@ impl FeatureStoreWriter {
     /// written, or if `meta` has a zero chunk size.
     pub fn create(dir: impl AsRef<Path>, meta: StoreMeta) -> Result<Self, DataIoError> {
         if meta.chunk_size == 0 {
-            return Err(DataIoError::BadManifest("chunk_size must be positive".into()));
+            return Err(DataIoError::BadManifest(
+                "chunk_size must be positive".into(),
+            ));
         }
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
@@ -290,7 +292,11 @@ impl FeatureStore {
             file.seek(SeekFrom::Start(offset))?;
             file.read_exact(&mut buf)?;
             for (j, chunk) in buf.chunks_exact(4).enumerate() {
-                out.set(i, j, f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+                out.set(
+                    i,
+                    j,
+                    f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]),
+                );
             }
             self.counters.rand_requests += 1;
             self.counters.rand_bytes += row_bytes as u64;
@@ -337,7 +343,8 @@ impl FeatureStore {
         if path == AccessPath::HostBounce {
             self.counters.bounce_bytes += (rows * row_bytes) as u64;
         }
-        Matrix::from_vec(rows, self.meta.cols, data).map_err(|e| DataIoError::Corrupt(e.to_string()))
+        Matrix::from_vec(rows, self.meta.cols, data)
+            .map_err(|e| DataIoError::Corrupt(e.to_string()))
     }
 
     /// Reads chunk `chunk_id` across **all** hops (one request per hop file,
@@ -386,10 +393,7 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ppgnn-store-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("ppgnn-store-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -444,7 +448,9 @@ mod tests {
         assert_eq!(c.bounce_bytes, 0);
 
         store.reset_counters();
-        store.read_chunk_all_hops(0, AccessPath::HostBounce).unwrap();
+        store
+            .read_chunk_all_hops(0, AccessPath::HostBounce)
+            .unwrap();
         let c = store.counters();
         assert_eq!(c.seq_requests, 3); // one per hop file
         assert_eq!(c.seq_bytes, 3 * 4 * 16);

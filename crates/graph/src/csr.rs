@@ -119,7 +119,9 @@ impl CsrGraph {
             ));
         }
         if indptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(GraphError::InvalidCsr("indptr must be non-decreasing".into()));
+            return Err(GraphError::InvalidCsr(
+                "indptr must be non-decreasing".into(),
+            ));
         }
         if let Some(&bad) = indices.iter().find(|&&i| i as usize >= num_nodes) {
             return Err(GraphError::NodeOutOfBounds {
@@ -238,7 +240,13 @@ mod tests {
     #[test]
     fn out_of_bounds_edge_is_rejected() {
         let err = CsrGraph::from_edges(2, &[(0, 5)], true).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfBounds { node: 5, num_nodes: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfBounds {
+                node: 5,
+                num_nodes: 2
+            }
+        );
     }
 
     #[test]

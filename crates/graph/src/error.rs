@@ -20,7 +20,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidCsr(msg) => write!(f, "invalid csr structure: {msg}"),
         }
@@ -35,7 +38,10 @@ mod tests {
 
     #[test]
     fn display_mentions_ids() {
-        let e = GraphError::NodeOutOfBounds { node: 9, num_nodes: 4 };
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
     }

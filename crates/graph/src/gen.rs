@@ -11,7 +11,7 @@
 //!   harder) depend on how informative neighborhoods are;
 //!   [`Mixing`] controls it.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{CsrGraph, GraphError};
 
@@ -44,11 +44,7 @@ impl Mixing {
 ///
 /// Propagates [`GraphError`] from graph construction (cannot occur for
 /// in-range generated edges).
-pub fn erdos_renyi(
-    n: usize,
-    avg_degree: f64,
-    rng: &mut impl Rng,
-) -> Result<CsrGraph, GraphError> {
+pub fn erdos_renyi(n: usize, avg_degree: f64, rng: &mut impl Rng) -> Result<CsrGraph, GraphError> {
     let m = ((n as f64) * avg_degree / 2.0).round() as usize;
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
@@ -139,8 +135,8 @@ pub fn labeled_graph(
     let h = mixing.strength();
     let m = ((n as f64) * avg_degree / 2.0).round() as usize;
     let mut edges = Vec::with_capacity(m);
-    let pick_skewed = |len: usize, rng: &mut dyn rand::Rng| -> usize {
-        let u: f64 = rand::RngExt::random(rng);
+    let pick_skewed = |len: usize, mut rng: &mut dyn rand::RngCore| -> usize {
+        let u: f64 = rand::Rng::random(&mut rng);
         if skew <= 0.0 {
             (u * len as f64) as usize % len.max(1)
         } else {
@@ -172,7 +168,9 @@ pub fn labeled_graph(
 
 /// Draws `n` labels approximately uniformly over `num_classes` classes.
 pub fn uniform_labels(n: usize, num_classes: usize, rng: &mut impl Rng) -> Vec<u32> {
-    (0..n).map(|_| rng.random_range(0..num_classes) as u32).collect()
+    (0..n)
+        .map(|_| rng.random_range(0..num_classes) as u32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -207,8 +205,16 @@ mod tests {
     fn homophilous_graph_has_high_edge_homophily() {
         let mut rng = StdRng::seed_from_u64(3);
         let labels = uniform_labels(3000, 4, &mut rng);
-        let g = labeled_graph(3000, 12.0, &labels, 4, Mixing::Homophilous(0.8), 0.0, &mut rng)
-            .unwrap();
+        let g = labeled_graph(
+            3000,
+            12.0,
+            &labels,
+            4,
+            Mixing::Homophilous(0.8),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
         let h = stats::edge_homophily(&g, &labels);
         // 0.8 structured + 0.2 * 1/4 random ≈ 0.85
         assert!(h > 0.7, "edge homophily was {h}");
@@ -218,8 +224,7 @@ mod tests {
     fn shifted_graph_has_low_edge_homophily_but_structure() {
         let mut rng = StdRng::seed_from_u64(4);
         let labels = uniform_labels(3000, 5, &mut rng);
-        let g =
-            labeled_graph(3000, 12.0, &labels, 5, Mixing::Shifted(0.8), 0.0, &mut rng).unwrap();
+        let g = labeled_graph(3000, 12.0, &labels, 5, Mixing::Shifted(0.8), 0.0, &mut rng).unwrap();
         let h = stats::edge_homophily(&g, &labels);
         assert!(h < 0.35, "shifted mixing should be heterophilous, got {h}");
         // ... but next-class edges dominate.
@@ -228,7 +233,9 @@ mod tests {
         for v in 0..g.num_nodes() {
             for &u in g.neighbors(v) {
                 total += 1;
-                if labels[u as usize] == (labels[v] + 1) % 5 || labels[v] == (labels[u as usize] + 1) % 5 {
+                if labels[u as usize] == (labels[v] + 1) % 5
+                    || labels[v] == (labels[u as usize] + 1) % 5
+                {
                     next += 1;
                 }
             }
@@ -240,10 +247,26 @@ mod tests {
     fn skew_creates_hubs() {
         let mut rng = StdRng::seed_from_u64(5);
         let labels = uniform_labels(2000, 2, &mut rng);
-        let flat =
-            labeled_graph(2000, 10.0, &labels, 2, Mixing::Homophilous(0.7), 0.0, &mut rng).unwrap();
-        let skewed =
-            labeled_graph(2000, 10.0, &labels, 2, Mixing::Homophilous(0.7), 3.0, &mut rng).unwrap();
+        let flat = labeled_graph(
+            2000,
+            10.0,
+            &labels,
+            2,
+            Mixing::Homophilous(0.7),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
+        let skewed = labeled_graph(
+            2000,
+            10.0,
+            &labels,
+            2,
+            Mixing::Homophilous(0.7),
+            3.0,
+            &mut rng,
+        )
+        .unwrap();
         let max = |g: &CsrGraph| (0..g.num_nodes()).map(|v| g.degree(v)).max().unwrap();
         assert!(max(&skewed) > 2 * max(&flat));
     }
@@ -253,7 +276,16 @@ mod tests {
         let make = || {
             let mut rng = StdRng::seed_from_u64(99);
             let labels = uniform_labels(500, 3, &mut rng);
-            labeled_graph(500, 8.0, &labels, 3, Mixing::Homophilous(0.6), 1.0, &mut rng).unwrap()
+            labeled_graph(
+                500,
+                8.0,
+                &labels,
+                3,
+                Mixing::Homophilous(0.6),
+                1.0,
+                &mut rng,
+            )
+            .unwrap()
         };
         assert_eq!(make(), make());
     }

@@ -63,7 +63,9 @@ impl WeightedCsr {
             || *indptr.last().expect("len >= 1") != indices.len()
             || indptr.windows(2).any(|w| w[0] > w[1])
         {
-            return Err(GraphError::InvalidCsr("indptr not a valid prefix array".into()));
+            return Err(GraphError::InvalidCsr(
+                "indptr not a valid prefix array".into(),
+            ));
         }
         if let Some(&bad) = indices.iter().find(|&&i| (i as usize) >= cols) {
             return Err(GraphError::NodeOutOfBounds {
@@ -97,7 +99,8 @@ impl WeightedCsr {
     fn normalized(graph: &CsrGraph, add_self_loops: bool, symmetric: bool) -> Self {
         let n = graph.num_nodes();
         let mut indptr = Vec::with_capacity(n + 1);
-        let mut indices = Vec::with_capacity(graph.num_edges() + if add_self_loops { n } else { 0 });
+        let mut indices =
+            Vec::with_capacity(graph.num_edges() + if add_self_loops { n } else { 0 });
         let mut weights = Vec::with_capacity(indices.capacity());
 
         // Degrees of Ã (self-loop adds 1 unless already present).

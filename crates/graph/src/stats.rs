@@ -9,7 +9,11 @@ use crate::CsrGraph;
 ///
 /// Panics if `labels.len() != graph.num_nodes()`.
 pub fn edge_homophily(graph: &CsrGraph, labels: &[u32]) -> f64 {
-    assert_eq!(labels.len(), graph.num_nodes(), "labels must cover every node");
+    assert_eq!(
+        labels.len(),
+        graph.num_nodes(),
+        "labels must cover every node"
+    );
     let mut same = 0usize;
     let mut total = 0usize;
     for v in 0..graph.num_nodes() {

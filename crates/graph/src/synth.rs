@@ -10,7 +10,7 @@
 //! functional training runs on the scaled graphs.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use ppgnn_tensor::{init, Matrix};
@@ -402,8 +402,24 @@ mod tests {
     use crate::stats;
 
     #[test]
+    fn profiles_serde_round_trip_exactly() {
+        for p in DatasetProfile::all_profiles() {
+            let text = serde::to_string(&p);
+            let back: DatasetProfile = serde::from_str(&text).expect("profile parses back");
+            assert_eq!(back, p, "{} changed across serde round-trip", p.name);
+            assert_eq!(back.paper, p.paper);
+            // Bit-exactness of the float fields, beyond PartialEq.
+            assert_eq!(back.signal.to_bits(), p.signal.to_bits());
+            assert_eq!(back.avg_degree.to_bits(), p.avg_degree.to_bits());
+        }
+    }
+
+    #[test]
     fn profiles_have_distinct_names() {
-        let names: Vec<&str> = DatasetProfile::all_profiles().iter().map(|p| p.name).collect();
+        let names: Vec<&str> = DatasetProfile::all_profiles()
+            .iter()
+            .map(|p| p.name)
+            .collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -5,7 +5,10 @@ use ppgnn_tensor::Matrix;
 use proptest::prelude::*;
 
 /// Strategy: a random edge list over `n` nodes.
-fn edges(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+fn edges(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2..=max_nodes).prop_flat_map(move |n| {
         let edge = (0..n, 0..n);
         prop::collection::vec(edge, 0..=max_edges).prop_map(move |es| (n, es))

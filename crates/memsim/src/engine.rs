@@ -127,8 +127,14 @@ impl Sim {
         deps: &[TaskId],
         category: Category,
     ) -> TaskId {
-        assert!(resource.0 < self.resource_names.len(), "undeclared resource");
-        assert!(duration >= 0.0 && duration.is_finite(), "bad duration {duration}");
+        assert!(
+            resource.0 < self.resource_names.len(),
+            "undeclared resource"
+        );
+        assert!(
+            duration >= 0.0 && duration.is_finite(),
+            "bad duration {duration}"
+        );
         let id = TaskId(self.tasks.len());
         for d in deps {
             assert!(d.0 < id.0, "dependency on not-yet-issued task");
@@ -155,11 +161,7 @@ impl Sim {
         let mut busy: BTreeMap<Category, f64> = BTreeMap::new();
         let mut resource_busy = vec![0.0f64; self.resource_names.len()];
         for t in &self.tasks {
-            let dep_ready = t
-                .deps
-                .iter()
-                .map(|d| finish[d.0])
-                .fold(0.0f64, f64::max);
+            let dep_ready = t.deps.iter().map(|d| finish[d.0]).fold(0.0f64, f64::max);
             let s = dep_ready.max(resource_free[t.resource.0]);
             let f = s + t.duration;
             resource_free[t.resource.0] = f;
@@ -170,7 +172,11 @@ impl Sim {
         }
         Schedule {
             resource_names: self.resource_names,
-            tasks: self.tasks.iter().map(|t| (t.resource, t.category)).collect(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| (t.resource, t.category))
+                .collect(),
             start,
             finish,
             busy,
@@ -294,7 +300,11 @@ mod tests {
         let gpu = sim.resource("gpu");
         let mut computes: Vec<TaskId> = Vec::new();
         for i in 0..n {
-            let deps: Vec<TaskId> = if i >= 2 { vec![computes[i - 2]] } else { vec![] };
+            let deps: Vec<TaskId> = if i >= 2 {
+                vec![computes[i - 2]]
+            } else {
+                vec![]
+            };
             let load = sim.task(dma, 1.0, &deps, Category::Transfer);
             let c = sim.task(gpu, 1.0, &[load], Category::Compute);
             computes.push(c);
@@ -312,7 +322,11 @@ mod tests {
         let gpu = sim.resource("gpu");
         let mut computes: Vec<TaskId> = Vec::new();
         for i in 0..n {
-            let deps: Vec<TaskId> = if i >= 1 { vec![computes[i - 1]] } else { vec![] };
+            let deps: Vec<TaskId> = if i >= 1 {
+                vec![computes[i - 1]]
+            } else {
+                vec![]
+            };
             let load = sim.task(dma, 1.0, &deps, Category::Transfer);
             let c = sim.task(gpu, 1.0, &[load], Category::Compute);
             computes.push(c);

@@ -157,7 +157,10 @@ impl HardwareSpec {
             return Err("memory capacities must be non-zero".into());
         }
         if !(0.0..=1.0).contains(&self.uva_efficiency) {
-            return Err(format!("uva_efficiency must be in [0,1], got {}", self.uva_efficiency));
+            return Err(format!(
+                "uva_efficiency must be in [0,1], got {}",
+                self.uva_efficiency
+            ));
         }
         Ok(())
     }
@@ -197,6 +200,17 @@ mod tests {
         let t1 = h.h2d_time(1 << 20);
         let t2 = h.h2d_time(2 << 20);
         assert!(t2 > t1);
+    }
+
+    #[test]
+    fn hardware_spec_serde_round_trip_is_bit_exact() {
+        for spec in [HardwareSpec::a6000_server(), HardwareSpec::tiny()] {
+            let text = serde::to_string(&spec);
+            let back: HardwareSpec = serde::from_str(&text).expect("spec parses back");
+            assert_eq!(back, spec);
+            assert_eq!(back.gpu_mem_bw.to_bits(), spec.gpu_mem_bw.to_bits());
+            assert_eq!(back.dma_latency.to_bits(), spec.dma_latency.to_bits());
+        }
     }
 
     #[test]

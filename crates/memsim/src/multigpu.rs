@@ -48,9 +48,7 @@ pub fn multi_gpu_epoch(
             // Bulk DMA reads share the (NUMA-limited) host DMA ceiling;
             // CPU-side gathers run in per-GPU loader processes and only
             // contend once they exhaust the CPU-side aggregate.
-            per_gpu.pcie_bw = spec
-                .pcie_bw
-                .min(spec.host_dma_total_bw / num_gpus as f64);
+            per_gpu.pcie_bw = spec.pcie_bw.min(spec.host_dma_total_bw / num_gpus as f64);
             per_gpu.host_gather_bw = spec
                 .host_gather_bw
                 .min(spec.host_mem_total_bw / num_gpus as f64);
@@ -155,8 +153,20 @@ mod tests {
         // access" — the paper only implements single-GPU GDS.
         let spec = HardwareSpec::a6000_server();
         let w = workload();
-        let host = scaling_curve(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Host, &[1, 4]);
-        let ssd = scaling_curve(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd, &[1, 4]);
+        let host = scaling_curve(
+            &spec,
+            &w,
+            LoaderGen::ChunkReshuffle,
+            Placement::Host,
+            &[1, 4],
+        );
+        let ssd = scaling_curve(
+            &spec,
+            &w,
+            LoaderGen::ChunkReshuffle,
+            Placement::Ssd,
+            &[1, 4],
+        );
         let host_scale = host[1].1 / host[0].1;
         let ssd_scale = ssd[1].1 / ssd[0].1;
         assert!(
@@ -169,6 +179,12 @@ mod tests {
     #[should_panic(expected = "requested")]
     fn too_many_gpus_panics() {
         let spec = HardwareSpec::a6000_server();
-        multi_gpu_epoch(&spec, &workload(), LoaderGen::DoubleBuffer, Placement::Gpu, 8);
+        multi_gpu_epoch(
+            &spec,
+            &workload(),
+            LoaderGen::DoubleBuffer,
+            Placement::Gpu,
+            8,
+        );
     }
 }

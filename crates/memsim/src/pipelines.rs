@@ -249,8 +249,7 @@ pub fn pp_epoch(
             (LoaderGen::ChunkReshuffle, Placement::Gpu)
             | (LoaderGen::DoubleBuffer, Placement::Gpu) => {
                 // on-device gather at HBM gather bandwidth, double buffered
-                let t = spec.host_op_overhead
-                    + batch_bytes as f64 / spec.gpu_gather_bw;
+                let t = spec.host_op_overhead + batch_bytes as f64 / spec.gpu_gather_bw;
                 sim.task(gpu_copy, t, &buffer_dep, Category::GpuAssembly)
             }
             (LoaderGen::Baseline, Placement::Gpu) | (LoaderGen::FusedGather, Placement::Gpu) => {
@@ -266,24 +265,17 @@ pub fn pp_epoch(
                 let assemble_s = w.batch_size as f64 * spec.per_sample_overhead
                     + batch_bytes as f64 / spec.host_gather_bw;
                 let a = sim.task(host, assemble_s, &buffer_dep, Category::HostGather);
-                sim.task(
-                    dma,
-                    spec.h2d_time(batch_bytes),
-                    &[a],
-                    Category::Transfer,
-                )
+                sim.task(dma, spec.h2d_time(batch_bytes), &[a], Category::Transfer)
             }
             (LoaderGen::FusedGather, Placement::Host) => {
                 // one launch per batch; gather at full host bandwidth
-                let assemble_s =
-                    spec.host_op_overhead + batch_bytes as f64 / spec.host_gather_bw;
+                let assemble_s = spec.host_op_overhead + batch_bytes as f64 / spec.host_gather_bw;
                 let a = sim.task(host, assemble_s, &buffer_dep, Category::HostGather);
                 sim.task(dma, spec.h2d_time(batch_bytes), &[a], Category::Transfer)
             }
             (LoaderGen::DoubleBuffer, Placement::Host) => {
                 // dedicated assembly thread + prefetch stream
-                let assemble_s =
-                    spec.host_op_overhead + batch_bytes as f64 / spec.host_gather_bw;
+                let assemble_s = spec.host_op_overhead + batch_bytes as f64 / spec.host_gather_bw;
                 let a = sim.task(host, assemble_s, &buffer_dep, Category::HostGather);
                 sim.task(dma, spec.h2d_time(batch_bytes), &[a], Category::Transfer)
             }
@@ -299,15 +291,10 @@ pub fn pp_epoch(
                     } else {
                         vec![last.expect("set on previous iteration")]
                     };
-                    last = Some(sim.task(
-                        dma,
-                        spec.h2d_time(chunk_bytes),
-                        &deps,
-                        Category::Transfer,
-                    ));
+                    last =
+                        Some(sim.task(dma, spec.h2d_time(chunk_bytes), &deps, Category::Transfer));
                 }
-                let assemble = spec.host_op_overhead
-                    + batch_bytes as f64 / spec.gpu_gather_bw;
+                let assemble = spec.host_op_overhead + batch_bytes as f64 / spec.gpu_gather_bw;
                 sim.task(
                     gpu_copy,
                     assemble,
@@ -331,8 +318,7 @@ pub fn pp_epoch(
                     let t = spec.ssd_req_overhead + chunk_bytes as f64 / spec.ssd_seq_bw;
                     last = Some(sim.task(ssd, t, &deps, Category::StorageRead));
                 }
-                let assemble =
-                    spec.host_op_overhead + batch_bytes as f64 / spec.gpu_gather_bw;
+                let assemble = spec.host_op_overhead + batch_bytes as f64 / spec.gpu_gather_bw;
                 sim.task(
                     gpu_copy,
                     assemble,
@@ -388,14 +374,21 @@ pub fn mp_epoch(spec: &HardwareSpec, w: &MpWorkload, system: MpSystem) -> EpochR
 
     let mut computes: Vec<TaskId> = Vec::with_capacity(num_batches);
     for i in 0..num_batches {
-        let prev: Vec<TaskId> = if i >= 1 { vec![computes[i - 1]] } else { vec![] };
-        let double: Vec<TaskId> = if i >= 2 { vec![computes[i - 2]] } else { vec![] };
+        let prev: Vec<TaskId> = if i >= 1 {
+            vec![computes[i - 1]]
+        } else {
+            vec![]
+        };
+        let double: Vec<TaskId> = if i >= 2 {
+            vec![computes[i - 2]]
+        } else {
+            vec![]
+        };
         let ready = match system {
             MpSystem::VanillaCpu => {
                 // CPU sampling → host feature extraction → sync H2D
                 let s = sim.task(host, cpu_sample_s, &prev, Category::Sampling);
-                let gather_s = feature_bytes as f64 / spec.host_gather_bw
-                    + spec.host_op_overhead;
+                let gather_s = feature_bytes as f64 / spec.host_gather_bw + spec.host_op_overhead;
                 let g = sim.task(host, gather_s, &[s], Category::HostGather);
                 let xfer_bytes = feature_bytes + w.edges_per_batch * 8;
                 sim.task(dma, spec.h2d_time(xfer_bytes), &[g], Category::Transfer)
@@ -409,8 +402,7 @@ pub fn mp_epoch(spec: &HardwareSpec, w: &MpWorkload, system: MpSystem) -> EpochR
                     &double,
                     Category::Sampling,
                 );
-                let read_s =
-                    feature_bytes as f64 / (spec.pcie_bw * spec.uva_efficiency);
+                let read_s = feature_bytes as f64 / (spec.pcie_bw * spec.uva_efficiency);
                 sim.task(gpu_copy, read_s, &[s], Category::Transfer)
             }
             MpSystem::Preload => {
@@ -429,12 +421,11 @@ pub fn mp_epoch(spec: &HardwareSpec, w: &MpWorkload, system: MpSystem) -> EpochR
                 let s = sim.task(host, cpu_sample_s, &prev, Category::Sampling);
                 let miss_bytes = (feature_bytes as f64 * (1.0 - cache_hit_rate)) as u64;
                 let reads = (miss_bytes / w.feature_row_bytes.max(1)).max(1);
-                let read_s = reads as f64 * spec.ssd_req_overhead
-                    + miss_bytes as f64 / spec.ssd_rand_bw;
+                let read_s =
+                    reads as f64 * spec.ssd_req_overhead + miss_bytes as f64 / spec.ssd_rand_bw;
                 let r = sim.task(ssd, read_s, &[s], Category::StorageRead);
                 let hit_bytes = feature_bytes - miss_bytes;
-                let gather_s =
-                    hit_bytes as f64 / spec.host_gather_bw + spec.host_op_overhead;
+                let gather_s = hit_bytes as f64 / spec.host_gather_bw + spec.host_op_overhead;
                 let g = sim.task(host, gather_s, &[r], Category::HostGather);
                 sim.task(dma, spec.h2d_time(feature_bytes), &[g], Category::Transfer)
             }
@@ -479,9 +470,18 @@ mod tests {
         let fused = t(LoaderGen::FusedGather);
         let dbuf = t(LoaderGen::DoubleBuffer);
         let chunk = t(LoaderGen::ChunkReshuffle);
-        assert!(base > 2.0 * fused, "fused assembly should give ≥2x: {base} vs {fused}");
-        assert!(fused > dbuf, "double buffering should help: {fused} vs {dbuf}");
-        assert!(dbuf > chunk, "chunk reshuffling should help: {dbuf} vs {chunk}");
+        assert!(
+            base > 2.0 * fused,
+            "fused assembly should give ≥2x: {base} vs {fused}"
+        );
+        assert!(
+            fused > dbuf,
+            "double buffering should help: {fused} vs {dbuf}"
+        );
+        assert!(
+            dbuf > chunk,
+            "chunk reshuffling should help: {dbuf} vs {chunk}"
+        );
         assert!(base > 10.0 * chunk, "stacked speedup should be ≥10x");
     }
 
@@ -512,7 +512,10 @@ mod tests {
         let w = workload();
         let cr = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd).epoch_time;
         let rr = pp_epoch(&spec, &w, LoaderGen::DoubleBuffer, Placement::Ssd).epoch_time;
-        assert!(rr > 5.0 * cr, "random storage reads should be ≫ chunked: {rr} vs {cr}");
+        assert!(
+            rr > 5.0 * cr,
+            "random storage reads should be ≫ chunked: {rr} vs {cr}"
+        );
     }
 
     #[test]
@@ -550,7 +553,12 @@ mod tests {
         // the paper's headline: optimized PP-GNNs beat the best MP systems
         // because they move ~20x fewer bytes and skip sampling
         let spec = HardwareSpec::a6000_server();
-        let pp = pp_epoch(&spec, &workload(), LoaderGen::ChunkReshuffle, Placement::Host);
+        let pp = pp_epoch(
+            &spec,
+            &workload(),
+            LoaderGen::ChunkReshuffle,
+            Placement::Host,
+        );
         let w = MpWorkload {
             num_train: 160_000,
             batch_size: 8000,

@@ -170,12 +170,34 @@ mod tests {
     }
 
     #[test]
+    fn cost_types_serde_round_trip() {
+        for a in Approach::all() {
+            let back: Approach = serde::from_str(&serde::to_string(&a)).expect("variant parses");
+            assert_eq!(back, a);
+        }
+        let p = params(3);
+        let back: CostParams = serde::from_str(&serde::to_string(&p)).expect("params parse");
+        assert_eq!(back, p);
+        let c = ComputeCost {
+            propagation: u128::MAX / 3,
+            transformation: 12,
+        };
+        let back: ComputeCost = serde::from_str(&serde::to_string(&c)).expect("cost parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
     fn pp_models_have_no_propagation_cost() {
         let m = CostModel;
         for a in Approach::all() {
             let cost = m.computational_cost(a, params(3));
             if a.is_pp() {
-                assert_eq!(cost.propagation, 0, "{} should be propagation-free", a.name());
+                assert_eq!(
+                    cost.propagation,
+                    0,
+                    "{} should be propagation-free",
+                    a.name()
+                );
             } else {
                 assert!(cost.propagation > 0, "{} should pay propagation", a.name());
             }

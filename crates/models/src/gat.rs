@@ -288,7 +288,11 @@ impl Gat {
         );
         let mut layers = Vec::with_capacity(num_layers);
         for l in 0..num_layers {
-            let in_dim = if l == 0 { feature_dim } else { heads * head_dim };
+            let in_dim = if l == 0 {
+                feature_dim
+            } else {
+                heads * head_dim
+            };
             let is_last = l + 1 == num_layers;
             if is_last {
                 layers.push(GatLayer::new(in_dim, heads, num_classes, false, rng));
@@ -360,7 +364,9 @@ impl MpModel for Gat {
         let mut g = scatter_seed_grad(grad_out, &self.seed_local, self.last_num_dst);
         for l in (0..num_layers).rev() {
             if l + 1 != num_layers {
-                let pre = self.elu_caches[l].take().expect("hidden layers cache ELU input");
+                let pre = self.elu_caches[l]
+                    .take()
+                    .expect("hidden layers cache ELU input");
                 // d elu(x) = 1 if x > 0 else e^x
                 for (gv, &p) in g.as_mut_slice().iter_mut().zip(pre.as_slice()) {
                     *gv *= if p > 0.0 { 1.0 } else { p.exp() };
@@ -411,8 +417,16 @@ mod tests {
     fn setup() -> (CsrGraph, Matrix, Vec<u32>) {
         let mut rng = StdRng::seed_from_u64(0);
         let labels = gen::uniform_labels(200, 2, &mut rng);
-        let g = gen::labeled_graph(200, 8.0, &labels, 2, gen::Mixing::Homophilous(0.9), 0.0, &mut rng)
-            .unwrap();
+        let g = gen::labeled_graph(
+            200,
+            8.0,
+            &labels,
+            2,
+            gen::Mixing::Homophilous(0.9),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
         let mut x = init::standard_normal(200, 6, &mut rng);
         for v in 0..200 {
             x.row_mut(v)[labels[v] as usize] += 3.0;
@@ -464,7 +478,11 @@ mod tests {
         model.backward(&gl);
         let grads: Vec<Matrix> = model.params().iter().map(|p| p.grad.clone()).collect();
 
-        let eps = 1e-2f32;
+        // Small enough that the central difference does not step across
+        // LeakyReLU/ELU kinks (1e-2 does, and its truncation error then
+        // dwarfs the tolerance); large enough that f32 loss differences
+        // stay well above rounding noise.
+        let eps = 2e-3f32;
         let num_params = model.params().len();
         for pi in 0..num_params {
             let len = model.params()[pi].len();

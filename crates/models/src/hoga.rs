@@ -2,7 +2,7 @@ use ppgnn_nn::{
     Dropout, LayerNorm, Linear, Mode, Module, MultiHeadAttention, Param, Relu, Sequential,
 };
 use ppgnn_tensor::Matrix;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::pp::{validate_hops, PpModel};
 
@@ -80,11 +80,16 @@ impl Hoga {
         dropout: f32,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(feature_dim > 0 && hidden > 0 && num_classes > 0, "dimensions must be positive");
+        assert!(
+            feature_dim > 0 && hidden > 0 && num_classes > 0,
+            "dimensions must be positive"
+        );
         let tokens = hops + 1;
         Hoga {
             hops,
-            embeds: (0..tokens).map(|_| Linear::new(feature_dim, hidden, rng)).collect(),
+            embeds: (0..tokens)
+                .map(|_| Linear::new(feature_dim, hidden, rng))
+                .collect(),
             attention: MultiHeadAttention::new(tokens, hidden, heads, rng),
             norm: LayerNorm::new(hidden),
             pos: ppgnn_nn::Param::new(ppgnn_tensor::init::normal(tokens, hidden, 0.0, 0.02, rng)),
@@ -187,7 +192,11 @@ impl PpModel for Hoga {
     }
 
     fn backward(&mut self, grad_out: &Matrix) {
-        let HogaCache { batch: b, normed, gates } = self
+        let HogaCache {
+            batch: b,
+            normed,
+            gates,
+        } = self
             .cache
             .take()
             .expect("Hoga::backward called without a training-mode forward");
@@ -242,10 +251,12 @@ impl PpModel for Hoga {
         }
         let g_attended = self.norm.backward(&g_normed);
         let mut g_embedded = self.attention.backward(&g_attended);
-        g_embedded.add_assign(&g_attended); // residual path
+        // residual path
+        g_embedded.add_assign(&g_attended);
         // positional-embedding grads: sum token grads over the batch;
         // per-hop embedding grads: de-interleave tokens back to hop layout
-        let mut per_hop_grads: Vec<Matrix> = (0..t).map(|_| Matrix::zeros(b, self.hidden)).collect();
+        let mut per_hop_grads: Vec<Matrix> =
+            (0..t).map(|_| Matrix::zeros(b, self.hidden)).collect();
         for i in 0..b {
             for tok in 0..t {
                 let src = g_embedded.row(i * t + tok).to_vec();
@@ -301,7 +312,9 @@ mod tests {
 
     fn hop_stack(b: usize, f: usize, hops: usize, seed: u64) -> Vec<Matrix> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..=hops).map(|_| init::standard_normal(b, f, &mut rng)).collect()
+        (0..=hops)
+            .map(|_| init::standard_normal(b, f, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -334,7 +347,10 @@ mod tests {
         for r in 0..3 {
             let mut p = hops.clone();
             p[r].scale(3.0);
-            assert!(m.forward(&p, Mode::Eval).max_abs_diff(&base) > 1e-6, "hop {r} inert");
+            assert!(
+                m.forward(&p, Mode::Eval).max_abs_diff(&base) > 1e-6,
+                "hop {r} inert"
+            );
         }
     }
 
@@ -394,6 +410,10 @@ mod tests {
             opt.step(&mut m.params());
         }
         let logits = m.forward(&hops, Mode::Eval);
-        assert_eq!(metrics::accuracy(&logits, &labels), 1.0, "failed to learn XOR");
+        assert_eq!(
+            metrics::accuracy(&logits, &labels),
+            1.0,
+            "failed to learn XOR"
+        );
     }
 }

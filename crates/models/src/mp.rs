@@ -56,7 +56,11 @@ pub(crate) fn scatter_seed_grad(
     seed_local: &[usize],
     num_dst: usize,
 ) -> Matrix {
-    assert_eq!(grad_seeds.rows(), seed_local.len(), "seed grad row mismatch");
+    assert_eq!(
+        grad_seeds.rows(),
+        seed_local.len(),
+        "seed grad row mismatch"
+    );
     let mut out = Matrix::zeros(num_dst, grad_seeds.cols());
     for (r, &d) in seed_local.iter().enumerate() {
         out.row_mut(d).copy_from_slice(grad_seeds.row(r));

@@ -51,11 +51,18 @@ impl GraphSage {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(num_layers > 0, "at least one layer required");
-        assert!(feature_dim > 0 && hidden > 0 && num_classes > 0, "dimensions must be positive");
+        assert!(
+            feature_dim > 0 && hidden > 0 && num_classes > 0,
+            "dimensions must be positive"
+        );
         let mut layers = Vec::with_capacity(num_layers);
         for l in 0..num_layers {
             let in_dim = if l == 0 { feature_dim } else { hidden };
-            let out_dim = if l + 1 == num_layers { num_classes } else { hidden };
+            let out_dim = if l + 1 == num_layers {
+                num_classes
+            } else {
+                hidden
+            };
             layers.push(SageLayer {
                 w_self: Linear::new(in_dim, out_dim, rng),
                 w_neigh: Linear::new(in_dim, out_dim, rng),
@@ -137,7 +144,8 @@ impl MpModel for GraphSage {
             }
             let g_self = layer.w_self.backward(&g); // [num_dst, in]
             let g_agg = layer.w_neigh.backward(&g); // [num_dst, in]
-            let mut g_src = block.mean_backward(&g_agg, g_agg.cols()); // [num_src, in]
+                                                    // [num_src, in]
+            let mut g_src = block.mean_backward(&g_agg, g_agg.cols());
             // self path: dst nodes are the first num_dst sources
             for d in 0..block.num_dst() {
                 let row = g_self.row(d).to_vec();
@@ -194,8 +202,16 @@ mod tests {
     fn setup() -> (CsrGraph, Matrix, Vec<u32>) {
         let mut rng = StdRng::seed_from_u64(0);
         let labels = gen::uniform_labels(300, 3, &mut rng);
-        let g = gen::labeled_graph(300, 10.0, &labels, 3, gen::Mixing::Homophilous(0.9), 0.0, &mut rng)
-            .unwrap();
+        let g = gen::labeled_graph(
+            300,
+            10.0,
+            &labels,
+            3,
+            gen::Mixing::Homophilous(0.9),
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
         // features: strong class signal so a GNN can learn quickly
         let mut x = init::standard_normal(300, 8, &mut rng);
         for v in 0..300 {

@@ -26,7 +26,10 @@ impl Sgc {
     ///
     /// Panics if any dimension is zero.
     pub fn new(hops: usize, feature_dim: usize, num_classes: usize, rng: &mut impl Rng) -> Self {
-        assert!(feature_dim > 0 && num_classes > 0, "dimensions must be positive");
+        assert!(
+            feature_dim > 0 && num_classes > 0,
+            "dimensions must be positive"
+        );
         Sgc {
             hops,
             classifier: Linear::new(feature_dim, num_classes, rng),
@@ -84,7 +87,9 @@ mod tests {
 
     fn hop_stack(b: usize, f: usize, hops: usize, seed: u64) -> Vec<Matrix> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..=hops).map(|_| init::standard_normal(b, f, &mut rng)).collect()
+        (0..=hops)
+            .map(|_| init::standard_normal(b, f, &mut rng))
+            .collect()
     }
 
     #[test]

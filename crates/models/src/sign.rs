@@ -1,6 +1,6 @@
 use ppgnn_nn::{Dropout, Linear, Mode, Module, PRelu, Param, Relu, Sequential};
 use ppgnn_tensor::Matrix;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::pp::{validate_hops, PpModel};
 
@@ -47,8 +47,13 @@ impl Sign {
         dropout: f32,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(feature_dim > 0 && hidden > 0 && num_classes > 0, "dimensions must be positive");
-        let branches = (0..=hops).map(|_| Linear::new(feature_dim, hidden, rng)).collect();
+        assert!(
+            feature_dim > 0 && hidden > 0 && num_classes > 0,
+            "dimensions must be positive"
+        );
+        let branches = (0..=hops)
+            .map(|_| Linear::new(feature_dim, hidden, rng))
+            .collect();
         let activations = (0..=hops).map(|_| PRelu::new()).collect();
         let head = Sequential::new(vec![
             Box::new(Dropout::new(dropout, rng.random())),
@@ -146,7 +151,7 @@ impl PpModel for Sign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppgnn_nn::{metrics, CrossEntropyLoss, Adam, Optimizer};
+    use ppgnn_nn::{metrics, Adam, CrossEntropyLoss, Optimizer};
     use ppgnn_tensor::init;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -242,7 +247,11 @@ mod tests {
             opt.step(&mut m.params());
         }
         let logits = m.forward(&hops, Mode::Eval);
-        assert_eq!(metrics::accuracy(&logits, &labels), 1.0, "failed to learn XOR");
+        assert_eq!(
+            metrics::accuracy(&logits, &labels),
+            1.0,
+            "failed to learn XOR"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl Module for Relu {
             .mask
             .take()
             .expect("Relu::backward called without a training-mode forward");
-        assert_eq!(mask.len(), grad_out.len(), "grad_out shape mismatch in Relu");
+        assert_eq!(
+            mask.len(),
+            grad_out.len(),
+            "grad_out shape mismatch in Relu"
+        );
         let mut g = grad_out.clone();
         for (v, &keep) in g.as_mut_slice().iter_mut().zip(&mask) {
             if !keep {
@@ -88,7 +92,11 @@ impl Module for PRelu {
             .cached_input
             .take()
             .expect("PRelu::backward called without a training-mode forward");
-        assert_eq!(x.shape(), grad_out.shape(), "grad_out shape mismatch in PRelu");
+        assert_eq!(
+            x.shape(),
+            grad_out.shape(),
+            "grad_out shape mismatch in PRelu"
+        );
         let a = self.alpha();
         let mut gx = grad_out.clone();
         let mut galpha = 0.0f32;

@@ -45,8 +45,15 @@ impl MultiHeadAttention {
     ///
     /// Panics if `dim` is not divisible by `heads` or any argument is zero.
     pub fn new(tokens: usize, dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
-        assert!(tokens > 0 && dim > 0 && heads > 0, "attention dims must be positive");
-        assert_eq!(dim % heads, 0, "dim {dim} must be divisible by heads {heads}");
+        assert!(
+            tokens > 0 && dim > 0 && heads > 0,
+            "attention dims must be positive"
+        );
+        assert_eq!(
+            dim % heads,
+            0,
+            "dim {dim} must be divisible by heads {heads}"
+        );
         MultiHeadAttention {
             tokens,
             heads,
@@ -170,7 +177,11 @@ impl Module for MultiHeadAttention {
             .cache
             .take()
             .expect("MultiHeadAttention::backward called without a training-mode forward");
-        assert_eq!(grad_out.shape(), (x.rows(), self.dim), "grad_out shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            (x.rows(), self.dim),
+            "grad_out shape mismatch"
+        );
         let b = x.rows() / self.tokens;
         let t = self.tokens;
         let h = self.heads;

@@ -1,6 +1,6 @@
 use ppgnn_tensor::Matrix;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::{Mode, Module, Param};
 
@@ -23,7 +23,10 @@ impl Dropout {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1), got {p}"
+        );
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -66,7 +69,11 @@ impl Module for Dropout {
         match self.mask.take() {
             None => grad_out.clone(), // p == 0 or eval-mode forward
             Some(mask) => {
-                assert_eq!(mask.len(), grad_out.len(), "grad_out shape mismatch in Dropout");
+                assert_eq!(
+                    mask.len(),
+                    grad_out.len(),
+                    "grad_out shape mismatch in Dropout"
+                );
                 let mut g = grad_out.clone();
                 for (v, m) in g.as_mut_slice().iter_mut().zip(&mask) {
                     *v *= m;
@@ -100,7 +107,10 @@ mod tests {
         let mean = y.mean();
         assert!((mean - 1.0).abs() < 0.05, "mean was {mean}");
         // surviving entries are scaled by 2
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

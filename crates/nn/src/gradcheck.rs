@@ -103,7 +103,12 @@ pub fn check_gradients(
             let out = module.forward(&xm, Mode::Train);
             let lm = loss_fn.loss(&out, labels);
             let numeric = (lp - lm) / (2.0 * eps);
-            record(&mut report, numeric, dx.as_slice()[k], &format!("input[{k}]"));
+            record(
+                &mut report,
+                numeric,
+                dx.as_slice()[k],
+                &format!("input[{k}]"),
+            );
             k += stride;
         }
     }

@@ -19,7 +19,11 @@ impl CrossEntropyLoss {
     /// Panics if `labels.len() != logits.rows()`, a label is out of range,
     /// or `logits` is empty.
     pub fn loss_and_grad(&self, logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
-        assert_eq!(labels.len(), logits.rows(), "one label per logit row required");
+        assert_eq!(
+            labels.len(),
+            logits.rows(),
+            "one label per logit row required"
+        );
         assert!(!logits.is_empty(), "cross-entropy of an empty batch");
         let b = logits.rows();
         let c = logits.cols();

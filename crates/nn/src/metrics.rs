@@ -10,7 +10,11 @@ use ppgnn_tensor::Matrix;
 ///
 /// Panics if `labels.len() != logits.rows()`.
 pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
-    assert_eq!(labels.len(), logits.rows(), "one label per logit row required");
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "one label per logit row required"
+    );
     if labels.is_empty() {
         return 0.0;
     }
@@ -33,7 +37,11 @@ pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
 ///
 /// Panics if `labels.len() != logits.rows()` or a label is out of range.
 pub fn macro_f1(logits: &Matrix, labels: &[u32], num_classes: usize) -> f64 {
-    assert_eq!(labels.len(), logits.rows(), "one label per logit row required");
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "one label per logit row required"
+    );
     if labels.is_empty() {
         return 0.0;
     }

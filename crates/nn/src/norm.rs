@@ -61,17 +61,27 @@ impl Module for LayerNorm {
             }
         }
         if mode == Mode::Train {
-            self.cache = Some(LnCache { normalized, inv_std });
+            self.cache = Some(LnCache {
+                normalized,
+                inv_std,
+            });
         }
         y
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let LnCache { normalized, inv_std } = self
+        let LnCache {
+            normalized,
+            inv_std,
+        } = self
             .cache
             .take()
             .expect("LayerNorm::backward called without a training-mode forward");
-        assert_eq!(grad_out.shape(), normalized.shape(), "grad_out shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            normalized.shape(),
+            "grad_out shape mismatch"
+        );
         let d = normalized.cols();
         let gamma = self.gamma.value.row(0).to_vec();
 
@@ -254,7 +264,11 @@ impl Module for BatchNorm1d {
             .cache
             .take()
             .expect("BatchNorm1d::backward called without a training-mode forward");
-        assert_eq!(grad_out.shape(), normalized.shape(), "grad_out shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            normalized.shape(),
+            "grad_out shape mismatch"
+        );
         let (n, d) = normalized.shape();
         let gamma = self.gamma.value.row(0).to_vec();
 

@@ -40,7 +40,10 @@ impl Sgd {
     /// Panics if `lr <= 0`, `momentum < 0`, or `weight_decay < 0`.
     pub fn with_options(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!(momentum >= 0.0 && weight_decay >= 0.0, "hyperparameters must be non-negative");
+        assert!(
+            momentum >= 0.0 && weight_decay >= 0.0,
+            "hyperparameters must be non-negative"
+        );
         Sgd {
             lr,
             momentum,
@@ -65,7 +68,11 @@ impl Optimizer for Sgd {
             }
             if self.momentum > 0.0 {
                 let v = &mut self.velocity[i];
-                assert_eq!(v.shape(), g.shape(), "optimizer state shape drift at slot {i}");
+                assert_eq!(
+                    v.shape(),
+                    g.shape(),
+                    "optimizer state shape drift at slot {i}"
+                );
                 v.scale(self.momentum);
                 v.add_assign(&g);
                 p.value.axpy(-self.lr, v);
@@ -110,7 +117,10 @@ impl Adam {
     /// Panics if `lr <= 0` or betas are outside `[0, 1)`.
     pub fn with_options(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         Adam {
             lr,
             beta1,
@@ -139,7 +149,11 @@ impl Optimizer for Adam {
         for (i, p) in params.iter_mut().enumerate() {
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            assert_eq!(m.shape(), p.grad.shape(), "optimizer state shape drift at slot {i}");
+            assert_eq!(
+                m.shape(),
+                p.grad.shape(),
+                "optimizer state shape drift at slot {i}"
+            );
             let wd = self.weight_decay;
             for (((mv, vv), &g0), w) in m
                 .as_mut_slice()
@@ -227,7 +241,11 @@ mod tests {
             grad_of_square(&mut p);
             opt.step(&mut [&mut p]);
         }
-        assert!(p.value.get(0, 0).abs() < 1e-2, "ended at {}", p.value.get(0, 0));
+        assert!(
+            p.value.get(0, 0).abs() < 1e-2,
+            "ended at {}",
+            p.value.get(0, 0)
+        );
     }
 
     #[test]

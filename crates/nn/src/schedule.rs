@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = StepDecay { step_size: 10, gamma: 0.5 };
+        let s = StepDecay {
+            step_size: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -102,7 +105,10 @@ mod tests {
 
     #[test]
     fn cosine_is_monotone_decreasing_to_floor() {
-        let s = CosineAnnealing { total_epochs: 50, min_factor: 0.1 };
+        let s = CosineAnnealing {
+            total_epochs: 50,
+            min_factor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         let mut prev = 2.0f32;
         for e in 0..=50 {
@@ -116,7 +122,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_hands_over() {
-        let s = Warmup { warmup_epochs: 4, inner: Constant };
+        let s = Warmup {
+            warmup_epochs: 4,
+            inner: Constant,
+        };
         assert!((s.factor(0) - 0.25).abs() < 1e-6);
         assert!((s.factor(3) - 1.0).abs() < 1e-6);
         assert_eq!(s.factor(10), 1.0);
@@ -125,7 +134,10 @@ mod tests {
     #[test]
     fn apply_drives_optimizer_lr() {
         let mut opt = Sgd::new(0.1);
-        let s = StepDecay { step_size: 1, gamma: 0.5 };
+        let s = StepDecay {
+            step_size: 1,
+            gamma: 0.5,
+        };
         s.apply(&mut opt, 0.1, 2);
         assert!((opt.lr() - 0.025).abs() < 1e-7);
     }

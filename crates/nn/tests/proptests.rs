@@ -1,8 +1,6 @@
 //! Property-based tests for layers, loss, and optimizers.
 
-use ppgnn_nn::{
-    Adam, CrossEntropyLoss, Linear, Mode, Module, Optimizer, Relu, Sequential, Sgd,
-};
+use ppgnn_nn::{Adam, CrossEntropyLoss, Linear, Mode, Module, Optimizer, Relu, Sequential, Sgd};
 use ppgnn_tensor::Matrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

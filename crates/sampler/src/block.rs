@@ -39,10 +39,21 @@ impl Block {
         weights: Option<Vec<f32>>,
     ) -> Self {
         assert!(num_dst <= src_nodes.len(), "num_dst exceeds src_nodes");
-        assert_eq!(indptr.len(), num_dst + 1, "indptr must have num_dst + 1 entries");
+        assert_eq!(
+            indptr.len(),
+            num_dst + 1,
+            "indptr must have num_dst + 1 entries"
+        );
         assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert_eq!(*indptr.last().expect("non-empty"), indices.len(), "indptr end mismatch");
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        assert_eq!(
+            *indptr.last().expect("non-empty"),
+            indices.len(),
+            "indptr end mismatch"
+        );
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be non-decreasing"
+        );
         assert!(
             indices.iter().all(|&i| (i as usize) < src_nodes.len()),
             "block index out of bounds"
@@ -224,13 +235,7 @@ mod tests {
     fn simple_block() -> Block {
         // 2 dst (global 10, 11), sources [10, 11, 20, 21];
         // dst0 ← {20, 21}, dst1 ← {20}
-        Block::new(
-            vec![10, 11, 20, 21],
-            2,
-            vec![0, 2, 3],
-            vec![2, 3, 2],
-            None,
-        )
+        Block::new(vec![10, 11, 20, 21], 2, vec![0, 2, 3], vec![2, 3, 2], None)
     }
 
     #[test]

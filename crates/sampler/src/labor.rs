@@ -1,6 +1,6 @@
 use ppgnn_graph::CsrGraph;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::neighbor::expand_layer;
 use crate::{Block, MiniBatch, SampleStats, Sampler};

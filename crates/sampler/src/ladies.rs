@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use ppgnn_graph::CsrGraph;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::{Block, MiniBatch, SampleStats, Sampler};
 
@@ -77,8 +77,7 @@ impl Sampler for LadiesSampler {
                 .collect();
             keyed.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
             let picked: Vec<usize> = keyed.iter().take(self.budget).map(|&(_, u)| u).collect();
-            let picked_set: HashMap<usize, ()> =
-                picked.iter().map(|&u| (u, ())).collect();
+            let picked_set: HashMap<usize, ()> = picked.iter().map(|&u| (u, ())).collect();
 
             // Assemble the block: dst = current; src = dst ∪ picked;
             // edges = (t, u) with u picked and u ∈ N(t).
@@ -186,7 +185,7 @@ mod tests {
         let batch = s.sample(&g, &[7, 8]);
         for w in batch.blocks.windows(2) {
             let upper_src = w[1].src_nodes();
-            assert_eq!(&w[0].src_nodes()[..w[0].num_dst()], &upper_src[..]);
+            assert_eq!(&w[0].src_nodes()[..w[0].num_dst()], upper_src);
         }
     }
 

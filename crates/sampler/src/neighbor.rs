@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use ppgnn_graph::CsrGraph;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::{Block, MiniBatch, SampleStats, Sampler};
 
@@ -73,7 +73,7 @@ pub(crate) fn expand_layer(
     let mut indices = Vec::new();
     let mut weights: Option<Vec<f32>> = None;
     indptr.push(0);
-    for (_, &t) in dst_nodes.iter().enumerate() {
+    for &t in dst_nodes.iter() {
         let (neigh, w) = sample_fn(t);
         if let Some(w) = w {
             weights.get_or_insert_with(Vec::new).extend(w);
@@ -185,7 +185,7 @@ mod tests {
         // layer l's dst nodes are layer l+1's src nodes
         for w in batch.blocks.windows(2) {
             let upper_src = w[1].src_nodes();
-            assert_eq!(&w[0].src_nodes()[..w[0].num_dst()], &upper_src[..]);
+            assert_eq!(&w[0].src_nodes()[..w[0].num_dst()], upper_src);
         }
         assert_eq!(&batch.blocks.last().unwrap().src_nodes()[..3], &[1, 2, 3]);
     }

@@ -40,10 +40,7 @@ fn check_batch(
     }
     // layer chaining: block l's dst == block l+1's src prefix
     for w in batch.blocks.windows(2) {
-        prop_assert_eq!(
-            &w[0].src_nodes()[..w[0].num_dst()],
-            &w[1].src_nodes()[..]
-        );
+        prop_assert_eq!(&w[0].src_nodes()[..w[0].num_dst()], w[1].src_nodes());
     }
     // stats consistency
     prop_assert_eq!(batch.stats.seeds, seeds.len());

@@ -12,7 +12,7 @@
 //! assert_eq!(w.shape(), (4, 8));
 //! ```
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::Matrix;
 
@@ -82,8 +82,8 @@ mod tests {
         let w = normal(200, 200, 3.0, 0.5, &mut rng);
         let mean = w.mean();
         assert!((mean - 3.0).abs() < 0.02, "mean was {mean}");
-        let var = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (w.len() as f32 - 1.0);
+        let var =
+            w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (w.len() as f32 - 1.0);
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std was {}", var.sqrt());
     }
 

@@ -144,7 +144,10 @@ impl Matrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -155,7 +158,10 @@ impl Matrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -226,7 +232,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > rows`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "bad row range {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,

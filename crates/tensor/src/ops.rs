@@ -38,7 +38,11 @@ impl Matrix {
     ///
     /// Panics if shapes differ.
     pub fn mul_assign_elem(&mut self, other: &Matrix) {
-        assert_eq!(self.shape(), other.shape(), "mul_assign_elem shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "mul_assign_elem shape mismatch"
+        );
         for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a *= b;
         }
@@ -149,7 +153,11 @@ impl Matrix {
     ///
     /// Panics if `cols` is not divisible by `parts`.
     pub fn hsplit(&self, parts: usize) -> Vec<Matrix> {
-        assert!(parts > 0 && self.cols() % parts == 0, "cannot hsplit {} cols into {parts}", self.cols());
+        assert!(
+            parts > 0 && self.cols() % parts == 0,
+            "cannot hsplit {} cols into {parts}",
+            self.cols()
+        );
         let w = self.cols() / parts;
         let mut out = vec![Matrix::zeros(self.rows(), w); parts];
         for r in 0..self.rows() {
@@ -190,7 +198,11 @@ impl Matrix {
         let src = self.as_slice();
         let dst = out.as_mut_slice();
         for (k, &i) in indices.iter().enumerate() {
-            assert!(i < self.rows(), "gather index {i} out of bounds ({} rows)", self.rows());
+            assert!(
+                i < self.rows(),
+                "gather index {i} out of bounds ({} rows)",
+                self.rows()
+            );
             dst[k * cols..(k + 1) * cols].copy_from_slice(&src[i * cols..(i + 1) * cols]);
         }
     }
@@ -206,7 +218,11 @@ impl Matrix {
     /// Panics on column mismatch or out-of-bounds indices.
     pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Matrix) {
         assert_eq!(self.cols(), src.cols(), "scatter_add column mismatch");
-        assert_eq!(indices.len(), src.rows(), "scatter_add index-count mismatch");
+        assert_eq!(
+            indices.len(),
+            src.rows(),
+            "scatter_add index-count mismatch"
+        );
         let cols = self.cols();
         for (k, &i) in indices.iter().enumerate() {
             assert!(i < self.rows(), "scatter index {i} out of bounds");

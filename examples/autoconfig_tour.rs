@@ -60,15 +60,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let store = FeatureStore::open(&dir)?;
-    let mut loader = StorageChunkLoader::new(
-        store,
-        prep.train.labels.clone(),
-        256,
-        AccessPath::Direct,
-        4,
-    );
+    let mut loader =
+        StorageChunkLoader::new(store, prep.train.labels.clone(), 256, AccessPath::Direct, 4);
     let mut rng = StdRng::seed_from_u64(1);
-    let mut model = Sign::new(hops, profile.feature_dim, 32, profile.num_classes, 0.1, &mut rng);
+    let mut model = Sign::new(
+        hops,
+        profile.feature_dim,
+        32,
+        profile.num_classes,
+        0.1,
+        &mut rng,
+    );
     let mut opt = Sgd::with_options(0.01, 0.9, 0.0);
     for epoch in 0..3 {
         loader.start_epoch();

@@ -14,8 +14,8 @@ use ppgnn_core::preprocess::Preprocessor;
 use ppgnn_core::trainer::{LoaderKind, TrainConfig, Trainer};
 use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
 use ppgnn_graph::Operator;
-use ppgnn_models::{Hoga, PpModel, Sign};
 use ppgnn_memsim::{multigpu, HardwareSpec, LoaderGen, Placement};
+use ppgnn_models::{Hoga, PpModel, Sign};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2);
     let mut models: Vec<(&str, Box<dyn PpModel>)> = vec![
         ("SIGN", Box::new(Sign::new(hops, f, 64, c, 0.1, &mut rng))),
-        ("HOGA", Box::new(Hoga::new(hops, f, 64, 4, c, 0.1, &mut rng))),
+        (
+            "HOGA",
+            Box::new(Hoga::new(hops, f, 64, 4, c, 0.1, &mut rng)),
+        ),
     ];
     for (name, model) in models.iter_mut() {
         let mut trainer = Trainer::new(TrainConfig {
@@ -70,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(3);
     let sign = Sign::new(hops, profile.feature_dim, 512, c, 0.0, &mut rng);
     let w = pp_workload(&profile, &sign, 1, 8000, 8000, WorkloadScale::Paper);
-    let curve = multigpu::scaling_curve(&spec, &w, LoaderGen::DoubleBuffer, Placement::Gpu, &[1, 2, 4]);
+    let curve = multigpu::scaling_curve(
+        &spec,
+        &w,
+        LoaderGen::DoubleBuffer,
+        Placement::Gpu,
+        &[1, 2, 4],
+    );
     print!("{:<8}", "SIGN");
     for (_, tput) in &curve {
         print!(" {:>10.2}", tput);

@@ -40,7 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Train SIGN with the optimized loader (double-buffer prefetching).
     let mut rng = StdRng::seed_from_u64(0);
-    let mut model = Sign::new(hops, profile.feature_dim, 64, profile.num_classes, 0.2, &mut rng);
+    let mut model = Sign::new(
+        hops,
+        profile.feature_dim,
+        64,
+        profile.num_classes,
+        0.2,
+        &mut rng,
+    );
     let mut trainer = Trainer::new(TrainConfig {
         epochs: 20,
         batch_size: 256,
@@ -65,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "epoch breakdown: loading {:.1}% | forward {:.1}% | backward {:.1}% | optim {:.1}%",
         100.0 * last.loading_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
         100.0 * last.forward_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
-        100.0 * last.backward_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
+        100.0 * last.backward_s
+            / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
         100.0 * last.optim_s / (last.loading_s + last.forward_s + last.backward_s + last.optim_s),
     );
     Ok(())

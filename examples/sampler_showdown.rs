@@ -80,7 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // PP-GNN comparison: expansion factor is exactly 1 by construction.
     let prep = Preprocessor::new(vec![Operator::SymNorm], 3).run(&data);
     let mut rng = StdRng::seed_from_u64(5);
-    let mut sign = Sign::new(3, profile.feature_dim, 64, profile.num_classes, 0.1, &mut rng);
+    let mut sign = Sign::new(
+        3,
+        profile.feature_dim,
+        64,
+        profile.num_classes,
+        0.1,
+        &mut rng,
+    );
     let t = std::time::Instant::now();
     let mut pp_trainer = Trainer::new(TrainConfig {
         loader: LoaderKind::Chunk { chunk_size: 256 },

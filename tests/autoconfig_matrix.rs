@@ -21,12 +21,22 @@ fn paper_scale_placements_match_the_evaluation_section() {
     // papers100M §6.4: labeled rows shrink the input to GPU-resident size.
     let papers = DatasetProfile::papers100m_sim();
     let plan = cfg.plan(&server, paper_input_bytes(&papers, 3), probe);
-    assert_eq!(plan.placement, Placement::Gpu, "papers100M: {}", plan.reason);
+    assert_eq!(
+        plan.placement,
+        Placement::Gpu,
+        "papers100M: {}",
+        plan.reason
+    );
 
     // igb-medium §6.4: 40 GB raw × (R+1) → exceeds one GPU, fits host.
     let medium = DatasetProfile::igb_medium_sim();
     let plan = cfg.plan(&server, paper_input_bytes(&medium, 3), probe);
-    assert_eq!(plan.placement, Placement::Host, "igb-medium: {}", plan.reason);
+    assert_eq!(
+        plan.placement,
+        Placement::Host,
+        "igb-medium: {}",
+        plan.reason
+    );
     assert_eq!(plan.method, Method::SgdRr, "host default is SGD-RR");
 
     // igb-large §6.4: 1.6 TB → storage, chunk reshuffling mandatory.
@@ -63,7 +73,11 @@ fn user_cr_preference_only_affects_host_placement() {
     let host_plan = cfg.plan(&server, 200 << 30, probe);
     assert_eq!(host_plan.placement, Placement::Host);
     assert_eq!(host_plan.method, Method::SgdCr);
-    assert_eq!(host_plan.pinned_host_bytes, 200 << 30, "CR pins the whole input");
+    assert_eq!(
+        host_plan.pinned_host_bytes,
+        200 << 30,
+        "CR pins the whole input"
+    );
 }
 
 #[test]

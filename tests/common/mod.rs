@@ -1,0 +1,31 @@
+//! Helpers shared by the loader integration suites.
+//!
+//! `loader_equivalence` (cross-generation equality) and
+//! `loader_determinism` (byte-digest pin) must exercise the **same**
+//! dataset and preprocessing configuration, or their guarantees cover
+//! different streams; both build their fixture here.
+
+use std::sync::Arc;
+
+use ppgnn_core::loader::Loader;
+use ppgnn_core::preprocess::{Preprocessor, PrepropFeatures};
+use ppgnn_core::PpBatch;
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+
+/// The fixed training partition both loader suites pin their properties on.
+pub fn train_partition() -> Arc<PrepropFeatures> {
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.03), 1).unwrap();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+    Arc::new(prep.train)
+}
+
+/// Runs one full epoch and collects the batch stream.
+pub fn drain(loader: &mut dyn Loader) -> Vec<PpBatch> {
+    loader.start_epoch();
+    let mut out = Vec::new();
+    while let Some(b) = loader.next_batch() {
+        out.push(b);
+    }
+    out
+}

@@ -55,7 +55,11 @@ fn full_pipeline_beats_majority_for_every_pp_model() {
     // benchmarks. The hop-*interaction* advantage of SIGN/HOGA is pinned by
     // dedicated XOR-across-hops tests in `ppgnn-models`; here we only guard
     // against a multi-hop model collapsing.
-    let sgc = results.iter().find(|(n, _)| *n == "sgc").expect("sgc ran").1;
+    let sgc = results
+        .iter()
+        .find(|(n, _)| *n == "sgc")
+        .expect("sgc ran")
+        .1;
     let best_multi_hop = results
         .iter()
         .filter(|(n, _)| *n != "sgc")
@@ -79,7 +83,10 @@ fn more_hops_help_on_homophilous_graphs() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut model = Sign::new(hops, profile.feature_dim, 32, 2, 0.1, &mut rng);
         let mut trainer = Trainer::new(config(10));
-        trainer.fit(&mut model, &prep).expect("training runs").test_acc
+        trainer
+            .fit(&mut model, &prep)
+            .expect("training runs")
+            .test_acc
     };
     let mlp = acc_at(0);
     let three_hop = acc_at(3);

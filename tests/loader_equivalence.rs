@@ -3,29 +3,12 @@
 //! `chunk_size = 1`), so the Section 4 optimizations change *mechanics*,
 //! not *semantics*.
 
-use std::sync::Arc;
+mod common;
 
+use common::{drain, train_partition};
 use ppgnn_core::loader::{
     BaselineLoader, ChunkReshuffleLoader, DoubleBufferLoader, FusedGatherLoader, Loader,
 };
-use ppgnn_core::preprocess::Preprocessor;
-use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
-use ppgnn_graph::Operator;
-
-fn train_partition() -> Arc<ppgnn_core::preprocess::PrepropFeatures> {
-    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.03), 1).unwrap();
-    let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
-    Arc::new(prep.train)
-}
-
-fn drain(loader: &mut dyn Loader) -> Vec<ppgnn_core::PpBatch> {
-    loader.start_epoch();
-    let mut out = Vec::new();
-    while let Some(b) = loader.next_batch() {
-        out.push(b);
-    }
-    out
-}
 
 #[test]
 fn all_generations_yield_identical_streams() {
@@ -43,7 +26,12 @@ fn all_generations_yield_identical_streams() {
     assert!(!reference.is_empty());
     for loader in loaders[1..].iter_mut() {
         let stream = drain(loader.as_mut());
-        assert_eq!(stream.len(), reference.len(), "{} batch count", loader.name());
+        assert_eq!(
+            stream.len(),
+            reference.len(),
+            "{} batch count",
+            loader.name()
+        );
         for (a, b) in reference.iter().zip(&stream) {
             assert_eq!(a.indices, b.indices, "{} indices differ", loader.name());
             assert_eq!(a.labels, b.labels, "{} labels differ", loader.name());

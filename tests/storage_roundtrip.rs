@@ -21,7 +21,9 @@ fn store_round_trip_is_bit_exact() {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 3).unwrap();
     let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
     let dir = temp_dir("bitexact");
-    let mut store = prep.write_store(&dir, "pokec-sim", 32).expect("store written");
+    let mut store = prep
+        .write_store(&dir, "pokec-sim", 32)
+        .expect("store written");
     for (k, hop) in prep.train.hops.iter().enumerate() {
         let loaded = store.read_full_hop(k).expect("hop reads back");
         assert_eq!(&loaded, hop, "hop {k} differs after round trip");
@@ -37,7 +39,8 @@ fn storage_loader_matches_in_memory_chunk_loader() {
     const CHUNK: usize = 16;
     const BATCH: usize = 48;
     const SEED: u64 = 77;
-    prep.write_store(&dir, "pokec-sim", CHUNK).expect("store written");
+    prep.write_store(&dir, "pokec-sim", CHUNK)
+        .expect("store written");
 
     let store = FeatureStore::open(&dir).expect("store reopens");
     let mut disk = StorageChunkLoader::new(
@@ -59,7 +62,10 @@ fn storage_loader_matches_in_memory_chunk_loader() {
                 assert_eq!(d.indices, m.indices, "batch {batches} indices differ");
                 assert_eq!(d.labels, m.labels, "batch {batches} labels differ");
                 for (hd, hm) in d.hops.iter().zip(&m.hops) {
-                    assert!(hd.max_abs_diff(hm) == 0.0, "batch {batches} features differ");
+                    assert!(
+                        hd.max_abs_diff(hm) == 0.0,
+                        "batch {batches} features differ"
+                    );
                 }
                 batches += 1;
             }
@@ -80,14 +86,18 @@ fn corrupted_store_fails_closed_not_wrong() {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.015), 5).unwrap();
     let prep = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
     let dir = temp_dir("corrupt");
-    prep.write_store(&dir, "pokec-sim", 16).expect("store written");
+    prep.write_store(&dir, "pokec-sim", 16)
+        .expect("store written");
 
     // Truncate one hop file: opening the store must fail cleanly.
     let hop1 = dir.join("hop_1.ppgt");
     let bytes = std::fs::read(&hop1).unwrap();
     std::fs::write(&hop1, &bytes[..bytes.len() / 2]).unwrap();
     let err = FeatureStore::open(&dir).expect_err("truncation must be detected");
-    assert!(err.to_string().contains("truncated"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("truncated"),
+        "unexpected error: {err}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -103,10 +113,16 @@ fn training_from_storage_matches_training_from_memory() {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 6).unwrap();
     let prep = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
     let dir = temp_dir("trainmatch");
-    prep.write_store(&dir, "pokec-sim", 32).expect("store written");
+    prep.write_store(&dir, "pokec-sim", 32)
+        .expect("store written");
 
     let run = |use_disk: bool| -> Vec<f32> {
-        let mut model = Sgc::new(1, data.profile.feature_dim, 2, &mut StdRng::seed_from_u64(1));
+        let mut model = Sgc::new(
+            1,
+            data.profile.feature_dim,
+            2,
+            &mut StdRng::seed_from_u64(1),
+        );
         let mut opt = Sgd::new(0.05);
         let mut loader: Box<dyn Loader> = if use_disk {
             let store = FeatureStore::open(&dir).expect("store reopens");
@@ -140,6 +156,9 @@ fn training_from_storage_matches_training_from_memory() {
 
     let from_memory = run(false);
     let from_disk = run(true);
-    assert_eq!(from_memory, from_disk, "storage training diverged from memory training");
+    assert_eq!(
+        from_memory, from_disk,
+        "storage training diverged from memory training"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }

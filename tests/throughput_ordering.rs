@@ -4,9 +4,7 @@
 
 use ppgnn_core::bridge::{mp_workload, pp_workload, WorkloadScale};
 use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
-use ppgnn_memsim::{
-    mp_epoch, multigpu, pp_epoch, HardwareSpec, LoaderGen, MpSystem, Placement,
-};
+use ppgnn_memsim::{mp_epoch, multigpu, pp_epoch, HardwareSpec, LoaderGen, MpSystem, Placement};
 use ppgnn_models::{GraphSage, MpModel, Sign};
 use ppgnn_sampler::{LaborSampler, SampleStats, Sampler};
 use rand::rngs::StdRng;
@@ -38,7 +36,14 @@ fn measured_mp_inputs(profile: &DatasetProfile) -> (SampleStats, usize, u64) {
 
 fn sign_workload(profile: &DatasetProfile, hops: usize) -> ppgnn_memsim::PpWorkload {
     let mut rng = StdRng::seed_from_u64(1);
-    let model = Sign::new(hops, profile.feature_dim, 512, profile.num_classes, 0.0, &mut rng);
+    let model = Sign::new(
+        hops,
+        profile.feature_dim,
+        512,
+        profile.num_classes,
+        0.0,
+        &mut rng,
+    );
     pp_workload(profile, &model, 1, 8000, 8000, WorkloadScale::Paper)
 }
 
@@ -56,7 +61,11 @@ fn ablation_stack_reaches_an_order_of_magnitude() {
     let dbuf = time(LoaderGen::DoubleBuffer);
     let chunk = time(LoaderGen::ChunkReshuffle);
     assert!(base / fused >= 2.0, "fused speedup {:.1}", base / fused);
-    assert!(fused / dbuf >= 1.2, "double-buffer speedup {:.2}", fused / dbuf);
+    assert!(
+        fused / dbuf >= 1.2,
+        "double-buffer speedup {:.2}",
+        fused / dbuf
+    );
     assert!(dbuf / chunk >= 1.2, "chunk speedup {:.2}", dbuf / chunk);
     assert!(base / chunk >= 8.0, "total speedup {:.1}", base / chunk);
 }
@@ -106,9 +115,15 @@ fn placement_study_matches_figure14() {
     let host_cr = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Host).epoch_time;
     let host_rr = pp_epoch(&spec, &w, LoaderGen::DoubleBuffer, Placement::Host).epoch_time;
     let ssd_cr = pp_epoch(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Ssd).epoch_time;
-    assert!(gpu_rr <= host_cr * 1.05, "gpu {gpu_rr} vs host-cr {host_cr}");
+    assert!(
+        gpu_rr <= host_cr * 1.05,
+        "gpu {gpu_rr} vs host-cr {host_cr}"
+    );
     assert!(host_cr < host_rr, "host-cr {host_cr} vs host-rr {host_rr}");
-    assert!(ssd_cr < host_rr * 3.0, "ssd-cr {ssd_cr} should be competitive");
+    assert!(
+        ssd_cr < host_rr * 3.0,
+        "ssd-cr {ssd_cr} should be competitive"
+    );
 }
 
 #[test]
@@ -117,13 +132,22 @@ fn multi_gpu_scaling_shapes_match_tables_3_and_4() {
     let w = sign_workload(&DatasetProfile::igb_medium_sim(), 2);
 
     // GPU-resident SGD-RR scales; host-bound chunk reshuffling saturates.
-    let gpu_curve = multigpu::scaling_curve(&spec, &w, LoaderGen::DoubleBuffer, Placement::Gpu, &[1, 4]);
-    let host_curve =
-        multigpu::scaling_curve(&spec, &w, LoaderGen::ChunkReshuffle, Placement::Host, &[1, 4]);
+    let gpu_curve =
+        multigpu::scaling_curve(&spec, &w, LoaderGen::DoubleBuffer, Placement::Gpu, &[1, 4]);
+    let host_curve = multigpu::scaling_curve(
+        &spec,
+        &w,
+        LoaderGen::ChunkReshuffle,
+        Placement::Host,
+        &[1, 4],
+    );
     let gpu_scale = gpu_curve[1].1 / gpu_curve[0].1;
     let host_scale = host_curve[1].1 / host_curve[0].1;
     assert!(gpu_scale > 2.0, "GPU-resident scaling {gpu_scale:.2}");
-    assert!(host_scale < gpu_scale, "host CR must scale worse ({host_scale:.2} vs {gpu_scale:.2})");
+    assert!(
+        host_scale < gpu_scale,
+        "host CR must scale worse ({host_scale:.2} vs {gpu_scale:.2})"
+    );
 }
 
 #[test]
@@ -143,7 +167,14 @@ fn igb_large_storage_throughput_gap_is_order_of_magnitude() {
     );
     let pp = sign_workload(&profile, 3);
     let pp_ssd = pp_epoch(&spec, &pp, LoaderGen::ChunkReshuffle, Placement::Ssd).epoch_time;
-    let mp_ssd = mp_epoch(&spec, &mp, MpSystem::Storage { cache_hit_rate: 0.5 }).epoch_time;
+    let mp_ssd = mp_epoch(
+        &spec,
+        &mp,
+        MpSystem::Storage {
+            cache_hit_rate: 0.5,
+        },
+    )
+    .epoch_time;
     assert!(
         mp_ssd / pp_ssd > 8.0,
         "storage PP ({pp_ssd:.1}s) should dominate storage MP ({mp_ssd:.1}s)"

@@ -1,0 +1,245 @@
+//! Vendored, dependency-free stand-in for the slice of the `criterion` 0.5
+//! API this workspace's `benches/` use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm up, then time `sample_size`
+//! samples whose per-sample iteration count is sized to a fixed wall-clock
+//! budget, and report min/mean ns per iteration on stdout. There is no
+//! statistical analysis, HTML report, or baseline comparison; the point is
+//! that `cargo bench` builds, runs, and prints comparable numbers offline.
+//!
+//! Like upstream criterion, full measurement only happens under
+//! `cargo bench` (which passes `--bench` to harness-less targets); in any
+//! other invocation — notably `cargo test`, which builds and runs the
+//! bench targets since they set `test = true` — each benchmark body runs
+//! exactly once as a smoke test.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark (all samples together).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream semantics: `cargo bench` passes `--bench`; anything else
+        // (notably `cargo test`) runs benchmarks once, as smoke tests.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 20,
+            test_mode: !measure,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = name.into();
+        run_benchmark(&id, self.sample_size, self.test_mode, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(&full, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (upstream flushes reports here; a no-op shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group (`name/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (the measured region).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Calibrate: one untimed call, then estimate a per-sample iteration
+    // count that fits the budget across `sample_size` samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = MEASURE_BUDGET.as_nanos() / sample_size.max(1) as u128;
+    let iters = (per_sample / once.as_nanos()).clamp(1, 1 << 20) as u64;
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+        total += ns;
+    }
+    let mean = total / sample_size as f64;
+    println!("bench {id:<48} min {best:>12.1} ns/iter   mean {mean:>12.1} ns/iter   ({sample_size} samples x {iters} iters)");
+}
+
+/// Declares a group of benchmark functions, with optional configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group entry point.
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut hits = 0u32;
+        c.bench_function("probe", |b| {
+            b.iter(|| hits += 1);
+        });
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("512xDxD", 64);
+        assert_eq!(id.0, "512xDxD/64");
+    }
+}

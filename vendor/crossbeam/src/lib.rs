@@ -1,0 +1,164 @@
+//! Vendored, dependency-free stand-in for the slice of `crossbeam` 0.8 this
+//! workspace uses: [`scope`] for structured fork/join parallelism (GEMM and
+//! SpMM row-partitioning) and [`channel::bounded`] for the double-buffer
+//! loader's producer/consumer hand-off.
+//!
+//! Both are thin wrappers over `std`: [`scope`] delegates to
+//! [`std::thread::scope`], and [`channel::bounded`] to
+//! [`std::sync::mpsc::sync_channel`].
+//!
+//! # Examples
+//!
+//! ```
+//! let mut parts = [0u64; 4];
+//! crossbeam::scope(|s| {
+//!     for (i, p) in parts.iter_mut().enumerate() {
+//!         s.spawn(move |_| *p = i as u64 * 10);
+//!     }
+//! })
+//! .unwrap();
+//! assert_eq!(parts, [0, 10, 20, 30]);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::thread;
+
+/// A handle for spawning threads scoped to a [`scope`] call.
+///
+/// Mirrors `crossbeam::thread::Scope`: closures passed to [`Scope::spawn`]
+/// receive the scope itself so they can spawn nested workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; it is joined before [`scope`] returns.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a [`Scope`] whose spawned threads may borrow local state;
+/// all threads are joined before this returns.
+///
+/// Returns `Ok` with the closure's value. Unlike upstream crossbeam, a
+/// panicking child thread propagates the panic on join (via
+/// [`std::thread::scope`] semantics) rather than surfacing as `Err`; every
+/// call site in this workspace immediately `unwrap`s/`expect`s the result,
+/// so the observable behavior — abort the test with the panic message — is
+/// the same.
+///
+/// # Errors
+///
+/// Never returns `Err` (see above); the `Result` exists for upstream API
+/// compatibility.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! Bounded MPSC channels (wrapping [`std::sync::mpsc`]).
+
+    use std::sync::mpsc;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if the receiving half was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Fails once the channel is empty and all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking; `None` if no value is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::bounded;
+
+        #[test]
+        fn round_trips_values_in_order() {
+            let (tx, rx) = bounded(2);
+            let worker = std::thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            worker.join().unwrap();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn dropping_receiver_errors_the_sender() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}

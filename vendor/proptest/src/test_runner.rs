@@ -1,0 +1,76 @@
+//! Test-loop configuration and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!` — draw fresh inputs.
+    Reject(String),
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// RNG for one property test: seeded from a hash of the test name so runs
+/// are reproducible, overridable via `PPGNN_PROPTEST_SEED`.
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    if let Ok(s) = std::env::var("PPGNN_PROPTEST_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            return StdRng::seed_from_u64(seed);
+        }
+    }
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}

@@ -1,0 +1,318 @@
+//! Vendored, dependency-free stand-in for the slice of the `rand` 0.9 API
+//! this workspace uses.
+//!
+//! The build must work fully offline (no registry access), so instead of the
+//! real `rand` crate this shim provides API-compatible implementations of:
+//!
+//! - [`Rng`] with `random`, `random_range`, `random_bool`, `random_ratio`
+//!   (the rand 0.9 method names — rand 0.8's `gen`/`gen_range` were renamed),
+//! - [`SeedableRng::seed_from_u64`],
+//! - [`rngs::StdRng`], a deterministic xoshiro256** generator.
+//!
+//! Determinism is the load-bearing property: every experiment, loader, and
+//! sampler in the workspace seeds a [`rngs::StdRng`] explicitly, and tests
+//! assert byte-identical streams for equal seeds. The exact stream differs
+//! from upstream `rand` (which is fine — no test encodes upstream values),
+//! but it is stable across runs, platforms, and rebuilds.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(42);
+//! let mut b = StdRng::seed_from_u64(42);
+//! let xs: Vec<u32> = (0..4).map(|_| a.random_range(0..100)).collect();
+//! let ys: Vec<u32> = (0..4).map(|_| b.random_range(0..100)).collect();
+//! assert_eq!(xs, ys);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod rngs;
+
+/// A source of random `u32`/`u64` values — the object-safe core trait.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng` in rand 0.9).
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (floats: uniform in `[0, 1)`; integers: full range; bool: fair coin).
+    fn random<T: distr::StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: distr::SampleUniform,
+        R: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0, 1]");
+        <f64 as distr::StandardUniform>::sample_standard(self) < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator == 0` or `numerator > denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0, "zero denominator");
+        assert!(numerator <= denominator, "ratio above 1");
+        (self.next_u64() % u64::from(denominator)) < u64::from(numerator)
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Distribution plumbing backing [`Rng::random`] and [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+
+    /// Types with a canonical "standard" distribution.
+    pub trait StandardUniform: Sized {
+        /// Samples one value from the standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 mantissa bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardUniform for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 24 mantissa bits -> uniform in [0, 1).
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardUniform for $t {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl StandardUniform for u128 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Samples from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! impl_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as u128) - (lo as u128) + u128::from(inclusive);
+                    assert!(span > 0, "cannot sample from an empty range");
+                    lo + (u128::from(rng.next_u64()) % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as i128) - (lo as i128) + i128::from(inclusive);
+                    assert!(span > 0, "cannot sample from an empty range");
+                    (lo as i128 + (i128::from(rng.next_u64() >> 1) % span)) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    assert!(lo < hi || (_inclusive && lo <= hi), "empty float range");
+                    let unit = <$t>::sample_standard(rng);
+                    let v = lo + (hi - lo) * unit;
+                    // Guard against rounding up to the open bound.
+                    if v >= hi && !_inclusive { lo } else { v }
+                }
+            }
+        )*};
+    }
+    impl_uniform_float!(f32, f64);
+
+    /// Range shapes accepted by [`super::Rng::random_range`].
+    pub trait SampleRange<T> {
+        /// Samples a single value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(rng, *self.start(), *self.end(), true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: usize = r.random_range(0..17);
+            assert!(v < 17);
+            let w: u64 = r.random_range(5..=9);
+            assert!((5..=9).contains(&w));
+            let f: f32 = r.random_range(f32::MIN_POSITIVE..1.0);
+            assert!((f32::MIN_POSITIVE..1.0).contains(&f));
+            let g: f64 = r.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unit_floats_live_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

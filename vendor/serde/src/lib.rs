@@ -1,0 +1,383 @@
+//! Vendored, offline stand-in for the slice of `serde` this workspace uses:
+//! `#[derive(Serialize, Deserialize)]` on plain data structs and unit
+//! enums, plus [`to_string`] / [`from_str`] for round-tripping them.
+//!
+//! The wire format is a flat, whitespace-separated token stream (strings
+//! quoted with backslash escapes, floats via `{:?}` so round-trips are
+//! exact, field order = declaration order). It is self-describing enough
+//! for the workspace's config types — dataset profiles, cost parameters,
+//! hardware specs — and deliberately nothing more.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, PartialEq, Serialize, Deserialize)]
+//! struct Point {
+//!     x: f64,
+//!     y: f64,
+//!     label: String,
+//! }
+//!
+//! let p = Point { x: 1.5, y: -2.0, label: "origin-ish".to_string() };
+//! let text = serde::to_string(&p);
+//! let back: Point = serde::from_str(&text).unwrap();
+//! assert_eq!(back, p);
+//! ```
+
+#![deny(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error (unused by writers today, kept for API symmetry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Accumulates the token stream for a value being serialized.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: String,
+}
+
+impl Serializer {
+    /// Appends one raw (already escaped) token.
+    pub fn token(&mut self, t: impl std::fmt::Display) {
+        if !self.out.is_empty() {
+            self.out.push(' ');
+        }
+        self.out.push_str(&t.to_string());
+    }
+
+    /// Appends a string token, quoted and escaped.
+    pub fn string_token(&mut self, s: &str) {
+        let mut quoted = String::with_capacity(s.len() + 2);
+        quoted.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => quoted.push_str("\\\""),
+                '\\' => quoted.push_str("\\\\"),
+                '\n' => quoted.push_str("\\n"),
+                _ => quoted.push(c),
+            }
+        }
+        quoted.push('"');
+        self.token(quoted);
+    }
+
+    /// Consumes the serializer, returning the serialized text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Streams tokens back out of serialized text.
+#[derive(Debug)]
+pub struct Deserializer<'de> {
+    rest: &'de str,
+}
+
+impl<'de> Deserializer<'de> {
+    /// Starts deserializing `input`.
+    pub fn new(input: &'de str) -> Self {
+        Deserializer { rest: input }
+    }
+
+    /// Returns the next raw token.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input.
+    pub fn token(&mut self) -> Result<&'de str, Error> {
+        self.rest = self.rest.trim_start();
+        if self.rest.is_empty() {
+            return Err(Error::msg("unexpected end of input"));
+        }
+        if self.rest.starts_with('"') {
+            // Find the closing unescaped quote.
+            let bytes = self.rest.as_bytes();
+            let mut i = 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        let (tok, rest) = self.rest.split_at(i + 1);
+                        self.rest = rest;
+                        return Ok(tok);
+                    }
+                    _ => i += 1,
+                }
+            }
+            return Err(Error::msg("unterminated string"));
+        }
+        let end = self
+            .rest
+            .find(char::is_whitespace)
+            .unwrap_or(self.rest.len());
+        let (tok, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Ok(tok)
+    }
+
+    /// Returns the next token decoded as a string.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not a quoted string.
+    pub fn string(&mut self) -> Result<String, Error> {
+        let tok = self.token()?;
+        let inner = tok
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .ok_or_else(|| Error::msg(format!("expected string, got `{tok}`")))?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some(other) => out.push(other),
+                    None => return Err(Error::msg("dangling escape")),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Asserts all input was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if tokens remain.
+    pub fn end(&mut self) -> Result<(), Error> {
+        if self.rest.trim_start().is_empty() {
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "trailing input: `{}`",
+                self.rest.trim()
+            )))
+        }
+    }
+}
+
+/// Types that can write themselves into a [`Serializer`].
+pub trait Serialize {
+    /// Appends this value's tokens to `s`.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// Types that can be rebuilt from a [`Deserializer`].
+pub trait Deserialize: Sized {
+    /// Reads one value's tokens from `d`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated input.
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error>;
+}
+
+/// Serializes `value` to text.
+pub fn to_string<T: Serialize>(value: &T) -> String {
+    let mut s = Serializer::default();
+    value.serialize(&mut s);
+    s.finish()
+}
+
+/// Deserializes a `T` from text produced by [`to_string`].
+///
+/// # Errors
+///
+/// Fails on malformed input or trailing tokens.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut d = Deserializer::new(input);
+    let v = T::deserialize(&mut d)?;
+    d.end()?;
+    Ok(v)
+}
+
+macro_rules! impl_display_prims {
+    ($($t:ty => $parse_name:literal),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.token(self);
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+                let tok = d.token()?;
+                tok.parse::<$t>()
+                    .map_err(|_| Error::msg(format!(concat!("bad ", $parse_name, ": `{}`"), tok)))
+            }
+        }
+    )*};
+}
+
+impl_display_prims!(
+    u8 => "u8", u16 => "u16", u32 => "u32", u64 => "u64", u128 => "u128", usize => "usize",
+    i8 => "i8", i16 => "i16", i32 => "i32", i64 => "i64", i128 => "i128", isize => "isize",
+    bool => "bool",
+);
+
+macro_rules! impl_floats {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                // `{:?}` prints enough digits to round-trip exactly.
+                s.token(format_args!("{:?}", self));
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+                let tok = d.token()?;
+                tok.parse::<$t>()
+                    .map_err(|_| Error::msg(format!("bad float: `{tok}`")))
+            }
+        }
+    )*};
+}
+
+impl_floats!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string_token(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        d.string()
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string_token(self);
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        // Deserialized static strings are tiny, rare (profile names), and
+        // live for the program's remaining lifetime by definition of the
+        // target type, so leaking is the honest implementation.
+        Ok(Box::leak(d.string()?.into_boxed_str()))
+    }
+}
+
+macro_rules! impl_tuples {
+    ($(($($n:ident . $idx:tt),+))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                $(self.$idx.serialize(s);)+
+            }
+        }
+
+        impl<$($n: Deserialize),+> Deserialize for ($($n,)+) {
+            fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+                Ok(($($n::deserialize(d)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.len().serialize(s);
+        for item in self {
+            item.serialize(s);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = usize::deserialize(d)?;
+        (0..len).map(|_| T::deserialize(d)).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => {
+                s.token("some");
+                v.serialize(s);
+            }
+            None => s.token("none"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(d: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match d.token()? {
+            "some" => Ok(Some(T::deserialize(d)?)),
+            "none" => Ok(None),
+            other => Err(Error::msg(format!("bad option tag `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = (42u64, -7i32, 0.1f64, true, "a b\"c\\d\n".to_string());
+        let text = to_string(&v);
+        let back: (u64, i32, f64, bool, String) = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [f32::MIN_POSITIVE, 1.0 / 3.0, -0.0, 3.402_823e38] {
+            let back: f32 = from_str(&to_string(&x)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_are_an_error() {
+        assert!(from_str::<u32>("1 2").is_err());
+        assert!(from_str::<u32>("").is_err());
+    }
+
+    #[test]
+    fn vec_and_option_round_trip() {
+        let v = vec![Some(1u8), None, Some(3)];
+        let back: Vec<Option<u8>> = from_str(&to_string(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,227 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields, and enums whose variants are all unit
+//! variants. Anything else is a compile error naming the limitation.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline): the input item is scanned for its kind,
+//! name, and field/variant names, and the generated impls are assembled as
+//! source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the annotated item.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, s);"))
+            .collect::<String>(),
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect::<String>();
+            format!("s.token(match self {{ {arms} }});")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, s: &mut ::serde::Serializer) {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(d)?,"))
+                .collect::<String>();
+            format!("Ok({name} {{ {inits} }})")
+        }
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect::<String>();
+            format!(
+                "match ::serde::Deserializer::token(d)? {{ {arms} other => \
+                 Err(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(d: &mut ::serde::Deserializer<'_>) -> Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+/// Extracts kind, name, and field/variant names from a derive input.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind_kw = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive: tuple struct `{name}` is not supported"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("`{name}` has no braced body (unit struct?)")),
+        }
+    };
+    let kind = match kind_kw.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_fields(body.stream())?),
+        "enum" => ItemKind::Enum(parse_enum_variants(&name, body.stream())?),
+        other => return Err(format!("expected struct/enum, got `{other}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Skips leading `#[attr]` groups (doc comments included) and visibility.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [..] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next(); // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects field names from `name: Type, ...` (types skipped wholesale —
+/// commas inside generic types would need depth tracking, but the shim's
+/// supported field types contain none at depth 0).
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        let mut angle_depth = 0u32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Collects unit-variant names; any variant with a payload is an error.
+fn parse_enum_variants(enum_name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        match iter.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive: variant `{enum_name}::{name}` carries data; \
+                     only unit variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: skip the expression up to the next comma.
+                for tok in iter.by_ref() {
+                    if matches!(&tok, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(name);
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
