@@ -56,6 +56,11 @@ fn main() {
                 model.backward(&grad);
                 opt.step(&mut model.params());
             }
+            // The storage loader parks I/O errors instead of panicking; a
+            // silently truncated epoch would corrupt the table's numbers.
+            if let Some(err) = loader.take_error() {
+                panic!("storage loader failed mid-epoch: {err}");
+            }
         }
         let logits = model.forward(&prep.test.hops, Mode::Eval);
         let acc = metrics::accuracy(&logits, &prep.test.labels);

@@ -85,6 +85,17 @@ pub trait Loader {
     /// Accumulated work counters.
     fn counters(&self) -> LoaderCounters;
 
+    /// Takes the error (if any) that ended the current epoch early.
+    ///
+    /// In-memory loaders cannot fail and return `None` (the default);
+    /// storage-backed loaders park the first I/O failure here after
+    /// [`Loader::next_batch`] returns `None`, and the trainer checks this
+    /// slot when the epoch drains so a truncated store fails the run
+    /// cleanly instead of aborting the process.
+    fn take_error(&mut self) -> Option<String> {
+        None
+    }
+
     /// Stable display name.
     fn name(&self) -> &'static str;
 }

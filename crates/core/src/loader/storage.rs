@@ -1,3 +1,5 @@
+use std::collections::VecDeque;
+
 use ppgnn_dataio::{AccessPath, DataIoError, FeatureStore};
 use ppgnn_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -15,7 +17,17 @@ use crate::loader::{permutation, Loader, LoaderCounters, PpBatch};
 /// the conventional host bounce buffer.
 ///
 /// The loader carries rows across batch boundaries so `batch_size` need not
-/// divide `chunk_size` (a pending queue holds the tail of the last chunk).
+/// divide `chunk_size`: read chunks sit untouched in a [`VecDeque`] and a
+/// row cursor walks the front chunk, so assembling a batch copies exactly
+/// `batch_size` rows — never the whole pending buffer. (The previous
+/// implementation `vstack`ed every refill and re-sliced the remainder every
+/// batch: O(pending²) traffic when `chunk_size ≫ batch_size`.)
+///
+/// I/O failures mid-epoch are surfaced through
+/// [`StorageChunkLoader::try_next_batch`]; the infallible [`Loader`] API
+/// ends the epoch and parks the error for [`Loader::take_error`], which the
+/// trainer checks after draining — a truncated store file fails the epoch
+/// cleanly instead of aborting the process.
 #[derive(Debug)]
 pub struct StorageChunkLoader {
     store: FeatureStore,
@@ -25,10 +37,26 @@ pub struct StorageChunkLoader {
     rng: StdRng,
     chunk_order: Vec<usize>,
     next_chunk: usize,
-    /// Rows read but not yet emitted: parallel per-hop buffers + indices.
-    pending_hops: Vec<Matrix>,
-    pending_indices: Vec<usize>,
+    /// Chunks read but not fully emitted, in emit order. Each entry holds
+    /// the chunk's global start row and one matrix per hop.
+    pending: VecDeque<PendingChunk>,
+    /// Rows of `pending.front()` already emitted.
+    cursor: usize,
+    /// Total unemitted rows across `pending` (accounting for `cursor`).
+    pending_rows: usize,
+    /// First I/O error of the epoch, parked for [`Loader::take_error`].
+    error: Option<DataIoError>,
+    /// Latched on the first I/O failure and cleared only by
+    /// [`Loader::start_epoch`]: a failed epoch must not resume past the
+    /// failed chunk and silently drop its rows.
+    failed: bool,
     counters: LoaderCounters,
+}
+
+#[derive(Debug)]
+struct PendingChunk {
+    start_row: usize,
+    hops: Vec<Matrix>,
 }
 
 impl StorageChunkLoader {
@@ -53,8 +81,6 @@ impl StorageChunkLoader {
             store.meta().rows,
             "one label per stored row required"
         );
-        let num_hops = store.meta().num_hops;
-        let cols = store.meta().cols;
         StorageChunkLoader {
             store,
             labels,
@@ -63,8 +89,11 @@ impl StorageChunkLoader {
             rng: StdRng::seed_from_u64(seed),
             chunk_order: Vec::new(),
             next_chunk: 0,
-            pending_hops: vec![Matrix::zeros(0, cols); num_hops],
-            pending_indices: Vec::new(),
+            pending: VecDeque::new(),
+            cursor: 0,
+            pending_rows: 0,
+            error: None,
+            failed: false,
             counters: LoaderCounters::default(),
         }
     }
@@ -80,21 +109,79 @@ impl StorageChunkLoader {
         }
         let chunk_id = self.chunk_order[self.next_chunk];
         self.next_chunk += 1;
-        let chunk_size = self.store.meta().chunk_size;
-        let start_row = chunk_id * chunk_size;
-        let mats = self.store.read_chunk_all_hops(chunk_id, self.path)?;
-        let rows = mats[0].rows();
-        for (pending, fresh) in self.pending_hops.iter_mut().zip(&mats) {
-            *pending = if pending.rows() == 0 {
-                fresh.clone()
-            } else {
-                Matrix::vstack(&[pending, fresh])
-            };
-        }
-        self.pending_indices.extend(start_row..start_row + rows);
-        self.counters.gather_ops += mats.len() as u64;
-        self.counters.bytes_assembled += mats.iter().map(|m| m.size_bytes() as u64).sum::<u64>();
+        let start_row = chunk_id * self.store.meta().chunk_size;
+        let hops = self.store.read_chunk_all_hops(chunk_id, self.path)?;
+        self.counters.gather_ops += hops.len() as u64;
+        self.counters.bytes_assembled += hops.iter().map(|m| m.size_bytes() as u64).sum::<u64>();
+        self.pending_rows += hops[0].rows();
+        self.pending.push_back(PendingChunk { start_row, hops });
         Ok(true)
+    }
+
+    /// Fallible batch path: `Ok(None)` ends the epoch, `Err` surfaces the
+    /// first storage failure. The failure is latched: every further call
+    /// keeps returning `Err` until [`Loader::start_epoch`], so a retrying
+    /// caller cannot resume past the failed chunk and silently train on an
+    /// epoch with missing rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataIoError`] from chunk reads — e.g. a store file
+    /// truncated after the epoch started.
+    pub fn try_next_batch(&mut self) -> Result<Option<PpBatch>, DataIoError> {
+        if self.failed {
+            return Err(self.error.clone().unwrap_or_else(|| {
+                DataIoError::Io("epoch already failed; start_epoch required".into())
+            }));
+        }
+        while self.pending_rows < self.batch_size {
+            match self.refill() {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(e) => {
+                    self.failed = true;
+                    self.error = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        if self.pending_rows == 0 {
+            return Ok(None);
+        }
+        let take = self.batch_size.min(self.pending_rows);
+        let num_hops = self.store.meta().num_hops;
+        let cols = self.store.meta().cols;
+
+        let mut hops: Vec<Matrix> = (0..num_hops).map(|_| Matrix::zeros(take, cols)).collect();
+        let mut indices = Vec::with_capacity(take);
+        let mut filled = 0;
+        while filled < take {
+            let chunk = self.pending.front().expect("pending_rows > 0");
+            let avail = chunk.hops[0].rows() - self.cursor;
+            let run = avail.min(take - filled);
+            for (out, src) in hops.iter_mut().zip(&chunk.hops) {
+                // One contiguous copy per (hop, chunk segment).
+                out.as_mut_slice()[filled * cols..(filled + run) * cols].copy_from_slice(
+                    &src.as_slice()[self.cursor * cols..(self.cursor + run) * cols],
+                );
+            }
+            indices.extend(chunk.start_row + self.cursor..chunk.start_row + self.cursor + run);
+            filled += run;
+            self.cursor += run;
+            if self.cursor == chunk.hops[0].rows() {
+                self.pending.pop_front();
+                self.cursor = 0;
+            }
+        }
+        self.pending_rows -= take;
+
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        self.counters.batches += 1;
+        Ok(Some(PpBatch {
+            indices,
+            hops,
+            labels,
+        }))
     }
 }
 
@@ -103,39 +190,19 @@ impl Loader for StorageChunkLoader {
         let num_chunks = self.store.meta().num_chunks();
         self.chunk_order = permutation(num_chunks, &mut self.rng);
         self.next_chunk = 0;
-        self.pending_indices.clear();
-        let cols = self.store.meta().cols;
-        for p in &mut self.pending_hops {
-            *p = Matrix::zeros(0, cols);
-        }
+        self.pending.clear();
+        self.cursor = 0;
+        self.pending_rows = 0;
+        self.error = None;
+        self.failed = false;
     }
 
     fn next_batch(&mut self) -> Option<PpBatch> {
-        while self.pending_indices.len() < self.batch_size {
-            match self.refill() {
-                Ok(true) => continue,
-                Ok(false) => break,
-                Err(e) => panic!("storage loader read failure: {e}"),
-            }
-        }
-        if self.pending_indices.is_empty() {
+        if self.failed {
             return None;
         }
-        let take = self.batch_size.min(self.pending_indices.len());
-        let indices: Vec<usize> = self.pending_indices.drain(..take).collect();
-        let mut hops = Vec::with_capacity(self.pending_hops.len());
-        for pending in &mut self.pending_hops {
-            let emitted = pending.slice_rows(0, take);
-            *pending = pending.slice_rows(take, pending.rows());
-            hops.push(emitted);
-        }
-        let labels = indices.iter().map(|&i| self.labels[i]).collect();
-        self.counters.batches += 1;
-        Some(PpBatch {
-            indices,
-            hops,
-            labels,
-        })
+        // An Err is latched by try_next_batch and parked for take_error.
+        self.try_next_batch().unwrap_or_default()
     }
 
     fn num_batches(&self) -> usize {
@@ -144,6 +211,10 @@ impl Loader for StorageChunkLoader {
 
     fn counters(&self) -> LoaderCounters {
         self.counters
+    }
+
+    fn take_error(&mut self) -> Option<String> {
+        self.error.take().map(|e| e.to_string())
     }
 
     fn name(&self) -> &'static str {
@@ -234,6 +305,48 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_not_dividing_rows_emits_short_last_chunk_rows() {
+        // 23 rows / chunk 5 → chunks of 5,5,5,5,3; batch 4 crosses every
+        // chunk boundary including the short tail.
+        let (store, dir) = build_store("shortlast", 23, 1, 5);
+        let labels: Vec<u32> = (0..23).map(|r| (r % 4) as u32).collect();
+        let mut l = StorageChunkLoader::new(store, labels, 4, AccessPath::Direct, 9);
+        l.start_epoch();
+        let mut seen = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(b) = l.next_batch() {
+            for (r, &idx) in b.indices.iter().enumerate() {
+                assert_eq!(b.hops[1].row(r)[2], (1_000_000 + idx * 1000 + 2) as f32);
+            }
+            sizes.push(b.len());
+            seen.extend(b.indices);
+        }
+        assert_eq!(sizes, vec![4, 4, 4, 4, 4, 3]);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn large_chunk_small_batch_copies_only_batch_rows() {
+        // chunk_size ≫ batch_size: the O(pending²) regression scenario.
+        // Counter semantics: bytes_assembled counts chunk reads, so it must
+        // equal the store payload exactly once — no re-stacking traffic.
+        let (store, dir) = build_store("bigchunk", 64, 1, 64);
+        let labels = vec![0u32; 64];
+        let mut l = StorageChunkLoader::new(store, labels, 3, AccessPath::Direct, 5);
+        l.start_epoch();
+        let mut total_rows = 0;
+        while let Some(b) = l.next_batch() {
+            total_rows += b.len();
+        }
+        assert_eq!(total_rows, 64);
+        assert_eq!(l.counters().bytes_assembled, (64 * 3 * 4 * 2) as u64);
+        assert_eq!(l.counters().gather_ops, 2); // one read per hop file
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn epochs_reshuffle_chunk_order() {
         let (store, dir) = build_store("shuffle", 64, 0, 4);
         let labels = vec![0u32; 64];
@@ -243,6 +356,47 @@ mod tests {
         l.start_epoch();
         let e2 = l.next_batch().unwrap().indices;
         assert_ne!(e1, e2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_store_fails_the_epoch_cleanly() {
+        let (store, dir) = build_store("trunc", 32, 1, 4);
+        let labels = vec![0u32; 32];
+        let mut l = StorageChunkLoader::new(store, labels, 4, AccessPath::Direct, 6);
+        l.start_epoch();
+        let first = l.next_batch();
+        assert!(first.is_some());
+        // Truncate hop 1 mid-epoch: some future chunk read must fail.
+        let path = dir.join("hop_1.ppgt");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        // The infallible path ends the epoch instead of panicking...
+        let mut emitted = 1;
+        while l.next_batch().is_some() {
+            emitted += 1;
+        }
+        assert!(emitted < l.num_batches(), "epoch should end early");
+        // ...and parks the error for the trainer to check.
+        let err = l.take_error().expect("error must be surfaced");
+        assert!(!err.is_empty());
+        assert!(l.take_error().is_none(), "take_error drains the slot");
+        // The fallible path reports it directly on a fresh epoch.
+        l.start_epoch();
+        let mut result = l.try_next_batch();
+        while let Ok(Some(_)) = result {
+            result = l.try_next_batch();
+        }
+        assert!(result.is_err(), "truncated read must surface an error");
+        // The failure is latched: a retry must NOT resume past the failed
+        // chunk (that would silently drop its rows), and the infallible
+        // path must stay ended.
+        assert!(l.try_next_batch().is_err(), "failed epoch must stay failed");
+        assert!(l.next_batch().is_none());
+        // start_epoch clears the latch (and would re-fail on the same
+        // truncated store, but from a clean slate).
+        l.start_epoch();
+        assert!(l.take_error().is_none(), "start_epoch resets the error");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

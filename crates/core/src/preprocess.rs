@@ -125,37 +125,115 @@ impl Preprocessor {
     }
 
     /// Runs pre-propagation on `data`.
+    ///
+    /// This is the streaming pipeline: per operator, hops are diffused one
+    /// at a time through two ping-pong full-graph buffers
+    /// ([`Operator::apply_with_base_into`] over `spmm_into`), and labeled
+    /// rows are gathered straight into the operator's column block of the
+    /// partition output as each hop completes. No full-graph hop chain is
+    /// ever materialized: peak full-graph residency is the two propagation
+    /// buffers (plus two diffusion-series term buffers for `Ppr`/`Heat`),
+    /// versus the `K·(R+1)` chain matrices plus a concatenation copy of the
+    /// previous implementation.
     pub fn run(&self, data: &SynthDataset) -> PrepropOutput {
+        self.run_streaming(data, None)
+            .expect("in-memory preprocessing performs no I/O")
+    }
+
+    /// Runs pre-propagation and **writes the training partition through**
+    /// to a [`FeatureStore`] as each hop completes (the Section 4.3
+    /// file-per-hop layout), instead of materializing everything and
+    /// persisting afterwards.
+    ///
+    /// Equivalent on success to `run` followed by
+    /// [`PrepropOutput::write_store`], without holding the store contents
+    /// twice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-creation and write failures.
+    pub fn run_with_store(
+        &self,
+        data: &SynthDataset,
+        dir: impl AsRef<std::path::Path>,
+        dataset: &str,
+        chunk_size: usize,
+    ) -> Result<(PrepropOutput, FeatureStore), DataIoError> {
+        let f = data.features.cols();
+        let meta = StoreMeta {
+            dataset: dataset.to_string(),
+            num_hops: self.hops + 1,
+            rows: data.split.train.len(),
+            cols: self.operators.len() * f,
+            chunk_size,
+        };
+        let mut writer = FeatureStoreWriter::create(dir, meta)?;
+        let out = self.run_streaming(data, Some(&mut writer))?;
+        let store = writer.finish()?;
+        Ok((out, store))
+    }
+
+    fn run_streaming(
+        &self,
+        data: &SynthDataset,
+        mut sink: Option<&mut FeatureStoreWriter>,
+    ) -> Result<PrepropOutput, DataIoError> {
         let start = Instant::now();
         let n = data.graph.num_nodes();
         let f = data.features.cols();
+        let k_ops = self.operators.len();
+        let kf = k_ops * f;
 
-        // Per-operator propagated chains, then hop-wise concatenation.
-        let mut per_hop: Vec<Vec<Matrix>> = vec![Vec::new(); self.hops + 1];
-        for op in &self.operators {
-            let base = op.base(&data.graph);
-            let mut current = data.features.clone();
-            per_hop[0].push(current.clone());
-            for r in 1..=self.hops {
-                current = op.apply_with_base(&base, &current);
-                per_hop[r].push(current.clone());
-            }
-        }
-        let full_hops: Vec<Matrix> = per_hop
-            .into_iter()
-            .map(|mats| {
-                if mats.len() == 1 {
-                    mats.into_iter().next().expect("len checked")
-                } else {
-                    let refs: Vec<&Matrix> = mats.iter().collect();
-                    Matrix::hstack(&refs)
-                }
+        let ids_by_part: [&[usize]; 3] = [&data.split.train, &data.split.val, &data.split.test];
+        let mut hops_by_part: Vec<Vec<Matrix>> = ids_by_part
+            .iter()
+            .map(|ids| {
+                (0..=self.hops)
+                    .map(|_| Matrix::zeros(ids.len(), kf))
+                    .collect()
             })
             .collect();
 
-        let extract = |ids: &[usize]| -> PrepropFeatures {
+        // Two ping-pong propagation buffers, reused across operators.
+        let mut current = Matrix::zeros(n, f);
+        let mut next = Matrix::zeros(n, f);
+        for (ki, op) in self.operators.iter().enumerate() {
+            let col = ki * f;
+            let last_op = ki + 1 == k_ops;
+            let base = op.base(&data.graph);
+            // Hop 0 is the raw features, gathered directly from the input.
+            for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
+                data.features
+                    .gather_rows_into_offset(ids, &mut hops[0], col);
+            }
+            if last_op {
+                // All operators have filled their hop-0 column block.
+                if let Some(writer) = sink.as_deref_mut() {
+                    writer.write_hop(0, &hops_by_part[0][0])?;
+                }
+            }
+            if self.hops == 0 {
+                continue;
+            }
+            current.copy_from(&data.features);
+            for r in 1..=self.hops {
+                op.apply_with_base_into(&base, &current, &mut next);
+                std::mem::swap(&mut current, &mut next);
+                for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
+                    current.gather_rows_into_offset(ids, &mut hops[r], col);
+                }
+                if last_op {
+                    if let Some(writer) = sink.as_deref_mut() {
+                        writer.write_hop(r, &hops_by_part[0][r])?;
+                    }
+                }
+            }
+        }
+
+        let mut parts = hops_by_part.into_iter();
+        let mut extract = |ids: &[usize]| -> PrepropFeatures {
             PrepropFeatures {
-                hops: full_hops.iter().map(|h| h.gather_rows(ids)).collect(),
+                hops: parts.next().expect("three partitions"),
                 labels: data.labels_of(ids),
                 node_ids: ids.to_vec(),
             }
@@ -168,22 +246,17 @@ impl Preprocessor {
         let labeled = data.split.num_labeled() as u64;
         let expansion = ExpansionReport {
             raw_bytes: labeled * (f as u64) * 4,
-            expanded_bytes: labeled
-                * (self.operators.len() as u64)
-                * ((self.hops + 1) as u64)
-                * (f as u64)
-                * 4,
-            num_operators: self.operators.len(),
+            expanded_bytes: labeled * (k_ops as u64) * ((self.hops + 1) as u64) * (f as u64) * 4,
+            num_operators: k_ops,
             hops: self.hops,
         };
-        let _ = n;
-        PrepropOutput {
+        Ok(PrepropOutput {
             train,
             val,
             test,
             preprocess_seconds,
             expansion,
-        }
+        })
     }
 }
 
@@ -290,6 +363,25 @@ mod tests {
         let out = Preprocessor::new(vec![Operator::SymNorm], 0).run(&data);
         assert_eq!(out.train.hops.len(), 1);
         assert!((out.expansion.factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_through_store_matches_post_hoc_write() {
+        let data = small_data();
+        let prep = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 2);
+        let dir = std::env::temp_dir().join(format!("ppgnn-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (out, mut store) = prep.run_with_store(&data, &dir, "pokec-sim", 32).unwrap();
+        let reference = prep.run(&data);
+        assert_eq!(store.meta().num_hops, 3);
+        assert_eq!(store.meta().cols, 2 * data.profile.feature_dim);
+        for r in 0..=2 {
+            assert!(out.train.hops[r].max_abs_diff(&reference.train.hops[r]) < 1e-7);
+            let stored = store.read_full_hop(r).unwrap();
+            assert!(stored.max_abs_diff(&reference.train.hops[r]) < 1e-7);
+        }
+        assert!(out.val.hops[1].max_abs_diff(&reference.val.hops[1]) < 1e-7);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -161,12 +161,16 @@ impl TrainReport {
 pub enum TrainError {
     /// The training partition holds no examples.
     EmptyTrainSet,
+    /// The data loader's epoch ended on an I/O failure (e.g. a truncated
+    /// feature-store file); carries the loader's error message.
+    Loader(String),
 }
 
 impl fmt::Display for TrainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrainError::EmptyTrainSet => write!(f, "training partition is empty"),
+            TrainError::Loader(msg) => write!(f, "data loader failed mid-epoch: {msg}"),
         }
     }
 }
@@ -309,6 +313,9 @@ impl Trainer {
 
                 loss_sum += loss as f64;
                 batches += 1;
+            }
+            if let Some(msg) = loader.take_error() {
+                return Err(TrainError::Loader(msg));
             }
 
             let val_acc = evaluate(model, &data.val, self.config.batch_size);

@@ -42,4 +42,4 @@ pub mod synth;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use operator::Operator;
-pub use spmm::WeightedCsr;
+pub use spmm::{nnz_balanced_blocks, WeightedCsr};

@@ -83,34 +83,53 @@ impl Operator {
     ///
     /// Panics if `x.rows() != base.cols()`.
     pub fn apply_with_base(&self, base: &WeightedCsr, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        self.apply_with_base_into(base, x, &mut out);
+        out
+    }
+
+    /// Applies the operator into a pre-allocated output (overwrites `out`).
+    ///
+    /// For `SymNorm`/`RowNorm` this is a single allocation-free
+    /// [`WeightedCsr::spmm_into`]; the streaming preprocessor ping-pongs two
+    /// full-graph buffers through it so hop propagation allocates nothing.
+    /// The truncated `Ppr`/`Heat` series still allocate their two term
+    /// buffers internally (constant per call, not per series term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != base.cols()` or `out`'s shape differs from
+    /// `x`'s.
+    pub fn apply_with_base_into(&self, base: &WeightedCsr, x: &Matrix, out: &mut Matrix) {
         match *self {
-            Operator::SymNorm | Operator::RowNorm => base.spmm(x),
+            Operator::SymNorm | Operator::RowNorm => base.spmm_into(x, out),
             Operator::Ppr { alpha } => {
                 assert!((0.0..1.0).contains(&alpha), "ppr alpha must be in (0,1)");
-                let mut term = x.clone(); // Ā^0 X
-                let mut acc = x.clone();
-                acc.scale(alpha);
+                out.copy_from(x); // α · Ā^0 X term
+                out.scale(alpha);
+                let mut term = x.clone();
+                let mut next = Matrix::zeros(x.rows(), x.cols());
                 let mut coeff = alpha;
                 for _ in 1..=DIFFUSION_TERMS {
-                    term = base.spmm(&term);
+                    base.spmm_into(&term, &mut next);
+                    std::mem::swap(&mut term, &mut next);
                     coeff *= 1.0 - alpha;
-                    acc.axpy(coeff, &term);
+                    out.axpy(coeff, &term);
                 }
-                acc
             }
             Operator::Heat { t } => {
                 assert!(t > 0.0, "heat diffusion time must be positive");
-                let scale = (-t).exp();
+                out.copy_from(x); // i = 0 term, coefficient 1
                 let mut term = x.clone();
-                let mut acc = x.clone(); // i = 0 term, coefficient 1
+                let mut next = Matrix::zeros(x.rows(), x.cols());
                 let mut coeff = 1.0f32;
                 for i in 1..=DIFFUSION_TERMS {
-                    term = base.spmm(&term);
+                    base.spmm_into(&term, &mut next);
+                    std::mem::swap(&mut term, &mut next);
                     coeff *= t / i as f32;
-                    acc.axpy(coeff, &term);
+                    out.axpy(coeff, &term);
                 }
-                acc.scale(scale);
-                acc
+                out.scale((-t).exp());
             }
         }
     }
@@ -183,6 +202,28 @@ mod tests {
             y = Operator::SymNorm.apply(&g, &y);
         }
         assert!(y.frobenius_norm() < 0.5 * x.frobenius_norm());
+    }
+
+    #[test]
+    fn apply_into_matches_allocating_apply_for_every_operator() {
+        let g = cycle(7);
+        let x = Matrix::from_fn(7, 3, |r, c| ((r * 3 + c) % 5) as f32 - 2.0);
+        for op in [
+            Operator::SymNorm,
+            Operator::RowNorm,
+            Operator::Ppr { alpha: 0.2 },
+            Operator::Heat { t: 0.5 },
+        ] {
+            let base = op.base(&g);
+            let expected = op.apply_with_base(&base, &x);
+            let mut out = Matrix::full(7, 3, -123.0); // dirty buffer
+            op.apply_with_base_into(&base, &x, &mut out);
+            assert!(
+                out.max_abs_diff(&expected) < 1e-6,
+                "{} into-variant diverged",
+                op.name()
+            );
+        }
     }
 
     #[test]

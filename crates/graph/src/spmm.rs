@@ -2,12 +2,57 @@
 //!
 //! Pre-propagation (Eq. 2 of the paper) is `R` successive SpMM calls per
 //! operator; this is the dominant preprocessing cost measured in Table 2 /
-//! Table 7. The kernel parallelizes over output rows with scoped threads,
-//! mirroring `ppgnn-tensor`'s GEMM.
+//! Table 7. The kernel parallelizes over output rows on the shared
+//! `ppgnn-tensor` worker pool, with **nnz-balanced** row blocks computed
+//! from `indptr` prefix sums: on the power-law graphs these datasets have,
+//! equal-rows splits pile the hub nodes onto one thread and serialize the
+//! whole SpMM on it.
 
-use ppgnn_tensor::Matrix;
+use ppgnn_tensor::{pool, Matrix};
 
 use crate::{CsrGraph, GraphError};
+
+/// Splits CSR rows into at most `parts` contiguous blocks of near-equal
+/// **non-zero count**, using the `indptr` prefix-sum array.
+///
+/// Each boundary is found by binary search for the next multiple of
+/// `nnz / parts`, so blocks cost O(`parts`·log `rows`) to compute. Blocks
+/// are never empty; fewer than `parts` blocks are returned when rows or
+/// non-zeros run out (a single hub row heavier than the target lands in
+/// its own block).
+pub fn nnz_balanced_blocks(indptr: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let rows = indptr.len().saturating_sub(1);
+    if rows == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, rows);
+    let nnz = indptr[rows];
+    if parts == 1 || nnz == 0 {
+        // One serial block covering every row (not a 0..rows index list).
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..rows];
+    }
+    let mut blocks = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 1..=parts {
+        if start >= rows {
+            break;
+        }
+        let end = if p == parts {
+            rows
+        } else {
+            // First row index whose prefix reaches this part's nnz target;
+            // at least one row per block so progress is guaranteed.
+            let target = (nnz * p).div_ceil(parts);
+            indptr
+                .partition_point(|&x| x < target)
+                .clamp(start + 1, rows)
+        };
+        blocks.push(start..end);
+        start = end;
+    }
+    blocks
+}
 
 /// A sparse matrix in CSR form with `f32` edge weights — the materialized
 /// form of a normalized-adjacency operator.
@@ -187,13 +232,42 @@ impl WeightedCsr {
 
     /// Sparse × dense product `Y = S · X`.
     ///
-    /// Parallelizes over output rows once the work estimate
-    /// (`nnz · X.cols()`) exceeds ~2M multiply-adds.
+    /// Parallelizes over nnz-balanced row blocks on the shared worker pool
+    /// once the work estimate (`nnz · X.cols()`) exceeds the workspace
+    /// parallel threshold ([`ppgnn_tensor::set_parallel_threshold`]).
     ///
     /// # Panics
     ///
     /// Panics if `x.rows() != self.cols()`.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_into(x, &mut out);
+        out
+    }
+
+    /// `Y = S · X` into a pre-allocated output (overwrites `out`).
+    ///
+    /// The streaming preprocessor ping-pongs two full-graph buffers through
+    /// this, eliminating the per-hop allocation of [`WeightedCsr::spmm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != self.cols()` or `out` is not
+    /// `self.rows() x x.cols()`.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.spmm_into_on(x, out, pool::pool());
+    }
+
+    /// [`WeightedCsr::spmm_into`] on an explicit worker pool.
+    ///
+    /// The global pool is sized once from the environment; tests and
+    /// benchmarks that need a specific width (the thread-count sweeps in
+    /// the SpMM regression suite) pass their own pool here.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`WeightedCsr::spmm_into`].
+    pub fn spmm_into_on(&self, x: &Matrix, out: &mut Matrix, pool: &ppgnn_tensor::WorkerPool) {
         assert_eq!(
             x.rows(),
             self.cols,
@@ -202,49 +276,43 @@ impl WeightedCsr {
             x.rows()
         );
         let f = x.cols();
-        let mut out = Matrix::zeros(self.rows, f);
+        assert_eq!(
+            out.shape(),
+            (self.rows, f),
+            "spmm output shape mismatch: expected {}x{f}",
+            self.rows
+        );
         let work = self.nnz() * f;
-        let nthreads = if work < 2_000_000 {
+        let nthreads = if work <= pool::parallel_threshold() {
             1
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(16)
+            pool.num_threads()
         };
         let x_data = x.as_slice();
         let rows = self.rows;
+        if f == 0 {
+            return;
+        }
 
         if nthreads <= 1 || rows <= 1 {
             let out_data = out.as_mut_slice();
             for r in 0..rows {
-                Self::spmm_row(self, r, x_data, f, &mut out_data[r * f..(r + 1) * f]);
+                let row_out = &mut out_data[r * f..(r + 1) * f];
+                row_out.fill(0.0);
+                Self::spmm_row(self, r, x_data, f, row_out);
             }
-            return out;
+            return;
         }
 
-        let per = rows.div_ceil(nthreads);
-        let mut chunks: Vec<(usize, &mut [f32])> = Vec::new();
-        let mut rest = out.as_mut_slice();
-        let mut start = 0;
-        while start < rows {
-            let end = (start + per).min(rows);
-            let (head, tail) = rest.split_at_mut((end - start) * f);
-            chunks.push((start, head));
-            rest = tail;
-            start = end;
-        }
-        crossbeam::scope(|s| {
-            for (start, chunk) in chunks {
-                s.spawn(move |_| {
-                    for (i, row_out) in chunk.chunks_exact_mut(f).enumerate() {
-                        Self::spmm_row(self, start + i, x_data, f, row_out);
-                    }
-                });
+        let blocks = nnz_balanced_blocks(&self.indptr, nthreads);
+        let sizes: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
+        pool.run_row_blocks(out.as_mut_slice(), f, &sizes, |block, chunk| {
+            let start = blocks[block].start;
+            for (i, row_out) in chunk.chunks_exact_mut(f).enumerate() {
+                row_out.fill(0.0);
+                Self::spmm_row(self, start + i, x_data, f, row_out);
             }
-        })
-        .expect("spmm worker panicked");
-        out
+        });
     }
 
     #[inline]
@@ -353,5 +421,85 @@ mod tests {
     fn spmm_shape_mismatch_panics() {
         let op = WeightedCsr::sym_norm(&path3(), true);
         op.spmm(&Matrix::zeros(5, 2));
+    }
+
+    #[test]
+    fn spmm_into_overwrites_dirty_buffers() {
+        let op = WeightedCsr::sym_norm(&path3(), true);
+        let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let fresh = op.spmm(&x);
+        let mut dirty = Matrix::full(3, 2, 999.0);
+        op.spmm_into(&x, &mut dirty);
+        assert!(dirty.max_abs_diff(&fresh) < 1e-7);
+    }
+
+    #[test]
+    fn nnz_blocks_partition_rows_and_balance_nonzeros() {
+        // Skewed prefix: one hub row with 90 nnz among 10 light rows.
+        let mut indptr = vec![0usize];
+        let mut nnz = 0;
+        for r in 0..11 {
+            nnz += if r == 4 { 90 } else { 1 };
+            indptr.push(nnz);
+        }
+        let blocks = nnz_balanced_blocks(&indptr, 4);
+        // Blocks tile 0..rows contiguously.
+        assert_eq!(blocks.first().unwrap().start, 0);
+        assert_eq!(blocks.last().unwrap().end, 11);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // The hub row sits alone-ish: no block except the hub's holds more
+        // than the light rows combined.
+        let hub_block = blocks.iter().find(|b| b.contains(&4)).unwrap();
+        for b in &blocks {
+            let block_nnz = indptr[b.end] - indptr[b.start];
+            if b != hub_block {
+                assert!(block_nnz <= 10, "light block {b:?} got {block_nnz} nnz");
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_blocks_edge_cases() {
+        assert!(nnz_balanced_blocks(&[0], 4).is_empty());
+        // All-zero matrix: nothing to balance, one serial block.
+        assert_eq!(nnz_balanced_blocks(&[0, 0, 0], 4), vec![0..2]);
+        assert_eq!(nnz_balanced_blocks(&[0, 5, 9], 1), vec![0..2]);
+        // More parts than rows degenerates to one row per block.
+        let blocks = nnz_balanced_blocks(&[0, 2, 4, 6], 16);
+        assert_eq!(blocks, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn skewed_graph_spmm_matches_dense_at_all_widths() {
+        use ppgnn_tensor::WorkerPool;
+        // Star graph: node 0 is a hub adjacent to everyone — the worst case
+        // for equal-rows splits.
+        let n = 64;
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(n, &edges, true).unwrap();
+        let op = WeightedCsr::sym_norm(&g, true);
+        let x = Matrix::from_fn(n, 5, |r, c| ((r * 7 + c * 3) % 13) as f32 - 6.0);
+        let dense = ppgnn_tensor::matmul(&op.to_dense(), &x);
+        // Force the pooled path regardless of work size, then sweep widths.
+        let _guard = test_threshold_guard();
+        ppgnn_tensor::set_parallel_threshold(0);
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let mut out = Matrix::zeros(n, 5);
+            op.spmm_into_on(&x, &mut out, &pool);
+            assert!(
+                out.max_abs_diff(&dense) < 1e-5,
+                "width {threads} disagrees with dense reference"
+            );
+        }
+        ppgnn_tensor::set_parallel_threshold(ppgnn_tensor::pool::DEFAULT_PARALLEL_THRESHOLD);
+    }
+
+    /// Serializes tests that mutate the global parallel threshold.
+    pub(super) fn test_threshold_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap()
     }
 }

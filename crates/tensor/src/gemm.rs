@@ -6,41 +6,35 @@
 //! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients: `∂W = Xᵀ · ∂Y`),
 //! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients: `∂X = ∂Y · Wᵀ`).
 //!
-//! All three parallelize over output rows with `crossbeam::scope` once the
-//! FLOP count crosses a threshold (tunable via [`set_parallel_threshold`],
-//! mostly so tests can force both paths).
+//! All three parallelize over output rows on the shared [`crate::pool`]
+//! worker pool once the FLOP count crosses the workspace-wide threshold
+//! (tunable via [`crate::pool::set_parallel_threshold`], mostly so tests
+//! can force both paths). Dense work is uniform per row, so equal-rows
+//! blocking is load-balanced here — unlike SpMM, which needs nnz-balanced
+//! blocks.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use crate::pool::{pool, threads_for};
 use crate::Matrix;
 
-/// FLOP count above which kernels go multi-threaded. Default ≈ 4 M multiplies.
-static PARALLEL_THRESHOLD: AtomicUsize = AtomicUsize::new(4_000_000);
-
-/// Overrides the FLOP threshold above which GEMM kernels use worker threads.
-///
-/// Primarily for tests and benchmarks; `0` forces the threaded path,
-/// `usize::MAX` forces single-threaded execution.
-pub fn set_parallel_threshold(flops: usize) {
-    PARALLEL_THRESHOLD.store(flops, Ordering::Relaxed);
-}
-
-fn threads_for(flops: usize) -> usize {
-    if flops <= PARALLEL_THRESHOLD.load(Ordering::Relaxed) {
-        1
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16)
+/// Splits `rows` into at most `parts` near-equal contiguous block sizes.
+fn equal_row_blocks(rows: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.clamp(1, rows);
+    let per = rows.div_ceil(parts);
+    let mut sizes = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < rows {
+        let take = per.min(rows - start);
+        sizes.push(take);
+        start += take;
     }
+    sizes
 }
 
-/// Runs `body(row_range, out_chunk)` over disjoint row blocks of `out`,
-/// spawning scoped threads when `nthreads > 1`.
+/// Runs `body(first_row, out_chunk)` over disjoint row blocks of `out` on
+/// the shared pool when `nthreads > 1`.
 fn parallel_over_rows<F>(out: &mut Matrix, nthreads: usize, body: F)
 where
-    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+    F: Fn(usize, &mut [f32]) + Sync,
 {
     let rows = out.rows();
     let cols = out.cols();
@@ -48,27 +42,19 @@ where
         return;
     }
     if nthreads <= 1 || rows == 1 {
-        body(0..rows, out.as_mut_slice());
+        body(0, out.as_mut_slice());
         return;
     }
-    let per = rows.div_ceil(nthreads);
-    let mut slices: Vec<(std::ops::Range<usize>, &mut [f32])> = Vec::new();
-    let mut rest = out.as_mut_slice();
-    let mut start = 0;
-    while start < rows {
-        let end = (start + per).min(rows);
-        let (head, tail) = rest.split_at_mut((end - start) * cols);
-        slices.push((start..end, head));
-        rest = tail;
-        start = end;
+    let sizes = equal_row_blocks(rows, nthreads);
+    let mut starts = Vec::with_capacity(sizes.len());
+    let mut acc = 0;
+    for &s in &sizes {
+        starts.push(acc);
+        acc += s;
     }
-    crossbeam::scope(|s| {
-        for (range, chunk) in slices {
-            let body = &body;
-            s.spawn(move |_| body(range, chunk));
-        }
-    })
-    .expect("gemm worker panicked");
+    pool().run_row_blocks(out.as_mut_slice(), cols, &sizes, |block, chunk| {
+        body(starts[block], chunk);
+    });
 }
 
 /// `C = A · B`.
@@ -96,11 +82,11 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let flops = m * n * k;
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    parallel_over_rows(c, threads_for(flops), |range, chunk| {
+    parallel_over_rows(c, threads_for(flops), |first_row, chunk| {
         // i-k-j loop: the inner j loop is a contiguous axpy over B's row k,
         // which the compiler auto-vectorizes.
-        for (local_i, i) in range.clone().enumerate() {
-            let c_row = &mut chunk[local_i * n..(local_i + 1) * n];
+        for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = first_row + local_i;
             let a_row = &a_data[i * k..(i + 1) * k];
             for (kk, &aik) in a_row.iter().enumerate() {
                 if aik == 0.0 {
@@ -128,10 +114,10 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let flops = m * n * k;
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    parallel_over_rows(&mut c, threads_for(flops), |range, chunk| {
+    parallel_over_rows(&mut c, threads_for(flops), |first_row, chunk| {
         // For each output row i (a column of A): C[i,:] = Σ_k A[k,i] * B[k,:].
-        for (local_i, i) in range.clone().enumerate() {
-            let c_row = &mut chunk[local_i * n..(local_i + 1) * n];
+        for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = first_row + local_i;
             for kk in 0..k {
                 let aki = a_data[kk * m + i];
                 if aki == 0.0 {
@@ -160,11 +146,11 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let flops = m * n * k;
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    parallel_over_rows(&mut c, threads_for(flops), |range, chunk| {
+    parallel_over_rows(&mut c, threads_for(flops), |first_row, chunk| {
         // C[i,j] = dot(A[i,:], B[j,:]) — both operands are contiguous rows.
-        for (local_i, i) in range.clone().enumerate() {
+        for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = first_row + local_i;
             let a_row = &a_data[i * k..(i + 1) * k];
-            let c_row = &mut chunk[local_i * n..(local_i + 1) * n];
             for (j, cv) in c_row.iter_mut().enumerate() {
                 let b_row = &b_data[j * k..(j + 1) * k];
                 let mut acc = 0.0;
@@ -181,6 +167,7 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::{set_parallel_threshold, DEFAULT_PARALLEL_THRESHOLD, TEST_THRESHOLD_LOCK};
 
     fn naive(a: &Matrix, b: &Matrix) -> Matrix {
         let mut c = Matrix::zeros(a.rows(), b.cols());
@@ -232,14 +219,30 @@ mod tests {
 
     #[test]
     fn threaded_path_matches_serial() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
         let a = rand_mat(33, 17, 7);
         let b = rand_mat(17, 29, 8);
         set_parallel_threshold(usize::MAX);
         let serial = matmul(&a, &b);
         set_parallel_threshold(0);
         let threaded = matmul(&a, &b);
-        set_parallel_threshold(4_000_000);
+        set_parallel_threshold(DEFAULT_PARALLEL_THRESHOLD);
         assert!(serial.max_abs_diff(&threaded) < 1e-5);
+    }
+
+    #[test]
+    fn all_three_kernels_agree_on_the_pooled_path() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        let a = rand_mat(40, 12, 11);
+        let b = rand_mat(12, 23, 12);
+        let bt = b.transpose();
+        set_parallel_threshold(0);
+        let c = matmul(&a, &b);
+        let c_tn = matmul_tn(&a.transpose(), &b);
+        let c_nt = matmul_nt(&a, &bt);
+        set_parallel_threshold(DEFAULT_PARALLEL_THRESHOLD);
+        assert!(c.max_abs_diff(&c_tn) < 1e-4);
+        assert!(c.max_abs_diff(&c_nt) < 1e-4);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! pre-propagation GNN training stack needs:
 //!
 //! * a row-major [`Matrix`] type with shape-checked constructors,
+//! * a persistent [`pool`] of worker threads shared by every threaded
+//!   kernel in the workspace (sized by `available_parallelism`, overridable
+//!   via `PPGNN_NUM_THREADS`),
 //! * blocked, multi-threaded [`matmul`]/[`matmul_tn`]/[`matmul_nt`] kernels
 //!   (the `tn`/`nt` variants back the hand-written backward passes in
 //!   `ppgnn-nn`),
@@ -36,7 +39,9 @@ mod ops;
 
 pub mod init;
 pub mod io;
+pub mod pool;
 
 pub use error::TensorError;
-pub use gemm::{matmul, matmul_into, matmul_nt, matmul_tn, set_parallel_threshold};
+pub use gemm::{matmul, matmul_into, matmul_nt, matmul_tn};
 pub use matrix::Matrix;
+pub use pool::{pool, set_parallel_threshold, WorkerPool};

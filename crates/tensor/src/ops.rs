@@ -88,6 +88,19 @@ impl Matrix {
         self.as_mut_slice().fill(0.0);
     }
 
+    /// Overwrites `self` with the contents of `other` without reallocating.
+    ///
+    /// The streaming preprocessor uses this to reset its ping-pong
+    /// propagation buffer to the raw features between operator passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.as_mut_slice().copy_from_slice(other.as_slice());
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let (r, c) = self.shape();
@@ -204,6 +217,46 @@ impl Matrix {
                 self.rows()
             );
             dst[k * cols..(k + 1) * cols].copy_from_slice(&src[i * cols..(i + 1) * cols]);
+        }
+    }
+
+    /// Gathers `indices` rows into a **column block** of `out` starting at
+    /// `col_offset` (`out[k, col_offset..col_offset + self.cols()] =
+    /// self[indices[k], :]`).
+    ///
+    /// This is the fused gather-and-concatenate primitive of the streaming
+    /// preprocessor: with `K` operators, operator `k`'s hop rows land at
+    /// column offset `k·F` of the output, so the SIGN-style feature-wise
+    /// concatenation never materializes intermediate per-operator matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has fewer than `indices.len()` rows, the column block
+    /// does not fit, or an index is out of bounds.
+    pub fn gather_rows_into_offset(&self, indices: &[usize], out: &mut Matrix, col_offset: usize) {
+        assert_eq!(
+            out.rows(),
+            indices.len(),
+            "gather output row count disagrees with index count"
+        );
+        let cols = self.cols();
+        assert!(
+            col_offset + cols <= out.cols(),
+            "column block {col_offset}..{} exceeds output width {}",
+            col_offset + cols,
+            out.cols()
+        );
+        let out_cols = out.cols();
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(
+                i < self.rows(),
+                "gather index {i} out of bounds ({} rows)",
+                self.rows()
+            );
+            dst[k * out_cols + col_offset..k * out_cols + col_offset + cols]
+                .copy_from_slice(&src[i * cols..(i + 1) * cols]);
         }
     }
 
@@ -395,6 +448,35 @@ mod tests {
             assert_eq!(z.row(i), a.row(i));
         }
         assert_eq!(z.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let src = m23();
+        let mut dst = Matrix::full(2, 3, -1.0);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn gather_rows_into_offset_fills_column_blocks() {
+        let a = Matrix::from_fn(4, 2, |r, c| (r * 10 + c) as f32);
+        let b = a.map(|v| v + 100.0);
+        let mut out = Matrix::zeros(3, 4);
+        let idx = [3usize, 0, 2];
+        a.gather_rows_into_offset(&idx, &mut out, 0);
+        b.gather_rows_into_offset(&idx, &mut out, 2);
+        // Equivalent to hstack(gather(a), gather(b)).
+        let expected = Matrix::hstack(&[&a.gather_rows(&idx), &b.gather_rows(&idx)]);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "column block")]
+    fn gather_rows_into_offset_rejects_overflowing_block() {
+        let a = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(1, 4);
+        a.gather_rows_into_offset(&[0], &mut out, 2);
     }
 
     #[test]

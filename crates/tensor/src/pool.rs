@@ -1,0 +1,523 @@
+//! The shared worker pool behind every threaded kernel in the workspace.
+//!
+//! Before this module existed, each GEMM/SpMM call spawned and joined fresh
+//! OS threads via `crossbeam::scope` — ~100 µs of setup per call, paid once
+//! per hop per operator during pre-propagation. The pool spawns its workers
+//! once (lazily, on first use) and keeps them parked on a condvar; a kernel
+//! call costs one boxed closure per row block plus a completion wait.
+//!
+//! Sizing: the global [`pool`] defaults to
+//! `std::thread::available_parallelism` and is overridable with the
+//! `PPGNN_NUM_THREADS` environment variable (read once, when the global
+//! pool is first touched). Tests and benchmarks that need a *specific*
+//! width construct their own [`WorkerPool`].
+//!
+//! The pool also owns the single parallelism threshold shared by all
+//! kernels ([`parallel_threshold`] / [`set_parallel_threshold`]), replacing
+//! the per-kernel magic numbers (2 M in SpMM, 4 M in GEMM) that used to
+//! disagree with each other.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A task as it travels through the pool's queue.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Work units (multiply-adds) above which kernels fan out to the pool.
+///
+/// One shared default for every kernel; see [`set_parallel_threshold`].
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2_000_000;
+
+static PARALLEL_THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_PARALLEL_THRESHOLD);
+
+/// The work-unit threshold above which kernels use the worker pool.
+pub fn parallel_threshold() -> usize {
+    PARALLEL_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Overrides the shared work threshold above which kernels fan out.
+///
+/// Primarily for tests and benchmarks; `0` forces the pooled path,
+/// `usize::MAX` forces single-threaded execution. The unit is the kernel's
+/// multiply-add estimate (`m·n·k` for GEMM, `nnz·f` for SpMM).
+pub fn set_parallel_threshold(work: usize) {
+    PARALLEL_THRESHOLD.store(work, Ordering::Relaxed);
+}
+
+/// Number of tasks a kernel with `work` multiply-adds should split into on
+/// the global pool: `1` below the shared threshold, the pool width above.
+pub fn threads_for(work: usize) -> usize {
+    if work <= parallel_threshold() {
+        1
+    } else {
+        pool().num_threads()
+    }
+}
+
+/// The process-wide pool, created on first use.
+///
+/// Width is `PPGNN_NUM_THREADS` when set (clamped to `1..=256`), otherwise
+/// `std::thread::available_parallelism()`.
+pub fn pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = std::env::var("PPGNN_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.clamp(1, 256))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        WorkerPool::new(threads)
+    })
+}
+
+/// The job queue workers park on. The mutex is held only while pushing or
+/// popping — never while a job runs or a worker sleeps (condvar waits
+/// release it) — so a caller helping to drain the queue can always make
+/// progress.
+#[derive(Default)]
+struct SharedQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl SharedQueue {
+    fn push(&self, job: Job) {
+        let mut jobs = self.jobs.lock().expect("pool queue lock poisoned");
+        jobs.push_back(job);
+        drop(jobs);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.jobs
+            .lock()
+            .expect("pool queue lock poisoned")
+            .pop_front()
+    }
+
+    /// Blocks until a job is available (returning it) or shutdown.
+    fn pop_or_shutdown(&self) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("pool queue lock poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            jobs = self.available.wait(jobs).expect("pool queue lock poisoned");
+        }
+    }
+}
+
+/// Completion barrier for one `run` call.
+struct Batch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload captured from a queued task, re-raised on the
+    /// caller once the whole batch has completed.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    fn new(remaining: usize) -> Self {
+        Batch {
+            remaining: Mutex::new(remaining),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self.remaining.lock().expect("pool batch lock poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("pool batch lock poisoned") == 0
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("pool batch lock poisoned");
+        slot.get_or_insert(payload);
+    }
+}
+
+/// A persistent pool of worker threads executing borrowed closures.
+///
+/// [`WorkerPool::run`] is a scoped-execution primitive: it returns only
+/// after every submitted task has finished, so tasks may borrow from the
+/// caller's stack. The calling thread always executes one task itself and
+/// helps drain the queue while waiting, which keeps a width-1 pool (and
+/// nested calls) deadlock-free.
+#[derive(Debug)]
+pub struct WorkerPool {
+    queue: Arc<SharedQueue>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SharedQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedQueue").finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool that runs tasks on `threads` threads **including the
+    /// caller**, i.e. it spawns `threads - 1` workers. `threads` is clamped
+    /// to at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(SharedQueue::default());
+        let workers = (1..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("ppgnn-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop_or_shutdown() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            workers,
+            threads,
+        }
+    }
+
+    /// Pool width: worker threads plus the participating caller.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion, borrowing from the caller's scope.
+    ///
+    /// The final task runs on the calling thread; the rest are queued for
+    /// the workers. While its own batch is outstanding the caller pops and
+    /// executes queued jobs (its own or a concurrent caller's), then blocks
+    /// on the batch condvar.
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, `run` waits for the **whole batch** to finish
+    /// (panicked tasks included — their unwind is caught inside the queued
+    /// job, so workers survive and the completion count still advances)
+    /// and then re-raises the first panic on the calling thread, matching
+    /// the join-then-propagate behaviour of the scoped-thread code it
+    /// replaced.
+    pub fn run<'env>(&self, mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let Some(local) = tasks.pop() else { return };
+        if tasks.is_empty() || self.threads <= 1 {
+            // Nothing to fan out (or nobody to fan out to): run inline.
+            // A panic here unwinds directly; the unexecuted boxed tasks
+            // are merely dropped, which borrows nothing.
+            local();
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let batch = Arc::new(Batch::new(tasks.len()));
+        for task in tasks {
+            let batch = Arc::clone(&batch);
+            let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                // Catch unwinds so a panicking kernel body can neither kill
+                // the worker's pop loop nor skip the completion count that
+                // `run`'s soundness depends on.
+                if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    batch.record_panic(payload);
+                }
+                batch.complete_one();
+            });
+            // SAFETY: `run` does not return — normally or by unwinding —
+            // until `batch.remaining` reaches zero: the local task runs
+            // under `catch_unwind`, the wait loop below is unconditional,
+            // and every queued job decrements the counter via
+            // `complete_one` even when its task panics (the unwind is
+            // caught above). The borrows captured at lifetime `'env`
+            // therefore strictly outlive every execution of the job,
+            // making the lifetime erasure sound. The transmute itself only
+            // erases the lifetime parameter of an otherwise identical fat
+            // pointer type.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            self.queue.push(job);
+        }
+        let local_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(local));
+        // Help drain the queue until our batch completes; jobs from
+        // concurrent batches may run here too, which is harmless (their
+        // owners are blocked in their own `run`, and queued jobs never
+        // unwind — they catch internally).
+        loop {
+            if batch.is_done() {
+                break;
+            }
+            match self.queue.try_pop() {
+                Some(job) => job(),
+                None => {
+                    // Everything left of our batch is in flight on workers:
+                    // wait for the last decrement. Re-checking under the
+                    // batch lock avoids the lost-wakeup race.
+                    let mut remaining = batch.remaining.lock().expect("pool batch lock poisoned");
+                    while *remaining > 0 {
+                        remaining = batch
+                            .done
+                            .wait(remaining)
+                            .expect("pool batch lock poisoned");
+                    }
+                    break;
+                }
+            }
+        }
+        // Batch fully complete: nothing references the caller's frame any
+        // more, so propagating a panic is safe now.
+        if let Err(payload) = local_result {
+            std::panic::resume_unwind(payload);
+        }
+        let queued_panic = batch.panic.lock().expect("pool batch lock poisoned").take();
+        if let Some(payload) = queued_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Splits `data` into `sizes.len()` contiguous pieces, piece `i` being
+    /// `sizes[i] * width` elements long, and runs `body(i, piece)` for each
+    /// on the pool. Shared splitting logic for row-blocked kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` (scaled by `width`) does not tile `data` exactly.
+    pub fn run_row_blocks<F>(&self, data: &mut [f32], width: usize, sizes: &[usize], body: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let mut pieces: Vec<(usize, &mut [f32])> = Vec::with_capacity(sizes.len());
+        let mut rest = data;
+        for (i, &rows) in sizes.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(rows * width);
+            pieces.push((i, head));
+            rest = tail;
+        }
+        assert!(rest.is_empty(), "row blocks must tile the output exactly");
+        let body = &body;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .map(|(i, piece)| Box::new(move || body(i, piece)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        self.run(tasks);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.shutdown.store(true, Ordering::Release);
+        self.queue.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serializes tests (across this crate's modules) that mutate the global
+/// parallel threshold, so concurrent test threads don't observe each
+/// other's overrides.
+#[cfg(test)]
+pub(crate) static TEST_THRESHOLD_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU32::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn tasks_borrow_disjoint_stack_data() {
+        let pool = WorkerPool::new(3);
+        let mut data = [0u32; 30];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+            .chunks_mut(10)
+            .enumerate()
+            .map(|(i, chunk)| {
+                Box::new(move || {
+                    for v in chunk {
+                        *v = i as u32 + 1;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+        assert!(data[..10].iter().all(|&v| v == 1));
+        assert!(data[10..20].iter().all(|&v| v == 2));
+        assert!(data[20..].iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn width_one_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        let mut hits = 0;
+        pool.run(vec![Box::new(|| hits += 1) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_noop() {
+        WorkerPool::new(2).run(Vec::new());
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_same_workers() {
+        let pool = WorkerPool::new(4);
+        for round in 0..200 {
+            let counter = AtomicU32::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(tasks);
+            assert_eq!(counter.load(Ordering::Relaxed), 4, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_pool() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let total = Arc::new(AtomicU32::new(0));
+        let callers: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                            .map(|_| {
+                                let total = Arc::clone(&total);
+                                Box::new(move || {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                }) as Box<dyn FnOnce() + Send + '_>
+                            })
+                            .collect();
+                        pool.run(tasks);
+                    }
+                })
+            })
+            .collect();
+        for c in callers {
+            c.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 3);
+    }
+
+    #[test]
+    fn dropping_a_pool_terminates_workers() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU32::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+        drop(pool); // must join cleanly, not hang
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panicking_task_propagates_after_batch_completes_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let completed = AtomicU32::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|i| {
+                let completed = &completed;
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("kernel body failed");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(tasks)));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // Every non-panicking task still ran — run() waited for the whole
+        // batch before unwinding (the soundness requirement).
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
+        // Workers survived the panic: the pool still executes new batches.
+        let after = AtomicU32::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|_| {
+                Box::new(|| {
+                    after.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(after.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn run_row_blocks_tiles_exactly() {
+        let pool = WorkerPool::new(2);
+        let mut data = vec![0.0f32; 12];
+        pool.run_row_blocks(&mut data, 2, &[1, 3, 2], |i, piece| {
+            for v in piece {
+                *v = i as f32 + 1.0;
+            }
+        });
+        assert_eq!(&data[..2], &[1.0, 1.0]);
+        assert_eq!(&data[2..8], &[2.0; 6]);
+        assert_eq!(&data[8..], &[3.0; 4]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let p1 = pool();
+        let p2 = pool();
+        assert!(std::ptr::eq(p1, p2));
+        assert!(p1.num_threads() >= 1);
+    }
+
+    #[test]
+    fn threshold_gates_threads_for() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        let prev = parallel_threshold();
+        set_parallel_threshold(100);
+        assert_eq!(threads_for(100), 1);
+        assert_eq!(threads_for(101), pool().num_threads());
+        set_parallel_threshold(prev);
+    }
+}

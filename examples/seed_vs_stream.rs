@@ -1,0 +1,86 @@
+//! Comparison harness: seed-style pre-propagation (full hop-chain clones +
+//! `hstack` concatenation + gather, the pre-PR-2 data path) vs the
+//! streaming `Preprocessor::run`, on the pokec K=2/R=3 configuration.
+//!
+//! ```sh
+//! cargo run --release --example seed_vs_stream          # SCALE=0.25
+//! SCALE=0.5 PPGNN_NUM_THREADS=8 cargo run --release --example seed_vs_stream
+//! ```
+//!
+//! Both paths use today's kernels, so the printed speedup isolates the
+//! data-movement win (no chain clones, no concatenation pass, buffer
+//! reuse); the pool + nnz-balancing win on top of it shows up when
+//! comparing across thread counts on skewed graphs.
+
+use std::time::Instant;
+
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+use ppgnn_tensor::Matrix;
+
+/// Replica of the pre-streaming `Preprocessor::run` data path.
+fn seed_style_run(data: &SynthDataset, operators: &[Operator], hops: usize) -> Vec<Matrix> {
+    let mut per_hop: Vec<Vec<Matrix>> = vec![Vec::new(); hops + 1];
+    for op in operators {
+        let base = op.base(&data.graph);
+        let mut current = data.features.clone();
+        per_hop[0].push(current.clone());
+        for r in 1..=hops {
+            current = op.apply_with_base(&base, &current);
+            per_hop[r].push(current.clone());
+        }
+    }
+    let full_hops: Vec<Matrix> = per_hop
+        .into_iter()
+        .map(|mats| {
+            if mats.len() == 1 {
+                mats.into_iter().next().expect("len checked")
+            } else {
+                let refs: Vec<&Matrix> = mats.iter().collect();
+                Matrix::hstack(&refs)
+            }
+        })
+        .collect();
+    let mut out = Vec::new();
+    for ids in [&data.split.train, &data.split.val, &data.split.test] {
+        for h in &full_hops {
+            out.push(h.gather_rows(ids));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(scale), 0).unwrap();
+    let ops = vec![Operator::SymNorm, Operator::RowNorm];
+    let prep = Preprocessor::new(ops.clone(), 3);
+
+    // Warm both paths once.
+    let _ = seed_style_run(&data, &ops, 3);
+    let _ = prep.run(&data);
+
+    let mut seed_best = f64::MAX;
+    let mut stream_best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let s = seed_style_run(&data, &ops, 3);
+        seed_best = seed_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(s);
+
+        let t = Instant::now();
+        let o = prep.run(&data);
+        stream_best = stream_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(o);
+    }
+    println!(
+        "n={} threads={} seed={seed_best:.4}s stream={stream_best:.4}s speedup={:.2}x",
+        data.graph.num_nodes(),
+        ppgnn_tensor::pool().num_threads(),
+        seed_best / stream_best
+    );
+}

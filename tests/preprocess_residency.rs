@@ -1,0 +1,127 @@
+//! Bounds the streaming preprocessor's peak memory residency.
+//!
+//! The pre-streaming `Preprocessor::run` materialized every hop of every
+//! operator chain twice over (clone into the per-hop chain, then a third
+//! copy through `hstack`) — ~`3·K·(R+1)` full-graph matrices at peak. The
+//! streaming pipeline holds only its two ping-pong propagation buffers
+//! (plus two diffusion-series term buffers for `Ppr`/`Heat`) beyond the
+//! gathered partition outputs. This suite pins that bound with a tracking
+//! global allocator: peak transient allocation during `run` must stay
+//! within `R + 3` full-graph matrices per operator pass, on top of the
+//! returned output and the materialized CSR operator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+
+/// System allocator wrapper tracking current and peak live bytes.
+struct TrackingAlloc;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates allocation entirely to `System`; the added bookkeeping
+// touches only atomics and never the returned memory.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarding the caller's layout unchanged to `System`.
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(now, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        // SAFETY: forwarding the caller's pointer and layout unchanged.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Serializes the tests in this binary: the allocator counters are
+/// process-global, so concurrent tests would inflate each other's peaks.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Resets the peak to the current level and returns the level.
+fn reset_peak() -> usize {
+    let now = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(now, Ordering::Relaxed);
+    now
+}
+
+fn full_matrix_bytes(data: &SynthDataset) -> usize {
+    data.graph.num_nodes() * data.profile.feature_dim * 4
+}
+
+/// CSR bytes of the materialized operator (indices u32 + weights f32 per
+/// nnz, indptr usize per row) — resident during a pass, not a hop matrix.
+fn csr_bytes(data: &SynthDataset) -> usize {
+    let nnz = data.graph.num_edges() + data.graph.num_nodes(); // + self loops
+    nnz * 8 + (data.graph.num_nodes() + 1) * 8
+}
+
+fn assert_residency_bound(operators: Vec<Operator>, hops: usize) {
+    let _guard = SERIAL.lock().unwrap();
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.05), 7)
+        .expect("generation succeeds");
+    let prep = Preprocessor::new(operators, hops);
+    let nf = full_matrix_bytes(&data);
+
+    let before = reset_peak();
+    let out = prep.run(&data);
+    let peak_delta = PEAK.load(Ordering::Relaxed).saturating_sub(before);
+
+    let output_bytes =
+        (out.train.size_bytes() + out.val.size_bytes() + out.test.size_bytes()) as usize;
+    // Outputs + (R+3) full-graph matrices + the CSR base + 25% slack for
+    // labels/ids/allocator rounding. One operator pass at a time, so the
+    // transient budget does not scale with K.
+    let budget = output_bytes + (hops + 3) * nf + csr_bytes(&data) + output_bytes / 4 + nf / 4;
+    assert!(
+        peak_delta <= budget,
+        "peak transient residency {peak_delta} B exceeds budget {budget} B \
+         (outputs {output_bytes} B, full-graph matrix {nf} B, R={hops})"
+    );
+    // Sanity: the bound is meaningful — the old implementation's
+    // 3·K·(R+1) chain would not fit it for these shapes.
+    let k = out.expansion.num_operators;
+    let old_peak_estimate = output_bytes + 3 * k * (hops + 1) * nf;
+    assert!(
+        old_peak_estimate > budget,
+        "test would not have caught the pre-streaming implementation"
+    );
+}
+
+#[test]
+fn streaming_run_bounds_residency_single_operator() {
+    assert_residency_bound(vec![Operator::SymNorm], 3);
+}
+
+#[test]
+fn streaming_run_bounds_residency_two_operators() {
+    assert_residency_bound(vec![Operator::SymNorm, Operator::RowNorm], 3);
+}
+
+#[test]
+fn streaming_run_matches_reference_chain_under_tracking() {
+    // The allocator is process-global, so also pin correctness here: hop r
+    // equals r explicit applications of the operator.
+    let _guard = SERIAL.lock().unwrap();
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 3)
+        .expect("generation succeeds");
+    let out = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+    let mut expected = data.features.clone();
+    for _ in 0..2 {
+        expected = Operator::SymNorm.apply(&data.graph, &expected);
+    }
+    let expected_rows = expected.gather_rows(&data.split.train);
+    assert!(out.train.hops[2].max_abs_diff(&expected_rows) < 1e-4);
+}

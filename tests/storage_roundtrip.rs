@@ -82,6 +82,54 @@ fn storage_loader_matches_in_memory_chunk_loader() {
 }
 
 #[test]
+fn storage_loader_matches_memory_when_chunks_do_not_divide_rows() {
+    // 320 training rows with chunk 24 → 13 chunks, the last one short (8
+    // rows); batch 28 divides neither, so every batch crosses a chunk
+    // boundary somewhere during the epoch.
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 9).unwrap();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+    let rows = prep.train.len();
+    const CHUNK: usize = 24;
+    const BATCH: usize = 28;
+    const SEED: u64 = 13;
+    assert_ne!(rows % CHUNK, 0, "fixture must exercise a short last chunk");
+    assert_ne!(CHUNK % BATCH, 0);
+
+    let dir = temp_dir("shortchunk");
+    prep.write_store(&dir, "pokec-sim", CHUNK)
+        .expect("store written");
+    let store = FeatureStore::open(&dir).expect("store reopens");
+    let mut disk = StorageChunkLoader::new(
+        store,
+        prep.train.labels.clone(),
+        BATCH,
+        AccessPath::Direct,
+        SEED,
+    );
+    let mut mem = ChunkReshuffleLoader::new(Arc::new(prep.train.clone()), BATCH, CHUNK, SEED);
+
+    disk.start_epoch();
+    mem.start_epoch();
+    let mut emitted = 0;
+    loop {
+        match (disk.next_batch(), mem.next_batch()) {
+            (None, None) => break,
+            (Some(d), Some(m)) => {
+                assert_eq!(d.indices, m.indices, "indices diverge at row {emitted}");
+                assert_eq!(d.labels, m.labels);
+                for (hd, hm) in d.hops.iter().zip(&m.hops) {
+                    assert!(hd.max_abs_diff(hm) == 0.0);
+                }
+                emitted += d.len();
+            }
+            _ => panic!("storage and memory loaders disagree on batch count"),
+        }
+    }
+    assert_eq!(emitted, rows, "every row must be emitted exactly once");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn corrupted_store_fails_closed_not_wrong() {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.015), 5).unwrap();
     let prep = Preprocessor::new(vec![Operator::SymNorm], 1).run(&data);
