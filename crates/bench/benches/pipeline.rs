@@ -4,9 +4,11 @@
 //!
 //! Besides the criterion groups, this bench emits a machine-readable
 //! `BENCH_preprop.json` artifact (preprocess seconds + bytes moved for the
-//! paper's K=2, R=3 pokec configuration) so CI can track the
-//! pre-propagation perf trajectory across PRs. Destination overridable via
-//! `PPGNN_BENCH_ARTIFACT`; `PPGNN_BENCH_SMOKE=1` reduces repetitions.
+//! paper's K=2, R=3 pokec configuration, shard-scheduled **and**
+//! sequential so the sharding speedup is tracked explicitly) so CI can
+//! follow the pre-propagation perf trajectory across PRs. Destination
+//! overridable via `PPGNN_BENCH_ARTIFACT`; `PPGNN_BENCH_SMOKE=1` reduces
+//! repetitions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -41,20 +43,32 @@ fn bench_preprocess(c: &mut Criterion) {
 fn bench_preprocess_k2_r3(c: &mut Criterion) {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.25), 0)
         .expect("generation succeeds");
-    let prep = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 3);
+    let num_shards = ppgnn_tensor::pool().num_threads().max(2);
+    let sharded = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 3)
+        .with_num_shards(num_shards);
+    let sequential =
+        Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 3).with_num_shards(1);
     let mut group = c.benchmark_group("preprocess");
     group.sample_size(10);
-    group.bench_function("pokec-k2-r3", |b| {
-        b.iter(|| black_box(prep.run(&data)));
+    group.bench_function("pokec-k2-r3-sharded", |b| {
+        b.iter(|| black_box(sharded.run(&data)));
+    });
+    group.bench_function("pokec-k2-r3-sequential", |b| {
+        b.iter(|| black_box(sequential.run(&data)));
     });
     group.finish();
 
-    write_preprop_artifact(&data, &prep);
+    write_preprop_artifact(&data, &sharded, &sequential, num_shards);
 }
 
 /// Measures the K=2/R=3 pre-propagation directly (independent of the
-/// criterion shim) and writes `BENCH_preprop.json`.
-fn write_preprop_artifact(data: &SynthDataset, prep: &Preprocessor) {
+/// criterion shim), sharding on vs off, and writes `BENCH_preprop.json`.
+fn write_preprop_artifact(
+    data: &SynthDataset,
+    sharded: &Preprocessor,
+    sequential: &Preprocessor,
+    num_shards: usize,
+) {
     // Under `cargo test` the bench bodies run once as smoke tests; only
     // write the artifact when actually measuring (`cargo bench` passes
     // `--bench`) or when a destination was explicitly requested.
@@ -64,24 +78,26 @@ fn write_preprop_artifact(data: &SynthDataset, prep: &Preprocessor) {
     }
     let smoke = std::env::var("PPGNN_BENCH_SMOKE").is_ok_and(|v| v == "1");
     let reps = if smoke { 1 } else { 3 };
-    let mut seconds = f64::MAX;
-    let mut out = prep.run(data); // warm-up + a measurable output
-    for _ in 0..reps {
-        let run = prep.run(data);
-        seconds = seconds.min(run.preprocess_seconds);
-        out = run;
-    }
+    let best_of = |prep: &Preprocessor| {
+        let mut seconds = f64::MAX;
+        let mut out = prep.run(data); // warm-up + a measurable output
+        for _ in 0..reps {
+            let run = prep.run(data);
+            seconds = seconds.min(run.preprocess_seconds);
+            out = run;
+        }
+        (seconds, out)
+    };
+    let (sequential_seconds, _) = best_of(sequential);
+    let (sharded_seconds, out) = best_of(sharded);
     // Bytes the preprocessing stage moves: the propagated hop features it
     // produces (the expansion quantity of Section 3.4), plus the SpMM read
-    // traffic over the feature matrix per hop per operator.
+    // traffic over the feature matrix per invocation.
     let n = data.graph.num_nodes() as u64;
     let f = data.features.cols() as u64;
-    let spmm_bytes: u64 = prep
-        .operators()
-        .iter()
-        .map(|op| (op.spmm_count() * prep.hops()) as u64 * 2 * n * f * 4)
-        .sum();
+    let spmm_bytes = sharded.total_spmm_invocations() as u64 * 2 * n * f * 4;
     let output_bytes = out.train.size_bytes() + out.val.size_bytes() + out.test.size_bytes();
+    let threads = ppgnn_tensor::pool().num_threads();
     let json = format!(
         concat!(
             "{{\n",
@@ -90,18 +106,24 @@ fn write_preprop_artifact(data: &SynthDataset, prep: &Preprocessor) {
             "  \"hops\": {},\n",
             "  \"num_nodes\": {},\n",
             "  \"threads\": {},\n",
+            "  \"num_shards\": {},\n",
             "  \"smoke\": {},\n",
             "  \"preprocess_seconds\": {:.6},\n",
+            "  \"preprocess_seconds_sequential\": {:.6},\n",
+            "  \"sharding_speedup\": {:.4},\n",
             "  \"output_bytes\": {},\n",
             "  \"spmm_traffic_bytes\": {}\n",
             "}}\n"
         ),
-        prep.operators().len(),
-        prep.hops(),
+        sharded.operators().len(),
+        sharded.hops(),
         n,
-        ppgnn_tensor::pool().num_threads(),
+        threads,
+        num_shards,
         smoke,
-        seconds,
+        sharded_seconds,
+        sequential_seconds,
+        sequential_seconds / sharded_seconds.max(f64::EPSILON),
         output_bytes,
         spmm_bytes,
     );

@@ -5,9 +5,11 @@
 //! inherited from a generic framework loader:
 //!
 //! * [`preprocess`] — the one-time feature pre-propagation of Eq. 2
-//!   (`S_k = {X, B_k X, …, B_k^R X}`), with labeled-subset retention (the
-//!   papers100M 70× input shrink) and input-expansion accounting
-//!   (Section 3.4);
+//!   (`S_k = {X, B_k X, …, B_k^R X}`), shard-scheduled: node-range
+//!   shard×operator tasks overlap operator passes on the worker pool, and
+//!   finished hops persist through an async double-buffered writer; with
+//!   labeled-subset retention (the papers100M 70× input shrink) and
+//!   input-expansion accounting (Section 3.4);
 //! * [`loader`] — the four data-loader generations of Section 4, all
 //!   yielding *identical* batch streams for a fixed seed (a property the
 //!   integration tests pin down):

@@ -87,11 +87,13 @@ pub trait Loader {
 
     /// Takes the error (if any) that ended the current epoch early.
     ///
-    /// In-memory loaders cannot fail and return `None` (the default);
-    /// storage-backed loaders park the first I/O failure here after
-    /// [`Loader::next_batch`] returns `None`, and the trainer checks this
-    /// slot when the epoch drains so a truncated store fails the run
-    /// cleanly instead of aborting the process.
+    /// Synchronous in-memory loaders cannot fail and return `None` (the
+    /// default). Storage-backed loaders park the first I/O failure here
+    /// after [`Loader::next_batch`] returns `None`, and threaded loaders
+    /// ([`DoubleBufferLoader`]) park producer-side failures the same way;
+    /// the trainer checks this slot when the epoch drains so a truncated
+    /// store or dead producer fails the run cleanly instead of being
+    /// mistaken for a completed epoch.
     fn take_error(&mut self) -> Option<String> {
         None
     }

@@ -2,6 +2,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver};
+use ppgnn_dataio::DataIoError;
 use ppgnn_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,14 +18,31 @@ use crate::preprocess::PrepropFeatures;
 /// compute with the producer's assembly, which is precisely the pipelining
 /// Figure 6(c) illustrates; on real hardware the two buffers live in GPU
 /// memory and the channel is a pair of CUDA events.
+///
+/// Producer-side failures are not silent: the channel carries
+/// `Result<PpBatch, DataIoError>` (so a storage-backed producer can
+/// surface I/O errors batch-by-batch), and a producer thread that dies
+/// mid-epoch — today that means a panic, since the in-memory assembly
+/// performs no I/O — is detected at join time. Either way the first error
+/// is latched, [`DoubleBufferLoader::try_next_batch`] reports it, the
+/// infallible [`Loader`] API ends the epoch, and [`Loader::take_error`]
+/// hands the message to the trainer — the same contract as
+/// [`crate::loader::StorageChunkLoader`].
 #[derive(Debug)]
 pub struct DoubleBufferLoader {
     data: Arc<PrepropFeatures>,
     batch_size: usize,
     rng: StdRng,
-    rx: Option<Receiver<PpBatch>>,
+    rx: Option<Receiver<Result<PpBatch, DataIoError>>>,
     worker: Option<JoinHandle<LoaderCounters>>,
     counters: LoaderCounters,
+    /// First producer-side error of the epoch, parked for
+    /// [`Loader::take_error`].
+    error: Option<DataIoError>,
+    /// Latched on the first failure and cleared only by
+    /// [`Loader::start_epoch`]: a failed epoch must not resume and
+    /// silently train on a stream with missing batches.
+    failed: bool,
 }
 
 impl DoubleBufferLoader {
@@ -43,15 +61,72 @@ impl DoubleBufferLoader {
             rx: None,
             worker: None,
             counters: LoaderCounters::default(),
+            error: None,
+            failed: false,
         }
     }
 
     fn reap_worker(&mut self) {
         if let Some(handle) = self.worker.take() {
-            if let Ok(c) = handle.join() {
-                self.counters.gather_ops += c.gather_ops;
-                self.counters.bytes_assembled += c.bytes_assembled;
-                self.counters.batches += c.batches;
+            match handle.join() {
+                Ok(c) => {
+                    self.counters.gather_ops += c.gather_ops;
+                    self.counters.bytes_assembled += c.bytes_assembled;
+                    self.counters.batches += c.batches;
+                }
+                Err(_) => {
+                    // The producer died without finishing its epoch; a
+                    // silent early end here would truncate the epoch the
+                    // consumer believes it completed.
+                    self.failed = true;
+                    self.error.get_or_insert_with(|| {
+                        DataIoError::Io("batch producer thread panicked mid-epoch".into())
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fallible batch path: `Ok(None)` ends the epoch, `Err` surfaces the
+    /// first producer-side failure. The failure is latched until
+    /// [`Loader::start_epoch`], so a retrying caller cannot resume a
+    /// stream with batches missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataIoError`] sent by the producer, or reports a
+    /// producer thread that died before finishing the epoch.
+    pub fn try_next_batch(&mut self) -> Result<Option<PpBatch>, DataIoError> {
+        if self.failed {
+            return Err(self.error.clone().unwrap_or_else(|| {
+                DataIoError::Io("epoch already failed; start_epoch required".into())
+            }));
+        }
+        let Some(rx) = self.rx.as_ref() else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(batch)) => Ok(Some(batch)),
+            Ok(Err(e)) => {
+                self.rx = None;
+                self.failed = true;
+                self.error = Some(e.clone());
+                self.reap_worker();
+                Err(e)
+            }
+            Err(_) => {
+                // Channel closed: the producer finished — or died. Joining
+                // distinguishes the two and latches the error if so.
+                self.rx = None;
+                self.reap_worker();
+                if self.failed {
+                    Err(self
+                        .error
+                        .clone()
+                        .expect("failed reap always parks an error"))
+                } else {
+                    Ok(None)
+                }
             }
         }
     }
@@ -59,16 +134,19 @@ impl DoubleBufferLoader {
 
 impl Loader for DoubleBufferLoader {
     fn start_epoch(&mut self) {
-        // Drain any unfinished previous epoch first.
+        // Drain any unfinished previous epoch first (ignoring its verdict:
+        // the epoch is being abandoned either way).
         self.rx = None;
         self.reap_worker();
+        self.error = None;
+        self.failed = false;
 
         let order = permutation(self.data.len(), &mut self.rng);
         let data = Arc::clone(&self.data);
         let batch_size = self.batch_size;
         // Capacity 2 = the double buffer: the producer runs at most two
         // batches ahead of the consumer.
-        let (tx, rx) = bounded::<PpBatch>(2);
+        let (tx, rx) = bounded::<Result<PpBatch, DataIoError>>(2);
         let handle = std::thread::spawn(move || {
             let mut counters = LoaderCounters::default();
             let f = data.hops[0].cols();
@@ -88,11 +166,11 @@ impl Loader for DoubleBufferLoader {
                 let labels = indices.iter().map(|&i| data.labels[i]).collect();
                 counters.batches += 1;
                 if tx
-                    .send(PpBatch {
+                    .send(Ok(PpBatch {
                         indices,
                         hops,
                         labels,
-                    })
+                    }))
                     .is_err()
                 {
                     break; // consumer dropped the epoch early
@@ -105,15 +183,11 @@ impl Loader for DoubleBufferLoader {
     }
 
     fn next_batch(&mut self) -> Option<PpBatch> {
-        let rx = self.rx.as_ref()?;
-        match rx.recv() {
-            Ok(batch) => Some(batch),
-            Err(_) => {
-                self.rx = None;
-                self.reap_worker();
-                None
-            }
+        if self.failed {
+            return None;
         }
+        // An Err is latched by try_next_batch and parked for take_error.
+        self.try_next_batch().unwrap_or_default()
     }
 
     fn num_batches(&self) -> usize {
@@ -122,6 +196,10 @@ impl Loader for DoubleBufferLoader {
 
     fn counters(&self) -> LoaderCounters {
         self.counters
+    }
+
+    fn take_error(&mut self) -> Option<String> {
+        self.error.take().map(|e| e.to_string())
     }
 
     fn name(&self) -> &'static str {
@@ -198,5 +276,59 @@ mod tests {
         l.start_epoch();
         let _ = l.next_batch();
         drop(l); // must join cleanly without hanging the test
+    }
+
+    #[test]
+    fn clean_epoch_leaves_no_error() {
+        let data = Arc::new(tiny_features(20, 1, 2));
+        let mut l = DoubleBufferLoader::new(data, 6, 1);
+        l.start_epoch();
+        while l.try_next_batch().unwrap().is_some() {}
+        assert!(l.take_error().is_none());
+    }
+
+    #[test]
+    fn dead_producer_fails_the_epoch_instead_of_ending_it_silently() {
+        // Corrupt partition: more labels than feature rows. `len()` follows
+        // the labels, so the shuffled index stream reaches past the hop
+        // matrices and the producer panics mid-gather — the in-memory
+        // stand-in for a producer-side failure.
+        let mut features = tiny_features(8, 1, 2);
+        features.labels.extend(8..30u32);
+        features.node_ids.extend(8..30usize);
+        let data = Arc::new(features);
+        let mut l = DoubleBufferLoader::new(data, 8, 3);
+        l.start_epoch();
+        // The fallible path must surface an error, not a clean epoch end.
+        let mut result = l.try_next_batch();
+        while let Ok(Some(_)) = result {
+            result = l.try_next_batch();
+        }
+        assert!(result.is_err(), "dead producer must surface an error");
+        // The failure is latched: retries keep failing, the infallible
+        // path stays ended, and the error is parked for the trainer.
+        assert!(l.try_next_batch().is_err());
+        assert!(l.next_batch().is_none());
+        let msg = l.take_error().expect("error surfaced via take_error");
+        assert!(msg.contains("producer"), "unexpected message: {msg}");
+        assert!(l.take_error().is_none(), "take_error drains the slot");
+    }
+
+    #[test]
+    fn start_epoch_clears_a_latched_failure() {
+        let mut features = tiny_features(8, 1, 2);
+        features.labels.extend(8..30u32);
+        features.node_ids.extend(8..30usize);
+        let data = Arc::new(features);
+        let mut l = DoubleBufferLoader::new(data, 8, 3);
+        l.start_epoch();
+        while l.next_batch().is_some() {}
+        assert!(l.error.is_some() || l.failed);
+        l.start_epoch();
+        assert!(l.take_error().is_none(), "start_epoch resets the error");
+        // The fresh epoch fails again (same corrupt data), proving the
+        // reset re-arms detection rather than suppressing it.
+        while l.next_batch().is_some() {}
+        assert!(l.take_error().is_some());
     }
 }

@@ -38,10 +38,11 @@ pub fn save(
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
     let manifest = format!(
-        "version=1\npreprocess_seconds={}\nraw_bytes={}\nexpanded_bytes={}\nnum_operators={}\nhops={}\n",
+        "version=1\npreprocess_seconds={}\nraw_bytes={}\nexpanded_bytes={}\nretained_rows={}\nnum_operators={}\nhops={}\n",
         out.preprocess_seconds,
         out.expansion.raw_bytes,
         out.expansion.expanded_bytes,
+        out.expansion.retained_rows,
         out.expansion.num_operators,
         out.expansion.hops,
     );
@@ -109,16 +110,25 @@ pub fn load(dir: impl AsRef<Path>) -> Result<PrepropOutput, DataIoError> {
             .map_err(|_| DataIoError::BadManifest(format!("bad {key}")))
     };
     let preprocess_seconds = field("preprocess_seconds")?;
-    let expansion = ExpansionReport {
-        raw_bytes: field("raw_bytes")? as u64,
-        expanded_bytes: field("expanded_bytes")? as u64,
-        num_operators: field("num_operators")? as usize,
-        hops: field("hops")? as usize,
-    };
     let mut parts = Vec::with_capacity(3);
     for part in PARTS {
         parts.push(load_partition(dir, part)?);
     }
+    // Manifests written before the retained-rows key derive it from the
+    // loaded partitions (the value the report is defined to equal anyway);
+    // a *present but malformed* value still fails like any other field.
+    let retained_rows = if text.lines().any(|l| l.starts_with("retained_rows=")) {
+        field("retained_rows")? as u64
+    } else {
+        parts.iter().map(|p| p.len() as u64).sum()
+    };
+    let expansion = ExpansionReport {
+        raw_bytes: field("raw_bytes")? as u64,
+        expanded_bytes: field("expanded_bytes")? as u64,
+        retained_rows,
+        num_operators: field("num_operators")? as usize,
+        hops: field("hops")? as usize,
+    };
     let mut it = parts.into_iter();
     Ok(PrepropOutput {
         train: it.next().expect("three partitions"),
@@ -176,6 +186,24 @@ mod tests {
             assert_eq!(a, b);
         }
         assert!((loaded.preprocess_seconds - out.preprocess_seconds).abs() < 1e-9);
+        // Pre-retained-rows manifests load too: the value is re-derived
+        // from the partitions.
+        let manifest_path = dir.join("preprop.txt");
+        let text = fs::read_to_string(&manifest_path).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("retained_rows="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&manifest_path, stripped).unwrap();
+        let legacy = load(&dir).unwrap();
+        assert_eq!(legacy.expansion, out.expansion);
+        // A present-but-malformed value is corruption, not a legacy
+        // manifest: it must fail like any other field.
+        let mut corrupted = fs::read_to_string(&manifest_path).unwrap();
+        corrupted.push_str("retained_rows=garbage\n");
+        fs::write(&manifest_path, corrupted).unwrap();
+        assert!(matches!(load(&dir), Err(DataIoError::BadManifest(_))));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,11 +1,21 @@
 //! Feature pre-propagation (Eq. 2) and input-expansion accounting.
+//!
+//! Since the shard-scheduling rewrite this module is a small diffusion
+//! engine: operator passes are cut into node-range **shards**
+//! ([`ppgnn_graph::ShardPlan`]) and submitted as shard×operator tasks to
+//! the shared worker pool, so different operators' passes overlap instead
+//! of running strictly one after another; finished hops are persisted
+//! through an asynchronous double-buffered writer thread
+//! ([`ppgnn_dataio::AsyncHopWriter`]) so hop `r + 1` diffusion overlaps
+//! hop `r` storage I/O. Both schedules are bit-for-bit equivalent to the
+//! sequential path (pinned by `tests/shard_equivalence.rs`).
 
 use std::time::Instant;
 
-use ppgnn_dataio::{DataIoError, FeatureStore, FeatureStoreWriter, StoreMeta};
+use ppgnn_dataio::{AsyncHopWriter, DataIoError, FeatureStore, StoreMeta, DEFAULT_WRITER_QUEUE};
 use ppgnn_graph::synth::SynthDataset;
-use ppgnn_graph::Operator;
-use ppgnn_tensor::Matrix;
+use ppgnn_graph::{Operator, ShardPlan, WeightedCsr};
+use ppgnn_tensor::{pool, Matrix, WorkerPool};
 
 /// Hop features plus labels for one node partition (train/val/test).
 ///
@@ -47,13 +57,21 @@ impl PrepropFeatures {
 }
 
 /// The Section 3.4 quantity: how preprocessing expands the input.
+///
+/// All byte counts are derived from the rows the run **actually
+/// materialized** across the three partitions (train + val + test), not
+/// from a formula over the dataset split — so the report stays consistent
+/// with the output even if partition handling changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpansionReport {
-    /// Raw input feature bytes (`n × F × 4`).
+    /// Raw input feature bytes of the retained rows (`retained_rows × F × 4`).
     pub raw_bytes: u64,
     /// Bytes after expansion, **retained rows only**
-    /// (`K(R+1) × n_labeled × F × 4`).
+    /// (`K(R+1) × retained_rows × F × 4`).
     pub expanded_bytes: u64,
+    /// Rows retained across all three partitions — the labeled nodes whose
+    /// expanded features the run materialized.
+    pub retained_rows: u64,
     /// Number of operators `K`.
     pub num_operators: usize,
     /// Number of hops `R`.
@@ -101,6 +119,10 @@ pub struct PrepropOutput {
 pub struct Preprocessor {
     operators: Vec<Operator>,
     hops: usize,
+    /// `None` = auto: `PPGNN_NUM_SHARDS`, else the pool width.
+    num_shards: Option<usize>,
+    /// `None` = auto: `PPGNN_WRITER_QUEUE`, else [`DEFAULT_WRITER_QUEUE`].
+    writer_queue: Option<usize>,
 }
 
 impl Preprocessor {
@@ -111,7 +133,32 @@ impl Preprocessor {
     /// Panics if `operators` is empty.
     pub fn new(operators: Vec<Operator>, hops: usize) -> Self {
         assert!(!operators.is_empty(), "at least one operator required");
-        Preprocessor { operators, hops }
+        Preprocessor {
+            operators,
+            hops,
+            num_shards: None,
+            writer_queue: None,
+        }
+    }
+
+    /// Pins the number of node-range shards per operator pass.
+    ///
+    /// `1` forces the sequential per-operator schedule (the PR 2
+    /// behaviour); `≥ 2` enables the shard×operator scheduler regardless
+    /// of problem size. Without this (and without `PPGNN_NUM_SHARDS`),
+    /// the shard count is the worker-pool width, and tiny graphs below
+    /// the parallel threshold fall back to the sequential schedule.
+    pub fn with_num_shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = Some(num_shards.max(1));
+        self
+    }
+
+    /// Pins the async hop-writer queue depth used by
+    /// [`Preprocessor::run_with_store`] (default: `PPGNN_WRITER_QUEUE`,
+    /// else [`DEFAULT_WRITER_QUEUE`]).
+    pub fn with_writer_queue(mut self, depth: usize) -> Self {
+        self.writer_queue = Some(depth.max(1));
+        self
     }
 
     /// Number of hops `R`.
@@ -124,19 +171,111 @@ impl Preprocessor {
         &self.operators
     }
 
+    /// SpMM invocations a full run costs, per operator (in operator
+    /// order): `spmm_count × R` each. The preprocessing-time models and
+    /// the bench artifact derive traffic estimates from this.
+    pub fn spmm_invocations_per_operator(&self) -> Vec<usize> {
+        self.operators
+            .iter()
+            .map(|op| op.spmm_count() * self.hops)
+            .collect()
+    }
+
+    /// Total SpMM invocations across all operators for a full run.
+    pub fn total_spmm_invocations(&self) -> usize {
+        self.spmm_invocations_per_operator().iter().sum()
+    }
+
+    /// Resolves the shard count: pinned value, else `PPGNN_NUM_SHARDS`,
+    /// else the pool width. The bool reports whether the count was pinned
+    /// explicitly (builder or environment) — explicit counts are honored
+    /// even below the parallel threshold, so tests exercise the sharded
+    /// schedule deterministically on any machine.
+    fn resolved_num_shards(&self, pool: &WorkerPool) -> (usize, bool) {
+        if let Some(n) = self.num_shards {
+            return (n.max(1), true);
+        }
+        if let Some(n) = std::env::var("PPGNN_NUM_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return (n.clamp(1, 4096), true);
+        }
+        (pool.num_threads(), false)
+    }
+
+    fn resolved_writer_queue(&self) -> usize {
+        self.writer_queue
+            .or_else(|| {
+                std::env::var("PPGNN_WRITER_QUEUE")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+            })
+            .unwrap_or(DEFAULT_WRITER_QUEUE)
+            .max(1)
+    }
+
+    /// Groups operator indices for concurrent scheduling.
+    ///
+    /// Single-SpMM operators (`SymNorm`/`RowNorm`) are grouped up to the
+    /// residency cap `⌊(R + 2) / 2⌋`: a group of `g` operators holds `2g`
+    /// full-graph ping-pong buffers, and the cap keeps `2g ≤ R + 2`, one
+    /// full-graph matrix inside the `(R + 3)`-matrix budget
+    /// `tests/preprocess_residency.rs` pins (the spare absorbs the group's
+    /// extra CSR bases). Diffusion-series operators (`Ppr`/`Heat`) are
+    /// internally sequential chains and always form singleton groups. With
+    /// `num_shards ≤ 1` every operator is its own group — the sequential
+    /// PR 2 schedule.
+    fn operator_groups(&self, num_shards: usize) -> Vec<Vec<usize>> {
+        if num_shards <= 1 {
+            return (0..self.operators.len()).map(|k| vec![k]).collect();
+        }
+        let cap = ((self.hops + 2) / 2).max(1);
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        for (ki, op) in self.operators.iter().enumerate() {
+            if op.is_diffusion_series() {
+                if !current.is_empty() {
+                    groups.push(std::mem::take(&mut current));
+                }
+                groups.push(vec![ki]);
+            } else {
+                current.push(ki);
+                if current.len() == cap {
+                    groups.push(std::mem::take(&mut current));
+                }
+            }
+        }
+        if !current.is_empty() {
+            groups.push(current);
+        }
+        groups
+    }
+
     /// Runs pre-propagation on `data`.
     ///
-    /// This is the streaming pipeline: per operator, hops are diffused one
-    /// at a time through two ping-pong full-graph buffers
-    /// ([`Operator::apply_with_base_into`] over `spmm_into`), and labeled
-    /// rows are gathered straight into the operator's column block of the
-    /// partition output as each hop completes. No full-graph hop chain is
-    /// ever materialized: peak full-graph residency is the two propagation
-    /// buffers (plus two diffusion-series term buffers for `Ppr`/`Heat`),
-    /// versus the `K·(R+1)` chain matrices plus a concatenation copy of the
-    /// previous implementation.
+    /// This is the shard-scheduled pipeline: operators are grouped (see
+    /// `operator_groups`), each group diffuses hop-by-hop through
+    /// per-operator ping-pong full-graph buffers, and every hop step
+    /// submits one task per (shard, operator) — a serial
+    /// [`WeightedCsr::spmm_rows_into`] over an nnz-balanced node range —
+    /// to the shared worker pool, so the pool stays full across operator
+    /// boundaries instead of draining at the tail of every pass. Labeled
+    /// rows are gathered straight into each operator's column block of the
+    /// partition outputs as hops complete. Results are bit-identical to
+    /// the sequential per-operator schedule at any shard count.
     pub fn run(&self, data: &SynthDataset) -> PrepropOutput {
-        self.run_streaming(data, None)
+        self.run_on(data, pool::pool())
+    }
+
+    /// [`Preprocessor::run`] on an explicit worker pool.
+    ///
+    /// The global pool is sized once from the environment; width sweeps
+    /// (benchmarks, the shard regression tests) pass their own pool here,
+    /// mirroring [`WeightedCsr::spmm_into_on`]. Shard tasks and nested
+    /// kernel fan-outs reuse this handle.
+    pub fn run_on(&self, data: &SynthDataset, pool: &WorkerPool) -> PrepropOutput {
+        self.run_streaming(data, None, pool)
             .expect("in-memory preprocessing performs no I/O")
     }
 
@@ -145,9 +284,16 @@ impl Preprocessor {
     /// file-per-hop layout), instead of materializing everything and
     /// persisting afterwards.
     ///
+    /// Persistence is asynchronous: finished hops travel over a bounded
+    /// channel (depth [`Preprocessor::with_writer_queue`]) to a dedicated
+    /// [`AsyncHopWriter`] thread, so hop `r + 1` diffusion overlaps hop
+    /// `r` storage I/O. Write failures are latched by the writer and
+    /// surfaced here once diffusion finishes (or at the first submission
+    /// after the failure, whichever comes first).
+    ///
     /// Equivalent on success to `run` followed by
     /// [`PrepropOutput::write_store`], without holding the store contents
-    /// twice.
+    /// twice — and byte-identical to the synchronous path on disk.
     ///
     /// # Errors
     ///
@@ -167,16 +313,23 @@ impl Preprocessor {
             cols: self.operators.len() * f,
             chunk_size,
         };
-        let mut writer = FeatureStoreWriter::create(dir, meta)?;
-        let out = self.run_streaming(data, Some(&mut writer))?;
-        let store = writer.finish()?;
-        Ok((out, store))
+        let mut writer = AsyncHopWriter::create(dir, meta, self.resolved_writer_queue())?;
+        match self.run_streaming(data, Some(&mut writer), pool::pool()) {
+            Ok(out) => {
+                let store = writer.finish()?;
+                Ok((out, store))
+            }
+            // A failed submit returns a fail-fast placeholder; the write
+            // error the writer latched is the actual cause — report that.
+            Err(e) => Err(writer.take_failure().unwrap_or(e)),
+        }
     }
 
     fn run_streaming(
         &self,
         data: &SynthDataset,
-        mut sink: Option<&mut FeatureStoreWriter>,
+        mut sink: Option<&mut AsyncHopWriter>,
+        pool: &WorkerPool,
     ) -> Result<PrepropOutput, DataIoError> {
         let start = Instant::now();
         let n = data.graph.num_nodes();
@@ -194,37 +347,102 @@ impl Preprocessor {
             })
             .collect();
 
-        // Two ping-pong propagation buffers, reused across operators.
-        let mut current = Matrix::zeros(n, f);
-        let mut next = Matrix::zeros(n, f);
-        for (ki, op) in self.operators.iter().enumerate() {
-            let col = ki * f;
-            let last_op = ki + 1 == k_ops;
-            let base = op.base(&data.graph);
-            // Hop 0 is the raw features, gathered directly from the input.
-            for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
-                data.features
-                    .gather_rows_into_offset(ids, &mut hops[0], col);
+        let (num_shards, shards_pinned) = self.resolved_num_shards(pool);
+        let groups = self.operator_groups(num_shards);
+        let num_groups = groups.len();
+
+        // Per-operator ping-pong propagation buffers, allocated to the
+        // largest group's width on demand and reused across groups.
+        let mut currents: Vec<Matrix> = Vec::new();
+        let mut nexts: Vec<Matrix> = Vec::new();
+
+        for (gi, group) in groups.iter().enumerate() {
+            let last_group = gi + 1 == num_groups;
+            // Hop 0 is the raw features, gathered directly from the input
+            // into each group member's column block.
+            for &ki in group {
+                let col = ki * f;
+                for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
+                    data.features
+                        .gather_rows_into_offset(ids, &mut hops[0], col);
+                }
             }
-            if last_op {
-                // All operators have filled their hop-0 column block.
+            if last_group {
+                // Every operator has filled its hop-0 column block by now
+                // (earlier groups ran to completion first).
                 if let Some(writer) = sink.as_deref_mut() {
-                    writer.write_hop(0, &hops_by_part[0][0])?;
+                    writer.submit(0, hops_by_part[0][0].clone())?;
                 }
             }
             if self.hops == 0 {
                 continue;
             }
-            current.copy_from(&data.features);
+
+            let bases: Vec<WeightedCsr> = group
+                .iter()
+                .map(|&ki| self.operators[ki].base(&data.graph))
+                .collect();
+            while currents.len() < group.len() {
+                currents.push(Matrix::zeros(n, f));
+                nexts.push(Matrix::zeros(n, f));
+            }
+            for current in currents.iter_mut().take(group.len()) {
+                current.copy_from(&data.features);
+            }
+
+            // Shard the row space once per group (group members share one
+            // sparsity structure). Series operators never shard; auto
+            // (unpinned) shard counts fall back to the sequential schedule
+            // below the parallel threshold, like every pooled kernel.
+            let series = self.operators[group[0]].is_diffusion_series();
+            let work = bases.iter().map(|b| b.nnz()).max().unwrap_or(0) * f;
+            let sharded =
+                !series && num_shards > 1 && (shards_pinned || work > pool::parallel_threshold());
+            let plan = ShardPlan::for_operator(&bases[0], num_shards);
+
             for r in 1..=self.hops {
-                op.apply_with_base_into(&base, &current, &mut next);
-                std::mem::swap(&mut current, &mut next);
-                for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
-                    current.gather_rows_into_offset(ids, &mut hops[r], col);
+                if sharded {
+                    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                        Vec::with_capacity(group.len() * plan.num_shards());
+                    for (slot, next) in nexts.iter_mut().take(group.len()).enumerate() {
+                        let base = &bases[slot];
+                        let cur = &currents[slot];
+                        let mut rest = next.as_mut_slice();
+                        for range in plan.ranges() {
+                            let (slab, tail) = rest.split_at_mut(range.len() * f);
+                            rest = tail;
+                            let range = range.clone();
+                            tasks.push(Box::new(move || base.spmm_rows_into(range, cur, slab)));
+                        }
+                        debug_assert!(rest.is_empty(), "shard plan must tile the buffer");
+                    }
+                    pool.run(tasks);
+                } else {
+                    for (slot, &ki) in group.iter().enumerate() {
+                        self.operators[ki].apply_with_base_into_on(
+                            &bases[slot],
+                            &currents[slot],
+                            &mut nexts[slot],
+                            pool,
+                        );
+                    }
                 }
-                if last_op {
+                for slot in 0..group.len() {
+                    std::mem::swap(&mut currents[slot], &mut nexts[slot]);
+                }
+                for (slot, &ki) in group.iter().enumerate() {
+                    let col = ki * f;
+                    for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
+                        currents[slot].gather_rows_into_offset(ids, &mut hops[r], col);
+                    }
+                }
+                if last_group {
                     if let Some(writer) = sink.as_deref_mut() {
-                        writer.write_hop(r, &hops_by_part[0][r])?;
+                        // The clone is the write-side double buffer: at most
+                        // queue-depth + 1 extra train-hop matrices are in
+                        // flight, owned by the writer thread while diffusion
+                        // continues — train-partition-sized, not full-graph.
+                        writer.submit(r, hops_by_part[0][r].clone())?;
                     }
                 }
             }
@@ -243,10 +461,14 @@ impl Preprocessor {
         let test = extract(&data.split.test);
 
         let preprocess_seconds = start.elapsed().as_secs_f64();
-        let labeled = data.split.num_labeled() as u64;
+        // Account what the run materialized, not what a formula predicts:
+        // retained rows and expanded bytes come from the three partitions'
+        // actual hop matrices.
+        let retained_rows = (train.len() + val.len() + test.len()) as u64;
         let expansion = ExpansionReport {
-            raw_bytes: labeled * (f as u64) * 4,
-            expanded_bytes: labeled * (k_ops as u64) * ((self.hops + 1) as u64) * (f as u64) * 4,
+            raw_bytes: retained_rows * (f as u64) * 4,
+            expanded_bytes: train.size_bytes() + val.size_bytes() + test.size_bytes(),
+            retained_rows,
             num_operators: k_ops,
             hops: self.hops,
         };
@@ -262,7 +484,7 @@ impl Preprocessor {
 
 impl PrepropOutput {
     /// Persists the **training** partition to a feature store (the
-    /// Section 4.3 file-per-hop layout).
+    /// Section 4.3 file-per-hop layout), synchronously.
     ///
     /// # Errors
     ///
@@ -282,7 +504,7 @@ impl PrepropOutput {
             cols,
             chunk_size,
         };
-        let mut writer = FeatureStoreWriter::create(dir, meta)?;
+        let mut writer = ppgnn_dataio::FeatureStoreWriter::create(dir, meta)?;
         for (k, hop) in self.train.hops.iter().enumerate() {
             writer.write_hop(k, hop)?;
         }
@@ -335,7 +557,7 @@ mod tests {
     }
 
     #[test]
-    fn expansion_report_matches_k_r_plus_one() {
+    fn expansion_report_matches_materialized_partitions() {
         let data = small_data();
         let out = Preprocessor::new(vec![Operator::SymNorm], 3).run(&data);
         assert!((out.expansion.factor() - 4.0).abs() < 1e-9);
@@ -343,6 +565,24 @@ mod tests {
             out.expansion.expanded_bytes,
             out.train.size_bytes() + out.val.size_bytes() + out.test.size_bytes()
         );
+        assert_eq!(
+            out.expansion.retained_rows as usize,
+            out.train.len() + out.val.len() + out.test.len()
+        );
+        assert_eq!(
+            out.expansion.retained_rows as usize,
+            data.split.num_labeled()
+        );
+    }
+
+    #[test]
+    fn spmm_invocation_accessors_follow_operator_costs() {
+        let prep = Preprocessor::new(vec![Operator::SymNorm, Operator::Ppr { alpha: 0.15 }], 3);
+        let per_op = prep.spmm_invocations_per_operator();
+        assert_eq!(per_op.len(), 2);
+        assert_eq!(per_op[0], 3); // one SpMM per hop
+        assert_eq!(per_op[1], Operator::Ppr { alpha: 0.15 }.spmm_count() * 3);
+        assert_eq!(prep.total_spmm_invocations(), per_op.iter().sum::<usize>());
     }
 
     #[test]
@@ -363,6 +603,84 @@ mod tests {
         let out = Preprocessor::new(vec![Operator::SymNorm], 0).run(&data);
         assert_eq!(out.train.hops.len(), 1);
         assert!((out.expansion.factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_sequential() {
+        let data = small_data();
+        for ops in [
+            vec![Operator::SymNorm],
+            vec![Operator::SymNorm, Operator::RowNorm],
+            vec![
+                Operator::SymNorm,
+                Operator::Ppr { alpha: 0.2 },
+                Operator::RowNorm,
+            ],
+        ] {
+            let sequential = Preprocessor::new(ops.clone(), 3)
+                .with_num_shards(1)
+                .run(&data);
+            for shards in [3, 7] {
+                let sharded = Preprocessor::new(ops.clone(), 3)
+                    .with_num_shards(shards)
+                    .run(&data);
+                for (part, (a, b)) in [
+                    (&sequential.train, &sharded.train),
+                    (&sequential.val, &sharded.val),
+                    (&sequential.test, &sharded.test),
+                ]
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, *p))
+                {
+                    for r in 0..=3 {
+                        assert_eq!(
+                            a.hops[r].as_slice(),
+                            b.hops[r].as_slice(),
+                            "ops {ops:?} shards {shards} partition {part} hop {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_pool_run_matches_global_pool_run() {
+        let data = small_data();
+        let prep =
+            Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 2).with_num_shards(4);
+        let global = prep.run(&data);
+        let pool = WorkerPool::new(4);
+        let explicit = prep.run_on(&data, &pool);
+        for r in 0..=2 {
+            assert_eq!(
+                global.train.hops[r].as_slice(),
+                explicit.train.hops[r].as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn operator_groups_respect_residency_cap_and_series_isolation() {
+        let prep = Preprocessor::new(
+            vec![
+                Operator::SymNorm,
+                Operator::RowNorm,
+                Operator::Ppr { alpha: 0.2 },
+                Operator::SymNorm,
+            ],
+            3,
+        );
+        // R=3 → cap ⌊5/2⌋ = 2 concurrent simple operators.
+        let groups = prep.operator_groups(8);
+        assert_eq!(groups, vec![vec![0, 1], vec![2], vec![3]]);
+        // Sequential mode: every operator alone, in order.
+        let seq = prep.operator_groups(1);
+        assert_eq!(seq, vec![vec![0], vec![1], vec![2], vec![3]]);
+        // R=1 → cap 1: no grouping even when sharded.
+        let narrow = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 1);
+        assert_eq!(narrow.operator_groups(8), vec![vec![0], vec![1]]);
     }
 
     #[test]

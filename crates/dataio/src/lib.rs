@@ -15,11 +15,18 @@
 //! performance simulator replays at paper scale — sequential vs random
 //! request counts and byte volumes are what separate chunk reshuffling from
 //! SGD-RR on storage.
+//!
+//! Writes have an asynchronous path too: [`AsyncHopWriter`] runs a
+//! [`FeatureStoreWriter`] on its own thread behind a bounded channel
+//! (mirroring the generation-2 double-buffer loader on the read side), so
+//! the preprocessor's hop `r + 1` diffusion overlaps hop `r` persistence.
 
 #![deny(missing_docs)]
 
 mod error;
 mod store;
+mod writer;
 
 pub use error::DataIoError;
 pub use store::{AccessPath, FeatureStore, FeatureStoreWriter, IoCounters, StoreMeta};
+pub use writer::{AsyncHopWriter, DEFAULT_WRITER_QUEUE};

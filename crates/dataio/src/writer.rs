@@ -1,0 +1,277 @@
+//! Asynchronous, double-buffered hop persistence.
+//!
+//! The streaming preprocessor used to call [`FeatureStoreWriter::write_hop`]
+//! synchronously on the compute thread: every finished hop blocked
+//! diffusion until its bytes hit storage — serialized compute and I/O,
+//! exactly the pipeline bubble the generation-2 *loader* already removed on
+//! the read side. [`AsyncHopWriter`] mirrors that design for writes: a
+//! dedicated writer thread drains a **bounded** channel of finished hop
+//! matrices, so hop `r + 1` diffusion overlaps hop `r` I/O, and the channel
+//! depth (default [`DEFAULT_WRITER_QUEUE`], the double buffer) bounds how
+//! many extra hop matrices can be in flight — backpressure, not unbounded
+//! queuing, when storage is slower than compute.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ppgnn_tensor::Matrix;
+
+use crate::{DataIoError, FeatureStore, FeatureStoreWriter, StoreMeta};
+
+/// Default bounded-channel depth: two in-flight hop matrices — the
+/// write-side software double buffer.
+pub const DEFAULT_WRITER_QUEUE: usize = 2;
+
+/// A [`FeatureStoreWriter`] running on its own thread behind a bounded
+/// channel.
+///
+/// [`AsyncHopWriter::submit`] hands a finished hop matrix to the writer
+/// thread, blocking only when the queue is full. The first write failure is
+/// **latched**: later submissions are drained and dropped (so the producer
+/// never blocks on a dead store), [`AsyncHopWriter::submit`] starts failing
+/// fast, and the underlying error is surfaced by
+/// [`AsyncHopWriter::finish`] — which otherwise verifies completeness and
+/// opens the store, exactly like the synchronous
+/// [`FeatureStoreWriter::finish`].
+#[derive(Debug)]
+pub struct AsyncHopWriter {
+    tx: Option<SyncSender<(usize, Matrix)>>,
+    worker: Option<JoinHandle<Result<FeatureStoreWriter, DataIoError>>>,
+    failed: Arc<AtomicBool>,
+}
+
+impl AsyncHopWriter {
+    /// Creates the store directory/manifest and starts the writer thread
+    /// with a bounded queue of `queue_depth` hop matrices (clamped to
+    /// at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureStoreWriter::create`] failures.
+    pub fn create(
+        dir: impl AsRef<std::path::Path>,
+        meta: StoreMeta,
+        queue_depth: usize,
+    ) -> Result<Self, DataIoError> {
+        Ok(Self::wrap(
+            FeatureStoreWriter::create(dir, meta)?,
+            queue_depth,
+        ))
+    }
+
+    /// Wraps an existing synchronous writer in a writer thread.
+    pub fn wrap(writer: FeatureStoreWriter, queue_depth: usize) -> Self {
+        let failed = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&failed);
+        let (tx, rx) = sync_channel::<(usize, Matrix)>(queue_depth.max(1));
+        let worker = std::thread::Builder::new()
+            .name("ppgnn-hop-writer".into())
+            .spawn(move || {
+                let mut writer = writer;
+                let mut first_err: Option<DataIoError> = None;
+                while let Ok((k, features)) = rx.recv() {
+                    if first_err.is_some() {
+                        // Latched failure: drain so producers never block
+                        // on a queue nobody is emptying.
+                        continue;
+                    }
+                    if let Err(e) = writer.write_hop(k, &features) {
+                        flag.store(true, Ordering::Release);
+                        first_err = Some(e);
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(writer),
+                }
+            })
+            .expect("failed to spawn hop-writer thread");
+        AsyncHopWriter {
+            tx: Some(tx),
+            worker: Some(worker),
+            failed,
+        }
+    }
+
+    /// Queues hop `k` for writing, blocking while the bounded queue is
+    /// full (write backpressure).
+    ///
+    /// Takes the matrix by value: the bytes in flight belong to the writer
+    /// thread, which is what lets the compute thread reuse or drop its own
+    /// buffers immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast once a previous write has failed (or the writer thread
+    /// died); the underlying cause is reported by
+    /// [`AsyncHopWriter::finish`].
+    pub fn submit(&mut self, k: usize, features: Matrix) -> Result<(), DataIoError> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(DataIoError::Io(
+                "async hop writer already failed; finish() reports the cause".into(),
+            ));
+        }
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| DataIoError::Io("async hop writer already finished".into()))?;
+        tx.send((k, features))
+            .map_err(|_| DataIoError::Io("hop-writer thread terminated early".into()))
+    }
+
+    /// `true` once a write has failed (or the writer thread died):
+    /// [`AsyncHopWriter::submit`] is fail-fast from then on, and
+    /// [`AsyncHopWriter::take_failure`] can retrieve the cause.
+    pub fn has_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire) || self.worker.as_ref().is_none_or(|w| w.is_finished())
+    }
+
+    /// Consumes the writer and returns the latched failure, if any —
+    /// for callers abandoning a run mid-way (a failed `submit`) that
+    /// still want the underlying cause rather than the fail-fast
+    /// placeholder. Returns `None` when no write ever failed (the
+    /// abandoned, incomplete store is left behind either way).
+    pub fn take_failure(mut self) -> Option<DataIoError> {
+        drop(self.tx.take());
+        let worker = self.worker.take()?;
+        match worker.join() {
+            Ok(Ok(_)) => None,
+            Ok(Err(e)) => Some(e),
+            Err(_) => Some(DataIoError::Io("hop-writer thread panicked".into())),
+        }
+    }
+
+    /// Closes the queue, joins the writer thread, and finishes the store.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the latched first write error if any write failed, a
+    /// completeness error if hops are missing, or open-time validation
+    /// failures — the same contract as [`FeatureStoreWriter::finish`].
+    pub fn finish(mut self) -> Result<FeatureStore, DataIoError> {
+        drop(self.tx.take()); // close the channel; the worker drains & exits
+        let worker = self.worker.take().expect("finish called once");
+        let writer = worker
+            .join()
+            .map_err(|_| DataIoError::Io("hop-writer thread panicked".into()))??;
+        writer.finish()
+    }
+}
+
+impl Drop for AsyncHopWriter {
+    fn drop(&mut self) {
+        // Abandoned without finish() (e.g. diffusion errored): close the
+        // queue and join so no detached thread outlives the store handle.
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppgnn-async-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta(rows: usize, cols: usize, hops: usize) -> StoreMeta {
+        StoreMeta {
+            dataset: "async".into(),
+            num_hops: hops,
+            rows,
+            cols,
+            chunk_size: 4,
+        }
+    }
+
+    fn hop_matrix(k: usize, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, move |r, c| (k * 1000 + r * 10 + c) as f32)
+    }
+
+    #[test]
+    fn async_store_is_byte_identical_to_sync_store() {
+        let sync_dir = temp_dir("sync");
+        let async_dir = temp_dir("queued");
+        let mut sync_w = FeatureStoreWriter::create(&sync_dir, meta(10, 3, 3)).unwrap();
+        let mut async_w = AsyncHopWriter::create(&async_dir, meta(10, 3, 3), 2).unwrap();
+        for k in 0..3 {
+            let m = hop_matrix(k, 10, 3);
+            sync_w.write_hop(k, &m).unwrap();
+            async_w.submit(k, m).unwrap();
+        }
+        sync_w.finish().unwrap();
+        let store = async_w.finish().unwrap();
+        assert_eq!(store.meta().num_hops, 3);
+        for k in 0..3 {
+            let a = std::fs::read(sync_dir.join(format!("hop_{k}.ppgt"))).unwrap();
+            let b = std::fs::read(async_dir.join(format!("hop_{k}.ppgt"))).unwrap();
+            assert_eq!(a, b, "hop {k} bytes differ between sync and async path");
+        }
+        std::fs::remove_dir_all(&sync_dir).unwrap();
+        std::fs::remove_dir_all(&async_dir).unwrap();
+    }
+
+    #[test]
+    fn bad_shape_error_is_latched_and_surfaced_at_finish() {
+        let dir = temp_dir("badshape");
+        let mut w = AsyncHopWriter::create(&dir, meta(10, 3, 2), 1).unwrap();
+        w.submit(0, Matrix::zeros(5, 3)).unwrap(); // wrong row count
+                                                   // The failure latches; eventually submit fails fast (the writer
+                                                   // thread needs a moment to observe the bad hop, so poll).
+        let mut fast_failed = false;
+        for _ in 0..1000 {
+            match w.submit(1, hop_matrix(1, 10, 3)) {
+                Err(_) => {
+                    fast_failed = true;
+                    break;
+                }
+                Ok(()) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        assert!(fast_failed, "submit should fail fast after a write error");
+        let err = w.finish().unwrap_err();
+        assert!(matches!(err, DataIoError::BadManifest(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_hops_fail_finish_like_the_sync_writer() {
+        let dir = temp_dir("missing");
+        let mut w = AsyncHopWriter::create(&dir, meta(6, 2, 3), 2).unwrap();
+        w.submit(0, hop_matrix(0, 6, 2)).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("never written"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_without_finish_joins_the_worker() {
+        let dir = temp_dir("dropped");
+        let mut w = AsyncHopWriter::create(&dir, meta(6, 2, 2), 1).unwrap();
+        w.submit(0, hop_matrix(0, 6, 2)).unwrap();
+        drop(w); // must join cleanly, not hang or leak the thread
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_deadlock() {
+        let dir = temp_dir("backpressure");
+        let mut w = AsyncHopWriter::create(&dir, meta(64, 8, 16), 1).unwrap();
+        // Submit far more hops than the queue depth; every submit must
+        // complete (blocking at most until the writer drains one slot).
+        for k in 0..16 {
+            w.submit(k, hop_matrix(k, 64, 8)).unwrap();
+        }
+        let store = w.finish().unwrap();
+        assert_eq!(store.meta().num_hops, 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,6 +9,8 @@
 //!   row-normalized adjacency, truncated Personalized-PageRank and heat
 //!   kernels, following Gasteiger et al. 2019),
 //! * threaded CSR×dense SpMM (the kernel behind feature pre-propagation),
+//! * [`ShardPlan`] — nnz-balanced node-range shards plus a row-slice SpMM
+//!   ([`WeightedCsr::spmm_rows_into`]) for shard-scheduled diffusion,
 //! * [`gen`] — seeded synthetic graph generators (R-MAT skew, planted
 //!   homophily) standing in for the OGB/SNAP/IGB benchmarks,
 //! * [`synth`] — ratio-preserving scaled-down dataset profiles
@@ -33,6 +35,7 @@
 mod csr;
 mod error;
 mod operator;
+mod shard;
 mod spmm;
 
 pub mod gen;
@@ -42,4 +45,5 @@ pub mod synth;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use operator::Operator;
+pub use shard::ShardPlan;
 pub use spmm::{nnz_balanced_blocks, WeightedCsr};

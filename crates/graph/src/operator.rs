@@ -101,8 +101,27 @@ impl Operator {
     /// Panics if `x.rows() != base.cols()` or `out`'s shape differs from
     /// `x`'s.
     pub fn apply_with_base_into(&self, base: &WeightedCsr, x: &Matrix, out: &mut Matrix) {
+        self.apply_with_base_into_on(base, x, out, ppgnn_tensor::pool());
+    }
+
+    /// [`Operator::apply_with_base_into`] on an explicit worker pool: every
+    /// internal SpMM routes through [`WeightedCsr::spmm_into_on`], so
+    /// callers that bound their thread usage (width sweeps,
+    /// `Preprocessor::run_on`) keep that bound through diffusion-series
+    /// operators too.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Operator::apply_with_base_into`].
+    pub fn apply_with_base_into_on(
+        &self,
+        base: &WeightedCsr,
+        x: &Matrix,
+        out: &mut Matrix,
+        pool: &ppgnn_tensor::WorkerPool,
+    ) {
         match *self {
-            Operator::SymNorm | Operator::RowNorm => base.spmm_into(x, out),
+            Operator::SymNorm | Operator::RowNorm => base.spmm_into_on(x, out, pool),
             Operator::Ppr { alpha } => {
                 assert!((0.0..1.0).contains(&alpha), "ppr alpha must be in (0,1)");
                 out.copy_from(x); // α · Ā^0 X term
@@ -111,7 +130,7 @@ impl Operator {
                 let mut next = Matrix::zeros(x.rows(), x.cols());
                 let mut coeff = alpha;
                 for _ in 1..=DIFFUSION_TERMS {
-                    base.spmm_into(&term, &mut next);
+                    base.spmm_into_on(&term, &mut next, pool);
                     std::mem::swap(&mut term, &mut next);
                     coeff *= 1.0 - alpha;
                     out.axpy(coeff, &term);
@@ -124,7 +143,7 @@ impl Operator {
                 let mut next = Matrix::zeros(x.rows(), x.cols());
                 let mut coeff = 1.0f32;
                 for i in 1..=DIFFUSION_TERMS {
-                    base.spmm_into(&term, &mut next);
+                    base.spmm_into_on(&term, &mut next, pool);
                     std::mem::swap(&mut term, &mut next);
                     coeff *= t / i as f32;
                     out.axpy(coeff, &term);
@@ -132,6 +151,19 @@ impl Operator {
                 out.scale((-t).exp());
             }
         }
+    }
+
+    /// `true` for operators whose one application is a truncated diffusion
+    /// *series* (`Ppr`/`Heat`) rather than a single SpMM.
+    ///
+    /// Series applications are an internally sequential chain of SpMMs
+    /// over full-graph term buffers, so they do not decompose into
+    /// independent node-range shard tasks; the shard scheduler in
+    /// `ppgnn-core` runs them through [`Operator::apply_with_base_into`]
+    /// (whose inner SpMMs still parallelize on the pool) instead of
+    /// slicing them.
+    pub fn is_diffusion_series(&self) -> bool {
+        matches!(self, Operator::Ppr { .. } | Operator::Heat { .. })
     }
 
     /// Number of SpMM invocations one application costs (used by the
@@ -238,5 +270,17 @@ mod tests {
     fn spmm_counts_reflect_series_length() {
         assert_eq!(Operator::SymNorm.spmm_count(), 1);
         assert!(Operator::Ppr { alpha: 0.2 }.spmm_count() > 1);
+    }
+
+    #[test]
+    fn series_classification_matches_spmm_counts() {
+        for op in [
+            Operator::SymNorm,
+            Operator::RowNorm,
+            Operator::Ppr { alpha: 0.2 },
+            Operator::Heat { t: 0.5 },
+        ] {
+            assert_eq!(op.is_diffusion_series(), op.spmm_count() > 1);
+        }
     }
 }

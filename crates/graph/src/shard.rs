@@ -1,0 +1,173 @@
+//! Node-range shard plans over a CSR row space.
+//!
+//! Pre-propagation parallelism has two axes: within one SpMM (the
+//! nnz-balanced row blocks [`WeightedCsr::spmm_into`] fans out) and across
+//! operator passes. A [`ShardPlan`] makes the second axis schedulable: it
+//! cuts the row space once into contiguous, nnz-balanced node ranges
+//! (reusing [`nnz_balanced_blocks`]), and each (shard, operator) pair
+//! becomes an independent task — a serial [`WeightedCsr::spmm_rows_into`]
+//! over the shard's rows — that a scheduler can interleave with other
+//! operators' shards on the shared worker pool. The node-adaptive /
+//! partitioned propagation literature (Gao et al. 2023; Li et al. 2024)
+//! motivates node ranges as the unit of work; nnz balancing is what keeps
+//! power-law hubs from serializing a shard.
+//!
+//! The plan is also the seam future graph-partition parallelism and
+//! multi-store sharding hang off: anything that needs "the row space, cut
+//! into balanced pieces" shares this abstraction.
+
+use std::ops::Range;
+
+use crate::{nnz_balanced_blocks, WeightedCsr};
+
+/// Contiguous, nnz-balanced node ranges tiling `0..rows`.
+///
+/// Built from a CSR `indptr` prefix-sum array; ranges never overlap, are
+/// never empty, and concatenate to the full row space (so per-shard output
+/// slabs of a row-major matrix tile its backing slice exactly — the
+/// property the shard scheduler's `split_at_mut` fan-out relies on).
+///
+/// # Example
+///
+/// ```
+/// use ppgnn_graph::{CsrGraph, ShardPlan, WeightedCsr};
+///
+/// let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], true)?;
+/// let op = WeightedCsr::sym_norm(&g, true);
+/// let plan = ShardPlan::for_operator(&op, 3);
+/// assert!(plan.num_shards() <= 3);
+/// assert_eq!(plan.rows(), 6);
+/// # Ok::<(), ppgnn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<Range<usize>>,
+    rows: usize,
+}
+
+impl ShardPlan {
+    /// Builds a plan of at most `max_shards` ranges from a CSR `indptr`
+    /// prefix-sum array (`rows + 1` entries).
+    ///
+    /// Fewer ranges are returned when rows or non-zeros run out; a single
+    /// hub row heavier than the per-shard nnz target lands in its own
+    /// range. `max_shards == 0` is treated as 1.
+    pub fn from_indptr(indptr: &[usize], max_shards: usize) -> Self {
+        let rows = indptr.len().saturating_sub(1);
+        ShardPlan {
+            ranges: nnz_balanced_blocks(indptr, max_shards.max(1)),
+            rows,
+        }
+    }
+
+    /// Builds a plan over `base`'s row space.
+    ///
+    /// Operators materialized from the same graph with self-loops share
+    /// one sparsity structure, so a plan built from any of them balances
+    /// all of them — the scheduler builds one plan per operator group.
+    pub fn for_operator(base: &WeightedCsr, max_shards: usize) -> Self {
+        Self::from_indptr(base.indptr(), max_shards)
+    }
+
+    /// Number of shards in the plan (0 only for an empty row space).
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total rows the plan tiles.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The shard ranges, in row order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// `true` when the plan covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrGraph;
+
+    fn star(n: usize) -> WeightedCsr {
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        WeightedCsr::sym_norm(&CsrGraph::from_edges(n, &edges, true).unwrap(), true)
+    }
+
+    #[test]
+    fn ranges_tile_the_row_space_contiguously() {
+        let op = star(50);
+        for shards in [1, 3, 7, 64] {
+            let plan = ShardPlan::for_operator(&op, shards);
+            assert!(plan.num_shards() >= 1 && plan.num_shards() <= shards.max(1));
+            assert_eq!(plan.ranges().first().unwrap().start, 0);
+            assert_eq!(plan.ranges().last().unwrap().end, 50);
+            for w in plan.ranges().windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap at {shards} shards");
+            }
+            assert!(plan.ranges().iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one() {
+        let op = star(8);
+        let plan = ShardPlan::for_operator(&op, 0);
+        assert_eq!(plan.num_shards(), 1);
+        #[allow(clippy::single_range_in_vec_init)] // one range, not 0..8 indices
+        let expected = [0..8];
+        assert_eq!(plan.ranges(), &expected);
+    }
+
+    #[test]
+    fn empty_row_space_yields_no_shards() {
+        let plan = ShardPlan::from_indptr(&[0], 4);
+        assert!(plan.is_empty());
+        assert_eq!(plan.rows(), 0);
+    }
+
+    #[test]
+    fn hub_row_gets_isolated_from_light_rows() {
+        // Star hub = row 0 holds ~half the nnz; with 4 shards the first
+        // range should be the hub alone (or nearly so).
+        let op = star(64);
+        let plan = ShardPlan::for_operator(&op, 4);
+        let hub = &plan.ranges()[0];
+        let nnz = |r: &Range<usize>| op.indptr()[r.end] - op.indptr()[r.start];
+        let hub_nnz = nnz(hub);
+        for r in &plan.ranges()[1..] {
+            assert!(nnz(r) <= hub_nnz, "light shard {r:?} outweighs the hub");
+        }
+    }
+
+    #[test]
+    fn sharded_spmm_rows_match_full_spmm_bitwise() {
+        use ppgnn_tensor::Matrix;
+        let op = star(40);
+        let x = Matrix::from_fn(40, 5, |r, c| ((r * 13 + c * 7) % 17) as f32 - 8.0);
+        let full = op.spmm(&x);
+        for shards in [1, 3, 7] {
+            let plan = ShardPlan::for_operator(&op, shards);
+            let mut out = Matrix::full(40, 5, f32::NAN);
+            for range in plan.ranges() {
+                let lo = range.start * 5;
+                let hi = range.end * 5;
+                op.spmm_rows_into(range.clone(), &x, &mut out.as_mut_slice()[lo..hi]);
+            }
+            // Bit-identical, not approximately equal: per-row accumulation
+            // order is independent of shard boundaries.
+            let same = out
+                .as_slice()
+                .iter()
+                .zip(full.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{shards}-shard slice SpMM diverged from full SpMM");
+        }
+    }
+}

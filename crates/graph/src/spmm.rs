@@ -220,6 +220,15 @@ impl WeightedCsr {
         self.indices.len()
     }
 
+    /// The CSR row-pointer (prefix-sum) array, `rows + 1` entries.
+    ///
+    /// Exposed so shard planners ([`crate::ShardPlan`]) can cut the row
+    /// space into nnz-balanced ranges without re-deriving the prefix sums.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
     /// Non-zero entries of row `r` as `(col, weight)` pairs.
     pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         let lo = self.indptr[r];
@@ -283,11 +292,7 @@ impl WeightedCsr {
             self.rows
         );
         let work = self.nnz() * f;
-        let nthreads = if work <= pool::parallel_threshold() {
-            1
-        } else {
-            pool.num_threads()
-        };
+        let nthreads = pool.threads_for(work);
         let x_data = x.as_slice();
         let rows = self.rows;
         if f == 0 {
@@ -313,6 +318,54 @@ impl WeightedCsr {
                 Self::spmm_row(self, start + i, x_data, f, row_out);
             }
         });
+    }
+
+    /// Computes rows `rows` of `S · X` into `out_rows` — the row-slice
+    /// kernel behind sharded diffusion.
+    ///
+    /// `out_rows` holds exactly the output rows of the slice
+    /// (`rows.len() × x.cols()` values, row-major) and is overwritten.
+    /// The slice reads the **full** `x` (every input row a shard's edges
+    /// reach) but writes only its own rows, so disjoint shards can run
+    /// concurrently over one shared input buffer. Execution is serial by
+    /// design: the caller (the shard scheduler in `ppgnn-core`) owns the
+    /// parallelism by submitting one task per shard, and a per-row output
+    /// value never depends on shard boundaries — sharded results are
+    /// bit-identical to [`WeightedCsr::spmm_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != self.cols()`, `rows` exceeds `self.rows()`,
+    /// or `out_rows` is not exactly `rows.len() * x.cols()` long.
+    pub fn spmm_rows_into(&self, rows: std::ops::Range<usize>, x: &Matrix, out_rows: &mut [f32]) {
+        assert_eq!(
+            x.rows(),
+            self.cols,
+            "spmm dimension mismatch: operator has {} cols, features have {} rows",
+            self.cols,
+            x.rows()
+        );
+        assert!(
+            rows.end <= self.rows,
+            "row slice {rows:?} exceeds {} operator rows",
+            self.rows
+        );
+        let f = x.cols();
+        assert_eq!(
+            out_rows.len(),
+            rows.len() * f,
+            "row-slice output length mismatch: expected {} values",
+            rows.len() * f
+        );
+        if f == 0 {
+            return;
+        }
+        let x_data = x.as_slice();
+        for (i, r) in rows.enumerate() {
+            let row_out = &mut out_rows[i * f..(i + 1) * f];
+            row_out.fill(0.0);
+            self.spmm_row(r, x_data, f, row_out);
+        }
     }
 
     #[inline]

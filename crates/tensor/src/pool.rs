@@ -49,11 +49,7 @@ pub fn set_parallel_threshold(work: usize) {
 /// Number of tasks a kernel with `work` multiply-adds should split into on
 /// the global pool: `1` below the shared threshold, the pool width above.
 pub fn threads_for(work: usize) -> usize {
-    if work <= parallel_threshold() {
-        1
-    } else {
-        pool().num_threads()
-    }
+    pool().threads_for(work)
 }
 
 /// The process-wide pool, created on first use.
@@ -203,6 +199,23 @@ impl WorkerPool {
     /// Pool width: worker threads plus the participating caller.
     pub fn num_threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of tasks a kernel with `work` multiply-adds should split
+    /// into on **this** pool: `1` below the shared threshold
+    /// ([`parallel_threshold`]), the pool width above.
+    ///
+    /// Explicit-pool callers (the width sweeps in the SpMM regression
+    /// suite, the shard scheduler in `ppgnn-core`) share the same gating
+    /// as the global-pool kernels instead of re-deriving it; nested
+    /// submissions reuse the handle they were given rather than touching
+    /// the global pool.
+    pub fn threads_for(&self, work: usize) -> usize {
+        if work <= parallel_threshold() {
+            1
+        } else {
+            self.threads
+        }
     }
 
     /// Runs every task to completion, borrowing from the caller's scope.
@@ -509,6 +522,17 @@ mod tests {
         let p2 = pool();
         assert!(std::ptr::eq(p1, p2));
         assert!(p1.num_threads() >= 1);
+    }
+
+    #[test]
+    fn per_pool_threads_for_uses_that_pools_width() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        let prev = parallel_threshold();
+        set_parallel_threshold(10);
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads_for(10), 1);
+        assert_eq!(pool.threads_for(11), 3);
+        set_parallel_threshold(prev);
     }
 
     #[test]

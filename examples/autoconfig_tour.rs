@@ -85,6 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             loss_sum += loss as f64;
             batches += 1;
         }
+        // A drained epoch is only complete if no storage error ended it.
+        if let Some(err) = loader.take_error() {
+            return Err(format!("storage loader failed mid-epoch: {err}").into());
+        }
         let io = loader.io_counters();
         println!(
             "  epoch {epoch}: loss {:.3} | {} sequential reads, {} random reads, {:.1} MB from disk",

@@ -3,12 +3,15 @@
 //! The pre-streaming `Preprocessor::run` materialized every hop of every
 //! operator chain twice over (clone into the per-hop chain, then a third
 //! copy through `hstack`) — ~`3·K·(R+1)` full-graph matrices at peak. The
-//! streaming pipeline holds only its two ping-pong propagation buffers
-//! (plus two diffusion-series term buffers for `Ppr`/`Heat`) beyond the
-//! gathered partition outputs. This suite pins that bound with a tracking
-//! global allocator: peak transient allocation during `run` must stay
-//! within `R + 3` full-graph matrices per operator pass, on top of the
-//! returned output and the materialized CSR operator.
+//! streaming pipeline holds only per-operator ping-pong propagation
+//! buffers (plus two diffusion-series term buffers for `Ppr`/`Heat`)
+//! beyond the gathered partition outputs. The shard-scheduled engine runs
+//! up to `g = ⌊(R+2)/2⌋` simple operators concurrently — `2g ≤ R + 2`
+//! buffers plus the group's CSR bases — so concurrency never widens the
+//! budget this suite pins with a tracking global allocator: peak transient
+//! allocation during `run` must stay within `R + 3` full-graph matrices,
+//! on top of the returned output and one materialized CSR operator
+//! (the cap's spare matrix absorbs a group's extra bases).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -68,11 +71,14 @@ fn csr_bytes(data: &SynthDataset) -> usize {
     nnz * 8 + (data.graph.num_nodes() + 1) * 8
 }
 
-fn assert_residency_bound(operators: Vec<Operator>, hops: usize) {
+fn assert_residency_bound(operators: Vec<Operator>, hops: usize, num_shards: Option<usize>) {
     let _guard = SERIAL.lock().unwrap();
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.05), 7)
         .expect("generation succeeds");
-    let prep = Preprocessor::new(operators, hops);
+    let mut prep = Preprocessor::new(operators, hops);
+    if let Some(shards) = num_shards {
+        prep = prep.with_num_shards(shards);
+    }
     let nf = full_matrix_bytes(&data);
 
     let before = reset_peak();
@@ -102,12 +108,21 @@ fn assert_residency_bound(operators: Vec<Operator>, hops: usize) {
 
 #[test]
 fn streaming_run_bounds_residency_single_operator() {
-    assert_residency_bound(vec![Operator::SymNorm], 3);
+    assert_residency_bound(vec![Operator::SymNorm], 3, None);
 }
 
 #[test]
 fn streaming_run_bounds_residency_two_operators() {
-    assert_residency_bound(vec![Operator::SymNorm, Operator::RowNorm], 3);
+    assert_residency_bound(vec![Operator::SymNorm, Operator::RowNorm], 3, None);
+}
+
+#[test]
+fn sharded_schedule_stays_inside_the_same_budget() {
+    // Explicit shard count forces the concurrent shard×operator schedule
+    // (auto mode may fall back to sequential on narrow machines): both
+    // operators' ping-pong buffer pairs plus both CSR bases are live at
+    // once, and the (R + 3)-matrix budget must still hold.
+    assert_residency_bound(vec![Operator::SymNorm, Operator::RowNorm], 3, Some(4));
 }
 
 #[test]
