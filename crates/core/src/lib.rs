@@ -9,13 +9,19 @@
 //!   shard×operator tasks overlap operator passes on the worker pool, and
 //!   finished hops persist through an async double-buffered writer; with
 //!   labeled-subset retention (the papers100M 70× input shrink) and
-//!   input-expansion accounting (Section 3.4);
+//!   input-expansion accounting (Section 3.4). The partition-parallel
+//!   pipeline (`run_partitioned` / `run_with_sharded_store`) cuts the
+//!   graph into disjoint node partitions, diffuses with per-hop ghost-row
+//!   exchange (`ppgnn-partition`), and writes one feature store per
+//!   partition — bit-identical results at any partition count;
 //! * [`loader`] — the four data-loader generations of Section 4, all
 //!   yielding *identical* batch streams for a fixed seed (a property the
 //!   integration tests pin down):
 //!   baseline per-row assembly → fused gather → threaded double-buffer
-//!   prefetching → chunk reshuffling, plus the storage-backed chunk loader
-//!   of Section 4.3;
+//!   prefetching → chunk reshuffling, plus the storage-backed chunk
+//!   loaders of Section 4.3 (single-store and sharded-store) — and the
+//!   generations compose: any storage loader can run behind the
+//!   double-buffer producer thread ([`loader::BatchSource`]);
 //! * [`trainer`] — SGD-RR / SGD-CR training loops with per-phase timing
 //!   (the functional-plane source of Figure 5) and convergence tracking
 //!   (Figures 3/10/13);

@@ -13,18 +13,27 @@
 //! | 2 prefetch | [`DoubleBufferLoader`] | producer thread + bounded(2) channel (the double buffer) |
 //! | 3 chunked | [`ChunkReshuffleLoader`] | chunk-level shuffle, contiguous chunk copies |
 //! | 3s storage | [`StorageChunkLoader`] | chunk reads from the on-disk feature store |
+//! | 3p sharded | [`ShardedStorageChunkLoader`] | chunk reads fanned out across partition stores |
+//!
+//! Generations compose: [`DoubleBufferLoader::over_source`] runs any
+//! [`BatchSource`] (the storage-backed chunk loaders implement it) behind
+//! the gen-2 producer thread, so chunk I/O overlaps training compute.
 
 mod baseline;
 mod chunk;
 mod fused;
 mod prefetch;
+mod sharded;
 mod storage;
 
 pub use baseline::BaselineLoader;
 pub use chunk::ChunkReshuffleLoader;
 pub use fused::FusedGatherLoader;
 pub use prefetch::DoubleBufferLoader;
+pub use sharded::ShardedStorageChunkLoader;
 pub use storage::StorageChunkLoader;
+
+use ppgnn_dataio::DataIoError;
 
 use ppgnn_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -100,6 +109,117 @@ pub trait Loader {
 
     /// Stable display name.
     fn name(&self) -> &'static str;
+}
+
+/// A fallible epoch-batched source that can run behind the
+/// [`DoubleBufferLoader`] producer thread.
+///
+/// This is the composition seam between the generation-2 prefetch
+/// pipeline and the generation-3 storage loaders: the producer thread
+/// drives `try_next_batch` and forwards each `Result` over the bounded
+/// channel, so storage errors propagate batch-by-batch instead of killing
+/// the producer. Implementations must be `Send` (the source crosses into
+/// the producer thread each epoch and is handed back when it ends).
+/// Method names are deliberately distinct from [`Loader`]'s so types
+/// implementing both stay unambiguous at call sites.
+pub trait BatchSource: Send + std::fmt::Debug {
+    /// Begins a new epoch (reshuffles the read order).
+    fn begin_epoch(&mut self);
+
+    /// Yields the next batch: `Ok(None)` ends the epoch, `Err` surfaces a
+    /// storage failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataIoError`] from the underlying reads.
+    fn try_next(&mut self) -> Result<Option<PpBatch>, DataIoError>;
+
+    /// Batches per epoch (including a trailing partial batch).
+    fn batches_per_epoch(&self) -> usize;
+
+    /// Accumulated work counters.
+    fn source_counters(&self) -> LoaderCounters;
+}
+
+/// One read-but-not-fully-emitted chunk: its rows' global ids (in stored
+/// order) and one matrix per hop.
+#[derive(Debug)]
+pub(crate) struct PendingChunk {
+    pub(crate) rows: Vec<usize>,
+    pub(crate) hops: Vec<Matrix>,
+}
+
+/// Carries rows across batch boundaries for the chunk-reading storage
+/// loaders, so `batch_size` need not divide `chunk_size`: read chunks sit
+/// untouched in a deque and a row cursor walks the front chunk, so
+/// assembling a batch copies exactly `batch_size` rows — never the whole
+/// pending buffer (the O(pending²) re-stacking bug class this machinery
+/// replaced). Shared by [`StorageChunkLoader`] and
+/// [`ShardedStorageChunkLoader`] so a fix lands in both.
+#[derive(Debug, Default)]
+pub(crate) struct ChunkBatcher {
+    pending: std::collections::VecDeque<PendingChunk>,
+    /// Rows of `pending.front()` already emitted.
+    cursor: usize,
+    /// Total unemitted rows across `pending` (accounting for `cursor`).
+    pending_rows: usize,
+}
+
+impl ChunkBatcher {
+    /// Drops all carried rows (a new epoch).
+    pub(crate) fn reset(&mut self) {
+        self.pending.clear();
+        self.cursor = 0;
+        self.pending_rows = 0;
+    }
+
+    /// Unemitted rows currently buffered.
+    pub(crate) fn pending_rows(&self) -> usize {
+        self.pending_rows
+    }
+
+    /// Buffers one freshly read chunk.
+    pub(crate) fn push(&mut self, chunk: PendingChunk) {
+        self.pending_rows += chunk.rows.len();
+        self.pending.push_back(chunk);
+    }
+
+    /// Assembles exactly `take` rows (`take <= pending_rows()`) into one
+    /// `take × cols` matrix per hop plus the rows' global indices, with
+    /// one contiguous copy per (hop, chunk segment).
+    pub(crate) fn assemble(
+        &mut self,
+        take: usize,
+        num_hops: usize,
+        cols: usize,
+    ) -> (Vec<Matrix>, Vec<usize>) {
+        debug_assert!(
+            take <= self.pending_rows,
+            "cannot assemble more than buffered"
+        );
+        let mut hops: Vec<Matrix> = (0..num_hops).map(|_| Matrix::zeros(take, cols)).collect();
+        let mut indices = Vec::with_capacity(take);
+        let mut filled = 0;
+        while filled < take {
+            let chunk = self.pending.front().expect("pending_rows > 0");
+            let avail = chunk.rows.len() - self.cursor;
+            let run = avail.min(take - filled);
+            for (out, src) in hops.iter_mut().zip(&chunk.hops) {
+                out.as_mut_slice()[filled * cols..(filled + run) * cols].copy_from_slice(
+                    &src.as_slice()[self.cursor * cols..(self.cursor + run) * cols],
+                );
+            }
+            indices.extend_from_slice(&chunk.rows[self.cursor..self.cursor + run]);
+            filled += run;
+            self.cursor += run;
+            if self.cursor == chunk.rows.len() {
+                self.pending.pop_front();
+                self.cursor = 0;
+            }
+        }
+        self.pending_rows -= take;
+        (hops, indices)
+    }
 }
 
 /// Fisher–Yates permutation of `0..n` — shared by every loader so equal

@@ -1,11 +1,10 @@
-use std::collections::VecDeque;
-
 use ppgnn_dataio::{AccessPath, DataIoError, FeatureStore};
-use ppgnn_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::loader::{permutation, Loader, LoaderCounters, PpBatch};
+use crate::loader::{
+    permutation, BatchSource, ChunkBatcher, Loader, LoaderCounters, PendingChunk, PpBatch,
+};
 
 /// Generation 3s: chunk-reshuffled loading **directly from storage**
 /// (Section 4.3).
@@ -17,11 +16,12 @@ use crate::loader::{permutation, Loader, LoaderCounters, PpBatch};
 /// the conventional host bounce buffer.
 ///
 /// The loader carries rows across batch boundaries so `batch_size` need not
-/// divide `chunk_size`: read chunks sit untouched in a [`VecDeque`] and a
-/// row cursor walks the front chunk, so assembling a batch copies exactly
-/// `batch_size` rows — never the whole pending buffer. (The previous
-/// implementation `vstack`ed every refill and re-sliced the remainder every
-/// batch: O(pending²) traffic when `chunk_size ≫ batch_size`.)
+/// divide `chunk_size`: read chunks sit untouched in the shared
+/// [`ChunkBatcher`] deque and a row cursor walks the front chunk, so
+/// assembling a batch copies exactly `batch_size` rows — never the whole
+/// pending buffer. (The previous implementation `vstack`ed every refill and
+/// re-sliced the remainder every batch: O(pending²) traffic when
+/// `chunk_size ≫ batch_size`.)
 ///
 /// I/O failures mid-epoch are surfaced through
 /// [`StorageChunkLoader::try_next_batch`]; the infallible [`Loader`] API
@@ -37,13 +37,8 @@ pub struct StorageChunkLoader {
     rng: StdRng,
     chunk_order: Vec<usize>,
     next_chunk: usize,
-    /// Chunks read but not fully emitted, in emit order. Each entry holds
-    /// the chunk's global start row and one matrix per hop.
-    pending: VecDeque<PendingChunk>,
-    /// Rows of `pending.front()` already emitted.
-    cursor: usize,
-    /// Total unemitted rows across `pending` (accounting for `cursor`).
-    pending_rows: usize,
+    /// Chunks read but not fully emitted, in emit order.
+    batcher: ChunkBatcher,
     /// First I/O error of the epoch, parked for [`Loader::take_error`].
     error: Option<DataIoError>,
     /// Latched on the first I/O failure and cleared only by
@@ -51,12 +46,6 @@ pub struct StorageChunkLoader {
     /// failed chunk and silently drop its rows.
     failed: bool,
     counters: LoaderCounters,
-}
-
-#[derive(Debug)]
-struct PendingChunk {
-    start_row: usize,
-    hops: Vec<Matrix>,
 }
 
 impl StorageChunkLoader {
@@ -89,9 +78,7 @@ impl StorageChunkLoader {
             rng: StdRng::seed_from_u64(seed),
             chunk_order: Vec::new(),
             next_chunk: 0,
-            pending: VecDeque::new(),
-            cursor: 0,
-            pending_rows: 0,
+            batcher: ChunkBatcher::default(),
             error: None,
             failed: false,
             counters: LoaderCounters::default(),
@@ -113,8 +100,8 @@ impl StorageChunkLoader {
         let hops = self.store.read_chunk_all_hops(chunk_id, self.path)?;
         self.counters.gather_ops += hops.len() as u64;
         self.counters.bytes_assembled += hops.iter().map(|m| m.size_bytes() as u64).sum::<u64>();
-        self.pending_rows += hops[0].rows();
-        self.pending.push_back(PendingChunk { start_row, hops });
+        let rows = (start_row..start_row + hops[0].rows()).collect();
+        self.batcher.push(PendingChunk { rows, hops });
         Ok(true)
     }
 
@@ -134,7 +121,7 @@ impl StorageChunkLoader {
                 DataIoError::Io("epoch already failed; start_epoch required".into())
             }));
         }
-        while self.pending_rows < self.batch_size {
+        while self.batcher.pending_rows() < self.batch_size {
             match self.refill() {
                 Ok(true) => continue,
                 Ok(false) => break,
@@ -145,36 +132,13 @@ impl StorageChunkLoader {
                 }
             }
         }
-        if self.pending_rows == 0 {
+        if self.batcher.pending_rows() == 0 {
             return Ok(None);
         }
-        let take = self.batch_size.min(self.pending_rows);
-        let num_hops = self.store.meta().num_hops;
-        let cols = self.store.meta().cols;
-
-        let mut hops: Vec<Matrix> = (0..num_hops).map(|_| Matrix::zeros(take, cols)).collect();
-        let mut indices = Vec::with_capacity(take);
-        let mut filled = 0;
-        while filled < take {
-            let chunk = self.pending.front().expect("pending_rows > 0");
-            let avail = chunk.hops[0].rows() - self.cursor;
-            let run = avail.min(take - filled);
-            for (out, src) in hops.iter_mut().zip(&chunk.hops) {
-                // One contiguous copy per (hop, chunk segment).
-                out.as_mut_slice()[filled * cols..(filled + run) * cols].copy_from_slice(
-                    &src.as_slice()[self.cursor * cols..(self.cursor + run) * cols],
-                );
-            }
-            indices.extend(chunk.start_row + self.cursor..chunk.start_row + self.cursor + run);
-            filled += run;
-            self.cursor += run;
-            if self.cursor == chunk.hops[0].rows() {
-                self.pending.pop_front();
-                self.cursor = 0;
-            }
-        }
-        self.pending_rows -= take;
-
+        let take = self.batch_size.min(self.batcher.pending_rows());
+        let (hops, indices) =
+            self.batcher
+                .assemble(take, self.store.meta().num_hops, self.store.meta().cols);
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
         self.counters.batches += 1;
         Ok(Some(PpBatch {
@@ -190,9 +154,7 @@ impl Loader for StorageChunkLoader {
         let num_chunks = self.store.meta().num_chunks();
         self.chunk_order = permutation(num_chunks, &mut self.rng);
         self.next_chunk = 0;
-        self.pending.clear();
-        self.cursor = 0;
-        self.pending_rows = 0;
+        self.batcher.reset();
         self.error = None;
         self.failed = false;
     }
@@ -222,10 +184,29 @@ impl Loader for StorageChunkLoader {
     }
 }
 
+impl BatchSource for StorageChunkLoader {
+    fn begin_epoch(&mut self) {
+        Loader::start_epoch(self)
+    }
+
+    fn try_next(&mut self) -> Result<Option<PpBatch>, DataIoError> {
+        StorageChunkLoader::try_next_batch(self)
+    }
+
+    fn batches_per_epoch(&self) -> usize {
+        Loader::num_batches(self)
+    }
+
+    fn source_counters(&self) -> LoaderCounters {
+        Loader::counters(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ppgnn_dataio::{FeatureStoreWriter, StoreMeta};
+    use ppgnn_tensor::Matrix;
     use std::path::PathBuf;
 
     fn build_store(tag: &str, rows: usize, hops: usize, chunk: usize) -> (FeatureStore, PathBuf) {

@@ -37,7 +37,7 @@ pub fn save(
 ) -> Result<(), DataIoError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
-    let manifest = format!(
+    let mut manifest = format!(
         "version=1\npreprocess_seconds={}\nraw_bytes={}\nexpanded_bytes={}\nretained_rows={}\nnum_operators={}\nhops={}\n",
         out.preprocess_seconds,
         out.expansion.raw_bytes,
@@ -46,6 +46,14 @@ pub fn save(
         out.expansion.num_operators,
         out.expansion.hops,
     );
+    // Partition balance stats of partitioned runs, one colon-separated
+    // line per partition (absent for single-domain runs).
+    for s in &out.expansion.partitions {
+        manifest.push_str(&format!(
+            "partition_{}={}:{}:{}:{}:{}\n",
+            s.partition, s.rows, s.nnz, s.ghost_rows, s.train_rows, s.store_bytes
+        ));
+    }
     fs::write(dir.join(MANIFEST), manifest)?;
     for (part, features) in PARTS.iter().zip([&out.train, &out.val, &out.test]) {
         save_partition(features, dir, part, chunk_size)?;
@@ -122,12 +130,39 @@ pub fn load(dir: impl AsRef<Path>) -> Result<PrepropOutput, DataIoError> {
     } else {
         parts.iter().map(|p| p.len() as u64).sum()
     };
+    let mut partitions = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("partition_") else {
+            continue;
+        };
+        let Some((idx, values)) = rest.split_once('=') else {
+            continue;
+        };
+        let bad = || DataIoError::BadManifest(format!("bad partition line: {line}"));
+        let partition = idx.parse::<usize>().map_err(|_| bad())?;
+        let nums = values
+            .split(':')
+            .map(|v| v.parse::<u64>().map_err(|_| bad()))
+            .collect::<Result<Vec<u64>, _>>()?;
+        let [rows, nnz, ghost_rows, train_rows, store_bytes] = nums[..] else {
+            return Err(bad());
+        };
+        partitions.push(ppgnn_partition::PartitionStat {
+            partition,
+            rows: rows as usize,
+            nnz: nnz as usize,
+            ghost_rows: ghost_rows as usize,
+            train_rows: train_rows as usize,
+            store_bytes,
+        });
+    }
     let expansion = ExpansionReport {
         raw_bytes: field("raw_bytes")? as u64,
         expanded_bytes: field("expanded_bytes")? as u64,
         retained_rows,
         num_operators: field("num_operators")? as usize,
         hops: field("hops")? as usize,
+        partitions,
     };
     let mut it = parts.into_iter();
     Ok(PrepropOutput {

@@ -9,12 +9,26 @@
 //! ([`ppgnn_dataio::AsyncHopWriter`]) so hop `r + 1` diffusion overlaps
 //! hop `r` storage I/O. Both schedules are bit-for-bit equivalent to the
 //! sequential path (pinned by `tests/shard_equivalence.rs`).
+//!
+//! On top of the single-memory-domain schedules sits the **partitioned**
+//! pipeline ([`Preprocessor::run_partitioned`] /
+//! [`Preprocessor::run_with_sharded_store`]): the graph is cut into
+//! disjoint node partitions ([`ppgnn_graph::PartitionPlan`]), diffused with
+//! per-hop ghost-row exchange by `ppgnn-partition`, and each partition's
+//! training rows are written through their own async writer into a
+//! per-partition store under a [`ppgnn_dataio::ShardedStoreManifest`] —
+//! bit-identical features, byte-identical per-row store contents (pinned
+//! by `tests/partition_equivalence.rs`).
 
 use std::time::Instant;
 
-use ppgnn_dataio::{AsyncHopWriter, DataIoError, FeatureStore, StoreMeta, DEFAULT_WRITER_QUEUE};
+use ppgnn_dataio::{
+    AsyncHopWriter, DataIoError, FeatureStore, ShardedFeatureStore, ShardedStoreWriter, StoreMeta,
+    DEFAULT_WRITER_QUEUE,
+};
 use ppgnn_graph::synth::SynthDataset;
-use ppgnn_graph::{Operator, ShardPlan, WeightedCsr};
+use ppgnn_graph::{Operator, Partitioner, RangeCutPartitioner, ShardPlan, WeightedCsr};
+use ppgnn_partition::{PartitionStat, PartitionedDiffusion};
 use ppgnn_tensor::{pool, Matrix, WorkerPool};
 
 /// Hop features plus labels for one node partition (train/val/test).
@@ -62,7 +76,7 @@ impl PrepropFeatures {
 /// materialized** across the three partitions (train + val + test), not
 /// from a formula over the dataset split — so the report stays consistent
 /// with the output even if partition handling changes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpansionReport {
     /// Raw input feature bytes of the retained rows (`retained_rows × F × 4`).
     pub raw_bytes: u64,
@@ -76,6 +90,11 @@ pub struct ExpansionReport {
     pub num_operators: usize,
     /// Number of hops `R`.
     pub hops: usize,
+    /// Per-partition balance accounting (rows, nnz, ghost rows, training
+    /// rows, store bytes) when the run used the partitioned pipeline;
+    /// empty for single-domain runs. The `exp_*` binaries print this as
+    /// the partition balance table.
+    pub partitions: Vec<PartitionStat>,
 }
 
 impl ExpansionReport {
@@ -121,6 +140,8 @@ pub struct Preprocessor {
     hops: usize,
     /// `None` = auto: `PPGNN_NUM_SHARDS`, else the pool width.
     num_shards: Option<usize>,
+    /// `None` = auto: `PPGNN_NUM_PARTITIONS`, else 1 (unpartitioned).
+    num_partitions: Option<usize>,
     /// `None` = auto: `PPGNN_WRITER_QUEUE`, else [`DEFAULT_WRITER_QUEUE`].
     writer_queue: Option<usize>,
 }
@@ -137,6 +158,7 @@ impl Preprocessor {
             operators,
             hops,
             num_shards: None,
+            num_partitions: None,
             writer_queue: None,
         }
     }
@@ -153,9 +175,25 @@ impl Preprocessor {
         self
     }
 
+    /// Pins the number of disjoint graph partitions the partitioned
+    /// pipeline ([`Preprocessor::run_partitioned`] /
+    /// [`Preprocessor::run_with_sharded_store`]) cuts the node space into.
+    ///
+    /// `1` reproduces the unpartitioned behaviour exactly (a single
+    /// partition owns every node, the ghost set is empty, and a sharded
+    /// store degenerates to one partition store whose hop files are
+    /// byte-identical to the single-store layout). Without this (and
+    /// without `PPGNN_NUM_PARTITIONS`), the partitioned entry points run
+    /// with `P = 1`.
+    pub fn with_num_partitions(mut self, num_partitions: usize) -> Self {
+        self.num_partitions = Some(num_partitions.max(1));
+        self
+    }
+
     /// Pins the async hop-writer queue depth used by
-    /// [`Preprocessor::run_with_store`] (default: `PPGNN_WRITER_QUEUE`,
-    /// else [`DEFAULT_WRITER_QUEUE`]).
+    /// [`Preprocessor::run_with_store`] and the per-partition writers of
+    /// [`Preprocessor::run_with_sharded_store`] (default:
+    /// `PPGNN_WRITER_QUEUE`, else [`DEFAULT_WRITER_QUEUE`]).
     pub fn with_writer_queue(mut self, depth: usize) -> Self {
         self.writer_queue = Some(depth.max(1));
         self
@@ -202,6 +240,19 @@ impl Preprocessor {
             return (n.clamp(1, 4096), true);
         }
         (pool.num_threads(), false)
+    }
+
+    /// Resolves the partition count: pinned value, else
+    /// `PPGNN_NUM_PARTITIONS`, else 1.
+    fn resolved_num_partitions(&self) -> usize {
+        if let Some(n) = self.num_partitions {
+            return n.max(1);
+        }
+        std::env::var("PPGNN_NUM_PARTITIONS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.clamp(1, 4096))
+            .unwrap_or(1)
     }
 
     fn resolved_writer_queue(&self) -> usize {
@@ -471,6 +522,221 @@ impl Preprocessor {
             retained_rows,
             num_operators: k_ops,
             hops: self.hops,
+            partitions: Vec::new(),
+        };
+        Ok(PrepropOutput {
+            train,
+            val,
+            test,
+            preprocess_seconds,
+            expansion,
+        })
+    }
+
+    /// Runs pre-propagation through the **partition-parallel** engine:
+    /// the graph is cut into [`Preprocessor::with_num_partitions`] (or
+    /// `PPGNN_NUM_PARTITIONS`) disjoint node partitions by the default
+    /// nnz-balanced [`RangeCutPartitioner`], each partition diffuses its
+    /// own rows with a per-hop ghost-row exchange, and labeled rows are
+    /// gathered exactly as [`Preprocessor::run`] gathers them. Results are
+    /// **bit-identical** to `run` at any partition count (pinned by
+    /// `tests/partition_equivalence.rs`); `expansion.partitions` carries
+    /// the per-partition balance table.
+    pub fn run_partitioned(&self, data: &SynthDataset) -> PrepropOutput {
+        self.run_partitioned_on(data, pool::pool())
+    }
+
+    /// [`Preprocessor::run_partitioned`] on an explicit worker pool.
+    pub fn run_partitioned_on(&self, data: &SynthDataset, pool: &WorkerPool) -> PrepropOutput {
+        self.run_partitioned_with(data, &RangeCutPartitioner, pool)
+    }
+
+    /// [`Preprocessor::run_partitioned`] with an explicit
+    /// [`Partitioner`] strategy (e.g.
+    /// [`ppgnn_graph::BfsGrowPartitioner`] for locality-first cuts).
+    pub fn run_partitioned_with(
+        &self,
+        data: &SynthDataset,
+        partitioner: &dyn Partitioner,
+        pool: &WorkerPool,
+    ) -> PrepropOutput {
+        let engine = self.partition_engine(data, partitioner);
+        self.run_partitioned_streaming(data, &engine, None, pool)
+            .expect("in-memory partitioned preprocessing performs no I/O")
+    }
+
+    /// Runs the partitioned pipeline **and** writes each partition's
+    /// training rows through its own async writer into a per-partition
+    /// feature store under a [`ppgnn_dataio::ShardedStoreManifest`] — the
+    /// partition-parallel counterpart of
+    /// [`Preprocessor::run_with_store`]. Partition `p`'s store holds the
+    /// training rows of the nodes it owns, in global training order, so
+    /// every stored row is **byte-identical** to the same row of the
+    /// single-store layout; with `P = 1` the lone partition store's hop
+    /// files are byte-identical to [`Preprocessor::run_with_store`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-creation and write failures (reporting the
+    /// latched write cause, not the fail-fast placeholder, when a submit
+    /// aborts the run).
+    pub fn run_with_sharded_store(
+        &self,
+        data: &SynthDataset,
+        dir: impl AsRef<std::path::Path>,
+        dataset: &str,
+        chunk_size: usize,
+    ) -> Result<(PrepropOutput, ShardedFeatureStore), DataIoError> {
+        self.run_with_sharded_store_using(
+            data,
+            &RangeCutPartitioner,
+            dir,
+            dataset,
+            chunk_size,
+            pool::pool(),
+        )
+    }
+
+    /// [`Preprocessor::run_with_sharded_store`] with an explicit
+    /// partitioner and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Preprocessor::run_with_sharded_store`].
+    pub fn run_with_sharded_store_using(
+        &self,
+        data: &SynthDataset,
+        partitioner: &dyn Partitioner,
+        dir: impl AsRef<std::path::Path>,
+        dataset: &str,
+        chunk_size: usize,
+        pool: &WorkerPool,
+    ) -> Result<(PrepropOutput, ShardedFeatureStore), DataIoError> {
+        let engine = self.partition_engine(data, partitioner);
+        let plan = engine.plan();
+        let f = data.features.cols();
+        // Global training rows owned by each partition, in global training
+        // order — store `p`'s local row `j` is training row
+        // `rows_by_part[p][j]`.
+        let mut rows_by_part: Vec<Vec<usize>> = vec![Vec::new(); plan.num_partitions()];
+        let mut nodes_by_part: Vec<Vec<usize>> = vec![Vec::new(); plan.num_partitions()];
+        for (i, &v) in data.split.train.iter().enumerate() {
+            rows_by_part[plan.owner(v)].push(i);
+            nodes_by_part[plan.owner(v)].push(v);
+        }
+        let meta = StoreMeta {
+            dataset: dataset.to_string(),
+            num_hops: self.hops + 1,
+            rows: data.split.train.len(),
+            cols: self.operators.len() * f,
+            chunk_size,
+        };
+        let mut writer =
+            ShardedStoreWriter::create(dir, meta, &rows_by_part, self.resolved_writer_queue())?;
+        match self.run_partitioned_streaming(
+            data,
+            &engine,
+            Some((&mut writer, &nodes_by_part)),
+            pool,
+        ) {
+            Ok(mut out) => {
+                let store = writer.finish()?;
+                for stat in &mut out.expansion.partitions {
+                    stat.store_bytes = store.partition_meta(stat.partition).total_bytes();
+                }
+                Ok((out, store))
+            }
+            // A failed submit returns a fail-fast placeholder; the write
+            // error a partition writer latched is the actual cause.
+            Err(e) => Err(writer.take_failure().unwrap_or(e)),
+        }
+    }
+
+    fn partition_engine(
+        &self,
+        data: &SynthDataset,
+        partitioner: &dyn Partitioner,
+    ) -> PartitionedDiffusion {
+        let plan = partitioner.partition(&data.graph, self.resolved_num_partitions());
+        PartitionedDiffusion::new(&data.graph, self.operators.clone(), self.hops, plan)
+    }
+
+    /// The partitioned analog of `run_streaming`: hop views are gathered
+    /// into the three labeled partitions' column blocks exactly like the
+    /// single-domain engine, and (optionally) each graph partition's
+    /// training rows are submitted to its async store writer as every hop
+    /// completes.
+    fn run_partitioned_streaming(
+        &self,
+        data: &SynthDataset,
+        engine: &PartitionedDiffusion,
+        mut sink: Option<(&mut ShardedStoreWriter, &[Vec<usize>])>,
+        pool: &WorkerPool,
+    ) -> Result<PrepropOutput, DataIoError> {
+        let start = Instant::now();
+        let f = data.features.cols();
+        let k_ops = self.operators.len();
+        let kf = k_ops * f;
+        let ids_by_part: [&[usize]; 3] = [&data.split.train, &data.split.val, &data.split.test];
+        let mut hops_by_part: Vec<Vec<Matrix>> = ids_by_part
+            .iter()
+            .map(|ids| {
+                (0..=self.hops)
+                    .map(|_| Matrix::zeros(ids.len(), kf))
+                    .collect()
+            })
+            .collect();
+
+        // Task granularity: reuse the shard knob so `PPGNN_NUM_SHARDS`
+        // bounds per-partition SpMM tasks too; the cut never affects
+        // results.
+        let (task_shards, _) = self.resolved_num_shards(pool);
+        engine.run::<DataIoError>(&data.features, pool, task_shards, |r, view| {
+            for k in 0..k_ops {
+                let col = k * f;
+                for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
+                    view.gather_rows_into_offset(k, ids, &mut hops[r], col);
+                }
+            }
+            if let Some((writer, nodes_by_part)) = sink.as_mut() {
+                for (p, nodes) in nodes_by_part.iter().enumerate() {
+                    let mut rows = Matrix::zeros(nodes.len(), kf);
+                    for k in 0..k_ops {
+                        view.gather_rows_into_offset(k, nodes, &mut rows, k * f);
+                    }
+                    writer.submit(p, r, rows)?;
+                }
+            }
+            Ok(())
+        })?;
+
+        let mut parts = hops_by_part.into_iter();
+        let mut extract = |ids: &[usize]| -> PrepropFeatures {
+            PrepropFeatures {
+                hops: parts.next().expect("three partitions"),
+                labels: data.labels_of(ids),
+                node_ids: ids.to_vec(),
+            }
+        };
+        let train = extract(&data.split.train);
+        let val = extract(&data.split.val);
+        let test = extract(&data.split.test);
+
+        let mut partitions = engine.partition_stats();
+        let plan = engine.plan();
+        for &v in &data.split.train {
+            partitions[plan.owner(v)].train_rows += 1;
+        }
+
+        let preprocess_seconds = start.elapsed().as_secs_f64();
+        let retained_rows = (train.len() + val.len() + test.len()) as u64;
+        let expansion = ExpansionReport {
+            raw_bytes: retained_rows * (f as u64) * 4,
+            expanded_bytes: train.size_bytes() + val.size_bytes() + test.size_bytes(),
+            retained_rows,
+            num_operators: k_ops,
+            hops: self.hops,
+            partitions,
         };
         Ok(PrepropOutput {
             train,
@@ -681,6 +947,78 @@ mod tests {
         // R=1 → cap 1: no grouping even when sharded.
         let narrow = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 1);
         assert_eq!(narrow.operator_groups(8), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn partitioned_run_is_bit_identical_to_run() {
+        let data = small_data();
+        let ops = vec![Operator::SymNorm, Operator::RowNorm];
+        let reference = Preprocessor::new(ops.clone(), 3).run(&data);
+        for parts in [1, 2, 5] {
+            let partitioned = Preprocessor::new(ops.clone(), 3)
+                .with_num_partitions(parts)
+                .run_partitioned(&data);
+            for (a, b) in [
+                (&reference.train, &partitioned.train),
+                (&reference.val, &partitioned.val),
+                (&reference.test, &partitioned.test),
+            ] {
+                for r in 0..=3 {
+                    let same = a.hops[r]
+                        .as_slice()
+                        .iter()
+                        .zip(b.hops[r].as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(same, "P={parts} hop {r} not bit-identical");
+                }
+            }
+            let num_parts = partitioned.expansion.partitions.len();
+            assert!((1..=parts).contains(&num_parts));
+            let stat_rows: usize = partitioned
+                .expansion
+                .partitions
+                .iter()
+                .map(|s| s.rows)
+                .sum();
+            assert_eq!(stat_rows, data.graph.num_nodes());
+            let train_rows: usize = partitioned
+                .expansion
+                .partitions
+                .iter()
+                .map(|s| s.train_rows)
+                .sum();
+            assert_eq!(train_rows, data.split.train.len());
+            // Apart from the partition table, accounting matches.
+            let mut expansion = partitioned.expansion.clone();
+            expansion.partitions = Vec::new();
+            assert_eq!(expansion, reference.expansion);
+        }
+    }
+
+    #[test]
+    fn sharded_store_serves_rows_identical_to_single_store() {
+        let data = small_data();
+        let prep = Preprocessor::new(vec![Operator::SymNorm], 2);
+        let base = std::env::temp_dir().join(format!("ppgnn-shardstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (_, mut single) = prep
+            .run_with_store(&data, base.join("single"), "pokec-sim", 16)
+            .unwrap();
+        let (out, mut sharded) = prep
+            .clone()
+            .with_num_partitions(3)
+            .run_with_sharded_store(&data, base.join("sharded"), "pokec-sim", 16)
+            .unwrap();
+        assert_eq!(sharded.meta().rows, single.meta().rows);
+        for k in 0..=2 {
+            let a = single.read_full_hop(k).unwrap();
+            let b = sharded.read_full_hop(k).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "hop {k} differs");
+        }
+        // Store-bytes stats were filled in from the partition stores.
+        let bytes: u64 = out.expansion.partitions.iter().map(|s| s.store_bytes).sum();
+        assert_eq!(bytes, single.meta().total_bytes());
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

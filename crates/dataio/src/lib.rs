@@ -20,13 +20,21 @@
 //! [`FeatureStoreWriter`] on its own thread behind a bounded channel
 //! (mirroring the generation-2 double-buffer loader on the read side), so
 //! the preprocessor's hop `r + 1` diffusion overlaps hop `r` persistence.
+//!
+//! For partition-parallel preprocessing the store itself shards:
+//! [`ShardedStoreWriter`] runs one async writer per graph partition and
+//! [`ShardedFeatureStore`] serves global-row reads across the per-partition
+//! stores under one [`ShardedStoreManifest`], so training-time chunk I/O
+//! fans out over files instead of serializing on one.
 
 #![deny(missing_docs)]
 
 mod error;
+mod sharded;
 mod store;
 mod writer;
 
 pub use error::DataIoError;
+pub use sharded::{ShardedFeatureStore, ShardedStoreManifest, ShardedStoreWriter};
 pub use store::{AccessPath, FeatureStore, FeatureStoreWriter, IoCounters, StoreMeta};
 pub use writer::{AsyncHopWriter, DEFAULT_WRITER_QUEUE};

@@ -113,6 +113,16 @@ impl IoCounters {
     pub fn total_bytes(&self) -> u64 {
         self.seq_bytes + self.rand_bytes
     }
+
+    /// Adds `other`'s counts into `self` — used to aggregate counters
+    /// across the partition stores of a sharded store.
+    pub fn accumulate(&mut self, other: &IoCounters) {
+        self.seq_requests += other.seq_requests;
+        self.seq_bytes += other.seq_bytes;
+        self.rand_requests += other.rand_requests;
+        self.rand_bytes += other.rand_bytes;
+        self.bounce_bytes += other.bounce_bytes;
+    }
 }
 
 /// Writes a feature store to a directory: `manifest.txt` + one
@@ -348,7 +358,10 @@ impl FeatureStore {
     }
 
     /// Reads chunk `chunk_id` across **all** hops (one request per hop file,
-    /// the parallel-file layout of Section 4.3).
+    /// the parallel-file layout of Section 4.3). The chunk-id bounds check
+    /// happens up front, so an out-of-range request fails before any
+    /// counter is touched — consistent with [`FeatureStore::read_rows`]'s
+    /// count-as-you-read behaviour, where nothing valid precedes the error.
     ///
     /// # Errors
     ///
@@ -358,22 +371,45 @@ impl FeatureStore {
         chunk_id: usize,
         path: AccessPath,
     ) -> Result<Vec<Matrix>, DataIoError> {
+        if chunk_id >= self.meta.num_chunks() {
+            return Err(DataIoError::OutOfRange(format!(
+                "chunk {chunk_id} out of range ({} chunks)",
+                self.meta.num_chunks()
+            )));
+        }
         (0..self.meta.num_hops)
             .map(|k| self.read_chunk(k, chunk_id, path))
             .collect()
     }
 
-    /// Reads an entire hop matrix (preloading path).
+    /// Reads an entire hop matrix (preloading path), counting one
+    /// sequential request over the [`AccessPath::Direct`] path.
     ///
     /// # Errors
     ///
     /// Fails if `k` is out of range or the payload is corrupt.
     pub fn read_full_hop(&mut self, k: usize) -> Result<Matrix, DataIoError> {
+        self.read_full_hop_via(k, AccessPath::Direct)
+    }
+
+    /// [`FeatureStore::read_full_hop`] with an explicit access path, so
+    /// full-hop preloads account bounce-buffer copies the same way
+    /// [`FeatureStore::read_rows`] and [`FeatureStore::read_chunk`] do:
+    /// one sequential request, payload bytes, plus `bounce_bytes` when the
+    /// read goes through the host staging buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` is out of range or the payload is corrupt.
+    pub fn read_full_hop_via(&mut self, k: usize, path: AccessPath) -> Result<Matrix, DataIoError> {
         self.check_hop(k)?;
         let mut f = File::open(hop_path(&self.dir, k))?;
         let m = tio::read_matrix(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?;
         self.counters.seq_requests += 1;
         self.counters.seq_bytes += m.size_bytes() as u64;
+        if path == AccessPath::HostBounce {
+            self.counters.bounce_bytes += m.size_bytes() as u64;
+        }
         Ok(m)
     }
 

@@ -11,6 +11,10 @@
 //! * threaded CSR×dense SpMM (the kernel behind feature pre-propagation),
 //! * [`ShardPlan`] — nnz-balanced node-range shards plus a row-slice SpMM
 //!   ([`WeightedCsr::spmm_rows_into`]) for shard-scheduled diffusion,
+//! * [`PartitionPlan`] — disjoint node partitions with ghost-row
+//!   extraction ([`Partitioner`] strategies: nnz-balanced
+//!   [`RangeCutPartitioner`], locality-first [`BfsGrowPartitioner`]) for
+//!   partition-parallel preprocessing,
 //! * [`gen`] — seeded synthetic graph generators (R-MAT skew, planted
 //!   homophily) standing in for the OGB/SNAP/IGB benchmarks,
 //! * [`synth`] — ratio-preserving scaled-down dataset profiles
@@ -35,6 +39,7 @@
 mod csr;
 mod error;
 mod operator;
+mod partition;
 mod shard;
 mod spmm;
 
@@ -45,5 +50,8 @@ pub mod synth;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use operator::Operator;
+pub use partition::{
+    BfsGrowPartitioner, PartitionCsr, PartitionPlan, Partitioner, RangeCutPartitioner,
+};
 pub use shard::ShardPlan;
 pub use spmm::{nnz_balanced_blocks, WeightedCsr};

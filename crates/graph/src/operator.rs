@@ -174,6 +174,18 @@ impl Operator {
             Operator::Ppr { .. } | Operator::Heat { .. } => DIFFUSION_TERMS,
         }
     }
+
+    /// Number of power-series terms a diffusion-series application sums
+    /// (`0` for single-SpMM operators). Exposed so alternative execution
+    /// engines (the partitioned ghost-exchange diffusion in
+    /// `ppgnn-partition`) can replicate the truncated series bit-exactly.
+    pub fn series_terms(&self) -> usize {
+        if self.is_diffusion_series() {
+            DIFFUSION_TERMS
+        } else {
+            0
+        }
+    }
 }
 
 #[cfg(test)]

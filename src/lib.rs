@@ -1,6 +1,6 @@
 //! Umbrella crate for the PP-GNN reproduction workspace.
 //!
-//! This crate re-exports the nine `ppgnn-*` crates under one roof so the
+//! This crate re-exports the ten `ppgnn-*` crates under one roof so the
 //! repository-level integration tests (`tests/`) and examples (`examples/`)
 //! have a package to live in, and so downstream users can depend on a
 //! single crate.
@@ -8,7 +8,8 @@
 //! Layer order (each layer depends only on the ones before it):
 //!
 //! 1. [`tensor`] — dense row-major `f32` matrices and kernels
-//! 2. [`graph`] — CSR graphs, SpMM operators, synthetic datasets
+//! 2. [`graph`] — CSR graphs, SpMM operators, partition plans, synthetic
+//!    datasets, and [`partition`] — ghost-exchange partitioned diffusion
 //! 3. [`nn`] / [`models`] / [`sampler`] — modules, the PP/MP model zoo,
 //!    minibatch samplers
 //! 4. [`dataio`] / [`memsim`] — on-disk feature stores, performance-plane
@@ -35,5 +36,6 @@ pub use ppgnn_graph as graph;
 pub use ppgnn_memsim as memsim;
 pub use ppgnn_models as models;
 pub use ppgnn_nn as nn;
+pub use ppgnn_partition as partition;
 pub use ppgnn_sampler as sampler;
 pub use ppgnn_tensor as tensor;
