@@ -353,7 +353,10 @@ impl Trainer {
 
 /// Batched full-partition evaluation (Mode::Eval), returning accuracy.
 ///
-/// Empty partitions evaluate to `0.0`.
+/// Hop-slice buffers are reused across batches via
+/// [`Matrix::slice_rows_into`] — only the (at most two) distinct batch
+/// shapes of the sweep allocate, not every batch. Empty partitions
+/// evaluate to `0.0`.
 pub fn evaluate(model: &mut dyn PpModel, data: &PrepropFeatures, batch_size: usize) -> f64 {
     if data.is_empty() {
         return 0.0;
@@ -361,9 +364,20 @@ pub fn evaluate(model: &mut dyn PpModel, data: &PrepropFeatures, batch_size: usi
     let n = data.len();
     let mut hits = 0usize;
     let mut start = 0;
+    let mut hop_slices: Vec<Matrix> = Vec::new();
     while start < n {
         let end = (start + batch_size).min(n);
-        let hop_slices: Vec<Matrix> = data.hops.iter().map(|h| h.slice_rows(start, end)).collect();
+        let rows = end - start;
+        if hop_slices.first().is_none_or(|m| m.rows() != rows) {
+            hop_slices = data
+                .hops
+                .iter()
+                .map(|h| Matrix::zeros(rows, h.cols()))
+                .collect();
+        }
+        for (hop, slice) in data.hops.iter().zip(&mut hop_slices) {
+            hop.slice_rows_into(start, end, slice);
+        }
         let logits = model.forward(&hop_slices, Mode::Eval);
         let labels = &data.labels[start..end];
         hits += (metrics::accuracy(&logits, labels) * labels.len() as f64).round() as usize;

@@ -8,6 +8,12 @@ use crate::GraphError;
 /// [`CsrGraph::from_edges`] does when `symmetrize` is set, matching how
 /// OGB/DGL materialize undirected benchmarks).
 ///
+/// The sorted per-row entry order is load-bearing beyond lookups: the
+/// weighted operators derived from this topology inherit it, and the SpMM
+/// kernel accumulates each output row in exactly that order regardless of
+/// row sharding or column tiling — which is what makes sharded,
+/// partitioned, and tiled pre-propagation byte-reproducible.
+///
 /// # Example
 ///
 /// ```

@@ -10,6 +10,12 @@
 //! * [`Operator::RowNorm`] — the random-walk transition matrix,
 //! * [`Operator::Ppr`] — truncated Personalized-PageRank diffusion,
 //! * [`Operator::Heat`] — truncated heat-kernel diffusion.
+//!
+//! Every application bottoms out in [`WeightedCsr::spmm_into_on`], whose
+//! per-row accumulation order is fixed by CSR entry order and unchanged
+//! by row sharding, graph partitioning, *or* the kernel's internal
+//! column tiling — the invariant the shard/partition equivalence suites
+//! byte-compare feature stores against.
 
 use ppgnn_tensor::Matrix;
 

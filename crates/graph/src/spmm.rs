@@ -7,6 +7,12 @@
 //! from `indptr` prefix sums: on the power-law graphs these datasets have,
 //! equal-rows splits pile the hub nodes onto one thread and serialize the
 //! whole SpMM on it.
+//!
+//! Within a row, wide feature matrices are processed in
+//! [`ppgnn_tensor::block::SPMM_COL_BLOCK`]-column strips (the same
+//! block-size constants as the dense GEMM layer) so the CSR gather stays
+//! L1-resident; tiling preserves per-row accumulation order exactly, so
+//! tiled output is bit-identical to the untiled kernel.
 
 use ppgnn_tensor::{pool, Matrix};
 
@@ -368,8 +374,47 @@ impl WeightedCsr {
         }
     }
 
+    /// One output row, column-tiled: wide `X` is processed in
+    /// [`ppgnn_tensor::block::SPMM_COL_BLOCK`]-column strips so the
+    /// irregular CSR row gather touches only a strip of each gathered `X`
+    /// row per pass — on high-degree (hub) rows the strip of the output
+    /// and the gathered strips stay L1-resident instead of thrashing the
+    /// cache with full-width rows.
+    ///
+    /// Bit-exactness: for every output element, the accumulation order
+    /// over the row's non-zeros is exactly that of the untiled kernel
+    /// (non-zeros are walked in CSR order within each strip), so tiled
+    /// output is **bit-identical** — the sharded/partitioned equivalence
+    /// suites that byte-compare feature stores keep holding.
     #[inline]
     fn spmm_row(&self, r: usize, x: &[f32], f: usize, out: &mut [f32]) {
+        const COLS: usize = ppgnn_tensor::block::SPMM_COL_BLOCK;
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        let mut j0 = 0;
+        while j0 < f {
+            // Absorb small tails into the final strip: a narrow leftover
+            // strip would re-walk the row's CSR entries for a sliver of
+            // work (f = F+1 is common — pokec's 65 features).
+            let rest = f - j0;
+            let strip = if rest <= COLS + COLS / 4 { rest } else { COLS };
+            let out_strip = &mut out[j0..j0 + strip];
+            for idx in lo..hi {
+                let c = self.indices[idx] as usize;
+                let w = self.weights[idx];
+                let x_strip = &x[c * f + j0..c * f + j0 + strip];
+                for (o, v) in out_strip.iter_mut().zip(x_strip) {
+                    *o += w * v;
+                }
+            }
+            j0 += strip;
+        }
+    }
+
+    /// The untiled row kernel, retained as the byte-equality oracle for
+    /// the column-tiled [`WeightedCsr::spmm_row`].
+    #[cfg(test)]
+    fn spmm_row_untiled(&self, r: usize, x: &[f32], f: usize, out: &mut [f32]) {
         for idx in self.indptr[r]..self.indptr[r + 1] {
             let c = self.indices[idx] as usize;
             let w = self.weights[idx];
@@ -522,6 +567,57 @@ mod tests {
         // More parts than rows degenerates to one row per block.
         let blocks = nnz_balanced_blocks(&[0, 2, 4, 6], 16);
         assert_eq!(blocks, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn column_tiled_spmm_is_byte_identical_to_untiled_on_skewed_star() {
+        use ppgnn_tensor::block::SPMM_COL_BLOCK;
+        use ppgnn_tensor::WorkerPool;
+        // Star graph: node 0 is a hub adjacent to everyone — the shape
+        // column tiling exists for. Sweep feature widths below, at, and
+        // above the strip width (1/2/8 exercise the single-strip path,
+        // the wider ones the multi-strip path with a ragged tail).
+        let n = 64;
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(n, &edges, true).unwrap();
+        let op = WeightedCsr::sym_norm(&g, true);
+        let _guard = test_threshold_guard();
+        ppgnn_tensor::set_parallel_threshold(0);
+        for f in [
+            1,
+            2,
+            8,
+            SPMM_COL_BLOCK,
+            SPMM_COL_BLOCK + 3,
+            2 * SPMM_COL_BLOCK + 1,
+        ] {
+            let x = Matrix::from_fn(n, f, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.37 - 2.9);
+            // Untiled oracle, computed serially row by row.
+            let mut expect = Matrix::zeros(n, f);
+            for r in 0..n {
+                op.spmm_row_untiled(
+                    r,
+                    x.as_slice(),
+                    f,
+                    &mut expect.as_mut_slice()[r * f..(r + 1) * f],
+                );
+            }
+            for threads in [1, 2, 8] {
+                let pool = WorkerPool::new(threads);
+                let mut out = Matrix::full(n, f, f32::NAN); // dirty buffer
+                op.spmm_into_on(&x, &mut out, &pool);
+                let same_bits = out
+                    .as_slice()
+                    .iter()
+                    .zip(expect.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    same_bits,
+                    "width {f}, pool {threads}: tiled SpMM diverged bytewise"
+                );
+            }
+        }
+        ppgnn_tensor::set_parallel_threshold(ppgnn_tensor::pool::DEFAULT_PARALLEL_THRESHOLD);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
+use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn_into, Matrix};
 use rand::Rng;
 
 use crate::{Mode, Module, Param};
@@ -8,11 +8,24 @@ use crate::{Mode, Module, Param};
 /// `W` is `in_dim x out_dim` (He-normal initialized), `b` is `1 x out_dim`
 /// (zeros). Backward computes `∂W = xᵀ · ∂y`, `∂b = Σ_rows ∂y`,
 /// `∂x = ∂y · Wᵀ` using the transposed GEMM kernels.
+///
+/// The layer recycles two scratch matrices across batches: the cached
+/// training input (refilled in place when the batch shape repeats) and
+/// the `∂W = xᵀ · ∂y` product (written through [`matmul_tn_into`] before
+/// accumulating into the gradient). In steady-state training the only
+/// per-batch matrix allocations left are the returned forward output and
+/// input gradient — pinned by the allocation-count assertion in the
+/// repo-level residency suite.
 #[derive(Debug)]
 pub struct Linear {
     weight: Param,
     bias: Param,
     cached_input: Option<Matrix>,
+    /// Spent `cached_input` buffer awaiting reuse by the next
+    /// training-mode forward of the same batch shape.
+    input_scratch: Option<Matrix>,
+    /// Reusable `in_dim x out_dim` buffer for the weight-gradient GEMM.
+    grad_w_scratch: Option<Matrix>,
 }
 
 impl Linear {
@@ -22,6 +35,8 @@ impl Linear {
             weight: Param::new(init::he_normal(in_dim, out_dim, rng)),
             bias: Param::new(Matrix::zeros(1, out_dim)),
             cached_input: None,
+            input_scratch: None,
+            grad_w_scratch: None,
         }
     }
 
@@ -36,6 +51,8 @@ impl Linear {
             weight: Param::new(weight),
             bias: Param::new(bias),
             cached_input: None,
+            input_scratch: None,
+            grad_w_scratch: None,
         }
     }
 
@@ -67,7 +84,16 @@ impl Module for Linear {
             }
         }
         if mode == Mode::Train {
-            self.cached_input = Some(x.clone());
+            // Reuse the buffer backward handed back if the batch shape
+            // repeats (the steady state of epoch training).
+            let cached = match self.input_scratch.take() {
+                Some(mut buf) if buf.shape() == x.shape() => {
+                    buf.copy_from(x);
+                    buf
+                }
+                _ => x.clone(),
+            };
+            self.cached_input = Some(cached);
         }
         y
     }
@@ -82,9 +108,17 @@ impl Module for Linear {
             (x.rows(), self.out_dim()),
             "grad_out shape mismatch in Linear::backward"
         );
-        self.weight.grad.add_assign(&matmul_tn(&x, grad_out));
+        let mut gw = match self.grad_w_scratch.take() {
+            Some(buf) if buf.shape() == self.weight.value.shape() => buf,
+            _ => Matrix::zeros(self.in_dim(), self.out_dim()),
+        };
+        matmul_tn_into(&x, grad_out, &mut gw);
+        self.weight.grad.add_assign(&gw);
+        self.grad_w_scratch = Some(gw);
         self.bias.grad.add_assign(&grad_out.sum_rows());
-        matmul_nt(grad_out, &self.weight.value)
+        let gx = matmul_nt(grad_out, &self.weight.value);
+        self.input_scratch = Some(x);
+        gx
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
@@ -145,6 +179,42 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut l = Linear::new(2, 2, &mut rng);
         l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn scratch_reuse_survives_batch_shape_changes() {
+        // Gradients must stay correct when the batch shape changes between
+        // steps (the last, short batch of an epoch) — scratch buffers are
+        // rebuilt, not silently reused at the wrong shape.
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut l = Linear::from_parts(w, Matrix::zeros(1, 2));
+        for rows in [2usize, 3, 1, 3] {
+            l.zero_grad_slot();
+            let x = Matrix::from_fn(rows, 2, |r, c| (r + c) as f32 + 1.0);
+            l.forward(&x, Mode::Train);
+            l.backward(&Matrix::full(rows, 2, 1.0));
+            // ∂W = xᵀ · 1 — column sums of x, independently recomputed.
+            let mut expect = Matrix::zeros(2, 2);
+            for r in 0..rows {
+                for i in 0..2 {
+                    for j in 0..2 {
+                        expect.set(i, j, expect.get(i, j) + x.get(r, i));
+                    }
+                }
+            }
+            assert!(
+                l.params()[0].grad.max_abs_diff(&expect) < 1e-5,
+                "rows {rows}"
+            );
+        }
+    }
+
+    impl Linear {
+        fn zero_grad_slot(&mut self) {
+            for p in self.params() {
+                p.grad.fill_zero();
+            }
+        }
     }
 
     #[test]

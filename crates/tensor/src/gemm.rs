@@ -1,60 +1,418 @@
-//! Blocked, multi-threaded matrix-multiplication kernels.
+//! Packed, cache-blocked matrix-multiplication kernels.
 //!
 //! Three variants cover everything the training stack needs:
 //!
-//! * [`matmul`] — `C = A · B` (forward passes),
-//! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients: `∂W = Xᵀ · ∂Y`),
-//! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients: `∂X = ∂Y · Wᵀ`).
+//! * [`matmul`] / [`matmul_into`] — `C = A · B` (forward passes),
+//! * [`matmul_tn`] / [`matmul_tn_into`] — `C = Aᵀ · B` (weight gradients:
+//!   `∂W = Xᵀ · ∂Y`),
+//! * [`matmul_nt`] / [`matmul_nt_into`] — `C = A · Bᵀ` (input gradients:
+//!   `∂X = ∂Y · Wᵀ`).
 //!
-//! All three parallelize over output rows on the shared [`crate::pool`]
-//! worker pool once the FLOP count crosses the workspace-wide threshold
-//! (tunable via [`crate::pool::set_parallel_threshold`], mostly so tests
-//! can force both paths). Dense work is uniform per row, so equal-rows
-//! blocking is load-balanced here — unlike SpMM, which needs nnz-balanced
-//! blocks.
+//! All three route through one BLAS-style micro-kernel
+//! ([`block::MR`]`×`[`block::NR`] register tiles accumulated in local
+//! arrays) with the K dimension cut into cache-sized panels of depth
+//! [`block::kc`] (default [`block::DEFAULT_KC`], overridable via the
+//! `PPGNN_GEMM_BLOCK` environment variable or [`block::set_kc`]).
+//!
+//! Per call, the `B` operand is packed **once** into contiguous
+//! `NR`-column panels — in transposed layout for the `nt` variant — and
+//! shared read-only by every row-block task scheduled on the worker pool;
+//! each task packs its own `MR`-row `A` panels (transposed for `tn`, so
+//! the gradient kernel never strides `k·m` between consecutive reads).
+//! Both packing buffers come from the thread-local
+//! [`crate::pool::PackWorkspace`], which grows monotonically — in steady
+//! state a GEMM call allocates nothing beyond its output. The packed
+//! inner loops are branch-free contiguous FMA chains the compiler
+//! auto-vectorizes; panel tails are zero-padded during packing so the
+//! micro-kernel never sees a partial tile (the store-back writes only the
+//! valid sub-tile).
+//!
+//! Calls parallelize over `MR`-aligned output row blocks on the shared
+//! [`crate::pool`] once the FLOP count crosses the workspace-wide
+//! threshold ([`crate::pool::set_parallel_threshold`]). Row splitting
+//! never changes per-element accumulation order, so serial and pooled
+//! results are bit-identical.
+//!
+//! The pre-blocking naive kernels are retained verbatim in [`reference`]
+//! as the correctness oracle (proptests pin the packed kernels to them
+//! within tight float tolerance) and as the baseline the
+//! `BENCH_gemm.json` artifact measures speedups against.
 
-use crate::pool::{pool, threads_for};
+use crate::pool::{pool, threads_for, PackBuf, PackWorkspace};
 use crate::Matrix;
 
-/// Splits `rows` into at most `parts` near-equal contiguous block sizes.
-fn equal_row_blocks(rows: usize, parts: usize) -> Vec<usize> {
-    let parts = parts.clamp(1, rows);
-    let per = rows.div_ceil(parts);
+use block::{MR, NR};
+
+/// Block-size constants shared by the dense GEMM micro-kernel and the
+/// column-tiled SpMM in `ppgnn-graph`.
+pub mod block {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    /// Rows of one register tile (`A`-panel width).
+    pub const MR: usize = 8;
+
+    /// Columns of one register tile (`B`-panel width).
+    pub const NR: usize = 8;
+
+    /// Default K-panel depth: `KC · NR · 4 B` of packed `B` panel (8 KiB)
+    /// plus `KC · MR · 4 B` of packed `A` panel (8 KiB) stay L1-resident
+    /// under the micro-kernel.
+    pub const DEFAULT_KC: usize = 256;
+
+    /// Column-strip width of the tiled SpMM kernel (`8 · NR`): wide
+    /// enough that re-walking a row's CSR entries per strip is amortized,
+    /// narrow enough that the gathered `X` rows stay hot in L1.
+    pub const SPMM_COL_BLOCK: usize = 8 * NR;
+
+    /// Test/bench override for the K-panel depth; `0` = unset.
+    static KC_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+    /// `PPGNN_GEMM_BLOCK`, read once on first use.
+    static KC_FROM_ENV: OnceLock<usize> = OnceLock::new();
+
+    /// The active K-panel depth: the [`set_kc`] override when set,
+    /// otherwise `PPGNN_GEMM_BLOCK` (clamped to `1..=65536`, read once),
+    /// otherwise [`DEFAULT_KC`].
+    pub fn kc() -> usize {
+        let v = KC_OVERRIDE.load(Ordering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        *KC_FROM_ENV.get_or_init(|| {
+            std::env::var("PPGNN_GEMM_BLOCK")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map(|v| v.clamp(1, 65536))
+                .unwrap_or(DEFAULT_KC)
+        })
+    }
+
+    /// Overrides the K-panel depth (primarily for tests and block-size
+    /// sweeps); `0` resets to the environment/default value. Any positive
+    /// depth is correct — the knob trades packing granularity against
+    /// cache residency.
+    pub fn set_kc(kc: usize) {
+        KC_OVERRIDE.store(kc, Ordering::Relaxed);
+    }
+}
+
+/// Splits `rows` into at most `parts` near-equal contiguous blocks whose
+/// sizes are multiples of [`MR`] (except possibly the last), so row-block
+/// boundaries always fall on packing-panel boundaries.
+fn mr_row_blocks(rows: usize, parts: usize) -> Vec<usize> {
+    let panels = rows.div_ceil(MR);
+    let parts = parts.clamp(1, panels.max(1));
+    let per = panels.div_ceil(parts);
     let mut sizes = Vec::with_capacity(parts);
-    let mut start = 0;
-    while start < rows {
-        let take = per.min(rows - start);
-        sizes.push(take);
-        start += take;
+    let mut start_panel = 0;
+    while start_panel < panels {
+        let take = per.min(panels - start_panel);
+        let row_end = ((start_panel + take) * MR).min(rows);
+        sizes.push(row_end - start_panel * MR);
+        start_panel += take;
     }
     sizes
 }
 
-/// Runs `body(first_row, out_chunk)` over disjoint row blocks of `out` on
-/// the shared pool when `nthreads > 1`.
-fn parallel_over_rows<F>(out: &mut Matrix, nthreads: usize, body: F)
-where
-    F: Fn(usize, &mut [f32]) + Sync,
+/// The register-tile inner kernel: `acc += Ap · Bp` over one K panel.
+///
+/// `ap` is `kcl` steps of `MR` packed `A` values, `bp` is `kcl` steps of
+/// `NR` packed `B` values; `acc` is the `MR×NR` tile held in local arrays
+/// the compiler keeps in vector registers. No branches, no strides — one
+/// contiguous multiply-add chain.
+#[inline(always)]
+fn micro_kernel_generic(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ar, br) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: &[f32; MR] = ar.try_into().expect("A panel step is MR long");
+        let b: &[f32; NR] = br.try_into().expect("B panel step is NR long");
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i][j] += a[i] * b[j];
+            }
+        }
+    }
+}
+
+/// Baseline-ISA instantiation of the micro-kernel (the build target's
+/// default feature set, SSE2 on x86-64).
+fn micro_kernel_portable(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    micro_kernel_generic(ap, bp, acc);
+}
+
+/// The same loop structure with an explicit fused multiply-add.
+///
+/// rustc does not contract separate `mul`+`add` into FMA on its own
+/// (float semantics are kept deterministic), so the hardware-FMA path
+/// must spell it `mul_add`. Only the feature-gated AVX2 instantiation
+/// calls this — on targets without hardware FMA, `mul_add` would lower
+/// to a libm call per element.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn micro_kernel_generic_fma(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ar, br) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: &[f32; MR] = ar.try_into().expect("A panel step is MR long");
+        let b: &[f32; NR] = br.try_into().expect("B panel step is NR long");
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i][j] = a[i].mul_add(b[j], acc[i][j]);
+            }
+        }
+    }
+}
+
+/// AVX2+FMA instantiation: `NR = 8` makes one accumulator row exactly
+/// one `ymm` register and the explicit `mul_add` chain lowers to
+/// `vfmadd231ps`, so LLVM vectorizes the kernel at 8-wide FMA
+/// throughput. FMA rounds once per multiply-add where the portable
+/// kernel rounds twice, so results differ from non-AVX2 machines in the
+/// last bits — but the dispatch is uniform per process, so serial vs
+/// pooled (and every caller on a given machine) still agree bitwise.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_kernel_avx2(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    micro_kernel_generic_fma(ap, bp, acc);
+}
+
+/// AVX2+FMA micro-kernel behind the pointer-call ABI of the dispatch
+/// table.
+///
+/// # Safety-free wrapper
+///
+/// Only ever stored in [`micro_kernel`]'s dispatch result after
+/// `is_x86_feature_detected!` confirmed both features at runtime.
+#[cfg(target_arch = "x86_64")]
+fn micro_kernel_avx2_entry(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    // SAFETY: this entry point is selected (see `micro_kernel`) only when
+    // `is_x86_feature_detected!("avx2")` and `("fma")` both returned true
+    // on this machine, so the target-feature contract holds.
+    unsafe { micro_kernel_avx2(ap, bp, acc) }
+}
+
+/// Resolves the widest micro-kernel this CPU supports, once per process.
+///
+/// The packed layout is ISA-independent; only the inner multiply-add
+/// chain is recompiled per feature level, so every caller (serial or
+/// pooled, any variant) computes identical results.
+fn micro_kernel() -> fn(&[f32], &[f32], &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static KERNEL: OnceLock<fn(&[f32], &[f32], &mut [[f32; NR]; MR])> = OnceLock::new();
+        *KERNEL.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                micro_kernel_avx2_entry
+            } else {
+                micro_kernel_portable
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        micro_kernel_portable
+    }
+}
+
+/// Packs rows `row0..row0+rows`, K slice `kk0..kk0+kcl` of row-major
+/// `a` (`lda = k`) into `MR`-row panels: panel `ip`, element `(kk, ir)`
+/// at `ip·kcl·MR + kk·MR + ir`. Panel tails are zero-padded.
+fn pack_a_rows(
+    a: &[f32],
+    k: usize,
+    row0: usize,
+    rows: usize,
+    kk0: usize,
+    kcl: usize,
+    dst: &mut [f32],
+) {
+    let mp = rows.div_ceil(MR);
+    debug_assert_eq!(dst.len(), mp * kcl * MR);
+    for ip in 0..mp {
+        let panel = &mut dst[ip * kcl * MR..(ip + 1) * kcl * MR];
+        let ivalid = MR.min(rows - ip * MR);
+        if ivalid < MR {
+            panel.fill(0.0);
+        }
+        for ir in 0..ivalid {
+            let src = &a[(row0 + ip * MR + ir) * k + kk0..][..kcl];
+            for (kk, &v) in src.iter().enumerate() {
+                panel[kk * MR + ir] = v;
+            }
+        }
+    }
+}
+
+/// Packs *columns* `row0..row0+rows` of the `k×m` row-major `a` (i.e.
+/// rows of `Aᵀ`), K slice `kk0..kk0+kcl`, into the same `MR`-row panel
+/// layout as [`pack_a_rows`]. Each `kk` step copies `MR` **contiguous**
+/// values of one `A` row — this is the `matmul_tn` column-stride fix: the
+/// kernel reads `A` along its rows during packing instead of striding
+/// `k·m` elements apart in the inner loop.
+fn pack_a_cols(
+    a: &[f32],
+    m: usize,
+    row0: usize,
+    rows: usize,
+    kk0: usize,
+    kcl: usize,
+    dst: &mut [f32],
+) {
+    let mp = rows.div_ceil(MR);
+    debug_assert_eq!(dst.len(), mp * kcl * MR);
+    for ip in 0..mp {
+        let panel = &mut dst[ip * kcl * MR..(ip + 1) * kcl * MR];
+        let ivalid = MR.min(rows - ip * MR);
+        if ivalid < MR {
+            panel.fill(0.0);
+        }
+        for kk in 0..kcl {
+            let src = &a[(kk0 + kk) * m + row0 + ip * MR..][..ivalid];
+            panel[kk * MR..][..ivalid].copy_from_slice(src);
+        }
+    }
+}
+
+/// Packs K slice `kk0..kk0+kcl` of the row-major `k×n` matrix `b` into
+/// `NR`-column panels: panel `jp`, element `(kk, jr)` at
+/// `jp·kcl·NR + kk·NR + jr`. Panel tails are zero-padded.
+fn pack_b_rows(b: &[f32], n: usize, kk0: usize, kcl: usize, dst: &mut [f32]) {
+    let np = n.div_ceil(NR);
+    debug_assert_eq!(dst.len(), np * kcl * NR);
+    for jp in 0..np {
+        let panel = &mut dst[jp * kcl * NR..(jp + 1) * kcl * NR];
+        let jvalid = NR.min(n - jp * NR);
+        if jvalid < NR {
+            panel.fill(0.0);
+        }
+        for kk in 0..kcl {
+            let src = &b[(kk0 + kk) * n + jp * NR..][..jvalid];
+            panel[kk * NR..][..jvalid].copy_from_slice(src);
+        }
+    }
+}
+
+/// Packs K slice `kk0..kk0+kcl` of `Bᵀ` where `b` is stored row-major
+/// `n×k` (the `matmul_nt` operand) into the same `NR`-column panel layout
+/// as [`pack_b_rows`]. Reads run contiguously along `b`'s rows.
+fn pack_b_cols(b: &[f32], k: usize, n: usize, kk0: usize, kcl: usize, dst: &mut [f32]) {
+    let np = n.div_ceil(NR);
+    debug_assert_eq!(dst.len(), np * kcl * NR);
+    for jp in 0..np {
+        let panel = &mut dst[jp * kcl * NR..(jp + 1) * kcl * NR];
+        let jvalid = NR.min(n - jp * NR);
+        if jvalid < NR {
+            panel.fill(0.0);
+        }
+        for jr in 0..jvalid {
+            let src = &b[(jp * NR + jr) * k + kk0..][..kcl];
+            for (kk, &v) in src.iter().enumerate() {
+                panel[kk * NR + jr] = v;
+            }
+        }
+    }
+}
+
+/// The blocked driver shared by all three variants.
+///
+/// `b_packed` holds every K panel of `B` (packed once by the caller);
+/// `pack_a(row0, rows, kk0, kcl, dst)` packs one K panel of the task's
+/// `A` rows. `kc` is the K-panel depth `b_packed` was laid out with —
+/// the caller reads [`block::kc`] exactly once per call and hands the
+/// same value to [`pack_b_full`] and here, so a concurrent
+/// [`block::set_kc`] can never desynchronize the packed layout from its
+/// consumer. Output rows are split into `MR`-aligned blocks, one task
+/// per block on the shared pool; each task zero-fills its `C` chunk and
+/// accumulates `Apᵀ·Bp` tile products K panel by K panel, so per-element
+/// accumulation order is independent of the row split.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked<PA>(
+    m: usize,
+    n: usize,
+    k: usize,
+    kc: usize,
+    nthreads: usize,
+    pack_a: PA,
+    b_packed: &[f32],
+    c: &mut Matrix,
+) where
+    PA: Fn(usize, usize, usize, usize, &mut [f32]) + Sync,
 {
-    let rows = out.rows();
-    let cols = out.cols();
-    if rows == 0 || cols == 0 {
+    let np = n.div_ceil(NR);
+    let kernel = micro_kernel();
+    let body = |first_row: usize, chunk: &mut [f32]| {
+        let rows = chunk.len() / n;
+        chunk.fill(0.0);
+        let mp = rows.div_ceil(MR);
+        let mut abuf = PackWorkspace::take(PackBuf::OperandA, kc.min(k) * mp * MR);
+        let mut kk0 = 0;
+        while kk0 < k {
+            let kcl = kc.min(k - kk0);
+            let apack = &mut abuf[..kcl * mp * MR];
+            pack_a(first_row, rows, kk0, kcl, apack);
+            let bbase = kk0 * np * NR;
+            for ip in 0..mp {
+                let ap = &apack[ip * kcl * MR..][..kcl * MR];
+                let ivalid = MR.min(rows - ip * MR);
+                for jp in 0..np {
+                    let bp = &b_packed[bbase + jp * kcl * NR..][..kcl * NR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    kernel(ap, bp, &mut acc);
+                    let jvalid = NR.min(n - jp * NR);
+                    for i in 0..ivalid {
+                        let crow = &mut chunk[(ip * MR + i) * n + jp * NR..][..jvalid];
+                        for (cv, av) in crow.iter_mut().zip(&acc[i][..jvalid]) {
+                            *cv += *av;
+                        }
+                    }
+                }
+            }
+            kk0 += kcl;
+        }
+        PackWorkspace::give(PackBuf::OperandA, abuf);
+    };
+    if nthreads <= 1 || m <= MR {
+        // Serial path: no row split, no per-call block bookkeeping — in
+        // steady state the only allocation left in a whole GEMM call is
+        // the caller's output matrix.
+        body(0, c.as_mut_slice());
         return;
     }
-    if nthreads <= 1 || rows == 1 {
-        body(0, out.as_mut_slice());
+    let sizes = mr_row_blocks(m, nthreads);
+    if sizes.len() <= 1 {
+        body(0, c.as_mut_slice());
         return;
     }
-    let sizes = equal_row_blocks(rows, nthreads);
     let mut starts = Vec::with_capacity(sizes.len());
     let mut acc = 0;
     for &s in &sizes {
         starts.push(acc);
         acc += s;
     }
-    pool().run_row_blocks(out.as_mut_slice(), cols, &sizes, |block, chunk| {
-        body(starts[block], chunk);
+    pool().run_row_blocks(c.as_mut_slice(), n, &sizes, |blk, chunk| {
+        body(starts[blk], chunk);
     });
+}
+
+/// Packs every K panel of a `k`-deep `B` operand into a workspace buffer
+/// using `pack_block(kk0, kcl, dst)` at panel depth `kc`, returning the
+/// buffer (give it back with [`PackWorkspace::give`]).
+fn pack_b_full(
+    k: usize,
+    n: usize,
+    kc: usize,
+    pack_block: impl Fn(usize, usize, &mut [f32]),
+) -> Vec<f32> {
+    let np = n.div_ceil(NR);
+    let mut bbuf = PackWorkspace::take(PackBuf::OperandB, k * np * NR);
+    let mut kk0 = 0;
+    while kk0 < k {
+        let kcl = kc.min(k - kk0);
+        pack_block(kk0, kcl, &mut bbuf[kk0 * np * NR..][..kcl * np * NR]);
+        kk0 += kcl;
+    }
+    bbuf
 }
 
 /// `C = A · B`.
@@ -78,27 +436,30 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
     assert_eq!(c.shape(), (m, n), "matmul output shape mismatch");
-    c.fill_zero();
-    let flops = m * n * k;
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill_zero();
+        return;
+    }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    parallel_over_rows(c, threads_for(flops), |first_row, chunk| {
-        // i-k-j loop: the inner j loop is a contiguous axpy over B's row k,
-        // which the compiler auto-vectorizes.
-        for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
-            let i = first_row + local_i;
-            let a_row = &a_data[i * k..(i + 1) * k];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
-                }
-            }
-        }
+    let kc = block::kc();
+    let bbuf = pack_b_full(k, n, kc, |kk0, kcl, dst| {
+        pack_b_rows(b_data, n, kk0, kcl, dst)
     });
+    gemm_blocked(
+        m,
+        n,
+        k,
+        kc,
+        threads_for(m * n * k),
+        |row0, rows, kk0, kcl, dst| pack_a_rows(a_data, k, row0, rows, kk0, kcl, dst),
+        &bbuf,
+        c,
+    );
+    PackWorkspace::give(PackBuf::OperandB, bbuf);
 }
 
 /// `C = Aᵀ · B` where `A` is `k x m` and `B` is `k x n`.
@@ -107,30 +468,49 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 ///
 /// Panics if `a.rows() != b.rows()`.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    matmul_tn_into(a, b, &mut c);
+    c
+}
+
+/// `C = Aᵀ · B` into a pre-allocated output (overwrites `c`).
+///
+/// The backward passes in `ppgnn-nn` route their weight gradients through
+/// this into reusable scratch matrices, so steady-state training batches
+/// allocate nothing for the `∂W = Xᵀ · ∂Y` product.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()` or `c` is not `a.cols() x b.cols()`.
+pub fn matmul_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (k, m) = a.shape();
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul_tn shared-dimension mismatch: {k} vs {k2}");
-    let mut c = Matrix::zeros(m, n);
-    let flops = m * n * k;
+    assert_eq!(c.shape(), (m, n), "matmul_tn output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill_zero();
+        return;
+    }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    parallel_over_rows(&mut c, threads_for(flops), |first_row, chunk| {
-        // For each output row i (a column of A): C[i,:] = Σ_k A[k,i] * B[k,:].
-        for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
-            let i = first_row + local_i;
-            for kk in 0..k {
-                let aki = a_data[kk * m + i];
-                if aki == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aki * bv;
-                }
-            }
-        }
+    let kc = block::kc();
+    let bbuf = pack_b_full(k, n, kc, |kk0, kcl, dst| {
+        pack_b_rows(b_data, n, kk0, kcl, dst)
     });
-    c
+    gemm_blocked(
+        m,
+        n,
+        k,
+        kc,
+        threads_for(m * n * k),
+        |row0, rows, kk0, kcl, dst| pack_a_cols(a_data, m, row0, rows, kk0, kcl, dst),
+        &bbuf,
+        c,
+    );
+    PackWorkspace::give(PackBuf::OperandB, bbuf);
 }
 
 /// `C = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`.
@@ -139,29 +519,205 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics if `a.cols() != b.cols()`.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    matmul_nt_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · Bᵀ` into a pre-allocated output (overwrites `c`).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()` or `c` is not `a.rows() x b.rows()`.
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, k) = a.shape();
     let (n, k2) = b.shape();
     assert_eq!(k, k2, "matmul_nt inner-dimension mismatch: {k} vs {k2}");
-    let mut c = Matrix::zeros(m, n);
-    let flops = m * n * k;
+    assert_eq!(c.shape(), (m, n), "matmul_nt output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill_zero();
+        return;
+    }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    parallel_over_rows(&mut c, threads_for(flops), |first_row, chunk| {
-        // C[i,j] = dot(A[i,:], B[j,:]) — both operands are contiguous rows.
-        for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
-            let i = first_row + local_i;
-            let a_row = &a_data[i * k..(i + 1) * k];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                let b_row = &b_data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (av, bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *cv = acc;
-            }
-        }
+    let kc = block::kc();
+    let bbuf = pack_b_full(k, n, kc, |kk0, kcl, dst| {
+        pack_b_cols(b_data, k, n, kk0, kcl, dst)
     });
-    c
+    gemm_blocked(
+        m,
+        n,
+        k,
+        kc,
+        threads_for(m * n * k),
+        |row0, rows, kk0, kcl, dst| pack_a_rows(a_data, k, row0, rows, kk0, kcl, dst),
+        &bbuf,
+        c,
+    );
+    PackWorkspace::give(PackBuf::OperandB, bbuf);
+}
+
+/// The pre-blocking naive kernels, retained verbatim as the correctness
+/// oracle for the packed implementations and as the bench baseline.
+///
+/// These are the i-k-j loops the packed kernels replaced: no packing, no
+/// register tiling, a per-element `aik == 0.0` branch, and (in
+/// [`reference::matmul_tn`]) a `k·m`-stride walk down `A`'s columns. They
+/// parallelize over equal output-row blocks on the same shared pool, so
+/// baseline measurements see the same thread budget as the packed
+/// kernels.
+pub mod reference {
+    use crate::pool::{pool, threads_for};
+    use crate::Matrix;
+
+    /// Splits `rows` into at most `parts` near-equal contiguous blocks.
+    fn equal_row_blocks(rows: usize, parts: usize) -> Vec<usize> {
+        let parts = parts.clamp(1, rows);
+        let per = rows.div_ceil(parts);
+        let mut sizes = Vec::with_capacity(parts);
+        let mut start = 0;
+        while start < rows {
+            let take = per.min(rows - start);
+            sizes.push(take);
+            start += take;
+        }
+        sizes
+    }
+
+    /// Runs `body(first_row, out_chunk)` over disjoint row blocks of
+    /// `out` on the shared pool when `nthreads > 1`.
+    fn parallel_over_rows<F>(out: &mut Matrix, nthreads: usize, body: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let rows = out.rows();
+        let cols = out.cols();
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        if nthreads <= 1 || rows == 1 {
+            body(0, out.as_mut_slice());
+            return;
+        }
+        let sizes = equal_row_blocks(rows, nthreads);
+        let mut starts = Vec::with_capacity(sizes.len());
+        let mut acc = 0;
+        for &s in &sizes {
+            starts.push(acc);
+            acc += s;
+        }
+        pool().run_row_blocks(out.as_mut_slice(), cols, &sizes, |block, chunk| {
+            body(starts[block], chunk);
+        });
+    }
+
+    /// Naive `C = A · B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        matmul_into(a, b, &mut c);
+        c
+    }
+
+    /// Naive `C = A · B` into a pre-allocated output (overwrites `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()` or `c` is not
+    /// `a.rows() x b.cols()`.
+    pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        let (m, k) = a.shape();
+        let (k2, n) = b.shape();
+        assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
+        assert_eq!(c.shape(), (m, n), "matmul output shape mismatch");
+        c.fill_zero();
+        let flops = m * n * k;
+        let a_data = a.as_slice();
+        let b_data = b.as_slice();
+        parallel_over_rows(c, threads_for(flops), |first_row, chunk| {
+            for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = first_row + local_i;
+                let a_row = &a_data[i * k..(i + 1) * k];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Naive `C = Aᵀ · B` — strides `m` elements between consecutive `A`
+    /// reads (the column-stride pathology the packed kernel removes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.rows() != b.rows()`.
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        let (k, m) = a.shape();
+        let (k2, n) = b.shape();
+        assert_eq!(k, k2, "matmul_tn shared-dimension mismatch: {k} vs {k2}");
+        let mut c = Matrix::zeros(m, n);
+        let flops = m * n * k;
+        let a_data = a.as_slice();
+        let b_data = b.as_slice();
+        parallel_over_rows(&mut c, threads_for(flops), |first_row, chunk| {
+            for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = first_row + local_i;
+                for kk in 0..k {
+                    let aki = a_data[kk * m + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aki * bv;
+                    }
+                }
+            }
+        });
+        c
+    }
+
+    /// Naive `C = A · Bᵀ` via per-element dot products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.cols()`.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let (n, k2) = b.shape();
+        assert_eq!(k, k2, "matmul_nt inner-dimension mismatch: {k} vs {k2}");
+        let mut c = Matrix::zeros(m, n);
+        let flops = m * n * k;
+        let a_data = a.as_slice();
+        let b_data = b.as_slice();
+        parallel_over_rows(&mut c, threads_for(flops), |first_row, chunk| {
+            for (local_i, c_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = first_row + local_i;
+                let a_row = &a_data[i * k..(i + 1) * k];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b_data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (av, bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *cv = acc;
+                }
+            }
+        });
+        c
+    }
 }
 
 #[cfg(test)]
@@ -218,7 +774,7 @@ mod tests {
     }
 
     #[test]
-    fn threaded_path_matches_serial() {
+    fn threaded_path_matches_serial_bitwise() {
         let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
         let a = rand_mat(33, 17, 7);
         let b = rand_mat(17, 29, 8);
@@ -227,7 +783,8 @@ mod tests {
         set_parallel_threshold(0);
         let threaded = matmul(&a, &b);
         set_parallel_threshold(DEFAULT_PARALLEL_THRESHOLD);
-        assert!(serial.max_abs_diff(&threaded) < 1e-5);
+        // MR-aligned row splitting never reorders per-element accumulation.
+        assert_eq!(serial, threaded);
     }
 
     #[test]
@@ -246,6 +803,81 @@ mod tests {
     }
 
     #[test]
+    fn packed_kernels_match_reference_at_block_edge_tails() {
+        // Shapes straddling every blocking boundary: below/at/above MR, NR
+        // and (with the override below) KC.
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        block::set_kc(5);
+        for (m, n, k, seed) in [
+            (1, 1, 1, 1u64),
+            (MR - 1, NR - 1, 4, 2),
+            (MR, NR, 5, 3),
+            (MR + 1, NR + 1, 6, 4),
+            (2 * MR + 1, 2 * NR + 1, 11, 5),
+            (9, 17, 2 * 5 + 1, 6), // k spans two full KC panels + tail
+            (13, 3, 5, 7),
+        ] {
+            let a = rand_mat(m, k, seed);
+            let b = rand_mat(k, n, seed + 100);
+            let expect = reference::matmul(&a, &b);
+            assert!(
+                matmul(&a, &b).max_abs_diff(&expect) < 1e-4,
+                "nn {m}x{k}x{n}"
+            );
+            assert!(
+                matmul_tn(&a.transpose(), &b).max_abs_diff(&expect) < 1e-4,
+                "tn {m}x{k}x{n}"
+            );
+            assert!(
+                matmul_nt(&a, &b.transpose()).max_abs_diff(&expect) < 1e-4,
+                "nt {m}x{k}x{n}"
+            );
+        }
+        block::set_kc(0);
+    }
+
+    #[test]
+    fn kc_override_round_trips() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        let ambient = block::kc();
+        block::set_kc(32);
+        assert_eq!(block::kc(), 32);
+        block::set_kc(0);
+        assert_eq!(block::kc(), ambient);
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_outputs() {
+        let a = rand_mat(9, 7, 21);
+        let b = rand_mat(7, 5, 22);
+        let mut dirty = Matrix::full(9, 5, 777.0);
+        matmul_into(&a, &b, &mut dirty);
+        assert_eq!(dirty, matmul(&a, &b));
+        let at = a.transpose();
+        let mut dirty = Matrix::full(9, 5, 777.0);
+        matmul_tn_into(&at, &b, &mut dirty);
+        assert_eq!(dirty, matmul_tn(&at, &b));
+        let bt = b.transpose();
+        let mut dirty = Matrix::full(9, 5, 777.0);
+        matmul_nt_into(&a, &bt, &mut dirty);
+        assert_eq!(dirty, matmul_nt(&a, &bt));
+    }
+
+    #[test]
+    fn mr_row_blocks_tile_and_align() {
+        for (rows, parts) in [(1, 4), (7, 2), (8, 3), (33, 4), (100, 7)] {
+            let sizes = mr_row_blocks(rows, parts);
+            assert_eq!(sizes.iter().sum::<usize>(), rows, "{rows}/{parts}");
+            for (i, &s) in sizes.iter().enumerate() {
+                assert!(s > 0);
+                if i + 1 < sizes.len() {
+                    assert_eq!(s % MR, 0, "interior block not MR-aligned");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn empty_dimensions_are_fine() {
         let a = Matrix::zeros(0, 3);
         let b = Matrix::zeros(3, 4);
@@ -255,11 +887,29 @@ mod tests {
         let c = matmul(&a, &b);
         assert_eq!(c.shape(), (2, 4));
         assert!(c.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(
+            matmul_tn(&Matrix::zeros(0, 2), &Matrix::zeros(0, 3)).shape(),
+            (2, 3)
+        );
+        assert_eq!(
+            matmul_nt(&Matrix::zeros(2, 0), &Matrix::zeros(3, 0)).shape(),
+            (2, 3)
+        );
     }
 
     #[test]
     #[should_panic(expected = "inner-dimension mismatch")]
     fn mismatched_shapes_panic() {
         matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn reference_kernels_match_local_naive() {
+        let a = rand_mat(11, 6, 31);
+        let b = rand_mat(6, 13, 32);
+        let expect = naive(&a, &b);
+        assert!(reference::matmul(&a, &b).max_abs_diff(&expect) < 1e-4);
+        assert!(reference::matmul_tn(&a.transpose(), &b).max_abs_diff(&expect) < 1e-4);
+        assert!(reference::matmul_nt(&a, &b.transpose()).max_abs_diff(&expect) < 1e-4);
     }
 }

@@ -7,10 +7,15 @@
 //! * a row-major [`Matrix`] type with shape-checked constructors,
 //! * a persistent [`pool`] of worker threads shared by every threaded
 //!   kernel in the workspace (sized by `available_parallelism`, overridable
-//!   via `PPGNN_NUM_THREADS`),
-//! * blocked, multi-threaded [`matmul`]/[`matmul_tn`]/[`matmul_nt`] kernels
-//!   (the `tn`/`nt` variants back the hand-written backward passes in
-//!   `ppgnn-nn`),
+//!   via `PPGNN_NUM_THREADS`), which also hosts the thread-local
+//!   [`pool::PackWorkspace`] packing scratch,
+//! * packed, cache-blocked [`matmul`]/[`matmul_tn`]/[`matmul_nt`] kernels
+//!   (plus `_into` variants writing pre-allocated outputs) built on one
+//!   `MR×NR` register-tile micro-kernel with `PPGNN_GEMM_BLOCK`-tunable
+//!   K panels ([`block`]); the `tn`/`nt` variants back the hand-written
+//!   backward passes in `ppgnn-nn`, and the pre-blocking naive kernels
+//!   survive in [`reference`] as the correctness oracle and bench
+//!   baseline,
 //! * batch-assembly primitives ([`Matrix::gather_rows`],
 //!   [`Matrix::gather_rows_into`], [`Matrix::scatter_add_rows`]) that the data
 //!   loaders in `ppgnn-core` are built from,
@@ -42,6 +47,8 @@ pub mod io;
 pub mod pool;
 
 pub use error::TensorError;
-pub use gemm::{matmul, matmul_into, matmul_nt, matmul_tn};
+pub use gemm::{
+    block, matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into, reference,
+};
 pub use matrix::Matrix;
 pub use pool::{pool, set_parallel_threshold, WorkerPool};

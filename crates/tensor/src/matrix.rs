@@ -226,6 +226,28 @@ impl Matrix {
         })
     }
 
+    /// Copies rows `start..end` into a pre-allocated matrix — the
+    /// allocation-free form of [`Matrix::slice_rows`] that batch loops
+    /// (the trainer's evaluation pass) reuse a scratch matrix through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`, `end > rows`, or `out` is not
+    /// `(end - start) x cols`.
+    pub fn slice_rows_into(&self, start: usize, end: usize, out: &mut Matrix) {
+        assert!(
+            start <= end && end <= self.rows,
+            "bad row range {start}..{end}"
+        );
+        assert_eq!(
+            out.shape(),
+            (end - start, self.cols),
+            "slice_rows_into output shape mismatch"
+        );
+        out.data
+            .copy_from_slice(&self.data[start * self.cols..end * self.cols]);
+    }
+
     /// Returns a sub-matrix containing rows `start..end`.
     ///
     /// # Panics
@@ -300,6 +322,22 @@ mod tests {
         assert_eq!(s.shape(), (2, 2));
         assert_eq!(s.row(0), &[1.0, 1.0]);
         assert_eq!(s.row(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_rows_into_matches_slice_rows_and_overwrites() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let mut out = Matrix::full(2, 3, -1.0);
+        m.slice_rows_into(2, 4, &mut out);
+        assert_eq!(out, m.slice_rows(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn slice_rows_into_rejects_wrong_shape() {
+        let m = Matrix::zeros(4, 2);
+        let mut out = Matrix::zeros(3, 2);
+        m.slice_rows_into(0, 2, &mut out);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! the per-kernel magic numbers (2 M in SpMM, 4 M in GEMM) that used to
 //! disagree with each other.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -336,6 +337,92 @@ impl WorkerPool {
     }
 }
 
+/// Which of the two per-thread packing buffers a kernel is asking for.
+///
+/// GEMM packs both operands: the shared-`B` panel buffer is filled by the
+/// calling thread and borrowed immutably by every row-block task, while
+/// each task packs its own `A` panels. Keeping the two in separate slots
+/// lets the caller hold the `B` buffer across a `WorkerPool::run` while
+/// tasks executing on the *same* thread (the caller helps drain the queue)
+/// take the `A` slot without conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackBuf {
+    /// Per-task `A`-panel buffer (`MR`-row panels).
+    OperandA,
+    /// Per-call `B`-panel buffer (`NR`-column panels), shared read-only
+    /// across all row-block tasks of one GEMM call.
+    OperandB,
+}
+
+/// Thread-local packing workspace for the blocked GEMM kernels.
+///
+/// Packing copies operand panels into contiguous buffers once per call;
+/// without a reusable workspace every GEMM would allocate (and fault in)
+/// fresh panel buffers. The workspace grows monotonically per thread — a
+/// buffer is only replaced when a larger one is handed back — so in steady
+/// state (the training loop, the preprocessing hop loop) packing performs
+/// zero allocations.
+///
+/// Buffers are *taken out* of the thread-local slot
+/// ([`PackWorkspace::take`]) and *given back* ([`PackWorkspace::give`])
+/// rather than borrowed in place, so a re-entrant kernel on the same
+/// thread (a pool caller helping to drain another caller's GEMM tasks)
+/// degrades to a fresh allocation instead of a `RefCell` panic.
+#[derive(Debug, Default)]
+pub struct PackWorkspace {
+    slots: [Vec<f32>; 2],
+}
+
+thread_local! {
+    static PACK_WORKSPACE: RefCell<PackWorkspace> = RefCell::new(PackWorkspace::default());
+}
+
+impl PackWorkspace {
+    fn index(which: PackBuf) -> usize {
+        match which {
+            PackBuf::OperandA => 0,
+            PackBuf::OperandB => 1,
+        }
+    }
+
+    /// Takes this thread's buffer for `which`, resized to exactly `len`
+    /// elements (contents unspecified — packing overwrites every element,
+    /// zero-padding panel tails). Only newly grown capacity is
+    /// initialized; the retained region keeps its stale contents, so a
+    /// steady-state take is free of memory traffic.
+    pub fn take(which: PackBuf, len: usize) -> Vec<f32> {
+        let mut buf = PACK_WORKSPACE
+            .with(|ws| std::mem::take(&mut ws.borrow_mut().slots[Self::index(which)]));
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        } else {
+            buf.truncate(len);
+        }
+        buf
+    }
+
+    /// Returns a buffer taken with [`PackWorkspace::take`]. The slot keeps
+    /// whichever buffer has the larger capacity (monotonic growth).
+    pub fn give(which: PackBuf, buf: Vec<f32>) {
+        PACK_WORKSPACE.with(|ws| {
+            let slot = &mut ws.borrow_mut().slots[Self::index(which)];
+            if buf.capacity() > slot.capacity() {
+                *slot = buf;
+            }
+        });
+    }
+
+    /// Current capacities (in `f32` elements) of this thread's
+    /// `(OperandA, OperandB)` buffers — observability for tests and the
+    /// bench harness.
+    pub fn thread_capacity() -> (usize, usize) {
+        PACK_WORKSPACE.with(|ws| {
+            let ws = ws.borrow();
+            (ws.slots[0].capacity(), ws.slots[1].capacity())
+        })
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.queue.shutdown.store(true, Ordering::Release);
@@ -533,6 +620,41 @@ mod tests {
         assert_eq!(pool.threads_for(10), 1);
         assert_eq!(pool.threads_for(11), 3);
         set_parallel_threshold(prev);
+    }
+
+    #[test]
+    fn pack_workspace_grows_monotonically_and_is_reused() {
+        let buf = PackWorkspace::take(PackBuf::OperandA, 128);
+        assert_eq!(buf.len(), 128);
+        PackWorkspace::give(PackBuf::OperandA, buf);
+        let (a_cap, _) = PackWorkspace::thread_capacity();
+        assert!(a_cap >= 128);
+        // A smaller request reuses the grown buffer without shrinking it.
+        let buf = PackWorkspace::take(PackBuf::OperandA, 16);
+        assert_eq!(buf.len(), 16);
+        assert!(buf.capacity() >= 128);
+        PackWorkspace::give(PackBuf::OperandA, buf);
+        // Giving back a smaller buffer does not shrink the slot.
+        PackWorkspace::give(PackBuf::OperandA, Vec::with_capacity(8));
+        let (a_cap_after, _) = PackWorkspace::thread_capacity();
+        assert!(a_cap_after >= a_cap);
+    }
+
+    #[test]
+    fn pack_workspace_slots_are_independent() {
+        let a = PackWorkspace::take(PackBuf::OperandA, 32);
+        // Taking B while A is out must not conflict (the GEMM caller holds
+        // B across pool.run while tasks on the same thread take A).
+        let b = PackWorkspace::take(PackBuf::OperandB, 64);
+        assert_eq!(a.len(), 32);
+        assert_eq!(b.len(), 64);
+        // Re-entrant take of an already-taken slot degrades to a fresh
+        // buffer rather than panicking.
+        let a2 = PackWorkspace::take(PackBuf::OperandA, 8);
+        assert_eq!(a2.len(), 8);
+        PackWorkspace::give(PackBuf::OperandA, a);
+        PackWorkspace::give(PackBuf::OperandA, a2);
+        PackWorkspace::give(PackBuf::OperandB, b);
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Property-based tests for the tensor kernels.
 
-use ppgnn_tensor::{io, matmul, matmul_nt, matmul_tn, Matrix};
+use ppgnn_tensor::{
+    block, io, matmul, matmul_nt, matmul_tn, reference, set_parallel_threshold, Matrix,
+};
 use proptest::prelude::*;
+
+/// Serializes property cases that flip the global parallel threshold, so
+/// concurrently running cases don't observe each other's overrides
+/// mid-kernel (any threshold is *correct*, but each case wants to pin the
+/// path it claims to exercise).
+static KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Strategy: a matrix with dimensions in `1..=max_dim` and small values.
 fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -27,6 +35,39 @@ fn matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
     })
 }
 
+/// Deterministic LCG-filled matrix in `±0.25` — drawing tens of
+/// thousands of proptest values per KC-boundary case would dominate the
+/// suite's runtime, and the interesting structure here is the *shape*.
+fn seeded_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5) * 0.5
+    })
+}
+
+/// Shapes straddling every packing boundary of the blocked GEMM: `m`
+/// around the `MR` register-tile edge, `n` around `NR`, and `k` either
+/// small or hugging the `KC` panel edges (one and two full panels ± 1).
+fn edge_tail_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (
+        1usize..=2 * block::MR + 1,
+        1usize..=2 * block::NR + 1,
+        0usize..3,
+        1usize..=2 * block::NR + 1,
+    )
+        .prop_map(|(m, n, k_class, k_small)| {
+            let k = match k_class {
+                0 => k_small,
+                1 => block::DEFAULT_KC - 1 + k_small % 3,
+                _ => 2 * block::DEFAULT_KC - 1 + k_small % 3,
+            };
+            (m, n, k)
+        })
+}
+
 fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let mut c = Matrix::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {
@@ -42,6 +83,31 @@ fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 proptest! {
+    #[test]
+    fn packed_kernels_match_retained_reference_at_edge_tails(
+        (m, n, k) in edge_tail_dims(),
+        seed in 0u64..1_000_000,
+        pooled in 0u8..2,
+    ) {
+        let a = seeded_mat(m, k, seed);
+        let b = seeded_mat(k, n, seed ^ 0x9e3779b97f4a7c15);
+        let at = a.transpose();
+        let bt = b.transpose();
+        // The retained naive reference is the pre-blocking kernel; the
+        // packed kernels must match it on both execution paths.
+        let expect = reference::matmul(&a, &b);
+        let guard = KNOB_LOCK.lock().unwrap();
+        set_parallel_threshold(if pooled == 1 { 0 } else { usize::MAX });
+        let nn = matmul(&a, &b);
+        let tn = matmul_tn(&at, &b);
+        let nt = matmul_nt(&a, &bt);
+        set_parallel_threshold(ppgnn_tensor::pool::DEFAULT_PARALLEL_THRESHOLD);
+        drop(guard);
+        prop_assert!(nn.max_abs_diff(&expect) < 1e-4, "nn {m}x{k}x{n} pooled={pooled}");
+        prop_assert!(tn.max_abs_diff(&expect) < 1e-4, "tn {m}x{k}x{n} pooled={pooled}");
+        prop_assert!(nt.max_abs_diff(&expect) < 1e-4, "nt {m}x{k}x{n} pooled={pooled}");
+    }
+
     #[test]
     fn gemm_matches_naive((a, b) in matmul_pair(12)) {
         let fast = matmul(&a, &b);

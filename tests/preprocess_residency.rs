@@ -20,11 +20,13 @@ use ppgnn_core::preprocess::Preprocessor;
 use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
 use ppgnn_graph::Operator;
 
-/// System allocator wrapper tracking current and peak live bytes.
+/// System allocator wrapper tracking current and peak live bytes, plus a
+/// raw allocation count (for the kernel-scratch reuse assertions).
 struct TrackingAlloc;
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 // SAFETY: delegates allocation entirely to `System`; the added bookkeeping
 // touches only atomics and never the returned memory.
@@ -35,6 +37,7 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         if !ptr.is_null() {
             let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(now, Ordering::Relaxed);
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         ptr
     }
@@ -123,6 +126,51 @@ fn sharded_schedule_stays_inside_the_same_budget() {
     // operators' ping-pong buffer pairs plus both CSR bases are live at
     // once, and the (R + 3)-matrix budget must still hold.
     assert_residency_bound(vec![Operator::SymNorm, Operator::RowNorm], 3, Some(4));
+}
+
+#[test]
+fn linear_training_batches_reuse_scratch_with_bounded_allocations() {
+    use ppgnn_nn::{Linear, Mode, Module};
+    use ppgnn_tensor::Matrix;
+
+    let _guard = SERIAL.lock().unwrap();
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(11)
+    };
+    let mut layer = Linear::new(64, 32, &mut rng);
+    let x = Matrix::from_fn(256, 64, |r, c| ((r * 13 + c * 7) % 29) as f32 * 0.03 - 0.4);
+    let g = Matrix::from_fn(256, 32, |r, c| ((r * 5 + c * 11) % 23) as f32 * 0.01 - 0.1);
+
+    // Warm up the layer's scratch matrices and the thread-local GEMM
+    // packing workspace — steady state is what training epochs live in.
+    for _ in 0..3 {
+        let y = layer.forward(&x, Mode::Train);
+        let gx = layer.backward(&g);
+        drop((y, gx));
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let batches = 20;
+    for _ in 0..batches {
+        let y = layer.forward(&x, Mode::Train);
+        let gx = layer.backward(&g);
+        drop((y, gx));
+    }
+    let per_batch = (ALLOCS.load(Ordering::Relaxed) - before).div_ceil(batches);
+
+    // Expected steady state: three allocations — the returned forward
+    // output, the bias-grad sum_rows temporary, and the returned input
+    // gradient. The cached input, the ∂W product, and both GEMM packing
+    // buffers are reused, and the serial GEMM path computes no row-block
+    // bookkeeping. Bound of 6 leaves headroom for allocator-internal
+    // noise while still failing if any scratch path regresses to
+    // allocate-per-batch.
+    assert!(
+        per_batch <= 6,
+        "Linear forward+backward allocated {per_batch} times per batch; \
+         scratch reuse (cached input, ∂W buffer, pack workspace) has regressed"
+    );
 }
 
 #[test]
