@@ -278,6 +278,8 @@ impl Trainer {
         let mut tracker = ConvergenceTracker::new();
         let mut best_val = 0.0f64;
         let mut test_at_best = 0.0f64;
+        // Logits slot reused by every training batch of the run.
+        let mut logits = Matrix::default();
 
         for epoch in 0..self.config.epochs {
             let epoch_start = Instant::now();
@@ -298,7 +300,7 @@ impl Trainer {
                 loading_s += t.elapsed().as_secs_f64();
 
                 let t = Instant::now();
-                let logits = model.forward(&batch.hops, Mode::Train);
+                model.forward_into(&batch.hops, Mode::Train, &mut logits);
                 let (loss, grad) = loss_fn.loss_and_grad(&logits, &batch.labels);
                 forward_s += t.elapsed().as_secs_f64();
 
@@ -353,10 +355,10 @@ impl Trainer {
 
 /// Batched full-partition evaluation (Mode::Eval), returning accuracy.
 ///
-/// Hop-slice buffers are reused across batches via
-/// [`Matrix::slice_rows_into`] — only the (at most two) distinct batch
-/// shapes of the sweep allocate, not every batch. Empty partitions
-/// evaluate to `0.0`.
+/// Hop-slice buffers are resized in place and refilled via
+/// [`Matrix::slice_rows_into`], and logits land in a reusable slot via
+/// [`PpModel::forward_into`] — steady-state batches of the sweep run
+/// without fresh heap allocations. Empty partitions evaluate to `0.0`.
 pub fn evaluate(model: &mut dyn PpModel, data: &PrepropFeatures, batch_size: usize) -> f64 {
     if data.is_empty() {
         return 0.0;
@@ -364,21 +366,16 @@ pub fn evaluate(model: &mut dyn PpModel, data: &PrepropFeatures, batch_size: usi
     let n = data.len();
     let mut hits = 0usize;
     let mut start = 0;
-    let mut hop_slices: Vec<Matrix> = Vec::new();
+    let mut hop_slices: Vec<Matrix> = data.hops.iter().map(|_| Matrix::default()).collect();
+    let mut logits = Matrix::default();
     while start < n {
         let end = (start + batch_size).min(n);
         let rows = end - start;
-        if hop_slices.first().is_none_or(|m| m.rows() != rows) {
-            hop_slices = data
-                .hops
-                .iter()
-                .map(|h| Matrix::zeros(rows, h.cols()))
-                .collect();
-        }
         for (hop, slice) in data.hops.iter().zip(&mut hop_slices) {
+            slice.resize_to(rows, hop.cols());
             hop.slice_rows_into(start, end, slice);
         }
-        let logits = model.forward(&hop_slices, Mode::Eval);
+        model.forward_into(&hop_slices, Mode::Eval, &mut logits);
         let labels = &data.labels[start..end];
         hits += (metrics::accuracy(&logits, labels) * labels.len() as f64).round() as usize;
         start = end;
@@ -456,6 +453,9 @@ pub fn fit_mp(
     let mut tracker = ConvergenceTracker::new();
     let mut best_val = 0.0;
     let mut test_at_best = 0.0;
+    // Input-gather and logits slots reused by every training batch.
+    let mut xin = Matrix::default();
+    let mut logits = Matrix::default();
 
     for epoch in 0..config.epochs {
         let mut order: Vec<usize> = train_ids.to_vec();
@@ -474,12 +474,13 @@ pub fn fit_mp(
             stats.accumulate(&batch.stats);
 
             let t = Instant::now();
-            let xin = features.gather_rows(batch.input_nodes());
+            xin.resize_to(batch.input_nodes().len(), features.cols());
+            features.gather_rows_into(batch.input_nodes(), &mut xin);
             gather_s += t.elapsed().as_secs_f64();
 
             let t = Instant::now();
             let y: Vec<u32> = seeds.iter().map(|&s| labels[s]).collect();
-            let logits = model.forward(&batch, &xin, Mode::Train);
+            model.forward_into(&batch, &xin, Mode::Train, &mut logits);
             let (loss, grad) = loss_fn.loss_and_grad(&logits, &y);
             model.zero_grad();
             model.backward(&grad);
@@ -532,10 +533,13 @@ pub fn evaluate_mp(
         return 0.0;
     }
     let mut hits = 0usize;
+    let mut xin = Matrix::default();
+    let mut logits = Matrix::default();
     for seeds in ids.chunks(config.batch_size) {
         let batch = sampler.sample(graph, seeds);
-        let xin = features.gather_rows(batch.input_nodes());
-        let logits = model.forward(&batch, &xin, Mode::Eval);
+        xin.resize_to(batch.input_nodes().len(), features.cols());
+        features.gather_rows_into(batch.input_nodes(), &mut xin);
+        model.forward_into(&batch, &xin, Mode::Eval, &mut logits);
         let y: Vec<u32> = seeds.iter().map(|&s| labels[s]).collect();
         hits += (metrics::accuracy(&logits, &y) * y.len() as f64).round() as usize;
     }

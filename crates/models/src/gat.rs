@@ -3,7 +3,7 @@ use ppgnn_sampler::{Block, MiniBatch};
 use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
 use rand::Rng;
 
-use crate::mp::{gather_seed_rows, scatter_seed_grad, MpModel};
+use crate::mp::{scatter_seed_grad, MpModel};
 
 const LEAKY_SLOPE: f32 = 0.2;
 
@@ -320,6 +320,12 @@ fn elu(v: f32) -> f32 {
 
 impl MpModel for Gat {
     fn forward(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(batch, x_input, mode, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(
             batch.blocks.len(),
             self.layers.len(),
@@ -352,7 +358,8 @@ impl MpModel for Gat {
             self.seed_local = batch.seed_local.clone();
             self.last_num_dst = batch.blocks.last().expect("non-empty").num_dst();
         }
-        gather_seed_rows(&h, &batch.seed_local)
+        out.resize_to(batch.seed_local.len(), h.cols());
+        h.gather_rows_into(&batch.seed_local, out);
     }
 
     fn backward(&mut self, grad_out: &Matrix) {

@@ -42,8 +42,18 @@ pub struct Hoga {
     heads: usize,
     num_classes: usize,
     cache: Option<HogaCache>,
+    /// Spent cache buffers handed back by `backward` (or an eval forward),
+    /// refilled in place by the next forward.
+    cache_scratch: Option<HogaCache>,
+    /// Retained forward intermediates: per-hop embeddings, the token
+    /// matrix, the attention output, and the pooled readout.
+    per_hop: Vec<Matrix>,
+    embedded: Matrix,
+    attended: Matrix,
+    pooled: Matrix,
 }
 
+#[derive(Default)]
 struct HogaCache {
     batch: usize,
     /// Post-norm token features `[b*t, H]`.
@@ -105,6 +115,11 @@ impl Hoga {
             heads,
             num_classes,
             cache: None,
+            cache_scratch: None,
+            per_hop: (0..tokens).map(|_| Matrix::default()).collect(),
+            embedded: Matrix::default(),
+            attended: Matrix::default(),
+            pooled: Matrix::default(),
         }
     }
 
@@ -121,41 +136,50 @@ impl Hoga {
 
 impl PpModel for Hoga {
     fn forward(&mut self, hops: &[Matrix], mode: Mode) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(hops, mode, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, hops: &[Matrix], mode: Mode, out: &mut Matrix) {
         let (b, _) = validate_hops(hops, self.hops + 1);
         let t = self.hops + 1;
         // per-hop embeddings, interleaved into token layout [b*t, H]
-        let per_hop: Vec<Matrix> = self
+        for ((e, h), z) in self
             .embeds
             .iter_mut()
             .zip(hops)
-            .map(|(e, h)| e.forward(h, mode))
-            .collect();
-        let mut embedded = Matrix::zeros(b * t, self.hidden);
+            .zip(self.per_hop.iter_mut())
+        {
+            e.forward_into(h, mode, z);
+        }
+        self.embedded.resize_to(b * t, self.hidden);
         for i in 0..b {
             for tok in 0..t {
-                let pos_row = self.pos.value.row(tok).to_vec();
-                let dst = embedded.row_mut(i * t + tok);
-                dst.copy_from_slice(per_hop[tok].row(i));
-                for (e, p) in dst.iter_mut().zip(&pos_row) {
+                let dst = self.embedded.row_mut(i * t + tok);
+                dst.copy_from_slice(self.per_hop[tok].row(i));
+                for (e, &p) in dst.iter_mut().zip(self.pos.value.row(tok)) {
                     *e += p;
                 }
             }
         }
-        let mut attended = self.attention.forward(&embedded, mode); // [b*t, H]
-        attended.add_assign(&embedded); // residual connection
-        let normed = self.norm.forward(&attended, mode); // [b*t, H]
+        self.attention
+            .forward_into(&self.embedded, mode, &mut self.attended); // [b*t, H]
+        self.attended.add_assign(&self.embedded); // residual connection
+        let mut cb = self.cache_scratch.take().unwrap_or_default();
+        self.norm.forward_into(&self.attended, mode, &mut cb.normed); // [b*t, H]
 
         // Gated readout: score each token, softmax over the node's tokens,
         // pool with the resulting weights.
         let scale = 1.0 / (self.hidden as f32).sqrt();
-        let gate_w: Vec<f32> = self.gate.value.as_slice().to_vec();
-        let mut gates = Matrix::zeros(b, t);
+        let gate_w = self.gate.value.as_slice();
+        cb.gates.resize_to(b, t);
         for i in 0..b {
-            let row = gates.row_mut(i);
+            let row = cb.gates.row_mut(i);
             for (tok, g) in row.iter_mut().enumerate() {
-                let z = normed.row(i * t + tok);
+                let z = cb.normed.row(i * t + tok);
                 let mut s = 0.0;
-                for (zv, wv) in z.iter().zip(&gate_w) {
+                for (zv, wv) in z.iter().zip(gate_w) {
                     s += zv * wv;
                 }
                 *g = s * scale;
@@ -171,24 +195,24 @@ impl PpModel for Hoga {
                 *g /= sum;
             }
         }
-        let mut pooled = Matrix::zeros(b, self.hidden);
+        self.pooled.resize_to(b, self.hidden);
+        self.pooled.fill_zero();
         for i in 0..b {
             for tok in 0..t {
-                let g = gates.get(i, tok);
-                let src = normed.row(i * t + tok);
-                for (p, v) in pooled.row_mut(i).iter_mut().zip(src) {
+                let g = cb.gates.get(i, tok);
+                let src = cb.normed.row(i * t + tok);
+                for (p, v) in self.pooled.row_mut(i).iter_mut().zip(src) {
                     *p += v * g;
                 }
             }
         }
+        cb.batch = b;
         if mode == Mode::Train {
-            self.cache = Some(HogaCache {
-                batch: b,
-                normed: normed.clone(),
-                gates,
-            });
+            self.cache = Some(cb);
+        } else {
+            self.cache_scratch = Some(cb);
         }
-        self.head.forward(&pooled, mode)
+        self.head.forward_into(&self.pooled, mode, out);
     }
 
     fn backward(&mut self, grad_out: &Matrix) {
@@ -206,7 +230,7 @@ impl PpModel for Hoga {
         // Backward through the gated readout:
         //   pooled_i = Σ_r g_ir · z_ir,  g_i = softmax_r(z_ir·w·scale).
         let scale = 1.0 / (self.hidden as f32).sqrt();
-        let gate_w: Vec<f32> = self.gate.value.as_slice().to_vec();
+        let gate_w = self.gate.value.as_slice();
         let mut g_normed = Matrix::zeros(b * t, self.hidden);
         let mut g_gate = vec![0.0f32; self.hidden];
         for i in 0..b {
@@ -229,18 +253,11 @@ impl PpModel for Hoga {
             let inner: f32 = (0..t).map(|r| gates.get(i, r) * dg[r]).sum();
             for tok in 0..t {
                 let ds = gates.get(i, tok) * (dg[tok] - inner) * scale;
-                let z = normed.row(i * t + tok).to_vec();
                 // score path: dz += ds·w ; dw += ds·z
-                for ((o, wv), zv) in g_normed
-                    .row_mut(i * t + tok)
-                    .iter_mut()
-                    .zip(&gate_w)
-                    .zip(&z)
-                {
+                for (o, wv) in g_normed.row_mut(i * t + tok).iter_mut().zip(gate_w) {
                     *o += ds * wv;
-                    let _ = zv;
                 }
-                for (gw, zv) in g_gate.iter_mut().zip(&z) {
+                for (gw, zv) in g_gate.iter_mut().zip(normed.row(i * t + tok)) {
                     *gw += ds * zv;
                 }
             }
@@ -259,16 +276,21 @@ impl PpModel for Hoga {
             (0..t).map(|_| Matrix::zeros(b, self.hidden)).collect();
         for i in 0..b {
             for tok in 0..t {
-                let src = g_embedded.row(i * t + tok).to_vec();
-                for (o, v) in self.pos.grad.row_mut(tok).iter_mut().zip(&src) {
+                let src = g_embedded.row(i * t + tok);
+                for (o, &v) in self.pos.grad.row_mut(tok).iter_mut().zip(src) {
                     *o += v;
                 }
-                per_hop_grads[tok].row_mut(i).copy_from_slice(&src);
+                per_hop_grads[tok].row_mut(i).copy_from_slice(src);
             }
         }
         for (embed, g) in self.embeds.iter_mut().zip(&per_hop_grads) {
             embed.backward(g); // input grads discarded
         }
+        self.cache_scratch = Some(HogaCache {
+            batch: b,
+            normed,
+            gates,
+        });
     }
 
     fn params(&mut self) -> Vec<&mut Param> {

@@ -17,6 +17,13 @@ pub trait MpModel {
     /// count or the batch depth differs from the model's layer count.
     fn forward(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode) -> Matrix;
 
+    /// Computes seed logits into a reusable slot (resized and fully
+    /// overwritten); the default falls back to [`MpModel::forward`]. The
+    /// shipped models write the final seed gather straight into `out`.
+    fn forward_into(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode, out: &mut Matrix) {
+        *out = self.forward(batch, x_input, mode);
+    }
+
     /// Back-propagates the seed-logit gradient; accumulates parameter
     /// gradients (input-feature gradients are discarded).
     fn backward(&mut self, grad_out: &Matrix);
@@ -68,11 +75,6 @@ pub(crate) fn scatter_seed_grad(
     out
 }
 
-/// Gathers seed rows out of the last layer's destination activations.
-pub(crate) fn gather_seed_rows(h_dst: &Matrix, seed_local: &[usize]) -> Matrix {
-    h_dst.gather_rows(seed_local)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,7 +86,7 @@ mod tests {
         assert_eq!(scattered.row(3), &[1.0, 2.0]);
         assert_eq!(scattered.row(1), &[3.0, 4.0]);
         assert_eq!(scattered.row(0), &[0.0, 0.0]);
-        let back = gather_seed_rows(&scattered, &[3, 1]);
+        let back = scattered.gather_rows(&[3, 1]);
         assert_eq!(back, g);
     }
 }

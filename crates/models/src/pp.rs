@@ -18,6 +18,17 @@ pub trait PpModel {
     /// row counts / feature dims.
     fn forward(&mut self, hops: &[Matrix], mode: Mode) -> Matrix;
 
+    /// Computes logits into a reusable slot (resized to the output shape
+    /// and fully overwritten).
+    ///
+    /// The shipped models route their whole stack through
+    /// [`ppgnn_nn::Module::forward_into`], so a training loop that passes
+    /// the same slot every batch runs steady-state forwards without
+    /// allocating. The default falls back to [`PpModel::forward`].
+    fn forward_into(&mut self, hops: &[Matrix], mode: Mode, out: &mut Matrix) {
+        *out = self.forward(hops, mode);
+    }
+
     /// Back-propagates the loss gradient; accumulates parameter gradients.
     /// (Input gradients are discarded — hop features are data, not
     /// parameters.)

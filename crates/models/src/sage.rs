@@ -3,7 +3,7 @@ use ppgnn_sampler::{Block, MiniBatch};
 use ppgnn_tensor::Matrix;
 use rand::Rng;
 
-use crate::mp::{gather_seed_rows, scatter_seed_grad, MpModel};
+use crate::mp::{scatter_seed_grad, MpModel};
 
 /// GraphSAGE with the mean aggregator (Hamilton et al. 2017).
 ///
@@ -79,6 +79,12 @@ impl GraphSage {
 
 impl MpModel for GraphSage {
     fn forward(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(batch, x_input, mode, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(
             batch.blocks.len(),
             self.layers.len(),
@@ -118,7 +124,8 @@ impl MpModel for GraphSage {
             self.seed_local = batch.seed_local.clone();
             self.last_num_dst = batch.blocks.last().expect("non-empty").num_dst();
         }
-        gather_seed_rows(&h, &batch.seed_local)
+        out.resize_to(batch.seed_local.len(), h.cols());
+        h.gather_rows_into(&batch.seed_local, out);
     }
 
     fn backward(&mut self, grad_out: &Matrix) {

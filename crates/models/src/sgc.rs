@@ -55,6 +55,11 @@ impl PpModel for Sgc {
         self.classifier.forward(&hops[self.hops], mode)
     }
 
+    fn forward_into(&mut self, hops: &[Matrix], mode: Mode, out: &mut Matrix) {
+        validate_hops(hops, self.hops + 1);
+        self.classifier.forward_into(&hops[self.hops], mode, out);
+    }
+
     fn backward(&mut self, grad_out: &Matrix) {
         self.classifier.backward(grad_out);
     }

@@ -19,6 +19,11 @@ pub struct Sign {
     hidden: usize,
     num_classes: usize,
     branch_inputs_cached: bool,
+    /// Per-branch linear / activation outputs, reused across batches.
+    branch_z: Vec<Matrix>,
+    branch_out: Vec<Matrix>,
+    /// Concatenated branch outputs feeding the head.
+    concat: Matrix,
 }
 
 impl std::fmt::Debug for Sign {
@@ -71,6 +76,9 @@ impl Sign {
             hidden,
             num_classes,
             branch_inputs_cached: false,
+            branch_z: (0..=hops).map(|_| Matrix::default()).collect(),
+            branch_out: (0..=hops).map(|_| Matrix::default()).collect(),
+            concat: Matrix::default(),
         }
     }
 
@@ -82,21 +90,34 @@ impl Sign {
 
 impl PpModel for Sign {
     fn forward(&mut self, hops: &[Matrix], mode: Mode) -> Matrix {
-        validate_hops(hops, self.hops + 1);
-        let mut branch_outs: Vec<Matrix> = Vec::with_capacity(self.hops + 1);
-        for ((branch, act), hop) in self
+        let mut out = Matrix::default();
+        self.forward_into(hops, mode, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, hops: &[Matrix], mode: Mode, out: &mut Matrix) {
+        let (b, _) = validate_hops(hops, self.hops + 1);
+        for (((branch, act), hop), (z, a)) in self
             .branches
             .iter_mut()
             .zip(self.activations.iter_mut())
             .zip(hops)
+            .zip(self.branch_z.iter_mut().zip(self.branch_out.iter_mut()))
         {
-            let z = branch.forward(hop, mode);
-            branch_outs.push(act.forward(&z, mode));
+            branch.forward_into(hop, mode, z);
+            act.forward_into(z, mode, a);
         }
-        let refs: Vec<&Matrix> = branch_outs.iter().collect();
-        let concat = Matrix::hstack(&refs);
+        // Feature-wise concatenation straight into the retained buffer
+        // (hstack semantics without the per-call slice-of-refs).
+        self.concat.resize_to(b, (self.hops + 1) * self.hidden);
+        for (bi, branch_out) in self.branch_out.iter().enumerate() {
+            let off = bi * self.hidden;
+            for r in 0..b {
+                self.concat.row_mut(r)[off..off + self.hidden].copy_from_slice(branch_out.row(r));
+            }
+        }
         self.branch_inputs_cached = mode == Mode::Train;
-        self.head.forward(&concat, mode)
+        self.head.forward_into(&self.concat, mode, out);
     }
 
     fn backward(&mut self, grad_out: &Matrix) {

@@ -3,25 +3,41 @@ use ppgnn_tensor::Matrix;
 use crate::{Mode, Module, Param};
 
 /// Rectified linear unit, `y = max(x, 0)`.
+///
+/// The training mask is recycled: `backward` hands the spent buffer back
+/// to a scratch slot the next forward refills in place, so steady-state
+/// training-mode forwards allocate nothing.
 #[derive(Debug, Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    mask_scratch: Option<Vec<bool>>,
 }
 
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu::default()
     }
 }
 
 impl Module for Relu {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
-        let y = x.map(|v| v.max(0.0));
-        if mode == Mode::Train {
-            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
-        }
+        let mut y = Matrix::default();
+        self.forward_into(x, mode, &mut y);
         y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
+        out.resize_to(x.rows(), x.cols());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = v.max(0.0);
+        }
+        if mode == Mode::Train {
+            let mut mask = self.mask_scratch.take().unwrap_or_default();
+            mask.clear();
+            mask.extend(x.as_slice().iter().map(|&v| v > 0.0));
+            self.mask = Some(mask);
+        }
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -40,6 +56,7 @@ impl Module for Relu {
                 *v = 0.0;
             }
         }
+        self.mask_scratch = Some(mask);
         g
     }
 
@@ -54,6 +71,9 @@ impl Module for Relu {
 pub struct PRelu {
     alpha: Param,
     cached_input: Option<Matrix>,
+    /// Spent `cached_input` buffer awaiting refill by the next
+    /// training-mode forward.
+    input_scratch: Option<Matrix>,
 }
 
 impl PRelu {
@@ -62,6 +82,7 @@ impl PRelu {
         PRelu {
             alpha: Param::new(Matrix::full(1, 1, 0.25)),
             cached_input: None,
+            input_scratch: None,
         }
     }
 
@@ -79,12 +100,28 @@ impl Default for PRelu {
 
 impl Module for PRelu {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
-        let a = self.alpha();
-        let y = x.map(|v| if v > 0.0 { v } else { a * v });
-        if mode == Mode::Train {
-            self.cached_input = Some(x.clone());
-        }
+        let mut y = Matrix::default();
+        self.forward_into(x, mode, &mut y);
         y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
+        let a = self.alpha();
+        out.resize_to(x.rows(), x.cols());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = if v > 0.0 { v } else { a * v };
+        }
+        if mode == Mode::Train {
+            let cached = match self.input_scratch.take() {
+                Some(mut buf) => {
+                    buf.resize_to(x.rows(), x.cols());
+                    buf.as_mut_slice().copy_from_slice(x.as_slice());
+                    buf
+                }
+                None => x.clone(),
+            };
+            self.cached_input = Some(cached);
+        }
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -115,6 +152,7 @@ impl Module for PRelu {
         }
         let cur = self.alpha.grad.get(0, 0);
         self.alpha.grad.set(0, 0, cur + galpha);
+        self.input_scratch = Some(x);
         gx
     }
 

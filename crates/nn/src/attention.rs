@@ -1,4 +1,4 @@
-use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
+use ppgnn_tensor::{init, matmul_batched_into, matmul_into, matmul_nt, matmul_tn, Matrix};
 use rand::Rng;
 
 use crate::{Mode, Module, Param};
@@ -12,6 +12,16 @@ use crate::{Mode, Module, Param};
 ///
 /// Projections `W_q`, `W_k`, `W_v`, `W_o` are bias-free `dim x dim`
 /// matrices split into `heads` equal slices.
+///
+/// The forward pass extracts each `(example, head)` pair into small
+/// contiguous per-head matrices — storing `K` pre-transposed (`dh x t`)
+/// during the copy — so both per-head products (`scores = Q·Kᵀ` and
+/// `context = softmax(scores)·V`) run as a single
+/// [`matmul_batched_into`] submission over `batch * heads` small GEMMs
+/// instead of scalar loops. All per-head scratch and the training cache
+/// are retained across batches (the cache ping-pongs through
+/// `cache_scratch` via `backward`), so steady-state forwards allocate
+/// nothing.
 #[derive(Debug)]
 pub struct MultiHeadAttention {
     tokens: usize,
@@ -22,9 +32,11 @@ pub struct MultiHeadAttention {
     wv: Param,
     wo: Param,
     cache: Option<AttnCache>,
+    cache_scratch: Option<AttnCache>,
+    scratch: HeadScratch,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct AttnCache {
     x: Matrix,
     q: Matrix,
@@ -35,6 +47,32 @@ struct AttnCache {
     attn: Matrix,
     /// Concatenated per-head outputs before the output projection.
     merged: Matrix,
+}
+
+/// Per-`(example, head)` operand sets feeding the batched small-GEMM
+/// path; grown on shape changes, reused otherwise.
+#[derive(Debug, Default)]
+struct HeadScratch {
+    /// `b*h` matrices of `t x dh`: per-head query slices.
+    qh: Vec<Matrix>,
+    /// `b*h` matrices of `dh x t`: per-head key slices, pre-transposed.
+    kth: Vec<Matrix>,
+    /// `b*h` matrices of `t x dh`: per-head value slices.
+    vh: Vec<Matrix>,
+    /// `b*h` matrices of `t x t`: raw scores, then softmaxed weights.
+    scores: Vec<Matrix>,
+    /// `b*h` matrices of `t x dh`: per-head attention outputs.
+    ctx: Vec<Matrix>,
+}
+
+impl HeadScratch {
+    /// Resizes every operand list to `groups` matrices of the given shape.
+    fn ensure(vec: &mut Vec<Matrix>, groups: usize, rows: usize, cols: usize) {
+        vec.resize_with(groups, Matrix::default);
+        for m in vec.iter_mut() {
+            m.resize_to(rows, cols);
+        }
+    }
 }
 
 impl MultiHeadAttention {
@@ -63,6 +101,8 @@ impl MultiHeadAttention {
             wv: Param::new(init::xavier_uniform(dim, dim, rng)),
             wo: Param::new(init::xavier_uniform(dim, dim, rng)),
             cache: None,
+            cache_scratch: None,
+            scratch: HeadScratch::default(),
         }
     }
 
@@ -96,73 +136,101 @@ impl MultiHeadAttention {
 
 impl Module for MultiHeadAttention {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let mut y = Matrix::default();
+        self.forward_into(x, mode, &mut y);
+        y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
         let b = self.batch_of(x);
         let t = self.tokens;
         let h = self.heads;
         let dh = self.dim / h;
         let scale = 1.0 / (dh as f32).sqrt();
 
-        let q = matmul(x, &self.wq.value);
-        let k = matmul(x, &self.wk.value);
-        let v = matmul(x, &self.wv.value);
+        let mut cb = self.cache_scratch.take().unwrap_or_default();
+        cb.q.resize_to(b * t, self.dim);
+        cb.k.resize_to(b * t, self.dim);
+        cb.v.resize_to(b * t, self.dim);
+        matmul_into(x, &self.wq.value, &mut cb.q);
+        matmul_into(x, &self.wk.value, &mut cb.k);
+        matmul_into(x, &self.wv.value, &mut cb.v);
+        cb.attn.resize_to(b * h * t, t);
+        cb.merged.resize_to(b * t, self.dim);
 
-        let mut attn = Matrix::zeros(b * h * t, t);
-        let mut merged = Matrix::zeros(b * t, self.dim);
-
+        // Slice each (example, head) pair into contiguous operands, with K
+        // transposed during the copy so both products are plain GEMMs.
+        let hs = &mut self.scratch;
+        HeadScratch::ensure(&mut hs.qh, b * h, t, dh);
+        HeadScratch::ensure(&mut hs.kth, b * h, dh, t);
+        HeadScratch::ensure(&mut hs.vh, b * h, t, dh);
+        HeadScratch::ensure(&mut hs.scores, b * h, t, t);
+        HeadScratch::ensure(&mut hs.ctx, b * h, t, dh);
         for n in 0..b {
             let base = n * t;
             for head in 0..h {
+                let g = n * h + head;
                 let off = head * dh;
-                // scores[i][j] = q_i · k_j * scale
                 for i in 0..t {
-                    let q_row = &q.row(base + i)[off..off + dh];
-                    let a_row = attn.row_mut((n * h + head) * t + i);
-                    for j in 0..t {
-                        let k_row = &k.row(base + j)[off..off + dh];
-                        let mut dot = 0.0;
-                        for (qv, kv) in q_row.iter().zip(k_row) {
-                            dot += qv * kv;
-                        }
-                        a_row[j] = dot * scale;
-                    }
-                    // stable softmax in place
-                    let max = a_row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let mut sum = 0.0;
-                    for av in a_row.iter_mut() {
-                        *av = (*av - max).exp();
-                        sum += *av;
-                    }
-                    let inv = 1.0 / sum;
-                    for av in a_row.iter_mut() {
-                        *av *= inv;
-                    }
-                }
-                // merged[i, off..off+dh] = Σ_j A[i][j] * v_j
-                for i in 0..t {
-                    let a_row = attn.row((n * h + head) * t + i).to_vec();
-                    let out_row = &mut merged.row_mut(base + i)[off..off + dh];
-                    for (j, &aij) in a_row.iter().enumerate() {
-                        let v_row = &v.row(base + j)[off..off + dh];
-                        for (o, vv) in out_row.iter_mut().zip(v_row) {
-                            *o += aij * vv;
-                        }
+                    hs.qh[g]
+                        .row_mut(i)
+                        .copy_from_slice(&cb.q.row(base + i)[off..off + dh]);
+                    hs.vh[g]
+                        .row_mut(i)
+                        .copy_from_slice(&cb.v.row(base + i)[off..off + dh]);
+                    for (d, &kv) in cb.k.row(base + i)[off..off + dh].iter().enumerate() {
+                        hs.kth[g].set(d, i, kv);
                     }
                 }
             }
         }
 
-        let y = matmul(&merged, &self.wo.value);
-        if mode == Mode::Train {
-            self.cache = Some(AttnCache {
-                x: x.clone(),
-                q,
-                k,
-                v,
-                attn,
-                merged,
-            });
+        // scores[g] = Q_g · K_gᵀ — one pool submission for all b*h heads.
+        matmul_batched_into(&hs.qh, &hs.kth, &mut hs.scores);
+        for g in 0..b * h {
+            for i in 0..t {
+                let a_row = hs.scores[g].row_mut(i);
+                // scale + stable softmax in place
+                let mut max = f32::NEG_INFINITY;
+                for av in a_row.iter_mut() {
+                    *av *= scale;
+                    max = max.max(*av);
+                }
+                let mut sum = 0.0;
+                for av in a_row.iter_mut() {
+                    *av = (*av - max).exp();
+                    sum += *av;
+                }
+                let inv = 1.0 / sum;
+                for av in a_row.iter_mut() {
+                    *av *= inv;
+                }
+                cb.attn.row_mut(g * t + i).copy_from_slice(a_row);
+            }
         }
-        y
+
+        // context[g] = attn_g · V_g, scattered back into the merged layout.
+        matmul_batched_into(&hs.scores, &hs.vh, &mut hs.ctx);
+        for n in 0..b {
+            let base = n * t;
+            for head in 0..h {
+                let g = n * h + head;
+                let off = head * dh;
+                for i in 0..t {
+                    cb.merged.row_mut(base + i)[off..off + dh].copy_from_slice(hs.ctx[g].row(i));
+                }
+            }
+        }
+
+        out.resize_to(b * t, self.dim);
+        matmul_into(&cb.merged, &self.wo.value, out);
+        if mode == Mode::Train {
+            cb.x.resize_to(x.rows(), x.cols());
+            cb.x.as_mut_slice().copy_from_slice(x.as_slice());
+            self.cache = Some(cb);
+        } else {
+            self.cache_scratch = Some(cb);
+        }
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -259,6 +327,14 @@ impl Module for MultiHeadAttention {
         let mut gx = matmul_nt(&dq, &self.wq.value);
         gx.add_assign(&matmul_nt(&dk, &self.wk.value));
         gx.add_assign(&matmul_nt(&dv, &self.wv.value));
+        self.cache_scratch = Some(AttnCache {
+            x,
+            q,
+            k,
+            v,
+            attn,
+            merged,
+        });
         gx
     }
 

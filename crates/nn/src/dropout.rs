@@ -14,6 +14,9 @@ pub struct Dropout {
     p: f32,
     rng: StdRng,
     mask: Option<Vec<f32>>,
+    /// Spent mask buffer handed back by `backward`, refilled in place by
+    /// the next training-mode forward.
+    mask_scratch: Option<Vec<f32>>,
 }
 
 impl Dropout {
@@ -31,6 +34,7 @@ impl Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
             mask: None,
+            mask_scratch: None,
         }
     }
 
@@ -42,27 +46,33 @@ impl Dropout {
 
 impl Module for Dropout {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let mut y = Matrix::default();
+        self.forward_into(x, mode, &mut y);
+        y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
+        out.resize_to(x.rows(), x.cols());
         if mode == Mode::Eval || self.p == 0.0 {
             self.mask = None;
-            return x.clone();
+            out.as_mut_slice().copy_from_slice(x.as_slice());
+            return;
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..x.len())
-            .map(|_| {
-                if self.rng.random::<f32>() < keep {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut y = x.clone();
-        for (v, m) in y.as_mut_slice().iter_mut().zip(&mask) {
-            *v *= m;
+        let mut mask = self.mask_scratch.take().unwrap_or_default();
+        mask.clear();
+        mask.extend((0..x.len()).map(|_| {
+            if self.rng.random::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        }));
+        for ((o, &v), m) in out.as_mut_slice().iter_mut().zip(x.as_slice()).zip(&mask) {
+            *o = v * m;
         }
         self.mask = Some(mask);
-        y
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -78,6 +88,7 @@ impl Module for Dropout {
                 for (v, m) in g.as_mut_slice().iter_mut().zip(&mask) {
                     *v *= m;
                 }
+                self.mask_scratch = Some(mask);
                 g
             }
         }

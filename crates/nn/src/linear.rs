@@ -1,4 +1,4 @@
-use ppgnn_tensor::{init, matmul, matmul_nt, matmul_tn_into, Matrix};
+use ppgnn_tensor::{init, matmul_into, matmul_nt, matmul_tn_into, Matrix};
 use rand::Rng;
 
 use crate::{Mode, Module, Param};
@@ -12,9 +12,10 @@ use crate::{Mode, Module, Param};
 /// The layer recycles two scratch matrices across batches: the cached
 /// training input (refilled in place when the batch shape repeats) and
 /// the `∂W = xᵀ · ∂y` product (written through [`matmul_tn_into`] before
-/// accumulating into the gradient). In steady-state training the only
-/// per-batch matrix allocations left are the returned forward output and
-/// input gradient — pinned by the allocation-count assertion in the
+/// accumulating into the gradient). [`Module::forward_into`] writes the
+/// output into a caller-owned slot, so a steady-state training step that
+/// reuses its slots allocates only the input gradient returned by
+/// `backward` — pinned by the allocation-count assertions in the
 /// repo-level residency suite.
 #[derive(Debug)]
 pub struct Linear {
@@ -69,6 +70,12 @@ impl Linear {
 
 impl Module for Linear {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let mut y = Matrix::default();
+        self.forward_into(x, mode, &mut y);
+        y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(
             x.cols(),
             self.in_dim(),
@@ -76,10 +83,11 @@ impl Module for Linear {
             self.in_dim(),
             x.cols()
         );
-        let mut y = matmul(x, &self.weight.value);
+        out.resize_to(x.rows(), self.out_dim());
+        matmul_into(x, &self.weight.value, out);
         let bias = self.bias.value.row(0);
-        for r in 0..y.rows() {
-            for (v, b) in y.row_mut(r).iter_mut().zip(bias) {
+        for r in 0..out.rows() {
+            for (v, b) in out.row_mut(r).iter_mut().zip(bias) {
                 *v += b;
             }
         }
@@ -95,7 +103,6 @@ impl Module for Linear {
             };
             self.cached_input = Some(cached);
         }
-        y
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {

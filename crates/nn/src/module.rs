@@ -32,6 +32,18 @@ pub trait Module {
     /// Computes the layer output for input `x`.
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix;
 
+    /// Computes the layer output into a reusable slot.
+    ///
+    /// `out` is resized (via [`Matrix::resize_to`]) to the output shape and
+    /// fully overwritten; its previous contents are irrelevant. Passing the
+    /// same slot every batch makes steady-state forward passes
+    /// allocation-free for the layers shipped in this crate. The default
+    /// implementation falls back to [`Module::forward`] and replaces `out`,
+    /// so custom layers stay correct without opting in.
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
+        *out = self.forward(x, mode);
+    }
+
     /// Back-propagates `grad_out`, accumulating parameter gradients, and
     /// returns the gradient with respect to the last training-mode input.
     ///
@@ -77,6 +89,9 @@ pub trait Module {
 /// ```
 pub struct Sequential {
     layers: Vec<Box<dyn Module>>,
+    /// Ping-pong buffers threading `forward_into` between layers; retained
+    /// across batches so chained forwards reuse their intermediates.
+    scratch: [Matrix; 2],
 }
 
 impl std::fmt::Debug for Sequential {
@@ -90,7 +105,10 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Builds a pipeline from boxed layers.
     pub fn new(layers: Vec<Box<dyn Module>>) -> Self {
-        Sequential { layers }
+        Sequential {
+            layers,
+            scratch: [Matrix::default(), Matrix::default()],
+        }
     }
 
     /// Appends a layer.
@@ -111,11 +129,33 @@ impl Sequential {
 
 impl Module for Sequential {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, mode);
+        let mut out = Matrix::default();
+        self.forward_into(x, mode, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
+        let n = self.layers.len();
+        match n {
+            0 => {
+                out.resize_to(x.rows(), x.cols());
+                out.as_mut_slice().copy_from_slice(x.as_slice());
+            }
+            1 => self.layers[0].forward_into(x, mode, out),
+            _ => {
+                // Ping-pong between the two retained scratch matrices; only
+                // the last layer writes the caller's slot.
+                let mut ping = std::mem::take(&mut self.scratch[0]);
+                let mut pong = std::mem::take(&mut self.scratch[1]);
+                self.layers[0].forward_into(x, mode, &mut ping);
+                for layer in &mut self.layers[1..n - 1] {
+                    layer.forward_into(&ping, mode, &mut pong);
+                    std::mem::swap(&mut ping, &mut pong);
+                }
+                self.layers[n - 1].forward_into(&ping, mode, out);
+                self.scratch = [ping, pong];
+            }
         }
-        cur
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -162,6 +202,26 @@ mod tests {
         // params: 2 linears * (W, b)
         assert_eq!(s.params().len(), 4);
         assert_eq!(s.num_params(), 5 * 7 + 7 + 7 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_and_resizes_the_slot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = Sequential::new(vec![
+            Box::new(Linear::new(5, 7, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(7, 2, &mut rng)),
+        ]);
+        let x = Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as f32 * 0.1 - 1.0);
+        let y = s.forward(&x, Mode::Eval);
+        let mut slot = Matrix::zeros(1, 1);
+        s.forward_into(&x, Mode::Eval, &mut slot);
+        assert_eq!(slot, y);
+        // shrinking batch reuses the slot at the new shape
+        let x2 = Matrix::from_fn(2, 5, |r, c| (r + c) as f32 * 0.2);
+        let y2 = s.forward(&x2, Mode::Eval);
+        s.forward_into(&x2, Mode::Eval, &mut slot);
+        assert_eq!(slot, y2);
     }
 
     #[test]

@@ -4,15 +4,20 @@ use crate::{Mode, Module, Param};
 
 /// Layer normalization over the feature dimension with learnable scale and
 /// shift (`γ`, `β`), as used inside HOGA's attention block.
+///
+/// The normalized-input cache ping-pongs between `cache` (armed by a
+/// training forward) and `cache_scratch` (handed back by `backward` or an
+/// eval forward), so steady-state forwards reuse one buffer set.
 #[derive(Debug)]
 pub struct LayerNorm {
     gamma: Param,
     beta: Param,
     eps: f32,
     cache: Option<LnCache>,
+    cache_scratch: Option<LnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct LnCache {
     normalized: Matrix,
     inv_std: Vec<f32>,
@@ -27,6 +32,7 @@ impl LayerNorm {
             beta: Param::new(Matrix::zeros(1, dim)),
             eps: 1e-5,
             cache: None,
+            cache_scratch: None,
         }
     }
 
@@ -38,35 +44,46 @@ impl LayerNorm {
 
 impl Module for LayerNorm {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let mut y = Matrix::default();
+        self.forward_into(x, mode, &mut y);
+        y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(x.cols(), self.dim(), "LayerNorm dim mismatch");
         let d = x.cols();
-        let mut normalized = Matrix::zeros(x.rows(), d);
-        let mut inv_std = Vec::with_capacity(x.rows());
+        let mut cache = self.cache_scratch.take().unwrap_or_default();
+        cache.normalized.resize_to(x.rows(), d);
+        cache.inv_std.clear();
         for r in 0..x.rows() {
             let row = x.row(r);
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std.push(istd);
-            for (o, &v) in normalized.row_mut(r).iter_mut().zip(row) {
+            cache.inv_std.push(istd);
+            for (o, &v) in cache.normalized.row_mut(r).iter_mut().zip(row) {
                 *o = (v - mean) * istd;
             }
         }
-        let mut y = normalized.clone();
-        let gamma = self.gamma.value.row(0).to_vec();
-        let beta = self.beta.value.row(0).to_vec();
-        for r in 0..y.rows() {
-            for ((v, g), b) in y.row_mut(r).iter_mut().zip(&gamma).zip(&beta) {
-                *v = *v * g + b;
+        out.resize_to(x.rows(), d);
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        for r in 0..x.rows() {
+            for (((o, &nx), &g), &b) in out
+                .row_mut(r)
+                .iter_mut()
+                .zip(cache.normalized.row(r))
+                .zip(gamma)
+                .zip(beta)
+            {
+                *o = nx * g + b;
             }
         }
         if mode == Mode::Train {
-            self.cache = Some(LnCache {
-                normalized,
-                inv_std,
-            });
+            self.cache = Some(cache);
+        } else {
+            self.cache_scratch = Some(cache);
         }
-        y
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -126,6 +143,10 @@ impl Module for LayerNorm {
                 *o = istd / d as f32 * (d as f32 * h - sum_h - nx[k] * sum_hx);
             }
         }
+        self.cache_scratch = Some(LnCache {
+            normalized,
+            inv_std,
+        });
         gx
     }
 
@@ -145,9 +166,13 @@ pub struct BatchNorm1d {
     momentum: f32,
     eps: f32,
     cache: Option<BnCache>,
+    cache_scratch: Option<BnCache>,
+    /// Reusable per-feature batch-mean / batch-variance accumulators.
+    mean_scratch: Vec<f32>,
+    var_scratch: Vec<f32>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct BnCache {
     normalized: Matrix,
     inv_std: Vec<f32>,
@@ -167,6 +192,9 @@ impl BatchNorm1d {
             momentum: 0.1,
             eps: 1e-5,
             cache: None,
+            cache_scratch: None,
+            mean_scratch: Vec::new(),
+            var_scratch: Vec::new(),
         }
     }
 
@@ -178,39 +206,57 @@ impl BatchNorm1d {
 
 impl Module for BatchNorm1d {
     fn forward(&mut self, x: &Matrix, mode: Mode) -> Matrix {
+        let mut y = Matrix::default();
+        self.forward_into(x, mode, &mut y);
+        y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(x.cols(), self.dim(), "BatchNorm1d dim mismatch");
         let (n, d) = x.shape();
-        let gamma = self.gamma.value.row(0).to_vec();
-        let beta = self.beta.value.row(0).to_vec();
-        let mut y = Matrix::zeros(n, d);
+        out.resize_to(n, d);
+        let mut cache = self.cache_scratch.take().unwrap_or_default();
+        cache.normalized.resize_to(n, d);
+        cache.inv_std.clear();
 
         if mode == Mode::Eval || n <= 1 {
-            let inv_std: Vec<f32> = self
-                .running_var
-                .iter()
-                .map(|&v| 1.0 / (v + self.eps).sqrt())
-                .collect();
-            let mut normalized = Matrix::zeros(n, d);
+            cache.inv_std.extend(
+                self.running_var
+                    .iter()
+                    .map(|&v| 1.0 / (v + self.eps).sqrt()),
+            );
             for r in 0..n {
-                for (k, o) in normalized.row_mut(r).iter_mut().enumerate() {
-                    *o = (x.get(r, k) - self.running_mean[k]) * inv_std[k];
+                for (k, o) in cache.normalized.row_mut(r).iter_mut().enumerate() {
+                    *o = (x.get(r, k) - self.running_mean[k]) * cache.inv_std[k];
                 }
-                for (k, o) in y.row_mut(r).iter_mut().enumerate() {
-                    *o = normalized.get(r, k) * gamma[k] + beta[k];
+            }
+            let gamma = self.gamma.value.row(0);
+            let beta = self.beta.value.row(0);
+            for r in 0..n {
+                for (((o, &nx), &g), &b) in out
+                    .row_mut(r)
+                    .iter_mut()
+                    .zip(cache.normalized.row(r))
+                    .zip(gamma)
+                    .zip(beta)
+                {
+                    *o = nx * g + b;
                 }
             }
             if mode == Mode::Train {
-                self.cache = Some(BnCache {
-                    normalized,
-                    inv_std,
-                    used_batch_stats: false,
-                });
+                cache.used_batch_stats = false;
+                self.cache = Some(cache);
+            } else {
+                self.cache_scratch = Some(cache);
             }
-            return y;
+            return;
         }
 
-        // Batch statistics per feature column.
-        let mut mean = vec![0.0f32; d];
+        // Batch statistics per feature column, accumulated into the
+        // retained scratch vectors.
+        let mut mean = std::mem::take(&mut self.mean_scratch);
+        mean.clear();
+        mean.resize(d, 0.0);
         for r in 0..n {
             for (m, &v) in mean.iter_mut().zip(x.row(r)) {
                 *m += v;
@@ -219,7 +265,9 @@ impl Module for BatchNorm1d {
         for m in &mut mean {
             *m /= n as f32;
         }
-        let mut var = vec![0.0f32; d];
+        let mut var = std::mem::take(&mut self.var_scratch);
+        var.clear();
+        var.resize(d, 0.0);
         for r in 0..n {
             for ((vv, &v), &m) in var.iter_mut().zip(x.row(r)).zip(&mean) {
                 *vv += (v - m).powi(2);
@@ -235,24 +283,31 @@ impl Module for BatchNorm1d {
                 (1.0 - self.momentum) * self.running_var[k] + self.momentum * var[k];
         }
 
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-        let mut normalized = Matrix::zeros(n, d);
+        cache
+            .inv_std
+            .extend(var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()));
         for r in 0..n {
-            for (k, o) in normalized.row_mut(r).iter_mut().enumerate() {
-                *o = (x.get(r, k) - mean[k]) * inv_std[k];
+            for (k, o) in cache.normalized.row_mut(r).iter_mut().enumerate() {
+                *o = (x.get(r, k) - mean[k]) * cache.inv_std[k];
             }
         }
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
         for r in 0..n {
-            for (k, o) in y.row_mut(r).iter_mut().enumerate() {
-                *o = normalized.get(r, k) * gamma[k] + beta[k];
+            for (((o, &nx), &g), &b) in out
+                .row_mut(r)
+                .iter_mut()
+                .zip(cache.normalized.row(r))
+                .zip(gamma)
+                .zip(beta)
+            {
+                *o = nx * g + b;
             }
         }
-        self.cache = Some(BnCache {
-            normalized,
-            inv_std,
-            used_batch_stats: true,
-        });
-        y
+        self.mean_scratch = mean;
+        self.var_scratch = var;
+        cache.used_batch_stats = true;
+        self.cache = Some(cache);
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -296,17 +351,22 @@ impl Module for BatchNorm1d {
                     gx.set(r, k, grad_out.get(r, k) * gamma[k] * inv_std[k]);
                 }
             }
-            return gx;
-        }
-        for r in 0..n {
-            for k in 0..d {
-                let g = grad_out.get(r, k) * gamma[k];
-                let nx = normalized.get(r, k);
-                let val = inv_std[k] / n as f32
-                    * (n as f32 * g - gamma[k] * sum_g[k] - nx * gamma[k] * sum_gx[k]);
-                gx.set(r, k, val);
+        } else {
+            for r in 0..n {
+                for k in 0..d {
+                    let g = grad_out.get(r, k) * gamma[k];
+                    let nx = normalized.get(r, k);
+                    let val = inv_std[k] / n as f32
+                        * (n as f32 * g - gamma[k] * sum_g[k] - nx * gamma[k] * sum_gx[k]);
+                    gx.set(r, k, val);
+                }
             }
         }
+        self.cache_scratch = Some(BnCache {
+            normalized,
+            inv_std,
+            used_batch_stats,
+        });
         gx
     }
 

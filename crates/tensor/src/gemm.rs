@@ -1,31 +1,68 @@
-//! Packed, cache-blocked matrix-multiplication kernels.
+//! Packed, cache-blocked matrix-multiplication kernels behind a pluggable
+//! micro-kernel backend.
 //!
-//! Three variants cover everything the training stack needs:
+//! Three layout variants cover everything the training stack needs:
 //!
 //! * [`matmul`] / [`matmul_into`] — `C = A · B` (forward passes),
 //! * [`matmul_tn`] / [`matmul_tn_into`] — `C = Aᵀ · B` (weight gradients:
 //!   `∂W = Xᵀ · ∂Y`),
 //! * [`matmul_nt`] / [`matmul_nt_into`] — `C = A · Bᵀ` (input gradients:
-//!   `∂X = ∂Y · Wᵀ`).
+//!   `∂X = ∂Y · Wᵀ`),
 //!
-//! All three route through one BLAS-style micro-kernel
-//! ([`block::MR`]`×`[`block::NR`] register tiles accumulated in local
-//! arrays) with the K dimension cut into cache-sized panels of depth
-//! [`block::kc`] (default [`block::DEFAULT_KC`], overridable via the
-//! `PPGNN_GEMM_BLOCK` environment variable or [`block::set_kc`]).
+//! plus [`matmul_batched`] / [`matmul_batched_into`], which pack many
+//! small same-shape products (HOGA's per-head attention multiplies) into
+//! a **single** pool submission instead of one under-threshold call per
+//! head.
+//!
+//! # Kernel backends
+//!
+//! The register-tile inner loop is a [`MicroKernel`] implementation —
+//! `MR×NR` accumulator tiles walked down a packed K panel. Three
+//! instantiations are compiled in on x86-64:
+//!
+//! * [`PortableKernel`] — baseline-ISA 8×8 tile, plain multiply-add (two
+//!   roundings per step; `mul_add` here would lower to a libm call on
+//!   machines without hardware FMA),
+//! * [`Avx2Kernel`] — the 8×8 AVX2+FMA tile (one accumulator row = one
+//!   `ymm`, `vfmadd231ps` chains),
+//! * [`Avx512Kernel`] — an 8×16 AVX-512 tile (one accumulator row = one
+//!   `zmm`), twice the B-panel width per A broadcast.
+//!
+//! Dispatch is resolved **once per process** ([`block::kernel`]): an
+//! explicit [`block::set_kernel`] override, else `PPGNN_FORCE_KERNEL`
+//! (`portable`/`avx2`/`avx512`), else the [`crate::tune`] profile when
+//! `PPGNN_TUNE_CACHE` is active, else the widest kernel the CPU supports.
+//! Every entry point snapshots the whole tiling configuration
+//! ([`block::tile_config`] → [`block::TileConfig`]) exactly once per
+//! call, so a concurrent `set_*` can never desynchronize the packed
+//! layout from its consumer.
+//!
+//! Per-element accumulation order is strictly `k`-sequential regardless
+//! of tile shape, row split, or NC column block, so the two hardware-FMA
+//! backends produce **bit-identical** results at a fixed KC/NC; the
+//! portable kernel differs only in last-bit rounding (two roundings per
+//! multiply-add instead of one).
+//!
+//! # Blocking
+//!
+//! The K dimension is cut into panels of depth [`block::kc`]
+//! (`PPGNN_GEMM_BLOCK` / [`block::set_kc`]); packed panels stay
+//! L1-resident under the micro-kernel. The N dimension is additionally
+//! cut into [`block::nc`]-column blocks (`PPGNN_GEMM_NC` /
+//! [`block::set_nc`]): within one K panel each task sweeps an
+//! `NC`-column slice of packed `B` across all of its row tiles before
+//! moving right, so wide hidden layers reuse a `KC×NC` B block out of L2
+//! instead of streaming the whole packed row of panels per `MR` rows.
 //!
 //! Per call, the `B` operand is packed **once** into contiguous
 //! `NR`-column panels — in transposed layout for the `nt` variant — and
-//! shared read-only by every row-block task scheduled on the worker pool;
-//! each task packs its own `MR`-row `A` panels (transposed for `tn`, so
-//! the gradient kernel never strides `k·m` between consecutive reads).
-//! Both packing buffers come from the thread-local
+//! shared read-only by every row-block task scheduled on the worker
+//! pool; each task packs its own `MR`-row `A` panels (transposed for
+//! `tn`). Both packing buffers come from the thread-local
 //! [`crate::pool::PackWorkspace`], which grows monotonically — in steady
-//! state a GEMM call allocates nothing beyond its output. The packed
-//! inner loops are branch-free contiguous FMA chains the compiler
-//! auto-vectorizes; panel tails are zero-padded during packing so the
-//! micro-kernel never sees a partial tile (the store-back writes only the
-//! valid sub-tile).
+//! state a GEMM call allocates nothing beyond its output. Panel tails
+//! are zero-padded during packing so the micro-kernel never sees a
+//! partial tile (the store-back writes only the valid sub-tile).
 //!
 //! Calls parallelize over `MR`-aligned output row blocks on the shared
 //! [`crate::pool`] once the FLOP count crosses the workspace-wide
@@ -34,31 +71,134 @@
 //! results are bit-identical.
 //!
 //! The pre-blocking naive kernels are retained verbatim in [`reference`]
-//! as the correctness oracle (proptests pin the packed kernels to them
+//! as the correctness oracle (proptests pin every packed backend to them
 //! within tight float tolerance) and as the baseline the
 //! `BENCH_gemm.json` artifact measures speedups against.
 
 use crate::pool::{pool, threads_for, PackBuf, PackWorkspace};
 use crate::Matrix;
 
-use block::{MR, NR};
+/// Identifies one compiled-in [`MicroKernel`] instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Baseline-ISA 8×8 tile ([`PortableKernel`]); always supported.
+    Portable,
+    /// AVX2+FMA 8×8 tile ([`Avx2Kernel`]).
+    Avx2,
+    /// AVX-512 8×16 tile ([`Avx512Kernel`]).
+    Avx512,
+}
 
-/// Block-size constants shared by the dense GEMM micro-kernel and the
-/// column-tiled SpMM in `ppgnn-graph`.
+impl KernelKind {
+    /// Stable lowercase name, as accepted by `PPGNN_FORCE_KERNEL` and
+    /// recorded in the tune cache and `BENCH_gemm.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Portable => "portable",
+            KernelKind::Avx2 => "avx2",
+            KernelKind::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses a [`KernelKind::name`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "portable" => Some(KernelKind::Portable),
+            "avx2" => Some(KernelKind::Avx2),
+            "avx512" => Some(KernelKind::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Register-tile rows of this backend.
+    pub fn mr(self) -> usize {
+        block::MR
+    }
+
+    /// Register-tile columns of this backend.
+    pub fn nr(self) -> usize {
+        match self {
+            KernelKind::Portable | KernelKind::Avx2 => block::NR,
+            KernelKind::Avx512 => 2 * block::NR,
+        }
+    }
+
+    /// Whether the running CPU can execute this backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelKind::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Whether this backend accumulates with single-rounding hardware
+    /// FMA. All FMA backends are mutually bit-identical at a fixed
+    /// KC/NC; the non-FMA portable kernel rounds twice per step.
+    pub fn uses_fma(self) -> bool {
+        !matches!(self, KernelKind::Portable)
+    }
+}
+
+/// Every backend compiled into this build, narrowest first.
+pub fn compiled_kernels() -> &'static [KernelKind] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        &[KernelKind::Portable, KernelKind::Avx2, KernelKind::Avx512]
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        &[KernelKind::Portable]
+    }
+}
+
+/// The widest compiled-in backend the running CPU supports.
+pub fn widest_supported_kernel() -> KernelKind {
+    *compiled_kernels()
+        .iter()
+        .rev()
+        .find(|k| k.is_supported())
+        .expect("the portable kernel is always supported")
+}
+
+/// Tiling configuration knobs (K panel depth, NC column block, kernel
+/// backend) shared by the dense GEMM driver and the column-tiled SpMM in
+/// `ppgnn-graph`.
 pub mod block {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use super::KernelKind;
+    use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
     use std::sync::OnceLock;
 
-    /// Rows of one register tile (`A`-panel width).
+    /// Rows of one register tile (`A`-panel width), shared by every
+    /// backend — row blocks and `A` panels are `MR`-aligned regardless
+    /// of the dispatched kernel.
     pub const MR: usize = 8;
 
-    /// Columns of one register tile (`B`-panel width).
+    /// Columns of one 8-wide register tile (`B`-panel width of the
+    /// portable and AVX2 backends; the AVX-512 backend packs `2·NR`).
     pub const NR: usize = 8;
 
     /// Default K-panel depth: `KC · NR · 4 B` of packed `B` panel (8 KiB)
     /// plus `KC · MR · 4 B` of packed `A` panel (8 KiB) stay L1-resident
     /// under the micro-kernel.
     pub const DEFAULT_KC: usize = 256;
+
+    /// Default NC column block: a `KC × NC` slice of packed `B`
+    /// (512 KiB at the defaults) stays L2-resident while a task sweeps
+    /// it across its row tiles. Layers at or below 512 columns see no
+    /// blocking at all.
+    pub const DEFAULT_NC: usize = 512;
 
     /// Column-strip width of the tiled SpMM kernel (`8 · NR`): wide
     /// enough that re-walking a row's CSR entries per strip is amortized,
@@ -69,155 +209,387 @@ pub mod block {
     static KC_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
     /// `PPGNN_GEMM_BLOCK`, read once on first use.
-    static KC_FROM_ENV: OnceLock<usize> = OnceLock::new();
+    static KC_FROM_ENV: OnceLock<Option<usize>> = OnceLock::new();
 
-    /// The active K-panel depth: the [`set_kc`] override when set,
-    /// otherwise `PPGNN_GEMM_BLOCK` (clamped to `1..=65536`, read once),
-    /// otherwise [`DEFAULT_KC`].
+    /// Test/bench override for the NC column block; `0` = unset.
+    static NC_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+    /// `PPGNN_GEMM_NC`, read once on first use.
+    static NC_FROM_ENV: OnceLock<Option<usize>> = OnceLock::new();
+
+    /// Test/bench kernel override; `0` = unset, else `KernelKind` + 1.
+    static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+    /// `PPGNN_FORCE_KERNEL`, read once on first use.
+    static KERNEL_FROM_ENV: OnceLock<Option<KernelKind>> = OnceLock::new();
+
+    /// The full tiling configuration of one GEMM call, snapshotted
+    /// **once** per call ([`tile_config`]) and threaded through packing
+    /// and the blocked driver, so concurrent knob writes can never
+    /// desynchronize a packed layout from its consumer.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TileConfig {
+        /// The dispatched micro-kernel backend.
+        pub kernel: KernelKind,
+        /// K-panel depth.
+        pub kc: usize,
+        /// NC column-block width (rounded up to the kernel's `NR` by the
+        /// driver).
+        pub nc: usize,
+    }
+
+    /// Snapshots the active `{kernel, KC, NC}` once. Every `matmul*`
+    /// entry point (and the batched driver, once per batch) goes through
+    /// this.
+    pub fn tile_config() -> TileConfig {
+        TileConfig {
+            kernel: kernel(),
+            kc: kc(),
+            nc: nc(),
+        }
+    }
+
+    /// The active K-panel depth: the [`set_kc`] override when set, else
+    /// `PPGNN_GEMM_BLOCK` (clamped to `1..=65536`, read once), else the
+    /// [`crate::tune`] profile when one is active, else [`DEFAULT_KC`].
     pub fn kc() -> usize {
         let v = KC_OVERRIDE.load(Ordering::Relaxed);
         if v != 0 {
             return v;
         }
-        *KC_FROM_ENV.get_or_init(|| {
-            std::env::var("PPGNN_GEMM_BLOCK")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .map(|v| v.clamp(1, 65536))
-                .unwrap_or(DEFAULT_KC)
-        })
+        KC_FROM_ENV
+            .get_or_init(|| {
+                std::env::var("PPGNN_GEMM_BLOCK")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .map(|v| v.clamp(1, 65536))
+            })
+            .or_else(|| crate::tune::cached_profile().map(|p| p.kc))
+            .unwrap_or(DEFAULT_KC)
     }
 
     /// Overrides the K-panel depth (primarily for tests and block-size
-    /// sweeps); `0` resets to the environment/default value. Any positive
-    /// depth is correct — the knob trades packing granularity against
-    /// cache residency.
+    /// sweeps); `0` resets to the environment/tuned/default value. Any
+    /// positive depth is correct — the knob trades packing granularity
+    /// against cache residency.
     pub fn set_kc(kc: usize) {
         KC_OVERRIDE.store(kc, Ordering::Relaxed);
     }
+
+    /// The active NC column block: the [`set_nc`] override when set,
+    /// else `PPGNN_GEMM_NC` (clamped to `1..=1048576`, read once), else
+    /// the [`crate::tune`] profile when one is active, else
+    /// [`DEFAULT_NC`].
+    pub fn nc() -> usize {
+        let v = NC_OVERRIDE.load(Ordering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        NC_FROM_ENV
+            .get_or_init(|| {
+                std::env::var("PPGNN_GEMM_NC")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .map(|v| v.clamp(1, 1 << 20))
+            })
+            .or_else(|| crate::tune::cached_profile().map(|p| p.nc))
+            .unwrap_or(DEFAULT_NC)
+    }
+
+    /// Overrides the NC column block; `0` resets to the
+    /// environment/tuned/default value. Any positive width is correct.
+    pub fn set_nc(nc: usize) {
+        NC_OVERRIDE.store(nc, Ordering::Relaxed);
+    }
+
+    /// The dispatched micro-kernel backend: the [`set_kernel`] override
+    /// when set, else `PPGNN_FORCE_KERNEL` (read once), else the
+    /// [`crate::tune`] profile when one is active and still supported,
+    /// else the widest backend the CPU supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `PPGNN_FORCE_KERNEL` names an unknown backend or one
+    /// the running CPU cannot execute — a forced kernel is an explicit
+    /// contract, so misconfiguration fails loudly instead of silently
+    /// falling back.
+    pub fn kernel() -> KernelKind {
+        let v = KERNEL_OVERRIDE.load(Ordering::Relaxed);
+        if v != 0 {
+            return match v - 1 {
+                0 => KernelKind::Portable,
+                1 => KernelKind::Avx2,
+                _ => KernelKind::Avx512,
+            };
+        }
+        KERNEL_FROM_ENV
+            .get_or_init(|| {
+                let raw = std::env::var("PPGNN_FORCE_KERNEL").ok()?;
+                let kind = KernelKind::parse(&raw).unwrap_or_else(|| {
+                    panic!("PPGNN_FORCE_KERNEL={raw:?}: unknown kernel (portable|avx2|avx512)")
+                });
+                assert!(
+                    kind.is_supported(),
+                    "PPGNN_FORCE_KERNEL={} requests a kernel this CPU does not support",
+                    kind.name()
+                );
+                Some(kind)
+            })
+            .or_else(|| {
+                crate::tune::cached_profile()
+                    .map(|p| p.kernel)
+                    .filter(|k| k.is_supported())
+            })
+            .unwrap_or_else(super::widest_supported_kernel)
+    }
+
+    /// Overrides the dispatched backend (tests, benches, the tuner's
+    /// equivalence suites); `None` resets to the environment/tuned/
+    /// detected value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested backend is not supported on this CPU.
+    pub fn set_kernel(kind: Option<KernelKind>) {
+        let v = match kind {
+            None => 0,
+            Some(k) => {
+                assert!(
+                    k.is_supported(),
+                    "cannot force the {} kernel on this CPU",
+                    k.name()
+                );
+                1 + k as u8
+            }
+        };
+        KERNEL_OVERRIDE.store(v, Ordering::Relaxed);
+    }
+}
+
+/// One register-tile instantiation of the packed inner loop.
+///
+/// Implementations walk `kcl` steps of an `MR`-wide packed `A` panel
+/// against an `NR`-wide packed `B` panel, accumulate an `MR×NR` tile in
+/// local arrays (kept in vector registers), and store the valid sub-tile
+/// back to `C`. Accumulation is strictly `k`-sequential per element, so
+/// every backend with the same rounding behaviour produces bit-identical
+/// results under any blocking.
+pub trait MicroKernel {
+    /// Register-tile rows; `A` panels are packed `MR` rows wide.
+    const MR: usize;
+    /// Register-tile columns; `B` panels are packed `NR` columns wide.
+    const NR: usize;
+    /// The dispatch tag selecting this instantiation.
+    const KIND: KernelKind;
+
+    /// Accumulates one `MR×NR` tile over a packed K panel into `c`.
+    ///
+    /// `ap` is `kcl` steps of `MR` packed `A` values, `bp` is `kcl`
+    /// steps of `NR` packed `B` values; the first `ivalid` rows ×
+    /// `jvalid` columns of the tile are added to `c` (row stride `ldc`).
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the running CPU supports `Self::KIND`
+    /// ([`KernelKind::is_supported`]).
+    unsafe fn tile(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, ivalid: usize, jvalid: usize);
+}
+
+/// The shared tile loop every backend instantiates: branch-free
+/// contiguous multiply-add chains over the packed panels, then an
+/// accumulate-store of the valid sub-tile. `FMA` selects `mul_add`
+/// (single rounding; lowers to hardware FMA only under the right target
+/// features — see [`PortableKernel`] for why the baseline build must not
+/// use it).
+#[inline(always)]
+fn tile_body<const MR: usize, const NR: usize, const FMA: bool>(
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    ivalid: usize,
+    jvalid: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (ar, br) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: &[f32; MR] = ar.try_into().expect("A panel step is MR long");
+        let b: &[f32; NR] = br.try_into().expect("B panel step is NR long");
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i][j] = if FMA {
+                    a[i].mul_add(b[j], acc[i][j])
+                } else {
+                    acc[i][j] + a[i] * b[j]
+                };
+            }
+        }
+    }
+    for (arow, crow) in acc.iter().take(ivalid).zip(c.chunks_mut(ldc)) {
+        for (cv, av) in crow[..jvalid].iter_mut().zip(&arow[..jvalid]) {
+            *cv += *av;
+        }
+    }
+}
+
+/// Baseline-ISA 8×8 backend (SSE2 on x86-64; whatever the build target
+/// guarantees elsewhere). Deliberately spelled `mul + add`: rustc never
+/// contracts the pair into an FMA (float semantics stay deterministic),
+/// and an explicit `mul_add` without hardware FMA would lower to a libm
+/// call per element.
+pub struct PortableKernel;
+
+impl MicroKernel for PortableKernel {
+    const MR: usize = block::MR;
+    const NR: usize = block::NR;
+    const KIND: KernelKind = KernelKind::Portable;
+
+    unsafe fn tile(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
+        tile_body::<{ block::MR }, { block::NR }, false>(ap, bp, c, ldc, iv, jv);
+    }
+}
+
+/// The 8×8 tile compiled with AVX2+FMA enabled: one accumulator row is
+/// exactly one `ymm` register and the `mul_add` chain lowers to
+/// `vfmadd231ps` at 8-wide FMA throughput.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_avx2(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
+    tile_body::<{ block::MR }, { block::NR }, true>(ap, bp, c, ldc, iv, jv);
+}
+
+/// AVX2+FMA 8×8 backend — the previously hand-dispatched kernel behind
+/// the [`MicroKernel`] trait. FMA rounds once per multiply-add where the
+/// portable kernel rounds twice, so results differ from
+/// [`PortableKernel`] in the last bits — but dispatch is uniform per
+/// process, so every caller on a given machine agrees bitwise.
+/// (Implemented — and dispatchable — on x86-64 only.)
+pub struct Avx2Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl MicroKernel for Avx2Kernel {
+    const MR: usize = block::MR;
+    const NR: usize = block::NR;
+    const KIND: KernelKind = KernelKind::Avx2;
+
+    unsafe fn tile(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
+        // SAFETY: forwarded from the dispatcher, which only selects this
+        // backend when `KernelKind::Avx2.is_supported()` held.
+        unsafe { tile_avx2(ap, bp, c, ldc, iv, jv) }
+    }
+}
+
+/// The 8×16 tile in explicit AVX-512F intrinsics: one accumulator row is
+/// exactly one `zmm` register, each broadcast `A` element feeds a 16-wide
+/// FMA, and the partial-tile store-back is a masked load/add/store.
+///
+/// Hand-written rather than autovectorized like [`tile_avx2`]: at
+/// `NR = 16` LLVM vectorizes the generic [`tile_body`] across the *row*
+/// dimension, spilling the accumulator block to memory and walking it
+/// with `vgatherqps`/`vscatterqps` every k step — several times slower
+/// than the portable kernel. The accumulation order (k-sequential
+/// `fma(a[i], b[j], acc)` per element, then one add into `C`) matches
+/// `tile_body::<_, _, true>` exactly, keeping this backend bit-identical
+/// to [`Avx2Kernel`] at a fixed KC/NC.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn tile_avx512(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
+    use core::arch::x86_64::*;
+    const MR: usize = block::MR;
+    const NR: usize = 2 * block::NR;
+    let depth = ap.len() / MR;
+    debug_assert_eq!(bp.len() / NR, depth);
+    // SAFETY: the packer sizes `ap`/`bp` as `depth` steps of MR/NR
+    // elements; `c` spans at least `(iv - 1) * ldc + jv` elements and the
+    // masked store touches only the first `jv` lanes of each row.
+    unsafe {
+        let mut acc = [_mm512_setzero_ps(); MR];
+        for p in 0..depth {
+            let b = _mm512_loadu_ps(bp.as_ptr().add(p * NR));
+            let arow = ap.as_ptr().add(p * MR);
+            for (i, accum) in acc.iter_mut().enumerate() {
+                let a = _mm512_set1_ps(*arow.add(i));
+                *accum = _mm512_fmadd_ps(a, b, *accum);
+            }
+        }
+        let mask: __mmask16 = if jv >= NR {
+            !0
+        } else {
+            (1u16 << jv).wrapping_sub(1)
+        };
+        for (i, accum) in acc.iter().enumerate().take(iv) {
+            let crow = c.as_mut_ptr().add(i * ldc);
+            let prev = _mm512_maskz_loadu_ps(mask, crow);
+            _mm512_mask_storeu_ps(crow, mask, _mm512_add_ps(prev, *accum));
+        }
+    }
+}
+
+/// AVX-512 8×16 backend: same `MR`, double-width `B` panels. Hardware
+/// FMA accumulation in the same per-element order as [`Avx2Kernel`], so
+/// the two are bit-identical at a fixed KC/NC. (Implemented — and
+/// dispatchable — on x86-64 only.)
+pub struct Avx512Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl MicroKernel for Avx512Kernel {
+    const MR: usize = block::MR;
+    const NR: usize = 2 * block::NR;
+    const KIND: KernelKind = KernelKind::Avx512;
+
+    unsafe fn tile(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
+        // SAFETY: forwarded from the dispatcher, which only selects this
+        // backend when `KernelKind::Avx512.is_supported()` held.
+        unsafe { tile_avx512(ap, bp, c, ldc, iv, jv) }
+    }
+}
+
+/// Monomorphizes `$body` over the [`MicroKernel`] implementation named
+/// by a [`KernelKind`], binding it to the type alias `$K`.
+macro_rules! with_kernel {
+    ($kind:expr, $K:ident, $body:expr) => {
+        match $kind {
+            KernelKind::Portable => {
+                type $K = PortableKernel;
+                $body
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 => {
+                type $K = Avx2Kernel;
+                $body
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx512 => {
+                type $K = Avx512Kernel;
+                $body
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("SIMD backends are never dispatched off x86-64"),
+        }
+    };
 }
 
 /// Splits `rows` into at most `parts` near-equal contiguous blocks whose
-/// sizes are multiples of [`MR`] (except possibly the last), so row-block
+/// sizes are multiples of `mr` (except possibly the last), so row-block
 /// boundaries always fall on packing-panel boundaries.
-fn mr_row_blocks(rows: usize, parts: usize) -> Vec<usize> {
-    let panels = rows.div_ceil(MR);
+fn mr_row_blocks(rows: usize, parts: usize, mr: usize) -> Vec<usize> {
+    let panels = rows.div_ceil(mr);
     let parts = parts.clamp(1, panels.max(1));
     let per = panels.div_ceil(parts);
     let mut sizes = Vec::with_capacity(parts);
     let mut start_panel = 0;
     while start_panel < panels {
         let take = per.min(panels - start_panel);
-        let row_end = ((start_panel + take) * MR).min(rows);
-        sizes.push(row_end - start_panel * MR);
+        let row_end = ((start_panel + take) * mr).min(rows);
+        sizes.push(row_end - start_panel * mr);
         start_panel += take;
     }
     sizes
 }
 
-/// The register-tile inner kernel: `acc += Ap · Bp` over one K panel.
-///
-/// `ap` is `kcl` steps of `MR` packed `A` values, `bp` is `kcl` steps of
-/// `NR` packed `B` values; `acc` is the `MR×NR` tile held in local arrays
-/// the compiler keeps in vector registers. No branches, no strides — one
-/// contiguous multiply-add chain.
-#[inline(always)]
-fn micro_kernel_generic(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (ar, br) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
-        let a: &[f32; MR] = ar.try_into().expect("A panel step is MR long");
-        let b: &[f32; NR] = br.try_into().expect("B panel step is NR long");
-        for i in 0..MR {
-            for j in 0..NR {
-                acc[i][j] += a[i] * b[j];
-            }
-        }
-    }
-}
-
-/// Baseline-ISA instantiation of the micro-kernel (the build target's
-/// default feature set, SSE2 on x86-64).
-fn micro_kernel_portable(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    micro_kernel_generic(ap, bp, acc);
-}
-
-/// The same loop structure with an explicit fused multiply-add.
-///
-/// rustc does not contract separate `mul`+`add` into FMA on its own
-/// (float semantics are kept deterministic), so the hardware-FMA path
-/// must spell it `mul_add`. Only the feature-gated AVX2 instantiation
-/// calls this — on targets without hardware FMA, `mul_add` would lower
-/// to a libm call per element.
-#[cfg(target_arch = "x86_64")]
-#[inline(always)]
-fn micro_kernel_generic_fma(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (ar, br) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
-        let a: &[f32; MR] = ar.try_into().expect("A panel step is MR long");
-        let b: &[f32; NR] = br.try_into().expect("B panel step is NR long");
-        for i in 0..MR {
-            for j in 0..NR {
-                acc[i][j] = a[i].mul_add(b[j], acc[i][j]);
-            }
-        }
-    }
-}
-
-/// AVX2+FMA instantiation: `NR = 8` makes one accumulator row exactly
-/// one `ymm` register and the explicit `mul_add` chain lowers to
-/// `vfmadd231ps`, so LLVM vectorizes the kernel at 8-wide FMA
-/// throughput. FMA rounds once per multiply-add where the portable
-/// kernel rounds twice, so results differ from non-AVX2 machines in the
-/// last bits — but the dispatch is uniform per process, so serial vs
-/// pooled (and every caller on a given machine) still agree bitwise.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn micro_kernel_avx2(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    micro_kernel_generic_fma(ap, bp, acc);
-}
-
-/// AVX2+FMA micro-kernel behind the pointer-call ABI of the dispatch
-/// table.
-///
-/// # Safety-free wrapper
-///
-/// Only ever stored in [`micro_kernel`]'s dispatch result after
-/// `is_x86_feature_detected!` confirmed both features at runtime.
-#[cfg(target_arch = "x86_64")]
-fn micro_kernel_avx2_entry(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    // SAFETY: this entry point is selected (see `micro_kernel`) only when
-    // `is_x86_feature_detected!("avx2")` and `("fma")` both returned true
-    // on this machine, so the target-feature contract holds.
-    unsafe { micro_kernel_avx2(ap, bp, acc) }
-}
-
-/// Resolves the widest micro-kernel this CPU supports, once per process.
-///
-/// The packed layout is ISA-independent; only the inner multiply-add
-/// chain is recompiled per feature level, so every caller (serial or
-/// pooled, any variant) computes identical results.
-fn micro_kernel() -> fn(&[f32], &[f32], &mut [[f32; NR]; MR]) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        use std::sync::OnceLock;
-        static KERNEL: OnceLock<fn(&[f32], &[f32], &mut [[f32; NR]; MR])> = OnceLock::new();
-        *KERNEL.get_or_init(|| {
-            if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                micro_kernel_avx2_entry
-            } else {
-                micro_kernel_portable
-            }
-        })
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        micro_kernel_portable
-    }
-}
-
 /// Packs rows `row0..row0+rows`, K slice `kk0..kk0+kcl` of row-major
-/// `a` (`lda = k`) into `MR`-row panels: panel `ip`, element `(kk, ir)`
-/// at `ip·kcl·MR + kk·MR + ir`. Panel tails are zero-padded.
+/// `a` (`lda = k`) into `mr`-row panels: panel `ip`, element `(kk, ir)`
+/// at `ip·kcl·mr + kk·mr + ir`. Panel tails are zero-padded.
+#[allow(clippy::too_many_arguments)]
 fn pack_a_rows(
     a: &[f32],
     k: usize,
@@ -225,31 +597,33 @@ fn pack_a_rows(
     rows: usize,
     kk0: usize,
     kcl: usize,
+    mr: usize,
     dst: &mut [f32],
 ) {
-    let mp = rows.div_ceil(MR);
-    debug_assert_eq!(dst.len(), mp * kcl * MR);
+    let mp = rows.div_ceil(mr);
+    debug_assert_eq!(dst.len(), mp * kcl * mr);
     for ip in 0..mp {
-        let panel = &mut dst[ip * kcl * MR..(ip + 1) * kcl * MR];
-        let ivalid = MR.min(rows - ip * MR);
-        if ivalid < MR {
+        let panel = &mut dst[ip * kcl * mr..(ip + 1) * kcl * mr];
+        let ivalid = mr.min(rows - ip * mr);
+        if ivalid < mr {
             panel.fill(0.0);
         }
         for ir in 0..ivalid {
-            let src = &a[(row0 + ip * MR + ir) * k + kk0..][..kcl];
+            let src = &a[(row0 + ip * mr + ir) * k + kk0..][..kcl];
             for (kk, &v) in src.iter().enumerate() {
-                panel[kk * MR + ir] = v;
+                panel[kk * mr + ir] = v;
             }
         }
     }
 }
 
 /// Packs *columns* `row0..row0+rows` of the `k×m` row-major `a` (i.e.
-/// rows of `Aᵀ`), K slice `kk0..kk0+kcl`, into the same `MR`-row panel
-/// layout as [`pack_a_rows`]. Each `kk` step copies `MR` **contiguous**
+/// rows of `Aᵀ`), K slice `kk0..kk0+kcl`, into the same `mr`-row panel
+/// layout as [`pack_a_rows`]. Each `kk` step copies `mr` **contiguous**
 /// values of one `A` row — this is the `matmul_tn` column-stride fix: the
 /// kernel reads `A` along its rows during packing instead of striding
 /// `k·m` elements apart in the inner loop.
+#[allow(clippy::too_many_arguments)]
 fn pack_a_cols(
     a: &[f32],
     m: usize,
@@ -257,131 +631,154 @@ fn pack_a_cols(
     rows: usize,
     kk0: usize,
     kcl: usize,
+    mr: usize,
     dst: &mut [f32],
 ) {
-    let mp = rows.div_ceil(MR);
-    debug_assert_eq!(dst.len(), mp * kcl * MR);
+    let mp = rows.div_ceil(mr);
+    debug_assert_eq!(dst.len(), mp * kcl * mr);
     for ip in 0..mp {
-        let panel = &mut dst[ip * kcl * MR..(ip + 1) * kcl * MR];
-        let ivalid = MR.min(rows - ip * MR);
-        if ivalid < MR {
+        let panel = &mut dst[ip * kcl * mr..(ip + 1) * kcl * mr];
+        let ivalid = mr.min(rows - ip * mr);
+        if ivalid < mr {
             panel.fill(0.0);
         }
         for kk in 0..kcl {
-            let src = &a[(kk0 + kk) * m + row0 + ip * MR..][..ivalid];
-            panel[kk * MR..][..ivalid].copy_from_slice(src);
+            let src = &a[(kk0 + kk) * m + row0 + ip * mr..][..ivalid];
+            panel[kk * mr..][..ivalid].copy_from_slice(src);
         }
     }
 }
 
 /// Packs K slice `kk0..kk0+kcl` of the row-major `k×n` matrix `b` into
-/// `NR`-column panels: panel `jp`, element `(kk, jr)` at
-/// `jp·kcl·NR + kk·NR + jr`. Panel tails are zero-padded.
-fn pack_b_rows(b: &[f32], n: usize, kk0: usize, kcl: usize, dst: &mut [f32]) {
-    let np = n.div_ceil(NR);
-    debug_assert_eq!(dst.len(), np * kcl * NR);
+/// `nr`-column panels: panel `jp`, element `(kk, jr)` at
+/// `jp·kcl·nr + kk·nr + jr`. Panel tails are zero-padded.
+fn pack_b_rows(b: &[f32], n: usize, kk0: usize, kcl: usize, nr: usize, dst: &mut [f32]) {
+    let np = n.div_ceil(nr);
+    debug_assert_eq!(dst.len(), np * kcl * nr);
     for jp in 0..np {
-        let panel = &mut dst[jp * kcl * NR..(jp + 1) * kcl * NR];
-        let jvalid = NR.min(n - jp * NR);
-        if jvalid < NR {
+        let panel = &mut dst[jp * kcl * nr..(jp + 1) * kcl * nr];
+        let jvalid = nr.min(n - jp * nr);
+        if jvalid < nr {
             panel.fill(0.0);
         }
         for kk in 0..kcl {
-            let src = &b[(kk0 + kk) * n + jp * NR..][..jvalid];
-            panel[kk * NR..][..jvalid].copy_from_slice(src);
+            let src = &b[(kk0 + kk) * n + jp * nr..][..jvalid];
+            panel[kk * nr..][..jvalid].copy_from_slice(src);
         }
     }
 }
 
 /// Packs K slice `kk0..kk0+kcl` of `Bᵀ` where `b` is stored row-major
-/// `n×k` (the `matmul_nt` operand) into the same `NR`-column panel layout
+/// `n×k` (the `matmul_nt` operand) into the same `nr`-column panel layout
 /// as [`pack_b_rows`]. Reads run contiguously along `b`'s rows.
-fn pack_b_cols(b: &[f32], k: usize, n: usize, kk0: usize, kcl: usize, dst: &mut [f32]) {
-    let np = n.div_ceil(NR);
-    debug_assert_eq!(dst.len(), np * kcl * NR);
+fn pack_b_cols(b: &[f32], k: usize, n: usize, kk0: usize, kcl: usize, nr: usize, dst: &mut [f32]) {
+    let np = n.div_ceil(nr);
+    debug_assert_eq!(dst.len(), np * kcl * nr);
     for jp in 0..np {
-        let panel = &mut dst[jp * kcl * NR..(jp + 1) * kcl * NR];
-        let jvalid = NR.min(n - jp * NR);
-        if jvalid < NR {
+        let panel = &mut dst[jp * kcl * nr..(jp + 1) * kcl * nr];
+        let jvalid = nr.min(n - jp * nr);
+        if jvalid < nr {
             panel.fill(0.0);
         }
         for jr in 0..jvalid {
-            let src = &b[(jp * NR + jr) * k + kk0..][..kcl];
+            let src = &b[(jp * nr + jr) * k + kk0..][..kcl];
             for (kk, &v) in src.iter().enumerate() {
-                panel[kk * NR + jr] = v;
+                panel[kk * nr + jr] = v;
             }
         }
     }
 }
 
-/// The blocked driver shared by all three variants.
+/// Which layout the `A` operand arrives in.
+#[derive(Debug, Clone, Copy)]
+enum APack {
+    /// `a` is row-major `m×k` — pack rows ([`pack_a_rows`]).
+    Rows,
+    /// `a` is row-major `k×m` (the `tn` operand) — pack columns
+    /// ([`pack_a_cols`]).
+    Cols,
+}
+
+/// Which layout the `B` operand arrives in.
+#[derive(Debug, Clone, Copy)]
+enum BPack {
+    /// `b` is row-major `k×n` — pack rows ([`pack_b_rows`]).
+    Rows,
+    /// `b` is row-major `n×k` (the `nt` operand) — pack its transpose
+    /// ([`pack_b_cols`]).
+    Cols,
+}
+
+/// The blocked driver shared by every variant and backend.
 ///
-/// `b_packed` holds every K panel of `B` (packed once by the caller);
-/// `pack_a(row0, rows, kk0, kcl, dst)` packs one K panel of the task's
-/// `A` rows. `kc` is the K-panel depth `b_packed` was laid out with —
-/// the caller reads [`block::kc`] exactly once per call and hands the
-/// same value to [`pack_b_full`] and here, so a concurrent
-/// [`block::set_kc`] can never desynchronize the packed layout from its
-/// consumer. Output rows are split into `MR`-aligned blocks, one task
-/// per block on the shared pool; each task zero-fills its `C` chunk and
-/// accumulates `Apᵀ·Bp` tile products K panel by K panel, so per-element
-/// accumulation order is independent of the row split.
+/// `b_packed` holds every K panel of `B` (packed once by the caller at
+/// the snapshot's `kc`/`K::NR`); `pack_a(row0, rows, kk0, kcl, dst)`
+/// packs one K panel of the task's `A` rows. Output rows are split into
+/// `MR`-aligned blocks, one task per block on the shared pool; each task
+/// zero-fills its `C` chunk and accumulates tile products K panel by K
+/// panel, sweeping `nc`-column slices of packed `B` across all its row
+/// tiles before moving right (the L2 block). Per-element accumulation
+/// order is independent of both the row split and the column block.
 #[allow(clippy::too_many_arguments)]
-fn gemm_blocked<PA>(
+fn gemm_blocked<K: MicroKernel, PA>(
     m: usize,
     n: usize,
     k: usize,
     kc: usize,
+    nc: usize,
     nthreads: usize,
     pack_a: PA,
     b_packed: &[f32],
-    c: &mut Matrix,
+    c: &mut [f32],
 ) where
     PA: Fn(usize, usize, usize, usize, &mut [f32]) + Sync,
 {
-    let np = n.div_ceil(NR);
-    let kernel = micro_kernel();
+    let (mr, nr) = (K::MR, K::NR);
+    let np = n.div_ceil(nr);
+    // NC in units of whole B panels, at least one.
+    let ncp = (nc.div_ceil(nr)).max(1);
     let body = |first_row: usize, chunk: &mut [f32]| {
         let rows = chunk.len() / n;
         chunk.fill(0.0);
-        let mp = rows.div_ceil(MR);
-        let mut abuf = PackWorkspace::take(PackBuf::OperandA, kc.min(k) * mp * MR);
+        let mp = rows.div_ceil(mr);
+        let mut abuf = PackWorkspace::take(PackBuf::OperandA, kc.min(k) * mp * mr);
         let mut kk0 = 0;
         while kk0 < k {
             let kcl = kc.min(k - kk0);
-            let apack = &mut abuf[..kcl * mp * MR];
+            let apack = &mut abuf[..kcl * mp * mr];
             pack_a(first_row, rows, kk0, kcl, apack);
-            let bbase = kk0 * np * NR;
-            for ip in 0..mp {
-                let ap = &apack[ip * kcl * MR..][..kcl * MR];
-                let ivalid = MR.min(rows - ip * MR);
-                for jp in 0..np {
-                    let bp = &b_packed[bbase + jp * kcl * NR..][..kcl * NR];
-                    let mut acc = [[0.0f32; NR]; MR];
-                    kernel(ap, bp, &mut acc);
-                    let jvalid = NR.min(n - jp * NR);
-                    for i in 0..ivalid {
-                        let crow = &mut chunk[(ip * MR + i) * n + jp * NR..][..jvalid];
-                        for (cv, av) in crow.iter_mut().zip(&acc[i][..jvalid]) {
-                            *cv += *av;
-                        }
+            let bbase = kk0 * np * nr;
+            let mut jj = 0;
+            while jj < np {
+                let jj_end = (jj + ncp).min(np);
+                for ip in 0..mp {
+                    let ap = &apack[ip * kcl * mr..][..kcl * mr];
+                    let ivalid = mr.min(rows - ip * mr);
+                    for jp in jj..jj_end {
+                        let bp = &b_packed[bbase + jp * kcl * nr..][..kcl * nr];
+                        let jvalid = nr.min(n - jp * nr);
+                        let ct = &mut chunk[(ip * mr) * n + jp * nr..];
+                        // SAFETY: the dispatcher only selects `K` after
+                        // `K::KIND.is_supported()` held on this CPU.
+                        unsafe { K::tile(ap, bp, ct, n, ivalid, jvalid) };
                     }
                 }
+                jj = jj_end;
             }
             kk0 += kcl;
         }
         PackWorkspace::give(PackBuf::OperandA, abuf);
     };
-    if nthreads <= 1 || m <= MR {
+    if nthreads <= 1 || m <= mr {
         // Serial path: no row split, no per-call block bookkeeping — in
         // steady state the only allocation left in a whole GEMM call is
         // the caller's output matrix.
-        body(0, c.as_mut_slice());
+        body(0, c);
         return;
     }
-    let sizes = mr_row_blocks(m, nthreads);
+    let sizes = mr_row_blocks(m, nthreads, mr);
     if sizes.len() <= 1 {
-        body(0, c.as_mut_slice());
+        body(0, c);
         return;
     }
     let mut starts = Vec::with_capacity(sizes.len());
@@ -390,29 +787,87 @@ fn gemm_blocked<PA>(
         starts.push(acc);
         acc += s;
     }
-    pool().run_row_blocks(c.as_mut_slice(), n, &sizes, |blk, chunk| {
+    pool().run_row_blocks(c, n, &sizes, |blk, chunk| {
         body(starts[blk], chunk);
     });
 }
 
 /// Packs every K panel of a `k`-deep `B` operand into a workspace buffer
-/// using `pack_block(kk0, kcl, dst)` at panel depth `kc`, returning the
-/// buffer (give it back with [`PackWorkspace::give`]).
+/// using `pack_block(kk0, kcl, dst)` at panel depth `kc` and panel width
+/// `nr`, returning the buffer (give it back with [`PackWorkspace::give`]).
 fn pack_b_full(
     k: usize,
     n: usize,
     kc: usize,
+    nr: usize,
     pack_block: impl Fn(usize, usize, &mut [f32]),
 ) -> Vec<f32> {
-    let np = n.div_ceil(NR);
-    let mut bbuf = PackWorkspace::take(PackBuf::OperandB, k * np * NR);
+    let np = n.div_ceil(nr);
+    let mut bbuf = PackWorkspace::take(PackBuf::OperandB, k * np * nr);
     let mut kk0 = 0;
     while kk0 < k {
         let kcl = kc.min(k - kk0);
-        pack_block(kk0, kcl, &mut bbuf[kk0 * np * NR..][..kcl * np * NR]);
+        pack_block(kk0, kcl, &mut bbuf[kk0 * np * nr..][..kcl * np * nr]);
         kk0 += kcl;
     }
     bbuf
+}
+
+/// Packs `B`, then runs the blocked driver, for one already-monomorphized
+/// backend.
+#[allow(clippy::too_many_arguments)]
+fn gemm_run<K: MicroKernel>(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    apack: APack,
+    bpack: BPack,
+    kc: usize,
+    nc: usize,
+    nthreads: usize,
+    c: &mut [f32],
+) {
+    let bbuf = pack_b_full(k, n, kc, K::NR, |kk0, kcl, dst| match bpack {
+        BPack::Rows => pack_b_rows(b, n, kk0, kcl, K::NR, dst),
+        BPack::Cols => pack_b_cols(b, k, n, kk0, kcl, K::NR, dst),
+    });
+    gemm_blocked::<K, _>(
+        m,
+        n,
+        k,
+        kc,
+        nc,
+        nthreads,
+        |row0, rows, kk0, kcl, dst| match apack {
+            APack::Rows => pack_a_rows(a, k, row0, rows, kk0, kcl, K::MR, dst),
+            APack::Cols => pack_a_cols(a, m, row0, rows, kk0, kcl, K::MR, dst),
+        },
+        &bbuf,
+        c,
+    );
+    PackWorkspace::give(PackBuf::OperandB, bbuf);
+}
+
+/// The shared entry body: dispatches the snapshot's backend into the
+/// monomorphized driver.
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    apack: APack,
+    bpack: BPack,
+    cfg: block::TileConfig,
+    nthreads: usize,
+    c: &mut [f32],
+) {
+    with_kernel!(cfg.kernel, K, {
+        gemm_run::<K>(a, b, m, n, k, apack, bpack, cfg.kc, cfg.nc, nthreads, c)
+    });
 }
 
 /// `C = A · B`.
@@ -443,23 +898,19 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         c.fill_zero();
         return;
     }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let kc = block::kc();
-    let bbuf = pack_b_full(k, n, kc, |kk0, kcl, dst| {
-        pack_b_rows(b_data, n, kk0, kcl, dst)
-    });
-    gemm_blocked(
+    let cfg = block::tile_config();
+    gemm_dispatch(
+        a.as_slice(),
+        b.as_slice(),
         m,
         n,
         k,
-        kc,
+        APack::Rows,
+        BPack::Rows,
+        cfg,
         threads_for(m * n * k),
-        |row0, rows, kk0, kcl, dst| pack_a_rows(a_data, k, row0, rows, kk0, kcl, dst),
-        &bbuf,
-        c,
+        c.as_mut_slice(),
     );
-    PackWorkspace::give(PackBuf::OperandB, bbuf);
 }
 
 /// `C = Aᵀ · B` where `A` is `k x m` and `B` is `k x n`.
@@ -494,23 +945,19 @@ pub fn matmul_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         c.fill_zero();
         return;
     }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let kc = block::kc();
-    let bbuf = pack_b_full(k, n, kc, |kk0, kcl, dst| {
-        pack_b_rows(b_data, n, kk0, kcl, dst)
-    });
-    gemm_blocked(
+    let cfg = block::tile_config();
+    gemm_dispatch(
+        a.as_slice(),
+        b.as_slice(),
         m,
         n,
         k,
-        kc,
+        APack::Cols,
+        BPack::Rows,
+        cfg,
         threads_for(m * n * k),
-        |row0, rows, kk0, kcl, dst| pack_a_cols(a_data, m, row0, rows, kk0, kcl, dst),
-        &bbuf,
-        c,
+        c.as_mut_slice(),
     );
-    PackWorkspace::give(PackBuf::OperandB, bbuf);
 }
 
 /// `C = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`.
@@ -541,23 +988,129 @@ pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         c.fill_zero();
         return;
     }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let kc = block::kc();
-    let bbuf = pack_b_full(k, n, kc, |kk0, kcl, dst| {
-        pack_b_cols(b_data, k, n, kk0, kcl, dst)
-    });
-    gemm_blocked(
+    let cfg = block::tile_config();
+    gemm_dispatch(
+        a.as_slice(),
+        b.as_slice(),
         m,
         n,
         k,
-        kc,
+        APack::Rows,
+        BPack::Cols,
+        cfg,
         threads_for(m * n * k),
-        |row0, rows, kk0, kcl, dst| pack_a_rows(a_data, k, row0, rows, kk0, kcl, dst),
-        &bbuf,
-        c,
+        c.as_mut_slice(),
     );
-    PackWorkspace::give(PackBuf::OperandB, bbuf);
+}
+
+/// `C[i] = A[i] · B[i]` for a batch of same-shape products.
+///
+/// See [`matmul_batched_into`]; this variant allocates the outputs.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or any pair's shapes disagree
+/// with the first pair's.
+pub fn matmul_batched(a: &[Matrix], b: &[Matrix]) -> Vec<Matrix> {
+    let mut c: Vec<Matrix> = a
+        .iter()
+        .map(|ai| Matrix::zeros(ai.rows(), b.first().map_or(0, |bi| bi.cols())))
+        .collect();
+    matmul_batched_into(a, b, &mut c);
+    c
+}
+
+/// `C[i] = A[i] · B[i]` for a batch of same-shape products, as **one**
+/// pool submission (overwrites every `c[i]`).
+///
+/// The per-head multiplies of HOGA's attention are far below the
+/// parallel threshold individually, so a loop of [`matmul`] calls runs
+/// them serially (and allocates one output per head). This entry point
+/// gates on the **batch's** total FLOPs, splits the heads into
+/// contiguous groups — one pool task per group, each running the same
+/// packed serial kernel per product — and reuses pre-allocated outputs.
+/// The tiling snapshot is taken once for the whole batch.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length, any pair's shapes disagree
+/// with the first pair's, or any `c[i]` has the wrong shape.
+pub fn matmul_batched_into(a: &[Matrix], b: &[Matrix], c: &mut [Matrix]) {
+    assert_eq!(a.len(), b.len(), "matmul_batched operand count mismatch");
+    assert_eq!(a.len(), c.len(), "matmul_batched output count mismatch");
+    let Some(first) = a.first() else { return };
+    let (m, k) = first.shape();
+    let (k2, n) = b[0].shape();
+    assert_eq!(
+        k, k2,
+        "matmul_batched inner-dimension mismatch: {k} vs {k2}"
+    );
+    for i in 0..a.len() {
+        assert_eq!(a[i].shape(), (m, k), "matmul_batched A[{i}] shape mismatch");
+        assert_eq!(b[i].shape(), (k, n), "matmul_batched B[{i}] shape mismatch");
+        assert_eq!(c[i].shape(), (m, n), "matmul_batched C[{i}] shape mismatch");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for ci in c.iter_mut() {
+            ci.fill_zero();
+        }
+        return;
+    }
+    let cfg = block::tile_config();
+    let ntasks = threads_for(a.len() * m * n * k).min(a.len());
+    with_kernel!(cfg.kernel, K, {
+        batched_run::<K>(a, b, c, cfg.kc, cfg.nc, ntasks)
+    });
+}
+
+/// Runs one contiguous group of batched products per pool task; each
+/// product is a serial packed GEMM using the task thread's own packing
+/// workspace.
+fn batched_run<K: MicroKernel>(
+    a: &[Matrix],
+    b: &[Matrix],
+    c: &mut [Matrix],
+    kc: usize,
+    nc: usize,
+    ntasks: usize,
+) {
+    let (m, k) = a[0].shape();
+    let n = b[0].cols();
+    let do_group = |i0: usize, group: &mut [Matrix]| {
+        for (d, cm) in group.iter_mut().enumerate() {
+            let i = i0 + d;
+            gemm_run::<K>(
+                a[i].as_slice(),
+                b[i].as_slice(),
+                m,
+                n,
+                k,
+                APack::Rows,
+                BPack::Rows,
+                kc,
+                nc,
+                1,
+                cm.as_mut_slice(),
+            );
+        }
+    };
+    if ntasks <= 1 {
+        do_group(0, c);
+        return;
+    }
+    let per = c.len().div_ceil(ntasks);
+    let do_group = &do_group;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = c
+        .chunks_mut(per)
+        .enumerate()
+        .map(|(t, group)| {
+            Box::new(move || do_group(t * per, group)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool().run(tasks);
 }
 
 /// The pre-blocking naive kernels, retained verbatim as the correctness
@@ -724,6 +1277,7 @@ pub mod reference {
 mod tests {
     use super::*;
     use crate::pool::{set_parallel_threshold, DEFAULT_PARALLEL_THRESHOLD, TEST_THRESHOLD_LOCK};
+    use block::{MR, NR};
 
     fn naive(a: &Matrix, b: &Matrix) -> Matrix {
         let mut c = Matrix::zeros(a.rows(), b.cols());
@@ -805,9 +1359,11 @@ mod tests {
     #[test]
     fn packed_kernels_match_reference_at_block_edge_tails() {
         // Shapes straddling every blocking boundary: below/at/above MR, NR
-        // and (with the override below) KC.
+        // (both 8-wide and the AVX-512 16-wide panel) and, with the
+        // overrides below, KC and NC.
         let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
         block::set_kc(5);
+        block::set_nc(NR + 1);
         for (m, n, k, seed) in [
             (1, 1, 1, 1u64),
             (MR - 1, NR - 1, 4, 2),
@@ -816,6 +1372,7 @@ mod tests {
             (2 * MR + 1, 2 * NR + 1, 11, 5),
             (9, 17, 2 * 5 + 1, 6), // k spans two full KC panels + tail
             (13, 3, 5, 7),
+            (MR + 3, 4 * NR + 3, 9, 8), // several NC blocks of B panels
         ] {
             let a = rand_mat(m, k, seed);
             let b = rand_mat(k, n, seed + 100);
@@ -833,17 +1390,115 @@ mod tests {
                 "nt {m}x{k}x{n}"
             );
         }
+        block::set_nc(0);
         block::set_kc(0);
     }
 
     #[test]
-    fn kc_override_round_trips() {
+    fn every_supported_backend_matches_reference_and_fma_class_is_bit_identical() {
+        // The cross-backend equivalence suite: at one fixed KC/NC every
+        // supported backend must agree with the reference within float
+        // tolerance, and the hardware-FMA backends (identical
+        // k-sequential accumulation, single rounding per step) must
+        // agree with each other **bitwise**.
         let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
-        let ambient = block::kc();
-        block::set_kc(32);
-        assert_eq!(block::kc(), 32);
+        block::set_kc(7);
+        block::set_nc(2 * NR);
+        let a = rand_mat(MR * 3 + 5, 29, 91);
+        let b = rand_mat(29, 4 * NR + 3, 92);
+        let at = a.transpose();
+        let bt = b.transpose();
+        let expect = reference::matmul(&a, &b);
+        let mut fma_outputs: Vec<(KernelKind, Matrix)> = Vec::new();
+        for &kind in compiled_kernels() {
+            if !kind.is_supported() {
+                continue;
+            }
+            block::set_kernel(Some(kind));
+            let c = matmul(&a, &b);
+            assert!(
+                c.max_abs_diff(&expect) < 1e-4,
+                "{} nn diverges from reference",
+                kind.name()
+            );
+            assert!(
+                matmul_tn(&at, &b).max_abs_diff(&expect) < 1e-4,
+                "{} tn diverges from reference",
+                kind.name()
+            );
+            assert!(
+                matmul_nt(&a, &bt).max_abs_diff(&expect) < 1e-4,
+                "{} nt diverges from reference",
+                kind.name()
+            );
+            if kind.uses_fma() {
+                fma_outputs.push((kind, c));
+            }
+        }
+        block::set_kernel(None);
+        block::set_nc(0);
         block::set_kc(0);
-        assert_eq!(block::kc(), ambient);
+        for pair in fma_outputs.windows(2) {
+            assert_eq!(
+                pair[0].1,
+                pair[1].1,
+                "{} and {} must be bit-identical at fixed KC/NC",
+                pair[0].0.name(),
+                pair[1].0.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_matches_looped_per_head_bitwise() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        for heads in [1usize, 3, 17] {
+            let aa: Vec<Matrix> = (0..heads).map(|h| rand_mat(9, 6, 200 + h as u64)).collect();
+            let bb: Vec<Matrix> = (0..heads)
+                .map(|h| rand_mat(6, 11, 300 + h as u64))
+                .collect();
+            // Force the pooled path so the group split is exercised even
+            // for tiny shapes.
+            set_parallel_threshold(0);
+            let batched = matmul_batched(&aa, &bb);
+            set_parallel_threshold(DEFAULT_PARALLEL_THRESHOLD);
+            for h in 0..heads {
+                // The batched driver runs the same packed serial kernel
+                // per product, so results are bit-identical to a loop.
+                assert_eq!(batched[h], matmul(&aa[h], &bb[h]), "head {h}/{heads}");
+            }
+        }
+    }
+
+    #[test]
+    fn kc_and_nc_overrides_round_trip() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        let ambient_kc = block::kc();
+        let ambient_nc = block::nc();
+        block::set_kc(32);
+        block::set_nc(96);
+        let cfg = block::tile_config();
+        assert_eq!(cfg.kc, 32);
+        assert_eq!(cfg.nc, 96);
+        block::set_kc(0);
+        block::set_nc(0);
+        assert_eq!(block::kc(), ambient_kc);
+        assert_eq!(block::nc(), ambient_nc);
+    }
+
+    #[test]
+    fn kernel_override_round_trips_and_names_parse() {
+        let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
+        let ambient = block::kernel();
+        block::set_kernel(Some(KernelKind::Portable));
+        assert_eq!(block::kernel(), KernelKind::Portable);
+        block::set_kernel(None);
+        assert_eq!(block::kernel(), ambient);
+        for &kind in compiled_kernels() {
+            assert_eq!(KernelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(KernelKind::parse("AVX2"), Some(KernelKind::Avx2));
+        assert_eq!(KernelKind::parse("neon"), None);
     }
 
     #[test]
@@ -866,7 +1521,7 @@ mod tests {
     #[test]
     fn mr_row_blocks_tile_and_align() {
         for (rows, parts) in [(1, 4), (7, 2), (8, 3), (33, 4), (100, 7)] {
-            let sizes = mr_row_blocks(rows, parts);
+            let sizes = mr_row_blocks(rows, parts, MR);
             assert_eq!(sizes.iter().sum::<usize>(), rows, "{rows}/{parts}");
             for (i, &s) in sizes.iter().enumerate() {
                 assert!(s > 0);
@@ -895,12 +1550,24 @@ mod tests {
             matmul_nt(&Matrix::zeros(2, 0), &Matrix::zeros(3, 0)).shape(),
             (2, 3)
         );
+        assert!(matmul_batched(&[], &[]).is_empty());
+        let zk = matmul_batched(&[Matrix::zeros(2, 0)], &[Matrix::zeros(0, 3)]);
+        assert_eq!(zk[0].shape(), (2, 3));
+        assert!(zk[0].as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]
     #[should_panic(expected = "inner-dimension mismatch")]
     fn mismatched_shapes_panic() {
         matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_batched A[1] shape mismatch")]
+    fn batched_rejects_mixed_shapes() {
+        let aa = [Matrix::zeros(2, 3), Matrix::zeros(3, 3)];
+        let bb = [Matrix::zeros(3, 2), Matrix::zeros(3, 2)];
+        matmul_batched(&aa, &bb);
     }
 
     #[test]

@@ -226,6 +226,21 @@ impl Matrix {
         })
     }
 
+    /// Reshapes `self` to `rows × cols` in place, reusing the existing
+    /// allocation whenever its capacity suffices (element values are
+    /// unspecified afterwards — callers overwrite them).
+    ///
+    /// This is the slot primitive behind the `forward_into` plumbing:
+    /// output matrices handed down a model stack are resized instead of
+    /// reallocated, so steady-state train/eval steps at a fixed batch
+    /// shape perform no allocation, and a trailing odd-sized batch only
+    /// shrinks the buffers (capacity is retained for the next epoch).
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Copies rows `start..end` into a pre-allocated matrix — the
     /// allocation-free form of [`Matrix::slice_rows`] that batch loops
     /// (the trainer's evaluation pass) reuse a scratch matrix through.
@@ -338,6 +353,19 @@ mod tests {
         let m = Matrix::zeros(4, 2);
         let mut out = Matrix::zeros(3, 2);
         m.slice_rows_into(0, 2, &mut out);
+    }
+
+    #[test]
+    fn resize_to_reuses_capacity_and_tracks_shape() {
+        let mut m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let cap = m.data.capacity();
+        m.resize_to(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.data.capacity(), cap, "shrinking must keep the buffer");
+        m.resize_to(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(m.data.capacity(), cap, "regrowing within capacity is free");
     }
 
     #[test]

@@ -122,13 +122,27 @@ impl Matrix {
     ///
     /// Panics if `mats` is empty or row counts differ.
     pub fn hstack(mats: &[&Matrix]) -> Matrix {
+        let mut out = Matrix::default();
+        Self::hstack_into(mats, &mut out);
+        out
+    }
+
+    /// Horizontally concatenates into a reusable output slot — the
+    /// allocation-free form of [`Matrix::hstack`] the `forward_into`
+    /// model stacks route SIGN's branch merge through. Resizes `out` to
+    /// `rows × Σ cols` (reusing its buffer when capacity suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is empty or row counts differ.
+    pub fn hstack_into(mats: &[&Matrix], out: &mut Matrix) {
         assert!(!mats.is_empty(), "hstack of zero matrices");
         let rows = mats[0].rows();
         let cols: usize = mats.iter().map(|m| m.cols()).sum();
         for m in mats {
             assert_eq!(m.rows(), rows, "hstack row-count mismatch");
         }
-        let mut out = Matrix::zeros(rows, cols);
+        out.resize_to(rows, cols);
         for r in 0..rows {
             let dst = out.row_mut(r);
             let mut off = 0;
@@ -137,7 +151,6 @@ impl Matrix {
                 off += m.cols();
             }
         }
-        out
     }
 
     /// Vertically concatenates matrices with equal column counts.
@@ -167,7 +180,7 @@ impl Matrix {
     /// Panics if `cols` is not divisible by `parts`.
     pub fn hsplit(&self, parts: usize) -> Vec<Matrix> {
         assert!(
-            parts > 0 && self.cols() % parts == 0,
+            parts > 0 && self.cols().is_multiple_of(parts),
             "cannot hsplit {} cols into {parts}",
             self.cols()
         );

@@ -1,0 +1,223 @@
+//! One-shot `{kernel, KC, NC}` autotuner for the packed GEMM backends.
+//!
+//! Tuning is **opt-in**: it activates only when `PPGNN_TUNE_CACHE` names
+//! a cache file. On the first GEMM of the process [`cached_profile`]
+//! loads that file — or, when it is missing or stale, runs a short
+//! measured sweep over every supported [`KernelKind`] × a few KC × NC
+//! candidates ([`run_sweep`]) and writes the winner back. The profile
+//! then feeds [`crate::block::kc`]/[`crate::block::nc`]/
+//! [`crate::block::kernel`] *below* the explicit overrides, giving the
+//! precedence chain:
+//!
+//! `set_*` > `PPGNN_GEMM_BLOCK`/`PPGNN_GEMM_NC`/`PPGNN_FORCE_KERNEL` >
+//! tuned profile > compiled defaults.
+//!
+//! Without `PPGNN_TUNE_CACHE` the module costs one atomic load per
+//! config read and nothing else — tests and short-lived tools never pay
+//! for a sweep. The sweep itself drives the packed kernels through the
+//! public entry points with every knob pinned, so it can never recurse
+//! into profile resolution, and it restores the knobs to "unset" before
+//! returning.
+//!
+//! The cache file is a single-line JSON object, e.g.
+//! `{"kernel":"avx512","kc":256,"nc":512,"gflops":21.40}` — stable
+//! enough that CI uploads it as a build artifact and
+//! `BENCH_gemm.json` embeds the same fields under `"tuned"`.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::gemm::{block, compiled_kernels, matmul_into, KernelKind};
+use crate::Matrix;
+
+/// A tuned tiling profile: the winning backend and blocking pair, plus
+/// the throughput it measured (context for humans and the bench
+/// artifact; not consulted by dispatch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Winning micro-kernel backend.
+    pub kernel: KernelKind,
+    /// Winning K-panel depth.
+    pub kc: usize,
+    /// Winning NC column block.
+    pub nc: usize,
+    /// Best measured throughput of the sweep shape, in GFLOP/s.
+    pub gflops: f64,
+}
+
+static PROFILE: OnceLock<Option<Profile>> = OnceLock::new();
+
+/// The process-wide tuned profile, or `None` when tuning is inactive
+/// (`PPGNN_TUNE_CACHE` unset).
+///
+/// First call with the env var set loads the cache file, or sweeps and
+/// writes it; later calls are a single `OnceLock` read. A cache entry
+/// naming a kernel this CPU cannot run (a file copied from another
+/// machine) is discarded and re-tuned.
+pub fn cached_profile() -> Option<&'static Profile> {
+    PROFILE
+        .get_or_init(|| {
+            let path = std::env::var("PPGNN_TUNE_CACHE").ok()?;
+            if path.is_empty() {
+                return None;
+            }
+            if let Some(p) = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|s| parse_profile(&s))
+            {
+                if p.kernel.is_supported() {
+                    return Some(p);
+                }
+            }
+            let p = run_sweep();
+            // Best-effort: an unwritable cache path degrades to
+            // tune-per-process, not an error.
+            let _ = std::fs::write(&path, format_profile(&p));
+            Some(p)
+        })
+        .as_ref()
+}
+
+/// The candidate grid: every supported backend × KC ∈ {128, 256, 512} ×
+/// NC ∈ {256, 512, 2048}.
+pub fn candidates() -> Vec<(KernelKind, usize, usize)> {
+    let mut out = Vec::new();
+    for &kind in compiled_kernels() {
+        if !kind.is_supported() {
+            continue;
+        }
+        for kc in [128usize, 256, 512] {
+            for nc in [256usize, 512, 2048] {
+                out.push((kind, kc, nc));
+            }
+        }
+    }
+    out
+}
+
+/// Measures every candidate on a mid-sized training-shaped GEMM
+/// (`384×256·256×384`, serial) and returns the fastest. Takes roughly
+/// half a second; runs once per process (and once per machine when the
+/// cache file persists).
+///
+/// Pins all three knobs per candidate and restores them to "unset"
+/// before returning, so it is safe to call from benches that sweep
+/// configurations themselves.
+pub fn run_sweep() -> Profile {
+    let (m, k, n) = (384usize, 256, 384);
+    let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) % 61) as f32 * 0.021 - 0.6);
+    let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 29) % 53) as f32 * 0.017 - 0.4);
+    let mut c = Matrix::zeros(m, n);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let mut best: Option<Profile> = None;
+    for (kernel, kc, nc) in candidates() {
+        block::set_kernel(Some(kernel));
+        block::set_kc(kc);
+        block::set_nc(nc);
+        matmul_into(&a, &b, &mut c); // warm the packing workspace + icache
+        let mut best_s = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            matmul_into(&a, &b, &mut c);
+            best_s = best_s.min(t0.elapsed().as_secs_f64());
+        }
+        let gflops = flops / best_s / 1e9;
+        if best.is_none_or(|p| gflops > p.gflops) {
+            best = Some(Profile {
+                kernel,
+                kc,
+                nc,
+                gflops,
+            });
+        }
+    }
+    block::set_kernel(None);
+    block::set_kc(0);
+    block::set_nc(0);
+    best.expect("the portable kernel is always a candidate")
+}
+
+/// Serializes a profile as the single-line JSON the cache file and
+/// `BENCH_gemm.json` use.
+pub fn format_profile(p: &Profile) -> String {
+    format!(
+        "{{\"kernel\":\"{}\",\"kc\":{},\"nc\":{},\"gflops\":{:.2}}}\n",
+        p.kernel.name(),
+        p.kc,
+        p.nc,
+        p.gflops
+    )
+}
+
+/// Parses [`format_profile`] output (tolerant of whitespace and field
+/// order; returns `None` on any missing or malformed field).
+pub fn parse_profile(s: &str) -> Option<Profile> {
+    let kernel = KernelKind::parse(&extract_str(s, "kernel")?)?;
+    let kc = extract_num(s, "kc")? as usize;
+    let nc = extract_num(s, "nc")? as usize;
+    let gflops = extract_num(s, "gflops")?;
+    if kc == 0 || nc == 0 {
+        return None;
+    }
+    Some(Profile {
+        kernel,
+        kc,
+        nc,
+        gflops,
+    })
+}
+
+/// Pulls the string value of `"key":"value"` out of a flat JSON object.
+fn extract_str(s: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let rest = &s[s.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Pulls the numeric value of `"key":123.4` out of a flat JSON object.
+fn extract_num(s: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let rest = &s[s.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_round_trips_through_the_cache_format() {
+        let p = Profile {
+            kernel: KernelKind::Portable,
+            kc: 192,
+            nc: 768,
+            gflops: 12.5,
+        };
+        let s = format_profile(&p);
+        let q = parse_profile(&s).expect("own output parses");
+        assert_eq!(q.kernel, p.kernel);
+        assert_eq!((q.kc, q.nc), (p.kc, p.nc));
+        assert!((q.gflops - p.gflops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_profiles_are_rejected() {
+        assert!(parse_profile("").is_none());
+        assert!(parse_profile("{\"kernel\":\"neon\",\"kc\":1,\"nc\":1}").is_none());
+        assert!(parse_profile("{\"kernel\":\"avx2\",\"kc\":0,\"nc\":4}").is_none());
+        assert!(parse_profile("{\"kc\":256,\"nc\":512}").is_none());
+    }
+
+    #[test]
+    fn candidate_grid_always_contains_the_portable_kernel() {
+        assert!(candidates()
+            .iter()
+            .any(|&(k, _, _)| k == KernelKind::Portable));
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based tests for the tensor kernels.
 
 use ppgnn_tensor::{
-    block, io, matmul, matmul_nt, matmul_tn, reference, set_parallel_threshold, Matrix,
+    block, compiled_kernels, io, matmul, matmul_batched, matmul_batched_into, matmul_nt, matmul_tn,
+    reference, set_parallel_threshold, Matrix,
 };
 use proptest::prelude::*;
 
@@ -49,12 +50,13 @@ fn seeded_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
 }
 
 /// Shapes straddling every packing boundary of the blocked GEMM: `m`
-/// around the `MR` register-tile edge, `n` around `NR`, and `k` either
+/// around the `MR` register-tile edge, `n` around `NR` — wide enough to
+/// also cross the AVX-512 kernel's doubled `2*NR` tile — and `k` either
 /// small or hugging the `KC` panel edges (one and two full panels ± 1).
 fn edge_tail_dims() -> impl Strategy<Value = (usize, usize, usize)> {
     (
         1usize..=2 * block::MR + 1,
-        1usize..=2 * block::NR + 1,
+        1usize..=4 * block::NR + 1,
         0usize..3,
         1usize..=2 * block::NR + 1,
     )
@@ -93,19 +95,70 @@ proptest! {
         let b = seeded_mat(k, n, seed ^ 0x9e3779b97f4a7c15);
         let at = a.transpose();
         let bt = b.transpose();
-        // The retained naive reference is the pre-blocking kernel; the
-        // packed kernels must match it on both execution paths.
+        // The retained naive reference is the pre-blocking kernel; every
+        // compiled-in micro-kernel this host can run must match it on
+        // both execution paths.
         let expect = reference::matmul(&a, &b);
         let guard = KNOB_LOCK.lock().unwrap();
         set_parallel_threshold(if pooled == 1 { 0 } else { usize::MAX });
-        let nn = matmul(&a, &b);
-        let tn = matmul_tn(&at, &b);
-        let nt = matmul_nt(&a, &bt);
+        for &kind in compiled_kernels() {
+            if !kind.is_supported() {
+                continue;
+            }
+            block::set_kernel(Some(kind));
+            let nn = matmul(&a, &b);
+            let tn = matmul_tn(&at, &b);
+            let nt = matmul_nt(&a, &bt);
+            let name = kind.name();
+            prop_assert!(nn.max_abs_diff(&expect) < 1e-4, "{name} nn {m}x{k}x{n} pooled={pooled}");
+            prop_assert!(tn.max_abs_diff(&expect) < 1e-4, "{name} tn {m}x{k}x{n} pooled={pooled}");
+            prop_assert!(nt.max_abs_diff(&expect) < 1e-4, "{name} nt {m}x{k}x{n} pooled={pooled}");
+        }
+        block::set_kernel(None);
         set_parallel_threshold(ppgnn_tensor::pool::DEFAULT_PARALLEL_THRESHOLD);
         drop(guard);
-        prop_assert!(nn.max_abs_diff(&expect) < 1e-4, "nn {m}x{k}x{n} pooled={pooled}");
-        prop_assert!(tn.max_abs_diff(&expect) < 1e-4, "tn {m}x{k}x{n} pooled={pooled}");
-        prop_assert!(nt.max_abs_diff(&expect) < 1e-4, "nt {m}x{k}x{n} pooled={pooled}");
+    }
+
+    /// The batched small-GEMM path must agree with per-head looped matmul
+    /// on every compiled-in kernel, at HOGA-like head counts (1, 3, 17)
+    /// and shapes straddling the register-tile tails.
+    #[test]
+    fn batched_path_matches_looped_per_head_on_every_kernel(
+        heads_class in 0usize..3,
+        m in 1usize..=block::MR + 1,
+        k in 1usize..=9,
+        n in 1usize..=2 * block::NR + 1,
+        seed in 0u64..1_000_000,
+    ) {
+        let heads = [1usize, 3, 17][heads_class];
+        let a: Vec<Matrix> = (0..heads).map(|h| seeded_mat(m, k, seed ^ h as u64)).collect();
+        let b: Vec<Matrix> = (0..heads)
+            .map(|h| seeded_mat(k, n, seed ^ 0x9e3779b97f4a7c15 ^ h as u64))
+            .collect();
+        let guard = KNOB_LOCK.lock().unwrap();
+        for &kind in compiled_kernels() {
+            if !kind.is_supported() {
+                continue;
+            }
+            block::set_kernel(Some(kind));
+            let looped: Vec<Matrix> = a.iter().zip(&b).map(|(ah, bh)| matmul(ah, bh)).collect();
+            let batched = matmul_batched(&a, &b);
+            let mut into: Vec<Matrix> = (0..heads).map(|_| Matrix::zeros(m, n)).collect();
+            matmul_batched_into(&a, &b, &mut into);
+            let name = kind.name();
+            for h in 0..heads {
+                prop_assert_eq!(
+                    &batched[h], &looped[h],
+                    "{} batched head {}/{} {}x{}x{}", name, h, heads, m, k, n
+                );
+                prop_assert_eq!(
+                    &into[h], &looped[h],
+                    "{} batched_into head {}/{} {}x{}x{}", name, h, heads, m, k, n
+                );
+            }
+        }
+        block::set_kernel(None);
+        drop(guard);
     }
 
     #[test]

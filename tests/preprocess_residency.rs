@@ -174,6 +174,79 @@ fn linear_training_batches_reuse_scratch_with_bounded_allocations() {
 }
 
 #[test]
+fn sign_forward_into_train_step_reuses_buffers() {
+    use ppgnn_models::{PpModel, Sign};
+    use ppgnn_nn::Mode;
+    use ppgnn_tensor::Matrix;
+
+    let _guard = SERIAL.lock().unwrap();
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(17)
+    };
+    let mut model = Sign::new(2, 16, 32, 4, 0.1, &mut rng);
+    let hops: Vec<Matrix> = (0..3)
+        .map(|h| {
+            Matrix::from_fn(128, 16, |r, c| {
+                ((r * 13 + c * 7 + h) % 29) as f32 * 0.03 - 0.4
+            })
+        })
+        .collect();
+    let g = Matrix::from_fn(128, 4, |r, c| ((r * 5 + c * 11) % 23) as f32 * 0.01 - 0.1);
+    let mut logits = Matrix::default();
+
+    // Warm up every slot: model scratch, training caches (handed back by
+    // backward), and the thread-local GEMM packing workspace.
+    for _ in 0..3 {
+        model.forward_into(&hops, Mode::Train, &mut logits);
+        model.zero_grad();
+        model.backward(&g);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let batches = 20;
+    let mut fwd_allocs = 0usize;
+    for _ in 0..batches {
+        let t0 = ALLOCS.load(Ordering::Relaxed);
+        model.forward_into(&hops, Mode::Train, &mut logits);
+        fwd_allocs += ALLOCS.load(Ordering::Relaxed) - t0;
+        model.zero_grad();
+        model.backward(&g);
+    }
+    let per_batch = (ALLOCS.load(Ordering::Relaxed) - before).div_ceil(batches);
+
+    // `forward_into` itself is allocation-free in steady state: slots are
+    // resized in place and training caches ping-pong back from backward.
+    assert_eq!(
+        fwd_allocs, 0,
+        "train-mode forward_into allocated {fwd_allocs} times over {batches} batches; \
+         a forward slot or training-cache ping-pong has regressed"
+    );
+    // The remaining per-batch allocations are backward's returned
+    // gradient chain (hsplit pieces plus per-layer input gradients).
+    assert!(
+        per_batch <= 48,
+        "Sign forward_into+backward allocated {per_batch} times per batch; \
+         the backward gradient chain has regressed"
+    );
+
+    // Eval-mode forward_into is fully allocation-free once warm.
+    for _ in 0..3 {
+        model.forward_into(&hops, Mode::Eval, &mut logits);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..batches {
+        model.forward_into(&hops, Mode::Eval, &mut logits);
+    }
+    let eval_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        eval_allocs, 0,
+        "eval forward_into allocated {eval_allocs} times over {batches} batches; \
+         the zero-alloc forward path has regressed"
+    );
+}
+
+#[test]
 fn streaming_run_matches_reference_chain_under_tracking() {
     // The allocator is process-global, so also pin correctness here: hop r
     // equals r explicit applications of the operator.
