@@ -1,0 +1,145 @@
+//! Generates the EXPERIMENTS.md knob table from
+//! [`ppgnn_tensor::knobs::REGISTRY`] and checks the committed copy
+//! against it.
+//!
+//! The table lives between `<!-- knob-table:begin -->` /
+//! `<!-- knob-table:end -->` markers; `ppgnn-analyze --write-knob-table`
+//! rewrites it in place, and the default check mode reports any drift
+//! as a diagnostic so CI keeps docs and registry in lockstep.
+
+use std::path::Path;
+
+use ppgnn_tensor::knobs::{KnobDef, KnobKind, REGISTRY};
+
+use crate::config::L_KNOB_TABLE;
+use crate::Diagnostic;
+
+/// Opening marker line in EXPERIMENTS.md.
+pub const BEGIN: &str = "<!-- knob-table:begin -->";
+/// Closing marker line in EXPERIMENTS.md.
+pub const END: &str = "<!-- knob-table:end -->";
+
+fn kind_cell(d: &KnobDef) -> String {
+    match d.kind {
+        KnobKind::Usize { min, max } => {
+            if max == usize::MAX {
+                format!("usize ≥ {min}")
+            } else {
+                format!("usize {min}–{max}")
+            }
+        }
+        KnobKind::U64 => "u64".to_string(),
+        KnobKind::Flag => "flag (`1` = on)".to_string(),
+        KnobKind::Path => "path".to_string(),
+        KnobKind::Enum(values) => values.join(" \\| "),
+    }
+}
+
+/// The generated markdown table (markers not included).
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("| knob | type | default | effect |\n");
+    out.push_str("|------|------|---------|--------|\n");
+    for d in REGISTRY {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            d.name,
+            kind_cell(d),
+            d.default,
+            d.doc
+        ));
+    }
+    out
+}
+
+/// Checks `root/EXPERIMENTS.md` against the registry; returns a
+/// diagnostic per problem (missing file, missing markers, stale table).
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let path = root.join("EXPERIMENTS.md");
+    let diag = |line: usize, message: String| Diagnostic {
+        path: "EXPERIMENTS.md".to_string(),
+        line,
+        col: 1,
+        lint: L_KNOB_TABLE,
+        message,
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return vec![diag(1, "EXPERIMENTS.md is missing".to_string())];
+    };
+    let Some((line, current)) = extract(&text) else {
+        return vec![diag(
+            1,
+            format!("EXPERIMENTS.md lacks the `{BEGIN}` / `{END}` marker pair"),
+        )];
+    };
+    if current.trim() != render().trim() {
+        return vec![diag(
+            line,
+            "knob table is stale; run `cargo run -p ppgnn-analyze -- --write-knob-table`"
+                .to_string(),
+        )];
+    }
+    Vec::new()
+}
+
+/// Rewrites the marked region of `root/EXPERIMENTS.md` from the
+/// registry.
+///
+/// # Errors
+///
+/// Io errors reading/writing the file, or a missing marker pair.
+pub fn write(root: &Path) -> std::io::Result<()> {
+    let path = root.join("EXPERIMENTS.md");
+    let text = std::fs::read_to_string(&path)?;
+    if extract(&text).is_none() {
+        return Err(std::io::Error::other(format!(
+            "EXPERIMENTS.md lacks the `{BEGIN}` / `{END}` marker pair"
+        )));
+    }
+    let begin = text.find(BEGIN).map(|i| i + BEGIN.len());
+    let end = text.find(END);
+    let (Some(begin), Some(end)) = (begin, end) else {
+        unreachable!("extract() checked the markers");
+    };
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..begin]);
+    out.push('\n');
+    out.push_str(&render());
+    out.push_str(&text[end..]);
+    std::fs::write(&path, out)
+}
+
+/// The current between-markers content and the 1-based line of the
+/// opening marker.
+fn extract(text: &str) -> Option<(usize, &str)> {
+    let begin = text.find(BEGIN)?;
+    let end = text.find(END)?;
+    if end < begin {
+        return None;
+    }
+    let line = text[..begin].lines().count() + 1;
+    Some((line, &text[begin + BEGIN.len()..end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_emits_one_row_per_registry_entry() {
+        let table = render();
+        for d in REGISTRY {
+            assert!(table.contains(d.name), "{} missing from table", d.name);
+        }
+        assert_eq!(table.lines().count(), REGISTRY.len() + 2);
+    }
+
+    #[test]
+    fn extract_finds_marked_region() {
+        let text = format!("before\n{BEGIN}\nstale\n{END}\nafter\n");
+        let (line, body) = extract(&text).expect("markers present");
+        assert_eq!(line, 2);
+        assert_eq!(body.trim(), "stale");
+        assert!(extract("no markers").is_none());
+    }
+}

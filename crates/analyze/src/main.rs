@@ -1,0 +1,77 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! ppgnn-analyze [--root DIR] [--write-knob-table]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ppgnn_analyze::{analyze_root, config::Config, default_root, knob_table};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut write_table = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-knob-table" => write_table = true,
+            "--help" | "-h" => {
+                println!("usage: ppgnn-analyze [--root DIR] [--write-knob-table]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    if write_table {
+        return match knob_table::write(&root) {
+            Ok(()) => {
+                println!(
+                    "wrote knob table to {}",
+                    root.join("EXPERIMENTS.md").display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = match analyze_root(&root, &Config::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.is_clean() {
+        println!("ppgnn-analyze: {} files clean", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "ppgnn-analyze: {} finding(s) across {} files",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,165 @@
+//! Raw-source-line facilities: `// SAFETY:` comment detection and the
+//! `// ppgnn-analyze: allow(<lint>)` escape hatch.
+//!
+//! The vendored lexer treats comments as trivia, so everything
+//! comment-shaped is resolved here against the original text. Line
+//! numbers are 1-based throughout, matching `proc_macro2::Span`.
+
+/// A source file's lines plus its parsed escape-hatch annotations.
+pub struct SourceText {
+    lines: Vec<String>,
+    /// `(line, lint)` pairs for each `ppgnn-analyze: allow(…)` comment.
+    allows: Vec<(usize, String)>,
+}
+
+impl SourceText {
+    /// Splits `src` and records every escape-hatch annotation.
+    pub fn new(src: &str) -> SourceText {
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let mut allows = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            // Only honor the marker inside a line comment: an
+            // annotation mentioned in a string (like the ones in the
+            // linter's own tests) is not an escape hatch.
+            let mut rest = line_comment_tail(line);
+            while let Some(pos) = rest.find("ppgnn-analyze: allow(") {
+                let args = &rest[pos + "ppgnn-analyze: allow(".len()..];
+                if let Some(end) = args.find(')') {
+                    for name in args[..end].split(',') {
+                        allows.push((i + 1, name.trim().to_string()));
+                    }
+                    rest = &args[end..];
+                } else {
+                    break;
+                }
+            }
+        }
+        SourceText { lines, allows }
+    }
+
+    /// The 1-based line `n`, or `""` past the end.
+    pub fn line(&self, n: usize) -> &str {
+        n.checked_sub(1)
+            .and_then(|i| self.lines.get(i))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Whether an `allow(lint)` annotation sits on `line` itself or in
+    /// the contiguous comment block directly above it (so multi-line
+    /// justification comments work).
+    pub fn allowed_at(&self, lint: &str, line: usize) -> bool {
+        if self.allows.iter().any(|(l, n)| n == lint && *l == line) {
+            return true;
+        }
+        self.allowed_above_item(lint, line)
+    }
+
+    /// Whether the contiguous comment/attribute block directly above
+    /// `line` (doc comments included) carries an `allow(lint)` for the
+    /// whole item.
+    pub fn allowed_above_item(&self, lint: &str, line: usize) -> bool {
+        self.comment_block_above(line)
+            .any(|l| self.allows.iter().any(|(al, n)| *al == l && n == lint))
+    }
+
+    /// Whether the unsafe site starting at `line` is justified: the
+    /// line itself carries a trailing `// SAFETY:` comment, or the
+    /// contiguous comment/attribute block above it contains `SAFETY:`
+    /// or a `# Safety` doc section.
+    pub fn has_safety_doc(&self, line: usize) -> bool {
+        if line_comment_tail(self.line(line)).contains("SAFETY:") {
+            return true;
+        }
+        self.comment_block_above(line).any(|l| {
+            let t = self.line(l).trim_start();
+            t.contains("SAFETY:") || t.contains("# Safety")
+        })
+    }
+
+    /// 1-based line numbers of the contiguous comment / attribute block
+    /// directly above `line`, nearest first.
+    fn comment_block_above(&self, line: usize) -> impl Iterator<Item = usize> + '_ {
+        let mut l = line;
+        std::iter::from_fn(move || {
+            if l <= 1 {
+                return None;
+            }
+            l -= 1;
+            let t = self.line(l).trim_start();
+            let is_comment_or_attr = t.starts_with("//")
+                || t.starts_with("#[")
+                || t.starts_with("#![")
+                // Tail lines of a multi-line attribute.
+                || (t.ends_with(")]") && !t.starts_with('}'));
+            is_comment_or_attr.then_some(l)
+        })
+    }
+}
+
+/// The comment tail of a line (everything from the first `//` that is
+/// not inside a string literal — approximated by requiring the `//` to
+/// follow an even number of unescaped quotes).
+fn line_comment_tail(line: &str) -> &str {
+    let mut quotes = 0usize;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 1,
+            b'"' => quotes += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' && quotes.is_multiple_of(2) => {
+                return &line[i..];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    ""
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_annotations_parse_with_spans() {
+        let s = SourceText::new(
+            "fn a() {}\n// ppgnn-analyze: allow(unwrap) -- justified\nlet x = y.unwrap();\n",
+        );
+        assert!(s.allowed_at("unwrap", 2));
+        assert!(s.allowed_at("unwrap", 3)); // line directly below
+        assert!(!s.allowed_at("unwrap", 1));
+        assert!(!s.allowed_at("hot_path_alloc", 3));
+    }
+
+    #[test]
+    fn allow_in_string_literal_is_ignored() {
+        let s = SourceText::new("let m = \"// ppgnn-analyze: allow(unwrap)\";\n");
+        assert!(!s.allowed_at("unwrap", 1));
+        assert!(!s.allowed_at("unwrap", 2));
+    }
+
+    #[test]
+    fn safety_comments_and_doc_sections_are_found() {
+        let s = SourceText::new(
+            "// SAFETY: bounds checked above\nunsafe { go() }\n\nunsafe { nope() }\nlet x = 1; // SAFETY: trailing\n",
+        );
+        assert!(s.has_safety_doc(2));
+        assert!(!s.has_safety_doc(4));
+        assert!(s.has_safety_doc(5));
+
+        let d = SourceText::new(
+            "/// Does things.\n///\n/// # Safety\n///\n/// Caller upholds X.\n#[inline]\nunsafe fn f() {}\n",
+        );
+        assert!(d.has_safety_doc(7));
+    }
+
+    #[test]
+    fn comment_block_stops_at_code_and_blank_lines() {
+        let s = SourceText::new("// SAFETY: far away\n\nunsafe { x() }\n");
+        assert!(!s.has_safety_doc(3));
+        let s = SourceText::new("let a = 1;\n// no marker here\nunsafe { x() }\n");
+        assert!(!s.has_safety_doc(3));
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture for the `safety_comment` lint. Not compiled — scanned by
+//! crates/analyze/tests/lints.rs.
+
+pub fn fires() {
+    unsafe { danger() }
+}
+
+pub fn justified() {
+    // SAFETY: bounds checked by the caller.
+    unsafe { danger() }
+}
+
+/// Does a documented dangerous thing.
+///
+/// # Safety
+///
+/// Caller must uphold X.
+pub unsafe fn documented_decl() {}
+
+pub unsafe fn undocumented_decl() {}
+
+pub fn escaped() {
+    // ppgnn-analyze: allow(safety_comment) -- fixture escape hatch.
+    unsafe { danger() }
+}

@@ -1,0 +1,19 @@
+//! Fixture for the `env_knob` lint. Not compiled — scanned by
+//! crates/analyze/tests/lints.rs.
+
+pub fn fires() -> Option<String> {
+    std::env::var("PPGNN_FIXTURE_KNOB").ok()
+}
+
+pub fn bare_path_fires() -> Option<String> {
+    env::var("PPGNN_FIXTURE_KNOB").ok()
+}
+
+pub fn non_knob_is_fine() -> Option<String> {
+    std::env::var("HOME").ok()
+}
+
+pub fn escaped() -> Option<String> {
+    // ppgnn-analyze: allow(env_knob) -- fixture escape hatch.
+    std::env::var("PPGNN_FIXTURE_KNOB").ok()
+}

@@ -1,0 +1,26 @@
+//! Fixture for the `hot_path_alloc` lint. Not compiled — scanned by
+//! crates/analyze/tests/lints.rs.
+
+pub fn forward_into(x: &[f32], out: &mut Vec<f32>) {
+    let tmp = vec![0.0f32; 4];
+    let copy = tmp.clone();
+    out.extend(copy);
+}
+
+pub fn not_hot_path_is_fine() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+// ppgnn-analyze: allow(hot_path_alloc) -- fixture fn-level escape hatch.
+pub fn spmm_into() {
+    let zeroed = Matrix::zeros(2, 2);
+    drop(zeroed);
+}
+
+pub fn backward() {
+    // ppgnn-analyze: allow(hot_path_alloc) -- fixture line-level escape
+    // hatch with a multi-line justification.
+    let hatched = vec![1];
+    let fires: Vec<u32> = Vec::new();
+    drop((hatched, fires));
+}

@@ -1,0 +1,42 @@
+//! Fixture for the `unfused_fma` lint. Not compiled — scanned by
+//! crates/analyze/tests/lints.rs.
+
+/// # Safety
+/// CPU must support AVX2+FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn fires(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}
+
+/// # Safety
+/// CPU must support AVX2+FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn fused_is_fine(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}
+
+/// # Safety
+/// CPU must support AVX2+FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn grouped_opt_out_is_fine(a: f32, b: f32, c: f32) -> f32 {
+    (a * b) + c
+}
+
+pub fn no_target_feature_is_fine(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}
+
+/// # Safety
+/// CPU must support AVX-512F (no fma feature string).
+#[target_feature(enable = "avx512f")]
+pub unsafe fn other_feature_is_fine(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}
+
+/// # Safety
+/// CPU must support AVX2+FMA.
+// ppgnn-analyze: allow(unfused_fma) -- fixture fn-level escape hatch.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn escaped(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}

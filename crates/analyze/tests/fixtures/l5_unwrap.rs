@@ -1,0 +1,32 @@
+//! Fixture for the `unwrap` lint. Not compiled — scanned by
+//! crates/analyze/tests/lints.rs with an allowlist containing only
+//! "fixture invariant holds".
+
+pub fn fires(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn allowlisted_expect_is_fine(o: Option<u32>) -> u32 {
+    o.expect("fixture invariant holds")
+}
+
+pub fn unlisted_expect_fires(o: Option<u32>) -> u32 {
+    o.expect("this message is not on the allowlist")
+}
+
+pub fn dynamic_expect_fires(o: Option<u32>, why: &str) -> u32 {
+    o.expect(why)
+}
+
+// ppgnn-analyze: allow(unwrap) -- fixture fn-level escape hatch.
+pub fn escaped(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

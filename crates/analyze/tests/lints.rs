@@ -1,0 +1,101 @@
+//! Fixture tests: each lint fires on its fixture, honors the escape
+//! hatches, and scopes to the right file kinds.
+
+use ppgnn_analyze::config::{Config, FileKind, L_ALLOC, L_ENV, L_FMA, L_SAFETY, L_UNWRAP};
+use ppgnn_analyze::{analyze_source, Diagnostic};
+
+fn lib_diags(src: &str, config: &Config) -> Vec<Diagnostic> {
+    let (diags, _) = analyze_source("crates/x/src/lib.rs", src, FileKind::Lib, config);
+    diags
+}
+
+#[test]
+fn l1_safety_comment_fires_and_respects_justifications() {
+    let src = include_str!("fixtures/l1_unsafe.rs");
+    let diags = lib_diags(src, &Config::default());
+    let l1: Vec<_> = diags.iter().filter(|d| d.lint == L_SAFETY).collect();
+    // `fires()`'s block and `undocumented_decl`; the justified block, the
+    // documented decl, and the escaped block stay silent.
+    assert_eq!(l1.len(), 2, "{l1:?}");
+    assert!(l1.iter().any(|d| d.message.contains("unsafe block")));
+    assert!(l1.iter().any(|d| d.message.contains("unsafe fn")));
+}
+
+#[test]
+fn l2_env_knob_fires_on_raw_ppgnn_reads_only() {
+    let src = include_str!("fixtures/l2_env.rs");
+    let diags = lib_diags(src, &Config::default());
+    let l2: Vec<_> = diags.iter().filter(|d| d.lint == L_ENV).collect();
+    // `fires()` and `bare_path_fires()`; HOME and the escaped read pass.
+    assert_eq!(l2.len(), 2, "{l2:?}");
+
+    // The knobs registry itself is exempt by path.
+    let (diags, _) = analyze_source(
+        "crates/tensor/src/knobs.rs",
+        "pub fn raw() { std::env::var(\"PPGNN_X\").ok(); }\n",
+        FileKind::Lib,
+        &Config::default(),
+    );
+    assert!(diags.iter().all(|d| d.lint != L_ENV), "{diags:?}");
+}
+
+#[test]
+fn l3_hot_path_alloc_fires_in_lib_hot_fns_only() {
+    let src = include_str!("fixtures/l3_alloc.rs");
+    let diags = lib_diags(src, &Config::default());
+    let l3: Vec<_> = diags.iter().filter(|d| d.lint == L_ALLOC).collect();
+    // forward_into: vec![] + .clone(); backward: the un-hatched Vec::new.
+    assert_eq!(l3.len(), 3, "{l3:?}");
+    assert!(l3.iter().all(|d| d.message.contains("hot-path fn")));
+
+    // The same text in a test file is exempt.
+    let (diags, _) = analyze_source(
+        "crates/x/tests/alloc.rs",
+        src,
+        FileKind::Test,
+        &Config::default(),
+    );
+    assert!(diags.iter().all(|d| d.lint != L_ALLOC), "{diags:?}");
+}
+
+#[test]
+fn l4_unfused_fma_fires_under_fma_target_feature_only() {
+    let src = include_str!("fixtures/l4_fma.rs");
+    let diags = lib_diags(src, &Config::default());
+    let l4: Vec<_> = diags.iter().filter(|d| d.lint == L_FMA).collect();
+    // Only `fires()`: mul_add, the parenthesised product, the
+    // feature-less fn, the non-fma feature fn, and the escaped fn pass.
+    assert_eq!(l4.len(), 1, "{l4:?}");
+    assert!(l4[0].message.contains("mul_add"));
+}
+
+#[test]
+fn l5_unwrap_policy_fires_with_allowlist_and_test_scoping() {
+    let config = Config {
+        expect_allowlist: vec!["fixture invariant holds".to_string()],
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/l5_unwrap.rs");
+    let (diags, seen) = analyze_source("crates/x/src/lib.rs", src, FileKind::Lib, &config);
+    let l5: Vec<_> = diags.iter().filter(|d| d.lint == L_UNWRAP).collect();
+    // `fires()`, the unlisted expect, and the dynamic expect; the
+    // allowlisted expect, the escaped fn, and the #[cfg(test)] mod pass.
+    assert_eq!(l5.len(), 3, "{l5:?}");
+    assert_eq!(seen, vec!["fixture invariant holds".to_string()]);
+
+    // Bin targets are exempt from the unwrap policy entirely.
+    let (diags, _) = analyze_source("crates/x/src/bin/tool.rs", src, FileKind::Bin, &config);
+    assert!(diags.iter().all(|d| d.lint != L_UNWRAP), "{diags:?}");
+}
+
+#[test]
+fn quote_built_source_is_lintable() {
+    // The vendored quote! shim re-lexes its body; Display round-trips it
+    // into analyzable source text.
+    let tokens = quote::quote! {
+        pub fn helper(o: Option<u32>) -> u32 { o.unwrap() }
+    };
+    let diags = lib_diags(&tokens.to_string(), &Config::default());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, L_UNWRAP);
+}

@@ -1,0 +1,29 @@
+//! The workspace must stay lint-clean: `cargo test -p ppgnn-analyze`
+//! fails if any lint fires on the repo itself or the EXPERIMENTS.md
+//! knob table drifts from the registry.
+
+use ppgnn_analyze::config::Config;
+use ppgnn_analyze::{analyze_root, default_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = default_root();
+    assert!(
+        root.join("ROADMAP.md").exists(),
+        "self-check must run from within the repo (got {})",
+        root.display()
+    );
+    let report = analyze_root(&root, &Config::default()).expect("workspace sources are readable");
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(
+        report.is_clean(),
+        "ppgnn-analyze found {} issue(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -26,8 +26,8 @@ use std::time::Instant;
 
 use ppgnn_graph::{gen, WeightedCsr};
 use ppgnn_tensor::{
-    block, compiled_kernels, init, matmul, matmul_batched_into, matmul_nt, matmul_tn, reference,
-    tune, Matrix,
+    block, compiled_kernels, init, knobs, matmul, matmul_batched_into, matmul_nt, matmul_tn,
+    reference, tune, Matrix,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,10 +94,10 @@ fn write_gemm_artifact() {
     // or when a destination was explicitly requested; under `cargo test`
     // the bench bodies run once as smoke tests and skip this.
     let measuring = std::env::args().any(|a| a == "--bench");
-    if !measuring && std::env::var("PPGNN_GEMM_BENCH_ARTIFACT").is_err() {
+    if !measuring && !knobs::is_set(knobs::GEMM_BENCH_ARTIFACT) {
         return;
     }
-    let smoke = std::env::var("PPGNN_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = knobs::flag(knobs::BENCH_SMOKE);
     // Even smoke mode keeps 3 best-of reps: the CI gate consumes these
     // numbers, and best-of-2 on a shared runner lets one descheduling
     // burst inflate a single measurement past the gate's tolerance.
@@ -259,8 +259,8 @@ fn write_gemm_artifact() {
         spmm_nodes,
         spmm_rows_per_s,
     );
-    let path = std::env::var("PPGNN_GEMM_BENCH_ARTIFACT")
-        .unwrap_or_else(|_| "BENCH_gemm.json".to_string());
+    let path = knobs::string_value(knobs::GEMM_BENCH_ARTIFACT)
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not write {path}: {e}");
     } else {

@@ -19,7 +19,7 @@ use ppgnn_core::preprocess::Preprocessor;
 use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
 use ppgnn_graph::Operator;
 use ppgnn_nn::{CrossEntropyLoss, Mode};
-use ppgnn_tensor::Matrix;
+use ppgnn_tensor::{knobs, Matrix};
 
 fn bench_preprocess(c: &mut Criterion) {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(MICRO_SCALE), 0)
@@ -49,11 +49,7 @@ fn bench_preprocess_k2_r3(c: &mut Criterion) {
         .with_num_shards(num_shards);
     let sequential =
         Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 3).with_num_shards(1);
-    let num_partitions = std::env::var("PPGNN_NUM_PARTITIONS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(2)
-        .max(1);
+    let num_partitions = knobs::usize_value(knobs::NUM_PARTITIONS).unwrap_or(2);
     let partitioned = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 3)
         .with_num_partitions(num_partitions);
     let mut group = c.benchmark_group("preprocess");
@@ -94,10 +90,10 @@ fn write_preprop_artifact(
     // write the artifact when actually measuring (`cargo bench` passes
     // `--bench`) or when a destination was explicitly requested.
     let measuring = std::env::args().any(|a| a == "--bench");
-    if !measuring && std::env::var("PPGNN_BENCH_ARTIFACT").is_err() {
+    if !measuring && !knobs::is_set(knobs::BENCH_ARTIFACT) {
         return;
     }
-    let smoke = std::env::var("PPGNN_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = knobs::flag(knobs::BENCH_SMOKE);
     let reps = if smoke { 1 } else { 3 };
     let best_of = |prep: &Preprocessor| {
         let mut seconds = f64::MAX;
@@ -174,8 +170,8 @@ fn write_preprop_artifact(
         output_bytes,
         spmm_bytes,
     );
-    let path =
-        std::env::var("PPGNN_BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_preprop.json".to_string());
+    let path = knobs::string_value(knobs::BENCH_ARTIFACT)
+        .unwrap_or_else(|| "BENCH_preprop.json".to_string());
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not write {path}: {e}");
     } else {

@@ -12,6 +12,7 @@ use ppgnn_bench::{print_markdown_table, HARNESS_SCALE};
 use ppgnn_core::preprocess::Preprocessor;
 use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
 use ppgnn_graph::{BfsGrowPartitioner, Operator, Partitioner, RangeCutPartitioner};
+use ppgnn_tensor::knobs;
 
 fn main() {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(HARNESS_SCALE), 42)
@@ -19,9 +20,9 @@ fn main() {
     let prep = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 3);
     let reference = prep.run(&data);
 
-    let env_parts = std::env::var("PPGNN_NUM_PARTITIONS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok());
+    // Clamped through the registry like every other consumer — the
+    // pre-registry read here accepted any usize, including 0.
+    let env_parts = knobs::usize_value(knobs::NUM_PARTITIONS);
     let part_counts: Vec<usize> = env_parts.map(|p| vec![p]).unwrap_or_else(|| vec![2, 4]);
 
     println!("## Partition balance — pokec-sim, K=2 (sym + rw), R=3\n");

@@ -29,7 +29,7 @@ use ppgnn_dataio::{
 use ppgnn_graph::synth::SynthDataset;
 use ppgnn_graph::{Operator, Partitioner, RangeCutPartitioner, ShardPlan, WeightedCsr};
 use ppgnn_partition::{PartitionStat, PartitionedDiffusion};
-use ppgnn_tensor::{pool, Matrix, WorkerPool};
+use ppgnn_tensor::{knobs, pool, Matrix, WorkerPool};
 
 /// Hop features plus labels for one node partition (train/val/test).
 ///
@@ -233,11 +233,8 @@ impl Preprocessor {
         if let Some(n) = self.num_shards {
             return (n.max(1), true);
         }
-        if let Some(n) = std::env::var("PPGNN_NUM_SHARDS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            return (n.clamp(1, 4096), true);
+        if let Some(n) = knobs::usize_value(knobs::NUM_SHARDS) {
+            return (n, true);
         }
         (pool.num_threads(), false)
     }
@@ -248,20 +245,12 @@ impl Preprocessor {
         if let Some(n) = self.num_partitions {
             return n.max(1);
         }
-        std::env::var("PPGNN_NUM_PARTITIONS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map(|n| n.clamp(1, 4096))
-            .unwrap_or(1)
+        knobs::usize_value(knobs::NUM_PARTITIONS).unwrap_or(1)
     }
 
     fn resolved_writer_queue(&self) -> usize {
         self.writer_queue
-            .or_else(|| {
-                std::env::var("PPGNN_WRITER_QUEUE")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-            })
+            .or_else(|| knobs::usize_value(knobs::WRITER_QUEUE))
             .unwrap_or(DEFAULT_WRITER_QUEUE)
             .max(1)
     }

@@ -270,6 +270,8 @@ impl Trainer {
         if data.train.is_empty() {
             return Err(TrainError::EmptyTrainSet);
         }
+        // ppgnn-analyze: allow(hot_path_alloc) -- one-time setup: the
+        // loader owns an Arc'd copy of the train partition for the run.
         let mut loader = self.make_loader(Arc::new(data.train.clone()));
         let mut opt = self.make_optimizer();
         let loss_fn = CrossEntropyLoss;

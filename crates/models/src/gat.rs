@@ -149,6 +149,9 @@ impl GatLayer {
     }
 
     /// Returns the gradient with respect to the layer's source features.
+    // ppgnn-analyze: allow(hot_path_alloc) -- per-minibatch gradient work
+    // buffers (dz, per-head score grads); sized by the sampled block, not
+    // the full graph.
     fn backward(&mut self, cache: GatCache, g_out: &Matrix) -> Matrix {
         let GatCache {
             block,
@@ -216,16 +219,18 @@ impl GatLayer {
                 let off = k * dh;
                 let d = ds_src[u * self.heads + k];
                 if d != 0.0 {
-                    let zu = z.row(u)[off..off + dh].to_vec();
                     {
-                        let a = self.a_src.value.row(k).to_vec();
+                        // `value`/`grad` are disjoint `Param` fields, and
+                        // `dz` is local — no copies needed.
+                        let a = self.a_src.value.row(k);
                         let dz_row = &mut dz.row_mut(u)[off..off + dh];
-                        for (o, av) in dz_row.iter_mut().zip(&a) {
+                        for (o, &av) in dz_row.iter_mut().zip(a) {
                             *o += d * av;
                         }
                     }
+                    let zu = &z.row(u)[off..off + dh];
                     let ga = self.a_src.grad.row_mut(k);
-                    for (o, zv) in ga.iter_mut().zip(&zu) {
+                    for (o, &zv) in ga.iter_mut().zip(zu) {
                         *o += d * zv;
                     }
                 }
@@ -236,16 +241,17 @@ impl GatLayer {
                 let off = k * dh;
                 let d = ds_dst[i * self.heads + k];
                 if d != 0.0 {
-                    let zi = z.row(i)[off..off + dh].to_vec();
                     {
-                        let a = self.a_dst.value.row(k).to_vec();
+                        // Disjoint borrows, as in the `ds_src` loop above.
+                        let a = self.a_dst.value.row(k);
                         let dz_row = &mut dz.row_mut(i)[off..off + dh];
-                        for (o, av) in dz_row.iter_mut().zip(&a) {
+                        for (o, &av) in dz_row.iter_mut().zip(a) {
                             *o += d * av;
                         }
                     }
+                    let zi = &z.row(i)[off..off + dh];
                     let ga = self.a_dst.grad.row_mut(k);
-                    for (o, zv) in ga.iter_mut().zip(&zi) {
+                    for (o, &zv) in ga.iter_mut().zip(zi) {
                         *o += d * zv;
                     }
                 }
@@ -325,6 +331,9 @@ impl MpModel for Gat {
         out
     }
 
+    // ppgnn-analyze: allow(hot_path_alloc) -- sampling-based minibatch
+    // forward materializes per-layer train-mode caches sized by the
+    // sampled block, not the full graph.
     fn forward_into(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(
             batch.blocks.len(),

@@ -215,6 +215,9 @@ impl PpModel for Hoga {
         self.head.forward_into(&self.pooled, mode, out);
     }
 
+    // ppgnn-analyze: allow(hot_path_alloc) -- per-batch gradient work
+    // buffers (gated-readout and per-hop de-interleave grads); bounded by
+    // the residency pin in tests/preprocess_residency.rs.
     fn backward(&mut self, grad_out: &Matrix) {
         let HogaCache {
             batch: b,

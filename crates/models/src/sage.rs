@@ -84,6 +84,9 @@ impl MpModel for GraphSage {
         out
     }
 
+    // ppgnn-analyze: allow(hot_path_alloc) -- sampling-based minibatch
+    // forward materializes per-layer train-mode caches sized by the
+    // sampled block, not the full graph.
     fn forward_into(&mut self, batch: &MiniBatch, x_input: &Matrix, mode: Mode, out: &mut Matrix) {
         assert_eq!(
             batch.blocks.len(),
@@ -155,8 +158,7 @@ impl MpModel for GraphSage {
             let mut g_src = block.mean_backward(&g_agg, g_agg.cols());
             // self path: dst nodes are the first num_dst sources
             for d in 0..block.num_dst() {
-                let row = g_self.row(d).to_vec();
-                for (o, v) in g_src.row_mut(d).iter_mut().zip(&row) {
+                for (o, &v) in g_src.row_mut(d).iter_mut().zip(g_self.row(d)) {
                     *o += v;
                 }
             }

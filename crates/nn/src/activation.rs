@@ -50,6 +50,8 @@ impl Module for Relu {
             grad_out.len(),
             "grad_out shape mismatch in Relu"
         );
+        // ppgnn-analyze: allow(hot_path_alloc) -- gradient result is
+        // produced by value; `backward` returns an owned Matrix.
         let mut g = grad_out.clone();
         for (v, &keep) in g.as_mut_slice().iter_mut().zip(&mask) {
             if !keep {
@@ -118,6 +120,8 @@ impl Module for PRelu {
                     buf.as_mut_slice().copy_from_slice(x.as_slice());
                     buf
                 }
+                // ppgnn-analyze: allow(hot_path_alloc) -- first-call cold
+                // path; steady state reuses `input_scratch`.
                 None => x.clone(),
             };
             self.cached_input = Some(cached);
@@ -135,6 +139,8 @@ impl Module for PRelu {
             "grad_out shape mismatch in PRelu"
         );
         let a = self.alpha();
+        // ppgnn-analyze: allow(hot_path_alloc) -- gradient result is
+        // produced by value; `backward` returns an owned Matrix.
         let mut gx = grad_out.clone();
         let mut galpha = 0.0f32;
         for ((g, &xv), gout) in gx

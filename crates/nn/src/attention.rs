@@ -233,6 +233,9 @@ impl Module for MultiHeadAttention {
         }
     }
 
+    // ppgnn-analyze: allow(hot_path_alloc) -- per-batch gradient work
+    // buffers (dq/dk/dv, per-head attention scratch) plus the by-value
+    // result; bounded by the residency pin in tests/preprocess_residency.rs.
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let AttnCache {
             x,

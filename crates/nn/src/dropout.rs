@@ -77,6 +77,8 @@ impl Module for Dropout {
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         match self.mask.take() {
+            // ppgnn-analyze: allow(hot_path_alloc) -- gradient result is
+            // produced by value; `backward` returns an owned Matrix.
             None => grad_out.clone(), // p == 0 or eval-mode forward
             Some(mask) => {
                 assert_eq!(
@@ -84,6 +86,8 @@ impl Module for Dropout {
                     grad_out.len(),
                     "grad_out shape mismatch in Dropout"
                 );
+                // ppgnn-analyze: allow(hot_path_alloc) -- same by-value
+                // gradient result as above.
                 let mut g = grad_out.clone();
                 for (v, m) in g.as_mut_slice().iter_mut().zip(&mask) {
                     *v *= m;

@@ -99,6 +99,8 @@ impl Module for Linear {
                     buf.copy_from(x);
                     buf
                 }
+                // ppgnn-analyze: allow(hot_path_alloc) -- cold path: first
+                // batch or a shape change; steady state hits the arm above.
                 _ => x.clone(),
             };
             self.cached_input = Some(cached);
@@ -117,6 +119,8 @@ impl Module for Linear {
         );
         let mut gw = match self.grad_w_scratch.take() {
             Some(buf) if buf.shape() == self.weight.value.shape() => buf,
+            // ppgnn-analyze: allow(hot_path_alloc) -- cold path: scratch
+            // shape miss on the first batch.
             _ => Matrix::zeros(self.in_dim(), self.out_dim()),
         };
         matmul_tn_into(&x, grad_out, &mut gw);

@@ -159,6 +159,8 @@ impl Module for Sequential {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // ppgnn-analyze: allow(hot_path_alloc) -- seed of the by-value
+        // gradient chain threaded through the layers below.
         let mut grad = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             grad = layer.backward(&grad);

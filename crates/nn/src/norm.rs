@@ -100,7 +100,9 @@ impl Module for LayerNorm {
             "grad_out shape mismatch"
         );
         let d = normalized.cols();
-        let gamma = self.gamma.value.row(0).to_vec();
+        // `value` and `grad` are disjoint fields of `Param`, so borrowing
+        // gamma's values does not conflict with the grad updates below.
+        let gamma = self.gamma.value.row(0);
 
         // Parameter grads: ∂γ = Σ_rows g ⊙ x̂ ; ∂β = Σ_rows g.
         {
@@ -126,13 +128,14 @@ impl Module for LayerNorm {
 
         // Input grad (standard layer-norm backward):
         // ∂x = istd/d · (d·h − Σh − x̂·Σ(h⊙x̂)), where h = g ⊙ γ.
+        // ppgnn-analyze: allow(hot_path_alloc) -- by-value gradient result.
         let mut gx = Matrix::zeros(grad_out.rows(), d);
         for r in 0..grad_out.rows() {
             let g = grad_out.row(r);
             let nx = normalized.row(r);
             let mut sum_h = 0.0f32;
             let mut sum_hx = 0.0f32;
-            for ((&gv, &gam), &nv) in g.iter().zip(&gamma).zip(nx) {
+            for ((&gv, &gam), &nv) in g.iter().zip(gamma).zip(nx) {
                 let h = gv * gam;
                 sum_h += h;
                 sum_hx += h * nv;
@@ -325,9 +328,13 @@ impl Module for BatchNorm1d {
             "grad_out shape mismatch"
         );
         let (n, d) = normalized.shape();
-        let gamma = self.gamma.value.row(0).to_vec();
+        // Disjoint-field borrow, as in LayerNorm::backward above.
+        let gamma = self.gamma.value.row(0);
 
+        // ppgnn-analyze: allow(hot_path_alloc) -- d-length reduction
+        // buffers for the column sums.
         let mut sum_g = vec![0.0f32; d];
+        // ppgnn-analyze: allow(hot_path_alloc) -- see above.
         let mut sum_gx = vec![0.0f32; d];
         for r in 0..n {
             for k in 0..d {
@@ -343,6 +350,7 @@ impl Module for BatchNorm1d {
             self.beta.grad.set(0, k, gb + sum_g[k]);
         }
 
+        // ppgnn-analyze: allow(hot_path_alloc) -- by-value gradient result.
         let mut gx = Matrix::zeros(n, d);
         if !used_batch_stats {
             // Running statistics were constants in this forward.

@@ -258,12 +258,7 @@ pub mod block {
             return v;
         }
         KC_FROM_ENV
-            .get_or_init(|| {
-                std::env::var("PPGNN_GEMM_BLOCK")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .map(|v| v.clamp(1, 65536))
-            })
+            .get_or_init(|| crate::knobs::usize_value(crate::knobs::GEMM_BLOCK))
             .or_else(|| crate::tune::cached_profile().map(|p| p.kc))
             .unwrap_or(DEFAULT_KC)
     }
@@ -286,12 +281,7 @@ pub mod block {
             return v;
         }
         NC_FROM_ENV
-            .get_or_init(|| {
-                std::env::var("PPGNN_GEMM_NC")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .map(|v| v.clamp(1, 1 << 20))
-            })
+            .get_or_init(|| crate::knobs::usize_value(crate::knobs::GEMM_NC))
             .or_else(|| crate::tune::cached_profile().map(|p| p.nc))
             .unwrap_or(DEFAULT_NC)
     }
@@ -324,7 +314,7 @@ pub mod block {
         }
         KERNEL_FROM_ENV
             .get_or_init(|| {
-                let raw = std::env::var("PPGNN_FORCE_KERNEL").ok()?;
+                let raw = crate::knobs::string_value(crate::knobs::FORCE_KERNEL)?;
                 let kind = KernelKind::parse(&raw).unwrap_or_else(|| {
                     panic!("PPGNN_FORCE_KERNEL={raw:?}: unknown kernel (portable|avx2|avx512)")
                 });
@@ -443,6 +433,8 @@ impl MicroKernel for PortableKernel {
     const NR: usize = block::NR;
     const KIND: KernelKind = KernelKind::Portable;
 
+    // SAFETY: `unsafe` only by trait signature — `Portable` is supported
+    // on every CPU and the body is safe scalar code.
     unsafe fn tile(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
         tile_body::<{ block::MR }, { block::NR }, false>(ap, bp, c, ldc, iv, jv);
     }
@@ -451,6 +443,12 @@ impl MicroKernel for PortableKernel {
 /// The 8×8 tile compiled with AVX2+FMA enabled: one accumulator row is
 /// exactly one `ymm` register and the `mul_add` chain lowers to
 /// `vfmadd231ps` at 8-wide FMA throughput.
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 and FMA (`target_feature` makes
+/// calling this on a lesser CPU undefined behaviour); the body itself
+/// is safe code.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn tile_avx2(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
@@ -471,6 +469,8 @@ impl MicroKernel for Avx2Kernel {
     const NR: usize = block::NR;
     const KIND: KernelKind = KernelKind::Avx2;
 
+    // SAFETY: callers uphold the trait contract — this backend is only
+    // dispatched when `KernelKind::Avx2.is_supported()` held.
     unsafe fn tile(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
         // SAFETY: forwarded from the dispatcher, which only selects this
         // backend when `KernelKind::Avx2.is_supported()` held.
@@ -490,6 +490,12 @@ impl MicroKernel for Avx2Kernel {
 /// `fma(a[i], b[j], acc)` per element, then one add into `C`) matches
 /// `tile_body::<_, _, true>` exactly, keeping this backend bit-identical
 /// to [`Avx2Kernel`] at a fixed KC/NC.
+///
+/// # Safety
+///
+/// The running CPU must support AVX-512F, `ap`/`bp` must be packed as
+/// `depth` steps of `MR`/`NR` elements, and `c` must span the addressed
+/// `iv × jv` sub-tile at row stride `ldc`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn tile_avx512(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
@@ -536,6 +542,8 @@ impl MicroKernel for Avx512Kernel {
     const NR: usize = 2 * block::NR;
     const KIND: KernelKind = KernelKind::Avx512;
 
+    // SAFETY: callers uphold the trait contract — this backend is only
+    // dispatched when `KernelKind::Avx512.is_supported()` held.
     unsafe fn tile(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iv: usize, jv: usize) {
         // SAFETY: forwarded from the dispatcher, which only selects this
         // backend when `KernelKind::Avx512.is_supported()` held.
@@ -1328,6 +1336,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "pool fan-out is minutes-slow interpreted")]
     fn threaded_path_matches_serial_bitwise() {
         let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
         let a = rand_mat(33, 17, 7);
@@ -1342,6 +1351,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "pool fan-out is minutes-slow interpreted")]
     fn all_three_kernels_agree_on_the_pooled_path() {
         let _guard = TEST_THRESHOLD_LOCK.lock().unwrap();
         let a = rand_mat(40, 12, 11);
@@ -1357,6 +1367,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large shape sweep is minutes-slow interpreted")]
     fn packed_kernels_match_reference_at_block_edge_tails() {
         // Shapes straddling every blocking boundary: below/at/above MR, NR
         // (both 8-wide and the AVX-512 16-wide panel) and, with the
@@ -1395,6 +1406,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "Miri does not model x86 SIMD intrinsics")]
     fn every_supported_backend_matches_reference_and_fma_class_is_bit_identical() {
         // The cross-backend equivalence suite: at one fixed KC/NC every
         // supported backend must agree with the reference within float

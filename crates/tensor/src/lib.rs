@@ -44,6 +44,7 @@ mod ops;
 
 pub mod init;
 pub mod io;
+pub mod knobs;
 pub mod pool;
 pub mod tune;
 

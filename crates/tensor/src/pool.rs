@@ -60,15 +60,11 @@ pub fn threads_for(work: usize) -> usize {
 pub fn pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let threads = std::env::var("PPGNN_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map(|n| n.clamp(1, 256))
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let threads = crate::knobs::usize_value(crate::knobs::NUM_THREADS).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         WorkerPool::new(threads)
     })
 }
@@ -268,9 +264,12 @@ impl WorkerPool {
             // making the lifetime erasure sound. The transmute itself only
             // erases the lifetime parameter of an otherwise identical fat
             // pointer type.
-            let job: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
-            self.queue.push(job);
+            unsafe {
+                self.queue
+                    .push(std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(
+                        job,
+                    ));
+            }
         }
         let local_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(local));
         // Help drain the queue until our batch completes; jobs from

@@ -57,10 +57,7 @@ static PROFILE: OnceLock<Option<Profile>> = OnceLock::new();
 pub fn cached_profile() -> Option<&'static Profile> {
     PROFILE
         .get_or_init(|| {
-            let path = std::env::var("PPGNN_TUNE_CACHE").ok()?;
-            if path.is_empty() {
-                return None;
-            }
+            let path = crate::knobs::string_value(crate::knobs::TUNE_CACHE)?;
             if let Some(p) = std::fs::read_to_string(&path)
                 .ok()
                 .and_then(|s| parse_profile(&s))

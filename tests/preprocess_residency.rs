@@ -31,6 +31,8 @@ static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 // SAFETY: delegates allocation entirely to `System`; the added bookkeeping
 // touches only atomics and never the returned memory.
 unsafe impl GlobalAlloc for TrackingAlloc {
+    // SAFETY: `unsafe` by trait signature; the `GlobalAlloc` contract is
+    // met by forwarding to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         // SAFETY: forwarding the caller's layout unchanged to `System`.
         let ptr = unsafe { System.alloc(layout) };
@@ -42,6 +44,8 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         ptr
     }
 
+    // SAFETY: `unsafe` by trait signature; `ptr`/`layout` come from the
+    // paired `alloc` and are forwarded to `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
         // SAFETY: forwarding the caller's pointer and layout unchanged.

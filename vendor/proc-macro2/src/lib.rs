@@ -1,0 +1,864 @@
+//! Vendored stand-in for the `proc-macro2` crate (upstream API level 1.0).
+//!
+//! Implements exactly the surface the workspace uses: lexing Rust source
+//! text into a [`TokenStream`] of spanned [`TokenTree`]s, outside of any
+//! compiler macro context. The `ppgnn-analyze` linter walks these trees;
+//! the vendored `syn` shim builds its coarse item model on top of them.
+//!
+//! Deviations from upstream, documented per vendor/README.md ground rules:
+//!
+//! - Comments — including doc comments — are trivia and produce no
+//!   tokens. Upstream converts `///` into `#[doc = "…"]` attributes;
+//!   consumers here (the linter) read doc text from raw source lines
+//!   instead, which they need to do anyway for `// SAFETY:` comments.
+//! - [`Span`] carries real byte offsets and line/column positions (the
+//!   part upstream only offers via `span-locations`), but no hygiene or
+//!   `join` support.
+//! - Only lexing is supported; there is no conversion to or from the
+//!   compiler's `proc_macro` types.
+
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+/// A region of source text: byte offsets plus the 1-based line and
+/// 0-based column where the region starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    lo: usize,
+    hi: usize,
+    line: usize,
+    column: usize,
+}
+
+/// A line/column pair, mirroring `proc_macro2::LineColumn`: `line` is
+/// 1-based, `column` is a 0-based UTF-8 character offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineColumn {
+    /// 1-based source line.
+    pub line: usize,
+    /// 0-based character column.
+    pub column: usize,
+}
+
+impl Span {
+    /// A placeholder span pointing at nothing (offset zero).
+    pub fn call_site() -> Span {
+        Span {
+            lo: 0,
+            hi: 0,
+            line: 1,
+            column: 0,
+        }
+    }
+
+    /// Line/column of the first character of the span.
+    pub fn start(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    /// Byte range of the span within the lexed source.
+    pub fn byte_range(&self) -> Range<usize> {
+        self.lo..self.hi
+    }
+}
+
+/// A delimiter surrounding a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+    /// Invisible delimiters; never produced by this lexer.
+    None,
+}
+
+/// Whether a [`Punct`] is immediately followed by another punctuation
+/// character (`Joint`) or not (`Alone`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Followed by whitespace or a non-punctuation token.
+    Alone,
+    /// Immediately followed by another punctuation character.
+    Joint,
+}
+
+/// An identifier or keyword (including raw `r#ident` forms).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    text: String,
+    span: Span,
+}
+
+impl Ident {
+    /// The identifier's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.text == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// The punctuation character.
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Whether the next source character is also punctuation.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The character's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ch)
+    }
+}
+
+/// A literal token: numbers, strings (all prefix/raw forms), chars.
+/// [`Literal::to_string`] returns the raw source text including quotes,
+/// prefixes, and suffixes.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    text: String,
+    span: Span,
+}
+
+impl Literal {
+    /// The literal's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A delimited token sequence.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    /// The surrounding delimiter.
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens between the delimiters.
+    pub fn stream(&self) -> &TokenStream {
+        &self.stream
+    }
+
+    /// Span covering the delimiters and everything between them.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (open, close) = match self.delimiter {
+            Delimiter::Parenthesis => ("(", ")"),
+            Delimiter::Brace => ("{ ", " }"),
+            Delimiter::Bracket => ("[", "]"),
+            Delimiter::None => ("", ""),
+        };
+        write!(f, "{open}{}{close}", self.stream)
+    }
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited group.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The token's span (a group's span covers its delimiters).
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+impl fmt::Display for TokenTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenTree::Group(g) => g.fmt(f),
+            TokenTree::Ident(i) => i.fmt(f),
+            TokenTree::Punct(p) => p.fmt(f),
+            TokenTree::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+/// A sequence of [`TokenTree`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// An empty stream.
+    pub fn new() -> TokenStream {
+        TokenStream::default()
+    }
+
+    /// Whether the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Number of top-level token trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The top-level token trees as a slice (shim extension; upstream
+    /// offers only iteration).
+    pub fn trees(&self) -> &[TokenTree] {
+        &self.trees
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.trees.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            t.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.into_iter()
+    }
+}
+
+impl FromIterator<TokenTree> for TokenStream {
+    fn from_iter<I: IntoIterator<Item = TokenTree>>(iter: I) -> Self {
+        TokenStream {
+            trees: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TokenTree> for TokenStream {
+    fn extend<I: IntoIterator<Item = TokenTree>>(&mut self, iter: I) {
+        self.trees.extend(iter);
+    }
+}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    fn from_str(src: &str) -> Result<TokenStream, LexError> {
+        let mut lexer = Lexer::new(src);
+        let trees = lexer.lex_stream(None)?;
+        Ok(TokenStream { trees })
+    }
+}
+
+/// Error produced when source text fails to lex.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCT_CHARS: &str = ";,.<>=!+-*/%^&|@#?~:$'";
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            column: 0,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.rest().chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 0;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> (usize, usize, usize) {
+        (self.pos, self.line, self.column)
+    }
+
+    fn span_from(&self, start: (usize, usize, usize)) -> Span {
+        Span {
+            lo: start.0,
+            hi: self.pos,
+            line: start.1,
+            column: start.2,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    /// Skips whitespace and comments (line, doc, and nested block).
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lexes token trees until `closer` (or end of input when `None`).
+    fn lex_stream(&mut self, closer: Option<char>) -> Result<Vec<TokenTree>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let Some(c) = self.peek() else {
+                return match closer {
+                    Some(c) => Err(self.err(format!("unbalanced delimiters: expected `{c}`"))),
+                    None => Ok(out),
+                };
+            };
+            if Some(c) == closer {
+                return Ok(out);
+            }
+            match c {
+                '(' | '[' | '{' => out.push(self.lex_group(c)?),
+                ')' | ']' | '}' => return Err(self.err(format!("unexpected closing `{c}`"))),
+                '"' => out.push(self.lex_string(self.here())?),
+                '\'' => self.lex_quote(&mut out)?,
+                c if c.is_ascii_digit() => out.push(self.lex_number()?),
+                c if is_ident_start(c) => self.lex_ident_or_prefixed(&mut out)?,
+                c if PUNCT_CHARS.contains(c) => out.push(self.lex_punct()),
+                c => return Err(self.err(format!("unexpected character `{c}`"))),
+            }
+        }
+    }
+
+    fn lex_group(&mut self, open: char) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        let (delimiter, close) = match open {
+            '(' => (Delimiter::Parenthesis, ')'),
+            '[' => (Delimiter::Bracket, ']'),
+            _ => (Delimiter::Brace, '}'),
+        };
+        self.bump();
+        let trees = self.lex_stream(Some(close))?;
+        if self.peek() != Some(close) {
+            return Err(self.err(format!("expected closing `{close}`")));
+        }
+        self.bump();
+        Ok(TokenTree::Group(Group {
+            delimiter,
+            stream: TokenStream { trees },
+            span: self.span_from(start),
+        }))
+    }
+
+    fn lex_punct(&mut self) -> TokenTree {
+        let start = self.here();
+        let ch = self.bump().expect("caller checked a punct is present");
+        let spacing = match self.peek() {
+            Some(n) if PUNCT_CHARS.contains(n) && n != '\'' => Spacing::Joint,
+            _ => Spacing::Alone,
+        };
+        TokenTree::Punct(Punct {
+            ch,
+            spacing,
+            span: self.span_from(start),
+        })
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'x'`).
+    fn lex_quote(&mut self, out: &mut Vec<TokenTree>) -> Result<(), LexError> {
+        let start = self.here();
+        // Lifetime: `'` + identifier NOT followed by another `'`.
+        if self.peek_at(1).is_some_and(is_ident_start) {
+            let mut n = 2;
+            while self.peek_at(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if self.peek_at(n) != Some('\'') {
+                self.bump(); // the quote
+                out.push(TokenTree::Punct(Punct {
+                    ch: '\'',
+                    spacing: Spacing::Joint,
+                    span: self.span_from(start),
+                }));
+                out.push(self.lex_bare_ident());
+                return Ok(());
+            }
+        }
+        // Char literal.
+        self.bump();
+        loop {
+            match self.peek() {
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('\'') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated char literal")),
+            }
+        }
+        out.push(TokenTree::Literal(Literal {
+            text: self.src[start.0..self.pos].to_string(),
+            span: self.span_from(start),
+        }));
+        Ok(())
+    }
+
+    fn lex_bare_ident(&mut self) -> TokenTree {
+        let start = self.here();
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenTree::Ident(Ident {
+            text: self.src[start.0..self.pos].to_string(),
+            span: self.span_from(start),
+        })
+    }
+
+    /// An identifier, or a prefixed literal (`r"…"`, `b"…"`, `br#"…"#`,
+    /// `b'x'`, `c"…"`), or a raw identifier (`r#name`).
+    fn lex_ident_or_prefixed(&mut self, out: &mut Vec<TokenTree>) -> Result<(), LexError> {
+        let rest = self.rest();
+        for prefix in ["br", "cr", "r", "b", "c"] {
+            if let Some(tail) = rest.strip_prefix(prefix) {
+                let hashes = tail.len() - tail.trim_start_matches('#').len();
+                let after = &tail[hashes..];
+                if after.starts_with('"') && (hashes == 0 || prefix.contains('r')) {
+                    out.push(self.lex_prefixed_string(prefix.len(), hashes)?);
+                    return Ok(());
+                }
+                if prefix == "r" && hashes == 1 && after.chars().next().is_some_and(is_ident_start)
+                {
+                    // Raw identifier r#name: keep the prefix in the text.
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    while self.peek().is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    out.push(TokenTree::Ident(Ident {
+                        text: self.src[start.0..self.pos].to_string(),
+                        span: self.span_from(start),
+                    }));
+                    return Ok(());
+                }
+                if prefix == "b" && hashes == 0 && after.starts_with('\'') {
+                    // Byte char b'x': lex as a quote literal with prefix.
+                    let start = self.here();
+                    self.bump();
+                    let mut inner = Vec::new();
+                    self.lex_quote(&mut inner)?;
+                    out.push(TokenTree::Literal(Literal {
+                        text: self.src[start.0..self.pos].to_string(),
+                        span: self.span_from(start),
+                    }));
+                    return Ok(());
+                }
+            }
+        }
+        out.push(self.lex_bare_ident());
+        Ok(())
+    }
+
+    /// A string with `prefix_len` prefix chars and `hashes` raw-string
+    /// hashes already sighted: `b"…"`, `r#"…"#`, etc.
+    fn lex_prefixed_string(
+        &mut self,
+        prefix_len: usize,
+        hashes: usize,
+    ) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        for _ in 0..(prefix_len + hashes) {
+            self.bump();
+        }
+        if hashes > 0 || self.src[start.0..self.pos].contains('r') {
+            self.lex_raw_string_body(start, hashes)
+        } else {
+            self.bump(); // opening quote
+            self.lex_escaped_string_body(start)
+        }
+    }
+
+    fn lex_string(&mut self, start: (usize, usize, usize)) -> Result<TokenTree, LexError> {
+        self.bump(); // opening quote
+        self.lex_escaped_string_body(start)
+    }
+
+    fn lex_escaped_string_body(
+        &mut self,
+        start: (usize, usize, usize),
+    ) -> Result<TokenTree, LexError> {
+        loop {
+            match self.peek() {
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        self.finish_literal_with_suffix(start)
+    }
+
+    fn lex_raw_string_body(
+        &mut self,
+        start: (usize, usize, usize),
+        hashes: usize,
+    ) -> Result<TokenTree, LexError> {
+        self.bump(); // opening quote
+        let terminator: String = std::iter::once('"')
+            .chain("#".repeat(hashes).chars())
+            .collect();
+        loop {
+            if self.rest().starts_with(&terminator) {
+                for _ in 0..terminator.len() {
+                    self.bump();
+                }
+                break;
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated raw string literal"));
+            }
+        }
+        self.finish_literal_with_suffix(start)
+    }
+
+    fn finish_literal_with_suffix(
+        &mut self,
+        start: (usize, usize, usize),
+    ) -> Result<TokenTree, LexError> {
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        Ok(TokenTree::Literal(Literal {
+            text: self.src[start.0..self.pos].to_string(),
+            span: self.span_from(start),
+        }))
+    }
+
+    fn lex_number(&mut self) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        if self.rest().starts_with("0x")
+            || self.rest().starts_with("0o")
+            || self.rest().starts_with("0b")
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            return self.finish_literal_with_suffix(start);
+        }
+        self.eat_digits();
+        // Fractional part: `.` followed by a digit, or a trailing `.` that
+        // is neither a range (`..`) nor a method call (`1.max(…)`).
+        if self.peek() == Some('.') {
+            match self.peek_at(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    self.bump();
+                    self.eat_digits();
+                }
+                Some(c) if c == '.' || is_ident_start(c) => {}
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let (sign_ok, digit_pos) = match self.peek_at(1) {
+                Some('+') | Some('-') => (true, 2),
+                _ => (false, 1),
+            };
+            if self.peek_at(digit_pos).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+                if sign_ok {
+                    self.bump();
+                }
+                self.eat_digits();
+            }
+        }
+        self.finish_literal_with_suffix(start)
+    }
+
+    fn eat_digits(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<TokenTree> {
+        src.parse::<TokenStream>().expect("lexes").trees().to_vec()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_groups() {
+        let toks = lex("fn foo(a: u32) -> u32 { a + 1 }");
+        assert_eq!(toks.len(), 7); // fn foo (…) - > u32 {…}
+        match &toks[0] {
+            TokenTree::Ident(i) => assert_eq!(i.to_string(), "fn"),
+            t => panic!("expected ident, got {t:?}"),
+        }
+        match &toks[6] {
+            TokenTree::Group(g) => {
+                assert_eq!(g.delimiter(), Delimiter::Brace);
+                assert_eq!(g.stream().len(), 3);
+            }
+            t => panic!("expected group, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_carry_lines_and_columns() {
+        let toks = lex("a\n  bb");
+        assert_eq!(toks[0].span().start().line, 1);
+        assert_eq!(toks[1].span().start().line, 2);
+        assert_eq!(toks[1].span().start().column, 2);
+        assert_eq!(toks[1].span().byte_range(), 4..6);
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let toks = lex("a // line\n/* block /* nested */ */ b /// doc\nc");
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn string_forms_lex_as_single_literals() {
+        for src in [
+            "\"plain \\\" esc\"",
+            "r\"raw\"",
+            "r#\"hash \" inside\"#",
+            "b\"bytes\"",
+            "br#\"raw bytes\"#",
+            "c\"cstr\"",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            match &toks[0] {
+                TokenTree::Literal(l) => assert_eq!(l.to_string(), src),
+                t => panic!("{src}: expected literal, got {t:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("&'a x");
+        assert_eq!(toks.len(), 4); // & ' a x
+        let toks = lex("'x' '_' '\\n' '\\u{1F600}'");
+        assert_eq!(toks.len(), 4);
+        assert!(toks.iter().all(|t| matches!(t, TokenTree::Literal(_))));
+        let toks = lex("b'q'");
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn numbers_with_ranges_methods_and_suffixes() {
+        let toks = lex("0..n");
+        assert_eq!(toks.len(), 4); // 0 . . n
+        let toks = lex("1.max(2)");
+        assert_eq!(toks.len(), 4); // 1 . max (…)
+        for src in ["1_000usize", "0xFFu8", "2.5f32", "1e-3", "1.0E+9f64", "1."] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("r#type");
+        assert_eq!(toks.len(), 1);
+        match &toks[0] {
+            TokenTree::Ident(i) => assert_eq!(i.to_string(), "r#type"),
+            t => panic!("expected ident, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn unbalanced_input_errors() {
+        assert!("fn f( {".parse::<TokenStream>().is_err());
+        assert!("}".parse::<TokenStream>().is_err());
+        assert!("\"open".parse::<TokenStream>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_relex() {
+        let src = "unsafe fn f<T: Sized>(a: &[f32], b: *const f32) -> f32 { a[0] * 2.0 + 1.0 }";
+        let first = src.parse::<TokenStream>().expect("lexes");
+        let second = first.to_string().parse::<TokenStream>().expect("relexes");
+        assert_eq!(first.to_string(), second.to_string());
+    }
+}

@@ -1,0 +1,85 @@
+//! Vendored stand-in for the `quote` crate (upstream API level 1.0).
+//!
+//! Provides [`ToTokens`] and a [`quote!`] macro sufficient for building
+//! literal token streams in tests and tools. Deviation from upstream,
+//! per vendor/README.md ground rules: `#var` interpolation and
+//! `#(…)*` repetition are **not** supported — the macro stringifies its
+//! input and re-lexes it with the vendored `proc-macro2`, so `#ident`
+//! inside the body lexes as a `#` punct followed by an identifier. The
+//! workspace only quotes literal token sequences.
+
+use proc_macro2::{TokenStream, TokenTree};
+
+/// Types convertible to a token sequence.
+pub trait ToTokens {
+    /// Appends `self` to `tokens`.
+    fn to_tokens(&self, tokens: &mut TokenStream);
+
+    /// Convenience: `self` as a fresh stream.
+    fn to_token_stream(&self) -> TokenStream {
+        let mut out = TokenStream::new();
+        self.to_tokens(&mut out);
+        out
+    }
+}
+
+impl ToTokens for TokenStream {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.extend(self.clone());
+    }
+}
+
+impl ToTokens for TokenTree {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.extend([self.clone()]);
+    }
+}
+
+impl<T: ToTokens + ?Sized> ToTokens for &T {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        (**self).to_tokens(tokens);
+    }
+}
+
+/// Re-exports used by the [`quote!`] expansion; not public API.
+pub mod __private {
+    pub use proc_macro2::TokenStream;
+}
+
+/// Builds a [`TokenStream`] from literal Rust tokens.
+///
+/// Unlike upstream `quote!`, no `#var` interpolation is performed; the
+/// body must already be the exact tokens wanted.
+#[macro_export]
+macro_rules! quote {
+    () => { $crate::__private::TokenStream::new() };
+    ($($tt:tt)+) => {
+        stringify!($($tt)+)
+            .parse::<$crate::__private::TokenStream>()
+            .expect("quote! body re-lexes as Rust tokens")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_builds_literal_streams() {
+        let ts = quote! { fn answer() -> u32 { 42 } };
+        assert_eq!(ts.trees().len(), 7); // fn answer (…) - > u32 {…}
+        assert!(quote!().is_empty());
+    }
+
+    #[test]
+    fn to_tokens_appends() {
+        let ts = quote! { a + b };
+        let doubled: TokenStream = {
+            let mut out = TokenStream::new();
+            ts.to_tokens(&mut out);
+            ts.to_tokens(&mut out);
+            out
+        };
+        assert_eq!(doubled.len(), 6);
+    }
+}

@@ -1,0 +1,616 @@
+//! Vendored stand-in for the `syn` crate (upstream API level 2.0).
+//!
+//! Implements exactly what the workspace's `ppgnn-analyze` linter needs:
+//! [`parse_file`] turns source text into a [`File`] of coarse [`Item`]s —
+//! functions (with attributes, `unsafe` markers, and opaque body token
+//! trees), `impl`/`trait`/`mod` containers (recursively parsed), and an
+//! `Other` catch-all whose token extent is preserved for scanning.
+//!
+//! Deviations from upstream, per vendor/README.md ground rules:
+//!
+//! - No expression/statement/type grammar: function bodies, generics,
+//!   and initializers stay as raw `proc-macro2` token trees. Lints match
+//!   token patterns instead of typed AST nodes.
+//! - Doc comments are trivia (see the vendored `proc-macro2`), so they
+//!   never appear as `#[doc]` attributes; consumers read raw source.
+//! - The parser is error-tolerant: token sequences it cannot classify
+//!   become [`Item::Other`] one token at a time rather than failing the
+//!   whole file. Only lexing errors make [`parse_file`] return `Err`.
+
+use std::fmt;
+
+use proc_macro2::{Delimiter, Group, Ident, Span, TokenStream, TokenTree};
+
+/// Parse failure (lex-level only; see the crate docs).
+///
+/// Deviation from upstream: carries the 1-based line of the failure
+/// directly (upstream exposes it via `Span`), since the shim's only
+/// consumer reports `path:line` diagnostics.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    /// 1-based line where lexing failed.
+    pub line: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream `syn::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A parsed source file: inner attributes plus top-level items.
+#[derive(Debug)]
+pub struct File {
+    /// Inner (`#![…]`) attributes of the file.
+    pub attrs: Vec<Attribute>,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// An outer `#[…]` or inner `#![…]` attribute, kept as its raw bracket
+/// group.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Span of the leading `#`.
+    pub pound_span: Span,
+    /// Whether this is an inner (`#![…]`) attribute.
+    pub inner: bool,
+    /// The bracket group holding path and arguments.
+    pub group: Group,
+}
+
+impl Attribute {
+    /// First identifier of the attribute path (`cfg`, `test`,
+    /// `target_feature`, …).
+    pub fn path_ident(&self) -> Option<String> {
+        self.group.stream().trees().iter().find_map(|t| match t {
+            TokenTree::Ident(i) => Some(i.to_string()),
+            _ => None,
+        })
+    }
+
+    /// Whether the attribute path starts with `name`.
+    pub fn is(&self, name: &str) -> bool {
+        self.path_ident().is_some_and(|p| p == name)
+    }
+
+    /// Whether this is exactly `#[cfg(test)]` (a direct `test` argument;
+    /// `cfg(not(test))` does not count).
+    pub fn is_cfg_test(&self) -> bool {
+        if !self.is("cfg") {
+            return false;
+        }
+        let trees = self.group.stream().trees();
+        let Some(TokenTree::Group(args)) = trees.get(1) else {
+            return false;
+        };
+        args.stream()
+            .trees()
+            .iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if *i == "test"))
+    }
+
+    /// Whether any literal anywhere inside the attribute contains
+    /// `needle` (e.g. `"fma"` within `target_feature(enable = "avx2",
+    /// enable = "fma")`).
+    pub fn any_literal_contains(&self, needle: &str) -> bool {
+        fn walk(trees: &[TokenTree], needle: &str) -> bool {
+            trees.iter().any(|t| match t {
+                TokenTree::Literal(l) => l.to_string().contains(needle),
+                TokenTree::Group(g) => walk(g.stream().trees(), needle),
+                _ => false,
+            })
+        }
+        walk(self.group.stream().trees(), needle)
+    }
+}
+
+/// A function signature, coarse: markers, name, and the raw tokens
+/// between the name and the body (generics, arguments, return type,
+/// where-clauses).
+#[derive(Debug)]
+pub struct Signature {
+    /// Span of the `unsafe` keyword, when present.
+    pub unsafety: Option<Span>,
+    /// The function name.
+    pub ident: Ident,
+    /// Span of the `fn` keyword.
+    pub fn_span: Span,
+    /// Tokens between the name and the body/semicolon.
+    pub rest: Vec<TokenTree>,
+}
+
+/// A `fn` item (free function, method, or trait declaration).
+#[derive(Debug)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The signature.
+    pub sig: Signature,
+    /// The body; `None` for bodiless trait declarations.
+    pub block: Option<Group>,
+}
+
+impl ItemFn {
+    /// 1-based line where the item starts (first attribute, else `fn`).
+    pub fn start_line(&self) -> usize {
+        self.attrs
+            .first()
+            .map(|a| a.pound_span.start().line)
+            .unwrap_or_else(|| self.sig.fn_span.start().line)
+    }
+}
+
+/// An `impl` block with its contents parsed as items.
+#[derive(Debug)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Span of the `unsafe` keyword for `unsafe impl`.
+    pub unsafety: Option<Span>,
+    /// Span of the `impl` keyword.
+    pub impl_span: Span,
+    /// Tokens between `impl` and the brace (generics, trait, self type).
+    pub header: Vec<TokenTree>,
+    /// Parsed associated items.
+    pub items: Vec<Item>,
+}
+
+/// A `trait` definition with its contents parsed as items.
+#[derive(Debug)]
+pub struct ItemTrait {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Span of the `unsafe` keyword for `unsafe trait`.
+    pub unsafety: Option<Span>,
+    /// Span of the `trait` keyword.
+    pub trait_span: Span,
+    /// The trait name, when the coarse parse finds one.
+    pub ident: Option<Ident>,
+    /// Parsed associated items (declarations have `block: None`).
+    pub items: Vec<Item>,
+}
+
+/// A `mod` item; `content` is `None` for out-of-line `mod name;`.
+#[derive(Debug)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Span of the `mod` keyword.
+    pub mod_span: Span,
+    /// The module name.
+    pub ident: Ident,
+    /// Parsed contents for inline modules.
+    pub content: Option<Vec<Item>>,
+}
+
+/// Any other item (struct, enum, use, const, static, macro invocation,
+/// …) kept as its raw token extent.
+#[derive(Debug)]
+pub struct ItemOther {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The item's tokens, delimiter groups included.
+    pub tokens: Vec<TokenTree>,
+}
+
+/// A coarse top-level or associated item.
+#[derive(Debug)]
+pub enum Item {
+    /// A function or method.
+    Fn(ItemFn),
+    /// An `impl` block.
+    Impl(ItemImpl),
+    /// A `trait` definition.
+    Trait(ItemTrait),
+    /// A module.
+    Mod(ItemMod),
+    /// Everything else, token extent preserved.
+    Other(ItemOther),
+}
+
+impl Item {
+    /// The item's outer attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Fn(i) => &i.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Trait(i) => &i.attrs,
+            Item::Mod(i) => &i.attrs,
+            Item::Other(i) => &i.attrs,
+        }
+    }
+}
+
+/// Parses a full source file into coarse items.
+///
+/// # Errors
+///
+/// Returns an error only when the text fails to lex (unbalanced
+/// delimiters, unterminated literals); anything that lexes produces a
+/// `File`, with unclassifiable runs preserved as [`Item::Other`].
+pub fn parse_file(src: &str) -> Result<File> {
+    let stream: TokenStream = src.parse().map_err(|e: proc_macro2::LexError| Error {
+        message: e.to_string(),
+        line: e.line,
+    })?;
+    let (attrs, items) = parse_items(stream.trees());
+    Ok(File { attrs, items })
+}
+
+/// Parses a token slice as a sequence of items, returning any inner
+/// attributes seen alongside them.
+fn parse_items(toks: &[TokenTree]) -> (Vec<Attribute>, Vec<Item>) {
+    let mut inner_attrs = Vec::new();
+    let mut items = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Outer attributes (inner ones are collected separately).
+        let mut attrs = Vec::new();
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            match (toks.get(i + 1), toks.get(i + 2)) {
+                (Some(TokenTree::Punct(bang)), Some(TokenTree::Group(g)))
+                    if bang.as_char() == '!' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    inner_attrs.push(Attribute {
+                        pound_span: p.span(),
+                        inner: true,
+                        group: g.clone(),
+                    });
+                    i += 3;
+                }
+                (Some(TokenTree::Group(g)), _) if g.delimiter() == Delimiter::Bracket => {
+                    attrs.push(Attribute {
+                        pound_span: p.span(),
+                        inner: false,
+                        group: g.clone(),
+                    });
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= toks.len() {
+            if !attrs.is_empty() {
+                items.push(Item::Other(ItemOther {
+                    attrs,
+                    tokens: Vec::new(),
+                }));
+            }
+            break;
+        }
+
+        // Visibility.
+        if ident_is(toks.get(i), "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+
+        // Modifiers before the defining keyword.
+        let mut unsafety: Option<Span> = None;
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Ident(id)) if *id == "unsafe" => {
+                    unsafety = Some(id.span());
+                    i += 1;
+                }
+                Some(TokenTree::Ident(id)) if *id == "async" => i += 1,
+                Some(TokenTree::Ident(id))
+                    if *id == "const"
+                        && matches!(
+                            toks.get(i + 1),
+                            Some(TokenTree::Ident(n))
+                                if *n == "fn" || *n == "unsafe" || *n == "extern" || *n == "async"
+                        ) =>
+                {
+                    i += 1;
+                }
+                Some(TokenTree::Ident(id)) if *id == "extern" => {
+                    i += 1;
+                    if matches!(toks.get(i), Some(TokenTree::Literal(_))) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // Defining keyword.
+        let (item, next) = parse_one(toks, i, attrs, unsafety);
+        items.push(item);
+        i = next;
+    }
+    (inner_attrs, items)
+}
+
+/// Parses one item starting at the defining keyword; returns it plus
+/// the index just past it. Falls back to a one-token `Other` so the
+/// caller always makes progress.
+fn parse_one(
+    toks: &[TokenTree],
+    i: usize,
+    attrs: Vec<Attribute>,
+    unsafety: Option<Span>,
+) -> (Item, usize) {
+    match toks.get(i) {
+        Some(TokenTree::Ident(kw)) if *kw == "fn" => {
+            if let Some(TokenTree::Ident(name)) = toks.get(i + 1) {
+                let mut j = i + 2;
+                while j < toks.len() {
+                    match &toks[j] {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            let sig = Signature {
+                                unsafety,
+                                ident: name.clone(),
+                                fn_span: kw.span(),
+                                rest: toks[i + 2..j].to_vec(),
+                            };
+                            return (
+                                Item::Fn(ItemFn {
+                                    attrs,
+                                    sig,
+                                    block: Some(g.clone()),
+                                }),
+                                j + 1,
+                            );
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => {
+                            let sig = Signature {
+                                unsafety,
+                                ident: name.clone(),
+                                fn_span: kw.span(),
+                                rest: toks[i + 2..j].to_vec(),
+                            };
+                            return (
+                                Item::Fn(ItemFn {
+                                    attrs,
+                                    sig,
+                                    block: None,
+                                }),
+                                j + 1,
+                            );
+                        }
+                        _ => j += 1,
+                    }
+                }
+            }
+            other_until_boundary(toks, i, attrs)
+        }
+        Some(TokenTree::Ident(kw)) if *kw == "impl" => {
+            let impl_span = kw.span();
+            let mut j = i + 1;
+            while j < toks.len() {
+                if let TokenTree::Group(g) = &toks[j] {
+                    if g.delimiter() == Delimiter::Brace {
+                        let (_, items) = parse_items(g.stream().trees());
+                        return (
+                            Item::Impl(ItemImpl {
+                                attrs,
+                                unsafety,
+                                impl_span,
+                                header: toks[i + 1..j].to_vec(),
+                                items,
+                            }),
+                            j + 1,
+                        );
+                    }
+                }
+                j += 1;
+            }
+            other_until_boundary(toks, i, attrs)
+        }
+        Some(TokenTree::Ident(kw)) if *kw == "trait" => {
+            let trait_span = kw.span();
+            let ident = match toks.get(i + 1) {
+                Some(TokenTree::Ident(n)) => Some(n.clone()),
+                _ => None,
+            };
+            let mut j = i + 1;
+            while j < toks.len() {
+                match &toks[j] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let (_, items) = parse_items(g.stream().trees());
+                        return (
+                            Item::Trait(ItemTrait {
+                                attrs,
+                                unsafety,
+                                trait_span,
+                                ident,
+                                items,
+                            }),
+                            j + 1,
+                        );
+                    }
+                    // Trait alias `trait A = B;` — not used, treat coarse.
+                    TokenTree::Punct(p) if p.as_char() == ';' => break,
+                    _ => j += 1,
+                }
+            }
+            other_until_boundary(toks, i, attrs)
+        }
+        Some(TokenTree::Ident(kw)) if *kw == "mod" => {
+            let mod_span = kw.span();
+            if let Some(TokenTree::Ident(name)) = toks.get(i + 1) {
+                match toks.get(i + 2) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        return (
+                            Item::Mod(ItemMod {
+                                attrs,
+                                mod_span,
+                                ident: name.clone(),
+                                content: None,
+                            }),
+                            i + 3,
+                        );
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let (_, items) = parse_items(g.stream().trees());
+                        return (
+                            Item::Mod(ItemMod {
+                                attrs,
+                                mod_span,
+                                ident: name.clone(),
+                                content: Some(items),
+                            }),
+                            i + 3,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            other_until_boundary(toks, i, attrs)
+        }
+        Some(_) => other_until_boundary(toks, i, attrs),
+        None => (
+            Item::Other(ItemOther {
+                attrs,
+                tokens: Vec::new(),
+            }),
+            i,
+        ),
+    }
+}
+
+/// Consumes tokens into an `Other` item until a `;` or a top-level brace
+/// group that plausibly ends the item (struct/enum bodies, macro
+/// invocations); consumes at least one token.
+fn other_until_boundary(toks: &[TokenTree], i: usize, attrs: Vec<Attribute>) -> (Item, usize) {
+    let mut j = i;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                j += 1;
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    let j = j.max(i + 1);
+    (
+        Item::Other(ItemOther {
+            attrs,
+            tokens: toks[i..j].to_vec(),
+        }),
+        j,
+    )
+}
+
+fn ident_is(tok: Option<&TokenTree>, name: &str) -> bool {
+    matches!(tok, Some(TokenTree::Ident(i)) if *i == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> Vec<Item> {
+        parse_file(src).expect("parses").items
+    }
+
+    #[test]
+    fn parses_functions_with_attrs_and_markers() {
+        let its = items(
+            "#[inline]\npub unsafe fn f(a: u32) -> u32 { a }\nfn g();\nconst fn h() -> u32 { 1 }",
+        );
+        assert_eq!(its.len(), 3);
+        let Item::Fn(f) = &its[0] else {
+            panic!("expected fn")
+        };
+        assert_eq!(f.sig.ident.to_string(), "f");
+        assert!(f.sig.unsafety.is_some());
+        assert!(f.block.is_some());
+        assert_eq!(f.attrs.len(), 1);
+        assert!(f.attrs[0].is("inline"));
+        let Item::Fn(g) = &its[1] else {
+            panic!("expected fn")
+        };
+        assert!(g.block.is_none());
+        assert!(matches!(&its[2], Item::Fn(h) if h.sig.unsafety.is_none()));
+    }
+
+    #[test]
+    fn recurses_into_impl_trait_and_mod() {
+        let src = "
+            impl Foo for Bar {
+                fn method(&self) {}
+            }
+            unsafe impl Send for Bar {}
+            trait T {
+                unsafe fn decl(&self);
+            }
+            mod inner {
+                fn nested() {}
+            }
+            mod out_of_line;
+        ";
+        let its = items(src);
+        assert_eq!(its.len(), 5);
+        let Item::Impl(im) = &its[0] else {
+            panic!("expected impl")
+        };
+        assert!(im.unsafety.is_none());
+        assert!(matches!(&im.items[0], Item::Fn(f) if f.sig.ident == "method"));
+        assert!(matches!(&its[1], Item::Impl(u) if u.unsafety.is_some()));
+        let Item::Trait(t) = &its[2] else {
+            panic!("expected trait")
+        };
+        assert!(
+            matches!(&t.items[0], Item::Fn(d) if d.block.is_none() && d.sig.unsafety.is_some())
+        );
+        let Item::Mod(m) = &its[3] else {
+            panic!("expected mod")
+        };
+        assert!(m.content.is_some());
+        assert!(matches!(&its[4], Item::Mod(m) if m.content.is_none()));
+    }
+
+    #[test]
+    fn cfg_test_detection_is_exact() {
+        let its = items("#[cfg(test)]\nmod tests {}\n#[cfg(not(test))]\nmod real {}");
+        assert!(its[0].attrs()[0].is_cfg_test());
+        assert!(!its[1].attrs()[0].is_cfg_test());
+    }
+
+    #[test]
+    fn other_items_keep_token_extents() {
+        let its = items("pub struct S(u32);\nstatic N: usize = 3;\nuse std::fmt;");
+        assert_eq!(its.len(), 3);
+        for it in &its {
+            assert!(matches!(it, Item::Other(o) if !o.tokens.is_empty()));
+        }
+    }
+
+    #[test]
+    fn attribute_literal_search_recurses() {
+        let its = items("#[target_feature(enable = \"avx2\", enable = \"fma\")]\nunsafe fn k() {}");
+        let a = &its[0].attrs()[0];
+        assert!(a.is("target_feature"));
+        assert!(a.any_literal_contains("fma"));
+        assert!(!a.any_literal_contains("sse9"));
+    }
+
+    #[test]
+    fn inner_attrs_surface_on_file() {
+        let f = parse_file("#![allow(dead_code)]\nfn x() {}").expect("parses");
+        assert_eq!(f.attrs.len(), 1);
+        assert!(f.attrs[0].inner);
+        assert_eq!(f.items.len(), 1);
+    }
+}
