@@ -110,6 +110,17 @@ impl Default for Config {
                 "spmm_rows_into",
                 "spmm_row",
                 "spmm_row_untiled",
+                // Store decode paths: steady-state reads stage encoded
+                // bytes into reused scratch and decode into caller slots —
+                // the zero-alloc contract the compressed-store residency
+                // test pins at runtime.
+                "read_rows_into",
+                "read_chunk_into",
+                "read_chunk_all_hops_into",
+                "read_full_hop_into",
+                "fetch_decode_rows",
+                "encode_rows",
+                "decode_rows",
             ]),
             hot_path_prefixes: s(&["pack_a_", "pack_b_"]),
             expect_allowlist: s(&[

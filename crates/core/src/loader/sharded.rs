@@ -230,6 +230,7 @@ mod tests {
             rows,
             cols: 3,
             chunk_size: chunk,
+            dtype: ppgnn_tensor::StoreDtype::F32,
         };
         let mut assignment = vec![Vec::new(); parts];
         for r in 0..rows {

@@ -218,6 +218,7 @@ mod tests {
             rows,
             cols: 3,
             chunk_size: chunk,
+            dtype: ppgnn_tensor::StoreDtype::F32,
         };
         let mut w = FeatureStoreWriter::create(&dir, meta).unwrap();
         for k in 0..=hops {

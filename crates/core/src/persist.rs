@@ -75,6 +75,10 @@ fn save_partition(
         rows,
         cols,
         chunk_size: chunk_size.max(1),
+        // Persisted outputs exist to reload **bit-exactly** (the whole
+        // point of amortization), so they are always lossless f32
+        // regardless of `PPGNN_STORE_DTYPE`.
+        dtype: ppgnn_dataio::StoreDtype::F32,
     };
     let sub = dir.join(part);
     let mut writer = FeatureStoreWriter::create(&sub, meta)?;

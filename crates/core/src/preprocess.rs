@@ -29,7 +29,7 @@ use ppgnn_dataio::{
 use ppgnn_graph::synth::SynthDataset;
 use ppgnn_graph::{Operator, Partitioner, RangeCutPartitioner, ShardPlan, WeightedCsr};
 use ppgnn_partition::{PartitionStat, PartitionedDiffusion};
-use ppgnn_tensor::{knobs, pool, Matrix, WorkerPool};
+use ppgnn_tensor::{knobs, pool, Matrix, StoreDtype, WorkerPool};
 
 /// Hop features plus labels for one node partition (train/val/test).
 ///
@@ -144,6 +144,8 @@ pub struct Preprocessor {
     num_partitions: Option<usize>,
     /// `None` = auto: `PPGNN_WRITER_QUEUE`, else [`DEFAULT_WRITER_QUEUE`].
     writer_queue: Option<usize>,
+    /// `None` = auto: `PPGNN_STORE_DTYPE`, else [`StoreDtype::F32`].
+    store_dtype: Option<StoreDtype>,
 }
 
 impl Preprocessor {
@@ -160,6 +162,7 @@ impl Preprocessor {
             num_shards: None,
             num_partitions: None,
             writer_queue: None,
+            store_dtype: None,
         }
     }
 
@@ -196,6 +199,16 @@ impl Preprocessor {
     /// `PPGNN_WRITER_QUEUE`, else [`DEFAULT_WRITER_QUEUE`]).
     pub fn with_writer_queue(mut self, depth: usize) -> Self {
         self.writer_queue = Some(depth.max(1));
+        self
+    }
+
+    /// Pins the element encoding of every hop-feature store this
+    /// preprocessor writes ([`Preprocessor::run_with_store`] and the
+    /// partition stores of [`Preprocessor::run_with_sharded_store`]).
+    /// Without this, the dtype comes from `PPGNN_STORE_DTYPE`, defaulting
+    /// to lossless [`StoreDtype::F32`].
+    pub fn with_store_dtype(mut self, dtype: StoreDtype) -> Self {
+        self.store_dtype = Some(dtype);
         self
     }
 
@@ -246,6 +259,12 @@ impl Preprocessor {
             return n.max(1);
         }
         knobs::usize_value(knobs::NUM_PARTITIONS).unwrap_or(1)
+    }
+
+    /// Resolves the store encoding: pinned value, else
+    /// `PPGNN_STORE_DTYPE`, else `f32`.
+    fn resolved_store_dtype(&self) -> StoreDtype {
+        self.store_dtype.unwrap_or_else(StoreDtype::from_env)
     }
 
     fn resolved_writer_queue(&self) -> usize {
@@ -352,6 +371,7 @@ impl Preprocessor {
             rows: data.split.train.len(),
             cols: self.operators.len() * f,
             chunk_size,
+            dtype: self.resolved_store_dtype(),
         };
         let mut writer = AsyncHopWriter::create(dir, meta, self.resolved_writer_queue())?;
         match self.run_streaming(data, Some(&mut writer), pool::pool()) {
@@ -619,6 +639,7 @@ impl Preprocessor {
             rows: data.split.train.len(),
             cols: self.operators.len() * f,
             chunk_size,
+            dtype: self.resolved_store_dtype(),
         };
         let mut writer =
             ShardedStoreWriter::create(dir, meta, &rows_by_part, self.resolved_writer_queue())?;
@@ -758,6 +779,7 @@ impl PrepropOutput {
             rows,
             cols,
             chunk_size,
+            dtype: StoreDtype::from_env(),
         };
         let mut writer = ppgnn_dataio::FeatureStoreWriter::create(dir, meta)?;
         for (k, hop) in self.train.hops.iter().enumerate() {

@@ -35,6 +35,7 @@ mod store;
 mod writer;
 
 pub use error::DataIoError;
+pub use ppgnn_tensor::StoreDtype;
 pub use sharded::{ShardedFeatureStore, ShardedStoreManifest, ShardedStoreWriter};
 pub use store::{AccessPath, FeatureStore, FeatureStoreWriter, IoCounters, StoreMeta};
 pub use writer::{AsyncHopWriter, DEFAULT_WRITER_QUEUE};

@@ -83,6 +83,12 @@ impl ShardedStoreManifest {
             self.meta.chunk_size,
             self.partition_rows.len(),
         );
+        // Like the per-store manifest, the dtype key is only written for
+        // compressed encodings, keeping default manifests byte-identical
+        // to pre-dtype stores.
+        if !self.meta.dtype.is_f32() {
+            text.push_str(&format!("dtype={}\n", self.meta.dtype.name()));
+        }
         for (p, rows) in self.partition_rows.iter().enumerate() {
             text.push_str(&format!("partition_{p}_rows={rows}\n"));
         }
@@ -116,12 +122,18 @@ impl ShardedStoreManifest {
         let partition_rows = (0..num_partitions)
             .map(|p| num(&format!("partition_{p}_rows")))
             .collect::<Result<Vec<usize>, _>>()?;
+        let dtype = match fields.get("dtype") {
+            None => ppgnn_tensor::StoreDtype::F32,
+            Some(v) => ppgnn_tensor::StoreDtype::parse(v)
+                .ok_or_else(|| DataIoError::BadManifest(format!("unknown store dtype: {v}")))?,
+        };
         let meta = StoreMeta {
             dataset: get("dataset")?,
             num_hops: num("num_hops")?,
             rows: num("rows")?,
             cols: num("cols")?,
             chunk_size: num("chunk_size")?,
+            dtype,
         };
         if partition_rows.iter().sum::<usize>() != meta.rows {
             return Err(DataIoError::BadManifest(format!(
@@ -193,6 +205,7 @@ impl ShardedStoreWriter {
                 rows: rows.len(),
                 cols: manifest.meta.cols,
                 chunk_size: manifest.meta.chunk_size,
+                dtype: manifest.meta.dtype,
             };
             let writer = AsyncHopWriter::create(&sub, part_meta, queue_depth)?;
             let sidecar = encode_rows_sidecar(rows);
@@ -491,6 +504,7 @@ mod tests {
             rows,
             cols: 3,
             chunk_size: 4,
+            dtype: ppgnn_tensor::StoreDtype::F32,
         }
     }
 

@@ -2,11 +2,73 @@ use std::fs::{self, File};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use ppgnn_tensor::cast::{self, StoreDtype};
 use ppgnn_tensor::{io as tio, Matrix};
 
 use crate::DataIoError;
 
 const MANIFEST: &str = "manifest.txt";
+
+/// Magic of the compressed (`f16`/`bf16`/`int8`) hop-file format. `f32`
+/// hops keep the `PPGT` format byte-for-byte.
+const QMAGIC: &[u8; 4] = b"PPGQ";
+const QVERSION: u32 = 1;
+/// `PPGQ` header: magic + version + rows `u64` + cols `u64` + dtype
+/// code `u32`.
+const QHEADER_BYTES: usize = 4 + 4 + 8 + 8 + 4;
+
+/// On-disk dtype code of the `PPGQ` header (`f32` never appears — it
+/// stays in the `PPGT` format).
+fn dtype_code(dtype: StoreDtype) -> u32 {
+    match dtype {
+        StoreDtype::F32 => 0,
+        StoreDtype::F16 => 1,
+        StoreDtype::Bf16 => 2,
+        StoreDtype::Int8 => 3,
+    }
+}
+
+/// Byte offset of the first encoded row in a hop file of `dtype`.
+fn data_offset(dtype: StoreDtype) -> u64 {
+    if dtype.is_f32() {
+        tio::HEADER_BYTES as u64
+    } else {
+        QHEADER_BYTES as u64
+    }
+}
+
+/// Reads and validates a `PPGQ` header against the manifest's `dtype`,
+/// returning `(rows, cols)`.
+fn read_qheader(mut r: impl Read, dtype: StoreDtype) -> Result<(usize, usize), DataIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != QMAGIC {
+        return Err(DataIoError::Corrupt(format!(
+            "bad magic {magic:?}, expected {QMAGIC:?} for a {dtype} hop"
+        )));
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != QVERSION {
+        return Err(DataIoError::Corrupt(format!(
+            "unsupported PPGQ version {version}"
+        )));
+    }
+    let mut dim = [0u8; 8];
+    r.read_exact(&mut dim)?;
+    let rows = u64::from_le_bytes(dim) as usize;
+    r.read_exact(&mut dim)?;
+    let cols = u64::from_le_bytes(dim) as usize;
+    r.read_exact(&mut word)?;
+    let code = u32::from_le_bytes(word);
+    if code != dtype_code(dtype) {
+        return Err(DataIoError::Corrupt(format!(
+            "hop file dtype code {code} disagrees with manifest dtype {dtype}"
+        )));
+    }
+    Ok((rows, cols))
+}
 
 /// Store-level metadata persisted in `manifest.txt` (simple `key=value`
 /// lines; no external parser dependency).
@@ -22,14 +84,23 @@ pub struct StoreMeta {
     pub cols: usize,
     /// Rows per chunk for chunked access.
     pub chunk_size: usize,
+    /// Element encoding of the hop payloads. [`StoreDtype::F32`] keeps
+    /// the manifest and hop files byte-identical to pre-dtype stores
+    /// (the `dtype=` key is only written for compressed encodings, and
+    /// old readers ignore unknown keys).
+    pub dtype: StoreDtype,
 }
 
 impl StoreMeta {
     fn to_manifest(&self) -> String {
-        format!(
+        let mut text = format!(
             "dataset={}\nnum_hops={}\nrows={}\ncols={}\nchunk_size={}\n",
             self.dataset, self.num_hops, self.rows, self.cols, self.chunk_size
-        )
+        );
+        if !self.dtype.is_f32() {
+            text.push_str(&format!("dtype={}\n", self.dtype.name()));
+        }
+        text
     }
 
     fn from_manifest(text: &str) -> Result<Self, DataIoError> {
@@ -38,6 +109,7 @@ impl StoreMeta {
         let mut rows = None;
         let mut cols = None;
         let mut chunk_size = None;
+        let mut dtype = StoreDtype::F32;
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() {
@@ -56,6 +128,11 @@ impl StoreMeta {
                 "rows" => rows = Some(parse(v)?),
                 "cols" => cols = Some(parse(v)?),
                 "chunk_size" => chunk_size = Some(parse(v)?),
+                "dtype" => {
+                    dtype = StoreDtype::parse(v).ok_or_else(|| {
+                        DataIoError::BadManifest(format!("unknown store dtype: {v}"))
+                    })?;
+                }
                 _ => {} // forward compatible: unknown keys ignored
             }
         }
@@ -66,6 +143,7 @@ impl StoreMeta {
             rows: rows.ok_or_else(|| missing("rows"))?,
             cols: cols.ok_or_else(|| missing("cols"))?,
             chunk_size: chunk_size.ok_or_else(|| missing("chunk_size"))?,
+            dtype,
         })
     }
 
@@ -78,9 +156,17 @@ impl StoreMeta {
         }
     }
 
-    /// Total stored bytes across all hop files (payload only).
+    /// Total **logical** bytes across all hop files — the decoded `f32`
+    /// payload the trainer consumes, independent of the stored encoding.
     pub fn total_bytes(&self) -> u64 {
         (self.num_hops * self.rows * self.cols * 4) as u64
+    }
+
+    /// Total **physical** payload bytes across all hop files as encoded
+    /// on disk (headers excluded). Equal to [`StoreMeta::total_bytes`]
+    /// for `f32`; half of it for the 16-bit encodings.
+    pub fn physical_bytes(&self) -> u64 {
+        (self.num_hops * self.rows * self.dtype.encoded_row_bytes(self.cols)) as u64
     }
 }
 
@@ -106,12 +192,28 @@ pub struct IoCounters {
     pub rand_bytes: u64,
     /// Extra bytes copied through the host bounce buffer.
     pub bounce_bytes: u64,
+    /// Decoded `f32` bytes delivered to callers. `seq_bytes` and
+    /// `rand_bytes` count **physical** (encoded) bytes moved from
+    /// storage; for an `f32` store the two coincide, and the gap is the
+    /// bandwidth a compressed dtype saved.
+    pub logical_bytes: u64,
 }
 
 impl IoCounters {
-    /// Total bytes read from storage.
+    /// Total physical bytes read from storage.
     pub fn total_bytes(&self) -> u64 {
         self.seq_bytes + self.rand_bytes
+    }
+
+    /// Logical-over-physical byte ratio (`1.0` for `f32` stores, `~2.0`
+    /// for the 16-bit encodings); `1.0` when nothing was read.
+    pub fn compression_ratio(&self) -> f64 {
+        let physical = self.total_bytes();
+        if physical == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / physical as f64
+        }
     }
 
     /// Adds `other`'s counts into `self` — used to aggregate counters
@@ -122,16 +224,22 @@ impl IoCounters {
         self.rand_requests += other.rand_requests;
         self.rand_bytes += other.rand_bytes;
         self.bounce_bytes += other.bounce_bytes;
+        self.logical_bytes += other.logical_bytes;
     }
 }
 
 /// Writes a feature store to a directory: `manifest.txt` + one
-/// `hop_<k>.ppgt` file per hop.
+/// `hop_<k>.ppgt` file per hop. Compressed dtypes encode each hop
+/// through [`ppgnn_tensor::cast`] into a reusable staging buffer on the
+/// calling thread (under [`crate::AsyncHopWriter`] that is the writer
+/// thread, so encoding overlaps the next hop's diffusion for free).
 #[derive(Debug)]
 pub struct FeatureStoreWriter {
     dir: PathBuf,
     meta: StoreMeta,
     written: Vec<bool>,
+    /// Encoded-payload staging buffer, reused across hops.
+    enc: Vec<u8>,
 }
 
 impl FeatureStoreWriter {
@@ -154,6 +262,7 @@ impl FeatureStoreWriter {
             written: vec![false; meta.num_hops],
             dir,
             meta,
+            enc: Vec::new(),
         })
     }
 
@@ -180,7 +289,27 @@ impl FeatureStoreWriter {
         }
         let file = File::create(hop_path(&self.dir, k))?;
         let mut w = BufWriter::new(file);
-        tio::write_matrix(&mut w, features).map_err(|e| DataIoError::Io(e.to_string()))?;
+        if self.meta.dtype.is_f32() {
+            // The pre-dtype path, byte for byte: `f32` stores must stay
+            // binary-identical to stores written before compression
+            // existed (pinned by the FNV digest test).
+            tio::write_matrix(&mut w, features).map_err(|e| DataIoError::Io(e.to_string()))?;
+        } else {
+            let nbytes = self.meta.rows * self.meta.dtype.encoded_row_bytes(self.meta.cols);
+            self.enc.resize(nbytes, 0);
+            cast::encode_rows(
+                self.meta.dtype,
+                features.as_slice(),
+                self.meta.cols,
+                &mut self.enc,
+            );
+            w.write_all(QMAGIC)?;
+            w.write_all(&QVERSION.to_le_bytes())?;
+            w.write_all(&(self.meta.rows as u64).to_le_bytes())?;
+            w.write_all(&(self.meta.cols as u64).to_le_bytes())?;
+            w.write_all(&dtype_code(self.meta.dtype).to_le_bytes())?;
+            w.write_all(&self.enc)?;
+        }
         w.flush()?;
         self.written[k] = true;
         Ok(())
@@ -213,10 +342,18 @@ fn hop_path(dir: &Path, k: usize) -> PathBuf {
 }
 
 /// Read handle over a feature-store directory with I/O accounting.
+///
+/// Hop file handles are opened once and cached, and every read decodes
+/// through one reusable byte-staging buffer — steady-state reads via
+/// the `_into` entry points perform no allocation for any dtype.
 #[derive(Debug)]
 pub struct FeatureStore {
-    dir: PathBuf,
     meta: StoreMeta,
+    /// One cached handle per hop file, indexed by hop.
+    files: Vec<File>,
+    /// Encoded-byte staging buffer shared by every read path; grows
+    /// monotonically to the largest read seen.
+    scratch: Vec<u8>,
     counters: IoCounters,
 }
 
@@ -232,11 +369,15 @@ impl FeatureStore {
         let text = fs::read_to_string(dir.join(MANIFEST))
             .map_err(|e| DataIoError::Io(format!("{}: {e}", dir.display())))?;
         let meta = StoreMeta::from_manifest(&text)?;
+        let mut files = Vec::with_capacity(meta.num_hops);
         for k in 0..meta.num_hops {
             let mut f = File::open(hop_path(&dir, k))
                 .map_err(|e| DataIoError::Io(format!("hop {k}: {e}")))?;
-            let (rows, cols) =
-                tio::read_header(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?;
+            let (rows, cols) = if meta.dtype.is_f32() {
+                tio::read_header(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?
+            } else {
+                read_qheader(&mut f, meta.dtype)?
+            };
             if (rows, cols) != (meta.rows, meta.cols) {
                 return Err(DataIoError::Corrupt(format!(
                     "hop {k} header ({rows},{cols}) disagrees with manifest ({},{})",
@@ -244,17 +385,24 @@ impl FeatureStore {
                 )));
             }
             // validate payload length without reading it
-            let expected = tio::HEADER_BYTES as u64 + (rows * cols * 4) as u64;
+            let expected =
+                data_offset(meta.dtype) + (rows * meta.dtype.encoded_row_bytes(cols)) as u64;
             let actual = f.metadata()?.len();
             if actual < expected {
                 return Err(DataIoError::Corrupt(format!(
                     "hop {k} file truncated: {actual} < {expected} bytes"
                 )));
             }
+            files.push(f);
         }
+        // Pre-size the staging buffer for the common case (one chunk)
+        // so loader steady state never grows it.
+        let chunk_rows = meta.chunk_size.min(meta.rows);
+        let scratch = vec![0u8; chunk_rows * meta.dtype.encoded_row_bytes(meta.cols)];
         Ok(FeatureStore {
-            dir,
             meta,
+            files,
+            scratch,
             counters: IoCounters::default(),
         })
     }
@@ -286,11 +434,30 @@ impl FeatureStore {
         rows: &[usize],
         path: AccessPath,
     ) -> Result<Matrix, DataIoError> {
+        let mut out = Matrix::default();
+        self.read_rows_into(k, rows, path, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`FeatureStore::read_rows`] into a caller-owned matrix, resized
+    /// in place — the allocation-free form batch loops reuse a slot
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` or any row index is out of range, or on I/O errors.
+    /// Rows preceding an out-of-range index are read (and counted)
+    /// before the error surfaces.
+    pub fn read_rows_into(
+        &mut self,
+        k: usize,
+        rows: &[usize],
+        path: AccessPath,
+        out: &mut Matrix,
+    ) -> Result<(), DataIoError> {
         self.check_hop(k)?;
-        let row_bytes = self.meta.cols * 4;
-        let mut file = File::open(hop_path(&self.dir, k))?;
-        let mut out = Matrix::zeros(rows.len(), self.meta.cols);
-        let mut buf = vec![0u8; row_bytes];
+        out.resize_to(rows.len(), self.meta.cols);
+        let logical = (self.meta.cols * 4) as u64;
         for (i, &r) in rows.iter().enumerate() {
             if r >= self.meta.rows {
                 return Err(DataIoError::OutOfRange(format!(
@@ -298,23 +465,15 @@ impl FeatureStore {
                     self.meta.rows
                 )));
             }
-            let offset = tio::HEADER_BYTES as u64 + (r * row_bytes) as u64;
-            file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(&mut buf)?;
-            for (j, chunk) in buf.chunks_exact(4).enumerate() {
-                out.set(
-                    i,
-                    j,
-                    f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]),
-                );
-            }
+            let physical = self.fetch_decode_rows(k, r, out.row_mut(i))?;
             self.counters.rand_requests += 1;
-            self.counters.rand_bytes += row_bytes as u64;
+            self.counters.rand_bytes += physical;
+            self.counters.logical_bytes += logical;
             if path == AccessPath::HostBounce {
-                self.counters.bounce_bytes += row_bytes as u64;
+                self.counters.bounce_bytes += physical;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Sequentially reads chunk `chunk_id` of hop `k` (one request) — the
@@ -329,6 +488,25 @@ impl FeatureStore {
         chunk_id: usize,
         path: AccessPath,
     ) -> Result<Matrix, DataIoError> {
+        let mut out = Matrix::default();
+        self.read_chunk_into(k, chunk_id, path, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`FeatureStore::read_chunk`] into a caller-owned matrix, resized
+    /// in place: one seek + one read into the staging buffer, then one
+    /// dtype decode — allocation-free once the slot and stage are warm.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` or `chunk_id` is out of range, or on I/O errors.
+    pub fn read_chunk_into(
+        &mut self,
+        k: usize,
+        chunk_id: usize,
+        path: AccessPath,
+        out: &mut Matrix,
+    ) -> Result<(), DataIoError> {
         self.check_hop(k)?;
         let num_chunks = self.meta.num_chunks();
         if chunk_id >= num_chunks {
@@ -338,23 +516,15 @@ impl FeatureStore {
         }
         let start_row = chunk_id * self.meta.chunk_size;
         let rows = self.meta.chunk_size.min(self.meta.rows - start_row);
-        let row_bytes = self.meta.cols * 4;
-        let mut file = File::open(hop_path(&self.dir, k))?;
-        let offset = tio::HEADER_BYTES as u64 + (start_row * row_bytes) as u64;
-        file.seek(SeekFrom::Start(offset))?;
-        let mut bytes = vec![0u8; rows * row_bytes];
-        file.read_exact(&mut bytes)?;
-        let data: Vec<f32> = bytes
-            .chunks_exact(4)
-            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-            .collect();
+        out.resize_to(rows, self.meta.cols);
+        let physical = self.fetch_decode_rows(k, start_row, out.as_mut_slice())?;
         self.counters.seq_requests += 1;
-        self.counters.seq_bytes += (rows * row_bytes) as u64;
+        self.counters.seq_bytes += physical;
+        self.counters.logical_bytes += (rows * self.meta.cols * 4) as u64;
         if path == AccessPath::HostBounce {
-            self.counters.bounce_bytes += (rows * row_bytes) as u64;
+            self.counters.bounce_bytes += physical;
         }
-        Matrix::from_vec(rows, self.meta.cols, data)
-            .map_err(|e| DataIoError::Corrupt(e.to_string()))
+        Ok(())
     }
 
     /// Reads chunk `chunk_id` across **all** hops (one request per hop file,
@@ -382,6 +552,32 @@ impl FeatureStore {
             .collect()
     }
 
+    /// [`FeatureStore::read_chunk_all_hops`] into a caller-owned vector
+    /// of per-hop slots, each resized in place — the double-buffered
+    /// loader's steady-state refill shape.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FeatureStore::read_chunk`].
+    pub fn read_chunk_all_hops_into(
+        &mut self,
+        chunk_id: usize,
+        path: AccessPath,
+        out: &mut Vec<Matrix>,
+    ) -> Result<(), DataIoError> {
+        if chunk_id >= self.meta.num_chunks() {
+            return Err(DataIoError::OutOfRange(format!(
+                "chunk {chunk_id} out of range ({} chunks)",
+                self.meta.num_chunks()
+            )));
+        }
+        out.resize_with(self.meta.num_hops, Matrix::default);
+        for (k, slot) in (0..self.meta.num_hops).zip(out.iter_mut()) {
+            self.read_chunk_into(k, chunk_id, path, slot)?;
+        }
+        Ok(())
+    }
+
     /// Reads an entire hop matrix (preloading path), counting one
     /// sequential request over the [`AccessPath::Direct`] path.
     ///
@@ -402,15 +598,65 @@ impl FeatureStore {
     ///
     /// Fails if `k` is out of range or the payload is corrupt.
     pub fn read_full_hop_via(&mut self, k: usize, path: AccessPath) -> Result<Matrix, DataIoError> {
+        let mut out = Matrix::default();
+        self.read_full_hop_into(k, path, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`FeatureStore::read_full_hop_via`] into a caller-owned matrix,
+    /// resized in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` is out of range or the payload is corrupt.
+    pub fn read_full_hop_into(
+        &mut self,
+        k: usize,
+        path: AccessPath,
+        out: &mut Matrix,
+    ) -> Result<(), DataIoError> {
         self.check_hop(k)?;
-        let mut f = File::open(hop_path(&self.dir, k))?;
-        let m = tio::read_matrix(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?;
+        out.resize_to(self.meta.rows, self.meta.cols);
+        let physical = self.fetch_decode_rows(k, 0, out.as_mut_slice())?;
         self.counters.seq_requests += 1;
-        self.counters.seq_bytes += m.size_bytes() as u64;
+        self.counters.seq_bytes += physical;
+        self.counters.logical_bytes += (self.meta.rows * self.meta.cols * 4) as u64;
         if path == AccessPath::HostBounce {
-            self.counters.bounce_bytes += m.size_bytes() as u64;
+            self.counters.bounce_bytes += physical;
         }
-        Ok(m)
+        Ok(())
+    }
+
+    /// The one decode loop behind every read path (replacing the three
+    /// hand-rolled `f32::from_le_bytes` loops of the `f32`-only store):
+    /// seeks hop `k`'s cached handle to `start_row`, reads the encoded
+    /// rows covering `out` into the staging buffer, and decodes them
+    /// with the dispatched [`ppgnn_tensor::cast`] kernels. Returns the
+    /// physical bytes moved. Allocation-free once the staging buffer
+    /// has grown to the read size.
+    fn fetch_decode_rows(
+        &mut self,
+        k: usize,
+        start_row: usize,
+        out: &mut [f32],
+    ) -> Result<u64, DataIoError> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let cols = self.meta.cols;
+        let enc_row = self.meta.dtype.encoded_row_bytes(cols);
+        debug_assert_eq!(out.len() % cols, 0);
+        let nrows = out.len() / cols;
+        let nbytes = nrows * enc_row;
+        if self.scratch.len() < nbytes {
+            self.scratch.resize(nbytes, 0);
+        }
+        let mut f = &self.files[k];
+        let offset = data_offset(self.meta.dtype) + (start_row * enc_row) as u64;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(&mut self.scratch[..nbytes])?;
+        cast::decode_rows(self.meta.dtype, &self.scratch[..nbytes], cols, out);
+        Ok(nbytes as u64)
     }
 
     fn check_hop(&self, k: usize) -> Result<(), DataIoError> {
@@ -441,6 +687,7 @@ mod tests {
             rows: 10,
             cols: 4,
             chunk_size: 4,
+            dtype: StoreDtype::F32,
         }
     }
 
@@ -572,6 +819,169 @@ mod tests {
         let m = store.read_full_hop(1).unwrap();
         assert_eq!(m.shape(), (10, 4));
         assert_eq!(m.get(9, 3), 1093.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn build_store_with_dtype(dir: &Path, dtype: StoreDtype) -> FeatureStore {
+        let meta = StoreMeta {
+            dtype,
+            ..sample_meta()
+        };
+        let mut w = FeatureStoreWriter::create(dir, meta).unwrap();
+        for k in 0..3 {
+            let m = Matrix::from_fn(10, 4, |r, c| (k * 1000 + r * 10 + c) as f32);
+            w.write_hop(k, &m).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn compressed_dtypes_round_trip_within_tolerance() {
+        for dtype in StoreDtype::ALL {
+            let dir = temp_dir(&format!("dtype-{dtype}"));
+            let mut store = build_store_with_dtype(&dir, dtype);
+            assert_eq!(store.meta().dtype, dtype);
+            // The stored values (≤ 2093) are small integers; every
+            // encoding must reconstruct them within its step size.
+            let tol = match dtype {
+                StoreDtype::F32 => 0.0,
+                StoreDtype::F16 => 2.0,         // 2093 has ulp 1 in f16
+                StoreDtype::Bf16 => 16.0,       // 8-bit mantissa
+                StoreDtype::Int8 => 39.0 / 2.0, // row range ≤ 39 → step/2
+            };
+            for k in 0..3 {
+                let full = store.read_full_hop(k).unwrap();
+                for r in 0..10 {
+                    for c in 0..4 {
+                        let want = (k * 1000 + r * 10 + c) as f32;
+                        let got = full.get(r, c);
+                        assert!(
+                            (want - got).abs() <= tol,
+                            "{dtype} hop {k} ({r},{c}): {got} vs {want}"
+                        );
+                    }
+                }
+                // Row and chunk paths decode identically to the full hop.
+                let rows = store.read_rows(k, &[3, 9, 0], AccessPath::Direct).unwrap();
+                for (i, &r) in [3usize, 9, 0].iter().enumerate() {
+                    for c in 0..4 {
+                        assert_eq!(rows.get(i, c).to_bits(), full.get(r, c).to_bits());
+                    }
+                }
+                let chunk = store.read_chunk(k, 1, AccessPath::Direct).unwrap();
+                for r in 0..4 {
+                    for c in 0..4 {
+                        assert_eq!(chunk.get(r, c).to_bits(), full.get(4 + r, c).to_bits());
+                    }
+                }
+            }
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn physical_bytes_halve_for_f16_and_counters_track_both() {
+        let dir = temp_dir("halved");
+        let mut store = build_store_with_dtype(&dir, StoreDtype::F16);
+        assert_eq!(
+            store.meta().physical_bytes() * 2,
+            store.meta().total_bytes()
+        );
+        store.read_chunk(0, 0, AccessPath::Direct).unwrap();
+        let c = store.counters();
+        assert_eq!(c.seq_bytes, 4 * 4 * 2); // 4 rows × 4 cols × 2 B
+        assert_eq!(c.logical_bytes, 4 * 4 * 4);
+        assert_eq!(c.compression_ratio(), 2.0);
+        store.reset_counters();
+        store.read_rows(1, &[0, 5], AccessPath::HostBounce).unwrap();
+        let c = store.counters();
+        assert_eq!(c.rand_bytes, 2 * 4 * 2);
+        assert_eq!(c.bounce_bytes, c.rand_bytes); // bounce copies physical bytes
+        assert_eq!(c.logical_bytes, 2 * 4 * 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn int8_hop_files_carry_per_row_params() {
+        let dir = temp_dir("int8-size");
+        let store = build_store_with_dtype(&dir, StoreDtype::Int8);
+        let on_disk = fs::metadata(dir.join("hop_0.ppgt")).unwrap().len();
+        // PPGQ header + rows × (8-byte params + cols payload).
+        assert_eq!(on_disk, QHEADER_BYTES as u64 + 10 * (8 + 4));
+        assert_eq!(store.meta().physical_bytes(), 3 * 10 * (8 + 4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_manifests_self_describe_and_reject_garbage() {
+        let meta = StoreMeta {
+            dtype: StoreDtype::Bf16,
+            ..sample_meta()
+        };
+        let text = meta.to_manifest();
+        assert!(text.contains("dtype=bf16"));
+        assert_eq!(StoreMeta::from_manifest(&text).unwrap(), meta);
+        let bad = text.replace("dtype=bf16", "dtype=float8");
+        assert!(matches!(
+            StoreMeta::from_manifest(&bad),
+            Err(DataIoError::BadManifest(_))
+        ));
+    }
+
+    #[test]
+    fn f32_manifest_omits_dtype_key() {
+        // Byte-identity with pre-dtype stores: default manifests must
+        // not change (the digest pin test covers the full store).
+        let text = sample_meta().to_manifest();
+        assert!(!text.contains("dtype"));
+    }
+
+    #[test]
+    fn compressed_open_rejects_dtype_mismatch_and_truncation() {
+        let dir = temp_dir("qmismatch");
+        build_store_with_dtype(&dir, StoreDtype::F16);
+        // Lie about the dtype in the manifest: the PPGQ header check
+        // must catch the disagreement.
+        let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        fs::write(
+            dir.join(MANIFEST),
+            manifest.replace("dtype=f16", "dtype=int8"),
+        )
+        .unwrap();
+        assert!(matches!(
+            FeatureStore::open(&dir),
+            Err(DataIoError::Corrupt(_))
+        ));
+        fs::write(dir.join(MANIFEST), manifest).unwrap();
+        let path = dir.join("hop_2.ppgt");
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(
+            FeatureStore::open(&dir),
+            Err(DataIoError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn into_reads_reuse_caller_slots() {
+        let dir = temp_dir("slots");
+        let mut store = build_store_with_dtype(&dir, StoreDtype::Int8);
+        let mut slot = Matrix::default();
+        store
+            .read_chunk_into(0, 2, AccessPath::Direct, &mut slot)
+            .unwrap();
+        assert_eq!(slot.shape(), (2, 4)); // short final chunk
+        store
+            .read_full_hop_into(1, AccessPath::Direct, &mut slot)
+            .unwrap();
+        assert_eq!(slot.shape(), (10, 4));
+        let mut hops = Vec::new();
+        store
+            .read_chunk_all_hops_into(0, AccessPath::Direct, &mut hops)
+            .unwrap();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[2].shape(), (4, 4));
         fs::remove_dir_all(&dir).unwrap();
     }
 

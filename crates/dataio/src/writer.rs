@@ -189,6 +189,7 @@ mod tests {
             rows,
             cols,
             chunk_size: 4,
+            dtype: ppgnn_tensor::StoreDtype::F32,
         }
     }
 

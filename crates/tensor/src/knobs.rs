@@ -78,6 +78,10 @@ pub const BENCH_SMOKE: &str = "PPGNN_BENCH_SMOKE";
 pub const BENCH_ARTIFACT: &str = "PPGNN_BENCH_ARTIFACT";
 /// `PPGNN_GEMM_BENCH_ARTIFACT`.
 pub const GEMM_BENCH_ARTIFACT: &str = "PPGNN_GEMM_BENCH_ARTIFACT";
+/// `PPGNN_STORE_DTYPE`.
+pub const STORE_DTYPE: &str = "PPGNN_STORE_DTYPE";
+/// `PPGNN_STORE_BENCH_ARTIFACT`.
+pub const STORE_BENCH_ARTIFACT: &str = "PPGNN_STORE_BENCH_ARTIFACT";
 /// `PPGNN_PROPTEST_SEED`.
 pub const PROPTEST_SEED: &str = "PPGNN_PROPTEST_SEED";
 
@@ -154,6 +158,18 @@ pub const REGISTRY: &[KnobDef] = &[
         kind: KnobKind::Path,
         default: "`BENCH_gemm.json`",
         doc: "Output path of the GEMM bench's perf artifact.",
+    },
+    KnobDef {
+        name: STORE_DTYPE,
+        kind: KnobKind::Enum(&["f32", "f16", "bf16", "int8"]),
+        default: "f32",
+        doc: "Hop-feature store element encoding; unknown names panic at store creation.",
+    },
+    KnobDef {
+        name: STORE_BENCH_ARTIFACT,
+        kind: KnobKind::Path,
+        default: "`BENCH_store.json`",
+        doc: "Output path of the store bench's perf artifact.",
     },
     KnobDef {
         name: PROPTEST_SEED,

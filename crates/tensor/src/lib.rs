@@ -42,12 +42,14 @@ mod gemm;
 mod matrix;
 mod ops;
 
+pub mod cast;
 pub mod init;
 pub mod io;
 pub mod knobs;
 pub mod pool;
 pub mod tune;
 
+pub use cast::StoreDtype;
 pub use error::TensorError;
 pub use gemm::{
     block, compiled_kernels, matmul, matmul_batched, matmul_batched_into, matmul_into, matmul_nt,

@@ -1,8 +1,8 @@
 //! Property-based tests for the tensor kernels.
 
 use ppgnn_tensor::{
-    block, compiled_kernels, io, matmul, matmul_batched, matmul_batched_into, matmul_nt, matmul_tn,
-    reference, set_parallel_threshold, Matrix,
+    block, cast, compiled_kernels, io, matmul, matmul_batched, matmul_batched_into, matmul_nt,
+    matmul_tn, reference, set_parallel_threshold, Matrix, StoreDtype,
 };
 use proptest::prelude::*;
 
@@ -238,5 +238,116 @@ proptest! {
         let mut dst = Matrix::zeros(m.rows(), m.cols());
         dst.scatter_add_rows(&idx, &m);
         prop_assert!((dst.sum() - m.sum()).abs() < 1e-3 * (1.0 + m.sum().abs()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store-dtype cast kernels (`ppgnn_tensor::cast`)
+// ---------------------------------------------------------------------------
+
+/// Strategy: a `(values, cols)` chunk whose column count straddles the
+/// 8-wide SIMD body and its scalar tail. Values mix the everyday feature
+/// range with tiny magnitudes so the half formats see subnormals.
+fn chunk(max_abs: f32) -> impl Strategy<Value = (Vec<f32>, usize)> {
+    (1usize..=6, 1usize..=19).prop_flat_map(move |(rows, cols)| {
+        // The vendored proptest has no `prop_oneof!`; a drawn class byte
+        // picks between everyday magnitudes, tiny ones, and exact zero.
+        let value = (-1.0f32..1.0, 0u8..6).prop_map(move |(v, class)| match class {
+            0 => v * 1e-5,
+            1 => 0.0,
+            _ => v * max_abs,
+        });
+        (prop::collection::vec(value, rows * cols), Just(cols))
+    })
+}
+
+fn roundtrip(dtype: StoreDtype, values: &[f32], cols: usize) -> Vec<f32> {
+    let rows = values.len() / cols;
+    let mut enc = vec![0u8; rows * dtype.encoded_row_bytes(cols)];
+    cast::encode_rows(dtype, values, cols, &mut enc);
+    let mut dec = vec![0.0f32; values.len()];
+    cast::decode_rows(dtype, &enc, cols, &mut dec);
+    dec
+}
+
+proptest! {
+    /// `f32` is the identity encoding: bit-exact round trip.
+    #[test]
+    fn f32_store_roundtrip_is_bit_exact((values, cols) in chunk(1e30)) {
+        for (v, d) in values.iter().zip(roundtrip(StoreDtype::F32, &values, cols)) {
+            prop_assert_eq!(v.to_bits(), d.to_bits());
+        }
+    }
+
+    /// `f16` keeps 11 significand bits: round-to-nearest error is at most
+    /// half an ulp (`|v|·2⁻¹¹` for normals), plus the `2⁻²⁵` half-ulp of
+    /// the subnormal floor.
+    #[test]
+    fn f16_store_roundtrip_within_half_ulp((values, cols) in chunk(30_000.0)) {
+        for (v, d) in values.iter().zip(roundtrip(StoreDtype::F16, &values, cols)) {
+            let tol = v.abs() / 2048.0 + 3.1e-8;
+            prop_assert!((v - d).abs() <= tol, "{v} -> {d}");
+        }
+    }
+
+    /// `bf16` keeps 8 significand bits but the full f32 exponent range:
+    /// error at most `|v|·2⁻⁸` at any magnitude.
+    #[test]
+    fn bf16_store_roundtrip_within_half_ulp((values, cols) in chunk(1e30)) {
+        for (v, d) in values.iter().zip(roundtrip(StoreDtype::Bf16, &values, cols)) {
+            let tol = v.abs() / 256.0 + 1e-40;
+            prop_assert!((v - d).abs() <= tol, "{v} -> {d}");
+        }
+    }
+
+    /// `int8` quantizes each row onto a 256-step grid over its own
+    /// `[min, max]` range: error at most half a step (plus the f32
+    /// rounding of the affine map itself).
+    #[test]
+    fn int8_store_roundtrip_within_half_step((values, cols) in chunk(1e4)) {
+        let decoded = roundtrip(StoreDtype::Int8, &values, cols);
+        for (row, drow) in values.chunks_exact(cols).zip(decoded.chunks_exact(cols)) {
+            let (scale, zero) = cast::scalar::int8_row_params(row);
+            let tol = scale * 0.5001 + 2.0 * f32::EPSILON * (zero.abs() + scale * 255.0);
+            for (v, d) in row.iter().zip(drow) {
+                prop_assert!((v - d).abs() <= tol, "{v} -> {d} (scale {scale})");
+            }
+        }
+    }
+
+    /// Degenerate rows — constant, all-zero, or so tight the step
+    /// underflows — take the `scale = 0` path and decode **exactly**.
+    #[test]
+    fn int8_constant_rows_decode_exactly(
+        c in (-1e30f32..1e30, 0u8..5).prop_map(|(v, z)| if z == 0 { 0.0 } else { v }),
+        cols in 1usize..=19,
+        rows in 1usize..=4,
+    ) {
+        let values = vec![c; rows * cols];
+        for (v, d) in values.iter().zip(roundtrip(StoreDtype::Int8, &values, cols)) {
+            prop_assert_eq!(v.to_bits(), d.to_bits());
+        }
+    }
+
+    /// The dispatched (possibly SIMD) kernels must be **bit-identical**
+    /// to the forced-scalar reference on every dtype: same encoded
+    /// bytes, same decoded f32 bit patterns. This is what makes stores
+    /// portable across machines with different SIMD support.
+    #[test]
+    fn dispatched_cast_kernels_match_scalar_bitwise((values, cols) in chunk(60_000.0)) {
+        let rows = values.len() / cols;
+        for dtype in StoreDtype::ALL {
+            let nbytes = rows * dtype.encoded_row_bytes(cols);
+            let (mut fast, mut slow) = (vec![0u8; nbytes], vec![0u8; nbytes]);
+            cast::encode_rows(dtype, &values, cols, &mut fast);
+            cast::scalar::encode_rows(dtype, &values, cols, &mut slow);
+            prop_assert_eq!(&fast, &slow, "{} encode ({} active)", dtype, cast::active_backend_name());
+            let (mut dfast, mut dslow) = (vec![0.0f32; values.len()], vec![0.0f32; values.len()]);
+            cast::decode_rows(dtype, &fast, cols, &mut dfast);
+            cast::scalar::decode_rows(dtype, &fast, cols, &mut dslow);
+            for (a, b) in dfast.iter().zip(&dslow) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} decode", dtype);
+            }
+        }
     }
 }

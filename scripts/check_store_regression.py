@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fails (exit 1) when a fresh BENCH_store.json regresses against the
+committed baseline.
+
+Usage: check_store_regression.py <fresh.json> <baseline.json>
+
+Two families of gated quantities, both deterministic (so CI runner speed
+cannot fail the job):
+
+* compression_ratio_{f16,bf16,int8} — derived from the on-disk format,
+  not timed. A drop means the encoded layout grew (e.g. per-row metadata
+  bloat); gated with a 1% band for float formatting only.
+* acc_drift_pt_{f16,bf16,int8} — percentage points of exp_table test
+  accuracy the quantized store costs against the lossless f32 run, with
+  the whole harness seeded. Gated at baseline + 1.0pt: smoke runs train
+  fewer epochs than the committed baseline, so the band absorbs the
+  shorter schedule without letting a real quantization bug (tens of
+  points) through.
+
+Throughput (decode Mrows/s, epoch seconds) tracks runner hardware and is
+printed as context only. A gated field absent from the *baseline* is
+skipped (pre-field schema); absent from the *fresh* artifact it fails.
+Improvements never fail.
+"""
+
+import json
+import sys
+
+# field -> allowed fractional drop below the committed baseline.
+RATIO_FIELDS = {
+    "compression_ratio_f16": 0.01,
+    "compression_ratio_bf16": 0.01,
+    "compression_ratio_int8": 0.01,
+}
+# field -> allowed increase (percentage points) over the baseline drift.
+DRIFT_FIELDS = {
+    "acc_drift_pt_f16": 1.0,
+    "acc_drift_pt_bf16": 1.0,
+    "acc_drift_pt_int8": 1.0,
+}
+INFO_PREFIXES = ("decode_mrows_per_s_", "epoch_seconds_", "bytes_per_row_", "acc_")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failed = False
+    for field, tolerance in RATIO_FIELDS.items():
+        if field not in baseline:
+            print(f"SKIP {field}: not in baseline (pre-{field} schema)")
+            continue
+        if field not in fresh:
+            print(f"FAIL {field}: missing from fresh artifact")
+            failed = True
+            continue
+        base = float(baseline[field])
+        now = float(fresh[field])
+        floor = base * (1.0 - tolerance)
+        status = "OK " if now >= floor else "FAIL"
+        if now < floor:
+            failed = True
+        print(f"{status} {field}: {now:.4f} vs baseline {base:.4f} (floor {floor:.4f})")
+
+    for field, band in DRIFT_FIELDS.items():
+        if field not in baseline:
+            print(f"SKIP {field}: not in baseline (pre-{field} schema)")
+            continue
+        if field not in fresh:
+            print(f"FAIL {field}: missing from fresh artifact")
+            failed = True
+            continue
+        base = float(baseline[field])
+        now = float(fresh[field])
+        ceiling = base + band
+        status = "OK " if now <= ceiling else "FAIL"
+        if now > ceiling:
+            failed = True
+        print(f"{status} {field}: {now:+.2f}pt vs baseline {base:+.2f}pt (ceiling {ceiling:+.2f}pt)")
+
+    for field in sorted(fresh):
+        if field.startswith(INFO_PREFIXES):
+            print(f"INFO {field}: {float(fresh[field]):.4f}")
+    if failed:
+        print("Compressed-store footprint or accuracy drift regressed against the baseline.")
+        print("If intentional, update BENCH_store.json or apply the 'skip-store-gate' label.")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -113,6 +113,7 @@ fn audit_meta(rows: usize, cols: usize, hops: usize) -> StoreMeta {
         rows,
         cols,
         chunk_size: 4,
+        dtype: ppgnn_tensor::StoreDtype::F32,
     }
 }
 

@@ -251,6 +251,78 @@ fn sign_forward_into_train_step_reuses_buffers() {
 }
 
 #[test]
+fn compressed_store_reads_are_allocation_free_once_warm() {
+    use ppgnn_dataio::{AccessPath, FeatureStoreWriter, StoreDtype, StoreMeta};
+    use ppgnn_tensor::Matrix;
+
+    let _guard = SERIAL.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("ppgnn-resid-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for dtype in StoreDtype::ALL {
+        let sub = dir.join(dtype.name());
+        let meta = StoreMeta {
+            dataset: "resid".into(),
+            num_hops: 3,
+            rows: 64,
+            cols: 24,
+            chunk_size: 16,
+            dtype,
+        };
+        let mut w = FeatureStoreWriter::create(&sub, meta).unwrap();
+        for k in 0..3 {
+            let hop = Matrix::from_fn(64, 24, |r, c| ((k * 64 + r) * 24 + c) as f32 * 0.01 - 3.0);
+            w.write_hop(k, &hop).unwrap();
+        }
+        let mut store = w.finish().unwrap();
+
+        // Warm every slot: the caller-owned matrices, the store's encoded
+        // staging buffer, and the all-hops vector.
+        let mut chunk_slot = Matrix::default();
+        let mut rows_slot = Matrix::default();
+        let mut hop_slots = Vec::new();
+        for _ in 0..2 {
+            store
+                .read_chunk_into(0, 1, AccessPath::Direct, &mut chunk_slot)
+                .unwrap();
+            store
+                .read_rows_into(1, &[9, 3, 41], AccessPath::Direct, &mut rows_slot)
+                .unwrap();
+            store
+                .read_chunk_all_hops_into(2, AccessPath::Direct, &mut hop_slots)
+                .unwrap();
+        }
+
+        // Steady state: encoded bytes stage into reused scratch and decode
+        // in place — the compressed paths may not allocate at all.
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for round in 0..10 {
+            store
+                .read_chunk_into(round % 3, round % 4, AccessPath::Direct, &mut chunk_slot)
+                .unwrap();
+            store
+                .read_rows_into(
+                    round % 3,
+                    &[9, 3, 41],
+                    AccessPath::HostBounce,
+                    &mut rows_slot,
+                )
+                .unwrap();
+            store
+                .read_chunk_all_hops_into(round % 4, AccessPath::Direct, &mut hop_slots)
+                .unwrap();
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            allocs, 0,
+            "{dtype} steady-state reads allocated {allocs} times; \
+             the scratch/slot reuse of the decode path has regressed"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn streaming_run_matches_reference_chain_under_tracking() {
     // The allocator is process-global, so also pin correctness here: hop r
     // equals r explicit applications of the operator.

@@ -129,6 +129,153 @@ fn storage_loader_matches_memory_when_chunks_do_not_divide_rows() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+/// Pins the **default** (f32) on-disk layout to its pre-dtype digest:
+/// the byte stream of `manifest.txt` followed by every hop file must be
+/// exactly what the store produced before compressed dtypes existed.
+/// If this fails, old stores on disk can no longer be read back — bump
+/// the format version instead of editing the constant.
+#[test]
+fn default_f32_store_bytes_are_pinned() {
+    use ppgnn_dataio::{FeatureStoreWriter, StoreDtype, StoreMeta};
+    use ppgnn_tensor::Matrix;
+
+    const PRECHANGE_DIGEST: u64 = 0xd50f70b17a261a50;
+    let dir = temp_dir("digest-pin");
+    let meta = StoreMeta {
+        dataset: "digest-pin".into(),
+        num_hops: 3,
+        rows: 32,
+        cols: 5,
+        chunk_size: 7,
+        dtype: StoreDtype::F32,
+    };
+    let mut w = FeatureStoreWriter::create(&dir, meta).expect("store created");
+    for k in 0..3 {
+        let hop = Matrix::from_fn(32, 5, |r, c| {
+            (k * 100_000 + r * 1_000 + c) as f32 * 0.5 - 3.25
+        });
+        w.write_hop(k, &hop).expect("hop written");
+    }
+    w.finish().expect("store finished");
+
+    let mut h: u64 = 0xcbf29ce484222325;
+    h = fnv1a(h, &std::fs::read(dir.join("manifest.txt")).unwrap());
+    for k in 0..3 {
+        h = fnv1a(
+            h,
+            &std::fs::read(dir.join(format!("hop_{k}.ppgt"))).unwrap(),
+        );
+    }
+    assert_eq!(
+        h, PRECHANGE_DIGEST,
+        "default f32 store layout drifted from the pre-dtype format"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Sharded stores must serve **bit-identical** rows to the single-store
+/// layout under every dtype and partition count: rows are dealt whole to
+/// partitions, so per-row encoding (including int8's inline per-row
+/// quantization parameters) cannot depend on the grouping.
+#[test]
+fn sharded_stores_match_single_store_bitwise_for_every_dtype() {
+    use ppgnn_dataio::StoreDtype;
+    use ppgnn_graph::synth::DatasetProfile;
+
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 11).unwrap();
+    let base = temp_dir("dtype-shard");
+    for dtype in StoreDtype::ALL {
+        let prep = Preprocessor::new(vec![Operator::SymNorm, Operator::RowNorm], 2)
+            .with_store_dtype(dtype);
+        let sdir = base.join(format!("single-{dtype}"));
+        let (_, mut single) = prep
+            .run_with_store(&data, &sdir, "pokec-sim", 16)
+            .expect("single store");
+        assert_eq!(single.meta().dtype, dtype);
+        let rows: Vec<usize> = (0..single.meta().rows).collect();
+        for parts in [1usize, 2, 5] {
+            let pdir = base.join(format!("p{parts}-{dtype}"));
+            let (_, mut sharded) = prep
+                .clone()
+                .with_num_partitions(parts)
+                .run_with_sharded_store(&data, &pdir, "pokec-sim", 16)
+                .expect("sharded store");
+            assert_eq!(sharded.meta().dtype, dtype);
+            for k in 0..3 {
+                let a = single.read_rows(k, &rows, AccessPath::Direct).unwrap();
+                let b = sharded.read_rows(k, &rows, AccessPath::Direct).unwrap();
+                let same = a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(u, v)| u.to_bits() == v.to_bits());
+                assert!(same, "{dtype} hop {k} differs at P={parts}");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// A compressed store feeds the training loop end to end: same batch
+/// stream shape, every row exactly once, decodes into the unchanged
+/// model — only the features are quantized.
+#[test]
+fn compressed_store_drives_training_loop() {
+    use ppgnn_dataio::StoreDtype;
+
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 8).unwrap();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], 2).run(&data);
+    let dir = temp_dir("f16-loader");
+    let meta_rows = prep.train.len();
+    // Build the compressed store via the synchronous writer path.
+    {
+        use ppgnn_dataio::{FeatureStoreWriter, StoreMeta};
+        let meta = StoreMeta {
+            dataset: "pokec-sim".into(),
+            num_hops: prep.train.hops.len(),
+            rows: meta_rows,
+            cols: prep.train.hops[0].cols(),
+            chunk_size: 16,
+            dtype: StoreDtype::F16,
+        };
+        let mut w = FeatureStoreWriter::create(&dir, meta).unwrap();
+        for (k, hop) in prep.train.hops.iter().enumerate() {
+            w.write_hop(k, hop).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let store = FeatureStore::open(&dir).expect("compressed store reopens");
+    assert_eq!(store.meta().dtype, StoreDtype::F16);
+    let mut loader =
+        StorageChunkLoader::new(store, prep.train.labels.clone(), 48, AccessPath::Direct, 3);
+    loader.start_epoch();
+    let mut rows = 0;
+    while let Some(batch) = loader.next_batch() {
+        for (k, hop) in batch.hops.iter().enumerate() {
+            for (i, &idx) in batch.indices.iter().enumerate() {
+                for c in 0..hop.cols() {
+                    let exact = prep.train.hops[k].get(idx, c);
+                    let got = hop.get(i, c);
+                    let tol = exact.abs() / 2048.0 + 3.1e-8; // half an f16 ulp
+                    assert!(
+                        (exact - got).abs() <= tol,
+                        "hop {k} row {idx} col {c}: {got} vs {exact}"
+                    );
+                }
+            }
+        }
+        rows += batch.len();
+    }
+    assert_eq!(rows, meta_rows, "every row exactly once through f16 store");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn corrupted_store_fails_closed_not_wrong() {
     let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.015), 5).unwrap();
