@@ -12,6 +12,10 @@ pub const L_ALLOC: &str = "hot_path_alloc";
 pub const L_FMA: &str = "unfused_fma";
 /// L5: no `.unwrap()` / unallowlisted `.expect()` in library code.
 pub const L_UNWRAP: &str = "unwrap";
+/// L6: no telemetry span creation (`span(…)` / `span_with(…)`) inside
+/// the configured inner-kernel functions — tracing belongs at task/hop
+/// granularity, never per row or per tile.
+pub const L_TELEMETRY_SPAN: &str = "telemetry_span";
 /// The EXPERIMENTS.md knob table matches the registry.
 pub const L_KNOB_TABLE: &str = "knob_table";
 /// A source file failed to lex.
@@ -69,6 +73,11 @@ pub struct Config {
     pub expect_allowlist: Vec<String>,
     /// Path suffixes exempt from L2 — the knob registry itself.
     pub env_exempt_suffixes: Vec<String>,
+    /// Exact function names where telemetry span creation is forbidden
+    /// (L6): the GEMM micro-kernel drivers and SpMM inner loops, where a
+    /// span per call would mean thousands of ring-buffer pushes per
+    /// matmul. Counters are fine there; spans are not.
+    pub span_forbidden_exact: Vec<String>,
 }
 
 impl Config {
@@ -81,6 +90,11 @@ impl Config {
     /// Whether `rel` is exempt from the env-knob lint.
     pub fn env_exempt(&self, rel: &str) -> bool {
         self.env_exempt_suffixes.iter().any(|s| rel.ends_with(s))
+    }
+
+    /// Whether span creation is forbidden inside fn `name` (L6).
+    pub fn is_span_forbidden(&self, name: &str) -> bool {
+        self.span_forbidden_exact.iter().any(|e| e == name)
     }
 }
 
@@ -169,7 +183,25 @@ impl Default for Config {
                 "keys are finite",
                 "accuracies are finite",
             ]),
-            env_exempt_suffixes: s(&["crates/tensor/src/knobs.rs"]),
+            // The telemetry crate sits below the knobs registry in the
+            // dependency order, so its PPGNN_TRACE / PPGNN_TRACE_OUT
+            // reads cannot go through ppgnn_tensor::knobs (the knobs
+            // module registers the names and documents the exemption).
+            env_exempt_suffixes: s(&["crates/tensor/src/knobs.rs", "crates/telemetry/src/lib.rs"]),
+            // The innermost compute loops: a span per invocation would
+            // push ring events per tile / per row block. Driver-level
+            // spans (`spmm_into_on`, preprocessing hops, trainer epochs)
+            // are the supported granularity.
+            span_forbidden_exact: s(&[
+                "gemm_blocked",
+                "gemm_run",
+                "gemm_dispatch",
+                "batched_run",
+                "tile_body",
+                "spmm_rows_into",
+                "spmm_row",
+                "spmm_row_untiled",
+            ]),
         }
     }
 }

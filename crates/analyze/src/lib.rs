@@ -1,6 +1,6 @@
 //! `ppgnn-analyze` — workspace invariant linter for the ppgnn repo.
 //!
-//! Five lints run over every first-party `.rs` file (vendored shims
+//! Six lints run over every first-party `.rs` file (vendored shims
 //! excluded):
 //!
 //! 1. `safety_comment` — every `unsafe` block / fn / impl / trait
@@ -14,6 +14,10 @@
 //!    `#[target_feature(…fma…)]` functions; use `mul_add`.
 //! 5. `unwrap` — no `.unwrap()` and no unallowlisted `.expect()` in
 //!    non-test library code.
+//! 6. `telemetry_span` — no `span(…)` / `span_with(…)` creation inside
+//!    the configured inner-kernel functions (GEMM micro-kernels, SpMM
+//!    inner loops); counters are fine there, spans belong at task/hop
+//!    granularity.
 //!
 //! Two repo-level checks ride along: the EXPERIMENTS.md knob table must
 //! match the registry ([`knob_table`]), and every expect-allowlist

@@ -9,7 +9,9 @@
 use proc_macro2::{Delimiter, Group, Span, TokenTree};
 use syn::{Attribute, Item, ItemFn};
 
-use crate::config::{Config, FileKind, L_ALLOC, L_ENV, L_FMA, L_SAFETY, L_UNWRAP};
+use crate::config::{
+    Config, FileKind, L_ALLOC, L_ENV, L_FMA, L_SAFETY, L_TELEMETRY_SPAN, L_UNWRAP,
+};
 use crate::source::SourceText;
 use crate::Diagnostic;
 
@@ -108,6 +110,16 @@ impl<'a> FilePass<'a> {
         if self.fn_has_fma_target_feature(f) && !self.src.allowed_above_item(L_FMA, f.start_line())
         {
             self.l4_scan(body);
+        }
+
+        if self.kind == FileKind::Lib
+            && !in_test
+            && self.config.is_span_forbidden(&f.sig.ident.to_string())
+            && !self
+                .src
+                .allowed_above_item(L_TELEMETRY_SPAN, f.start_line())
+        {
+            self.l6_scan(body, &f.sig.ident.to_string());
         }
 
         if self.lint_l5_here(in_test) && !self.src.allowed_above_item(L_UNWRAP, f.start_line()) {
@@ -223,6 +235,39 @@ impl<'a> FilePass<'a> {
         for t in toks {
             if let TokenTree::Group(g) = t {
                 self.l3_scan(g.stream().trees(), fn_name);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // L6 — no span creation inside inner-kernel functions.
+    // ------------------------------------------------------------------
+
+    /// A `span(…)` / `span_with(…)` call at any token depth — whether
+    /// path-qualified (`ppgnn_telemetry::span(…)`) or imported bare —
+    /// inside a function where [`Config::span_forbidden_exact`] bans
+    /// tracing. Member accesses like `span.start()` do not match (the
+    /// identifier must be followed directly by a parenthesis group).
+    fn l6_scan(&mut self, toks: &[TokenTree], fn_name: &str) {
+        for i in 0..toks.len() {
+            let is_span_call = matches!(&toks[i], TokenTree::Ident(id)
+                    if *id == "span" || *id == "span_with")
+                && matches!(toks.get(i + 1), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis);
+            if is_span_call {
+                self.emit(
+                    L_TELEMETRY_SPAN,
+                    toks[i].span(),
+                    format!(
+                        "telemetry span created inside inner-kernel fn `{fn_name}`; \
+                         trace at task/hop granularity instead (counters are fine here)"
+                    ),
+                );
+            }
+        }
+        for t in toks {
+            if let TokenTree::Group(g) = t {
+                self.l6_scan(g.stream().trees(), fn_name);
             }
         }
     }

@@ -1,7 +1,9 @@
 //! Fixture tests: each lint fires on its fixture, honors the escape
 //! hatches, and scopes to the right file kinds.
 
-use ppgnn_analyze::config::{Config, FileKind, L_ALLOC, L_ENV, L_FMA, L_SAFETY, L_UNWRAP};
+use ppgnn_analyze::config::{
+    Config, FileKind, L_ALLOC, L_ENV, L_FMA, L_SAFETY, L_TELEMETRY_SPAN, L_UNWRAP,
+};
 use ppgnn_analyze::{analyze_source, Diagnostic};
 
 fn lib_diags(src: &str, config: &Config) -> Vec<Diagnostic> {
@@ -86,6 +88,35 @@ fn l5_unwrap_policy_fires_with_allowlist_and_test_scoping() {
     // Bin targets are exempt from the unwrap policy entirely.
     let (diags, _) = analyze_source("crates/x/src/bin/tool.rs", src, FileKind::Bin, &config);
     assert!(diags.iter().all(|d| d.lint != L_UNWRAP), "{diags:?}");
+}
+
+#[test]
+fn l6_telemetry_span_fires_in_forbidden_kernels_only() {
+    let src = include_str!("fixtures/l6_span.rs");
+    let diags = lib_diags(src, &Config::default());
+    let l6: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == L_TELEMETRY_SPAN)
+        .collect();
+    // `spmm_row` (path-qualified span) and `gemm_run` (bare span_with);
+    // the counter, the driver-level span, the `.span` member access, and
+    // the escaped fn pass.
+    assert_eq!(l6.len(), 2, "{l6:?}");
+    assert!(l6.iter().all(|d| d.message.contains("inner-kernel fn")));
+    assert!(l6.iter().any(|d| d.message.contains("`spmm_row`")));
+    assert!(l6.iter().any(|d| d.message.contains("`gemm_run`")));
+
+    // The same text in a test file is exempt.
+    let (diags, _) = analyze_source(
+        "crates/x/tests/span.rs",
+        src,
+        FileKind::Test,
+        &Config::default(),
+    );
+    assert!(
+        diags.iter().all(|d| d.lint != L_TELEMETRY_SPAN),
+        "{diags:?}"
+    );
 }
 
 #[test]

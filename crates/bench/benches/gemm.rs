@@ -189,6 +189,20 @@ fn write_gemm_artifact() {
     });
     let spmm_rows_per_s = spmm_nodes as f64 / spmm_secs.max(f64::EPSILON);
 
+    // One extra instrumented rep so the artifact carries the GEMM/SpMM
+    // dispatch counters (madds, per-backend dispatch counts).
+    let telemetry = {
+        ppgnn_telemetry::reset_metrics();
+        ppgnn_telemetry::reset_trace();
+        ppgnn_telemetry::set_enabled(true);
+        black_box(matmul(black_box(&a), black_box(&b)));
+        op.spmm_into(black_box(&x), &mut y);
+        black_box(&y);
+        ppgnn_telemetry::set_enabled(false);
+        ppgnn_telemetry::reset_trace();
+        ppgnn_telemetry::metrics_json("  ")
+    };
+
     let threads = ppgnn_tensor::pool().num_threads();
     let json = format!(
         concat!(
@@ -224,7 +238,8 @@ fn write_gemm_artifact() {
             "  \"tuned_gflops\": {:.4},\n",
             "  \"spmm_nodes\": {},\n",
             "  \"spmm_feature_dim\": 128,\n",
-            "  \"spmm_rows_per_s\": {:.1}\n",
+            "  \"spmm_rows_per_s\": {:.1},\n",
+            "  \"telemetry\": {}\n",
             "}}\n"
         ),
         m,
@@ -258,6 +273,7 @@ fn write_gemm_artifact() {
         tuned.gflops,
         spmm_nodes,
         spmm_rows_per_s,
+        telemetry.trim_start(),
     );
     let path = knobs::string_value(knobs::GEMM_BENCH_ARTIFACT)
         .unwrap_or_else(|| "BENCH_gemm.json".to_string());

@@ -10,6 +10,8 @@
 //! pre-propagation perf trajectory across PRs. Destination overridable via
 //! `PPGNN_BENCH_ARTIFACT`; `PPGNN_BENCH_SMOKE=1` reduces repetitions;
 //! `PPGNN_NUM_PARTITIONS` (default 2) sets the partitioned run's `P`.
+//! One extra instrumented rep embeds the telemetry counter/histogram
+//! readout as the artifact's `telemetry` section.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -119,6 +121,17 @@ fn write_preprop_artifact(
         (seconds, run)
     };
     let (partitioned_seconds, part_out) = best_partitioned(partitioned);
+    // One extra instrumented rep (outside the timed best-of runs) so the
+    // artifact carries the pipeline's counter/histogram readout.
+    let telemetry = {
+        ppgnn_telemetry::reset_metrics();
+        ppgnn_telemetry::reset_trace();
+        ppgnn_telemetry::set_enabled(true);
+        black_box(sharded.run(data));
+        ppgnn_telemetry::set_enabled(false);
+        ppgnn_telemetry::reset_trace();
+        ppgnn_telemetry::metrics_json("  ")
+    };
     let ghost_rows: usize = part_out
         .expansion
         .partitions
@@ -151,7 +164,8 @@ fn write_preprop_artifact(
             "  \"partition_speedup\": {:.4},\n",
             "  \"ghost_rows_per_hop\": {},\n",
             "  \"output_bytes\": {},\n",
-            "  \"spmm_traffic_bytes\": {}\n",
+            "  \"spmm_traffic_bytes\": {},\n",
+            "  \"telemetry\": {}\n",
             "}}\n"
         ),
         sharded.operators().len(),
@@ -169,6 +183,7 @@ fn write_preprop_artifact(
         ghost_rows,
         output_bytes,
         spmm_bytes,
+        telemetry.trim_start(),
     );
     let path = knobs::string_value(knobs::BENCH_ARTIFACT)
         .unwrap_or_else(|| "BENCH_preprop.json".to_string());

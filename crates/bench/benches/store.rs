@@ -142,6 +142,7 @@ fn write_store_artifact() {
     let _ = std::fs::remove_dir_all(&base);
 
     let mut per_dtype = String::new();
+    let mut telemetry = String::from("null");
     for dtype in StoreDtype::ALL {
         // Footprint: exact, from the format.
         let bytes_per_row = dtype.encoded_row_bytes(cols);
@@ -184,6 +185,23 @@ fn write_store_artifact() {
             black_box(&slots);
         });
         let physical_mb = store.meta().physical_bytes() as f64 / 1e6;
+
+        // One extra instrumented epoch pass on the lossless store (outside
+        // the timed best-of runs) so the artifact carries the store's byte
+        // counters alongside the wall-clock numbers.
+        if dtype.is_f32() {
+            ppgnn_telemetry::reset_metrics();
+            ppgnn_telemetry::reset_trace();
+            ppgnn_telemetry::set_enabled(true);
+            for chunk in 0..num_chunks {
+                store
+                    .read_chunk_all_hops_into(chunk, AccessPath::Direct, &mut slots)
+                    .expect("bench chunk read");
+            }
+            ppgnn_telemetry::set_enabled(false);
+            ppgnn_telemetry::reset_trace();
+            telemetry = ppgnn_telemetry::metrics_json("  ");
+        }
 
         // Accuracy drift of training on round-tripped features, in
         // percentage points against the lossless run.
@@ -235,7 +253,8 @@ fn write_store_artifact() {
             "  \"cast_backend\": \"{}\",\n",
             "  \"smoke\": {},\n",
             "{}",
-            "  \"acc_baseline_f32\": {:.4}\n",
+            "  \"acc_baseline_f32\": {:.4},\n",
+            "  \"telemetry\": {}\n",
             "}}\n"
         ),
         rows,
@@ -248,6 +267,7 @@ fn write_store_artifact() {
         smoke,
         per_dtype,
         acc_f32,
+        telemetry.trim_start(),
     );
     let path = knobs::string_value(knobs::STORE_BENCH_ARTIFACT)
         .unwrap_or_else(|| "BENCH_store.json".to_string());

@@ -1,0 +1,203 @@
+//! Stage-breakdown profile of one full pipeline iteration (preprocess +
+//! train + eval) through the telemetry layer — the repo's reproduction of
+//! the paper's stage-breakdown characterization, measured from spans
+//! instead of ad-hoc timers.
+//!
+//! Three phases:
+//!
+//! 1. **untraced baseline** — best-of-`reps` wall time of one pipeline
+//!    iteration with tracing disabled;
+//! 2. **traced iteration** — the same iteration with tracing enabled:
+//!    exports a Chrome `trace_event` JSON (loadable in Perfetto /
+//!    `chrome://tracing`, destination per `PPGNN_TRACE_OUT`), prints the
+//!    hierarchical span summary plus the metrics readout, and checks that
+//!    the top-level spans account for the traced wall time to within 10%;
+//! 3. **traced-off re-measure** — best-of-`reps` wall time with tracing
+//!    disabled again, so `scripts/check_trace_overhead.py` can gate that
+//!    the disabled-path instrumentation costs <3% wall time.
+//!
+//! Writes a machine-readable `BENCH_trace_profile.json` (destination
+//! overridable via the first CLI argument); `PPGNN_BENCH_SMOKE=1` reduces
+//! repetitions. Run with:
+//! `PPGNN_TRACE=1 cargo run --release -p ppgnn-bench --bin exp_trace_profile`
+//! (the knob is read for the default trace destination; the binary drives
+//! the tracing state itself so it also works without it).
+
+use std::time::Instant;
+
+use ppgnn_bench::exp::train_pp;
+use ppgnn_bench::{pp_models, print_markdown_table, MICRO_SCALE};
+use ppgnn_core::preprocess::Preprocessor;
+use ppgnn_core::trainer::LoaderKind;
+use ppgnn_graph::synth::{DatasetProfile, SynthDataset};
+use ppgnn_graph::Operator;
+use ppgnn_telemetry::SpanEvent;
+use ppgnn_tensor::knobs;
+
+const HOPS: usize = 3;
+const EPOCHS: usize = 2;
+
+/// One pipeline iteration: streaming pre-propagation (K=1, R=3) plus a
+/// short SIGN training run with per-epoch eval — every stage the telemetry
+/// layer instruments. Returns the wall seconds.
+fn pipeline_iteration(data: &SynthDataset, profile: &DatasetProfile) -> f64 {
+    let t0 = Instant::now();
+    let prep = Preprocessor::new(vec![Operator::SymNorm], HOPS).run(data);
+    let mut models = {
+        let _init_span = ppgnn_telemetry::span("model_init");
+        pp_models(HOPS, profile.feature_dim, profile.num_classes, 48, 3)
+    };
+    let (_, model) = &mut models[1]; // SIGN: mid-weight, exercises GEMM
+    train_pp(model.as_mut(), &prep, EPOCHS, LoaderKind::DoubleBuffer);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` wall seconds of one pipeline iteration.
+fn best_of(reps: usize, data: &SynthDataset, profile: &DatasetProfile) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        best = best.min(pipeline_iteration(data, profile));
+    }
+    best
+}
+
+/// Aggregates top-level spans (no enclosing span on the same thread) by
+/// name: `(name, calls, total_ns)`, in first-seen order.
+fn top_level_totals(events: &[SpanEvent]) -> Vec<(&'static str, u64, u64)> {
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.tid, e.start_ns, std::cmp::Reverse(e.dur_ns)));
+    let mut out: Vec<(&'static str, u64, u64)> = Vec::new();
+    let mut stack: Vec<u64> = Vec::new(); // enclosing span end times
+    let mut cur_tid = u32::MAX;
+    for e in sorted {
+        if e.tid != cur_tid {
+            stack.clear();
+            cur_tid = e.tid;
+        }
+        while stack.last().is_some_and(|&end| e.start_ns >= end) {
+            stack.pop();
+        }
+        if stack.is_empty() {
+            match out.iter_mut().find(|(n, _, _)| *n == e.name) {
+                Some(row) => {
+                    row.1 += 1;
+                    row.2 += e.dur_ns;
+                }
+                None => out.push((e.name, 1, e.dur_ns)),
+            }
+        }
+        stack.push(e.start_ns + e.dur_ns);
+    }
+    out
+}
+
+fn main() {
+    let profile = DatasetProfile::pokec_sim().scaled(MICRO_SCALE);
+    let data = SynthDataset::generate(profile, 42).expect("dataset generation succeeds");
+    let smoke = knobs::flag(knobs::BENCH_SMOKE);
+    // Even smoke mode keeps several best-of reps: the CI overhead gate
+    // consumes these numbers, and on an ~10ms iteration a single
+    // descheduling burst would swamp the 3% tolerance.
+    let reps = if smoke { 3 } else { 5 };
+
+    println!("## Trace profile — one pipeline iteration (preprocess K=1 R=3 + SIGN train)\n");
+
+    // Phase 1: untraced baseline.
+    ppgnn_telemetry::set_enabled(false);
+    best_of(1, &data, &profile); // warm-up (pool spin-up, page cache)
+    let untraced_s = best_of(reps, &data, &profile);
+    println!("untraced baseline: {untraced_s:.4} s (best of {reps})");
+
+    // Phase 2: one traced iteration + export.
+    ppgnn_telemetry::reset_metrics();
+    ppgnn_telemetry::reset_trace();
+    ppgnn_telemetry::set_enabled(true);
+    let traced_s = pipeline_iteration(&data, &profile);
+    ppgnn_telemetry::set_enabled(false);
+    println!("traced iteration:  {traced_s:.4} s\n");
+
+    let events = ppgnn_telemetry::take_events();
+    let dropped = ppgnn_telemetry::dropped_events();
+    let stages = top_level_totals(&events);
+    let span_sum_ns: u64 = stages.iter().map(|&(_, _, ns)| ns).sum();
+    let coverage = span_sum_ns as f64 / 1e9 / traced_s.max(f64::EPSILON);
+
+    println!("### stage breakdown (top-level spans)\n");
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|&(name, calls, ns)| {
+            vec![
+                name.to_string(),
+                format!("{calls}"),
+                format!("{:.2}", ns as f64 / 1e6),
+                format!("{:.1}%", 100.0 * ns as f64 / 1e9 / traced_s),
+            ]
+        })
+        .collect();
+    print_markdown_table(&["stage", "calls", "total ms", "of wall"], &rows);
+    println!(
+        "\nstage coverage: {:.1}% of traced wall ({} events, {} dropped)",
+        coverage * 100.0,
+        events.len(),
+        dropped
+    );
+    // Spans must explain the wall time they claim to profile; a large gap
+    // means a stage lost its span (regression in the instrumentation).
+    if (coverage - 1.0).abs() > 0.10 {
+        eprintln!("warning: stage breakdown off by >10% from traced wall time");
+    }
+
+    let trace_path = ppgnn_telemetry::write_chrome_trace(None).expect("trace export writes");
+    println!(
+        "wrote Chrome trace to {} (load in Perfetto)",
+        trace_path.display()
+    );
+    println!("\n{}", ppgnn_telemetry::trace_summary());
+    println!("{}", ppgnn_telemetry::metrics_summary());
+    ppgnn_telemetry::reset_trace();
+
+    // Phase 3: traced-off re-measure — the overhead the gate cares about.
+    let traced_off_s = best_of(reps, &data, &profile);
+    let overhead = traced_off_s / untraced_s.max(f64::EPSILON);
+    println!("traced-off re-measure: {traced_off_s:.4} s ({overhead:.4}x baseline)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"profile\": \"pokec_sim\",\n",
+            "  \"hops\": {},\n",
+            "  \"epochs\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"untraced_seconds\": {:.6},\n",
+            "  \"traced_seconds\": {:.6},\n",
+            "  \"traced_off_seconds\": {:.6},\n",
+            "  \"traced_off_ratio\": {:.4},\n",
+            "  \"stage_coverage\": {:.4},\n",
+            "  \"span_events\": {},\n",
+            "  \"span_events_dropped\": {},\n",
+            "  \"trace_path\": \"{}\"\n",
+            "}}\n"
+        ),
+        HOPS,
+        EPOCHS,
+        reps,
+        smoke,
+        untraced_s,
+        traced_s,
+        traced_off_s,
+        overhead,
+        coverage,
+        events.len(),
+        dropped,
+        trace_path.display(),
+    );
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace_profile.json".to_string());
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote trace-profile artifact to {path}");
+    }
+}

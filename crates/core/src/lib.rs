@@ -63,7 +63,9 @@ pub mod trainer;
 
 pub use autoconf::{AutoConfig, Method, TrainingPlan};
 pub use loader::{Loader, PpBatch};
-pub use preprocess::{ExpansionReport, Preprocessor, PrepropFeatures, PrepropOutput};
+pub use preprocess::{
+    ExpansionReport, PrepTelemetry, Preprocessor, PrepropFeatures, PrepropOutput,
+};
 pub use trainer::{ConvergenceTracker, EpochStats, TrainConfig, TrainReport, Trainer};
 
 /// Fisher–Yates shuffle shared by the MP-GNN training loop.

@@ -54,6 +54,17 @@ pub fn save(
             s.partition, s.rows, s.nnz, s.ghost_rows, s.train_rows, s.store_bytes
         ));
     }
+    // Run telemetry (per-hop timings, writer backpressure), so the
+    // report round-trips exactly; absent in pre-telemetry manifests.
+    let t = &out.expansion.telemetry;
+    if !t.hop_ns.is_empty() {
+        let hop_ns: Vec<String> = t.hop_ns.iter().map(u64::to_string).collect();
+        manifest.push_str(&format!("telemetry_hop_ns={}\n", hop_ns.join(":")));
+    }
+    manifest.push_str(&format!(
+        "telemetry_writer={}:{}\n",
+        t.writer_queue_hwm, t.writer_block_ns
+    ));
     fs::write(dir.join(MANIFEST), manifest)?;
     for (part, features) in PARTS.iter().zip([&out.train, &out.val, &out.test]) {
         save_partition(features, dir, part, chunk_size)?;
@@ -160,6 +171,31 @@ pub fn load(dir: impl AsRef<Path>) -> Result<PrepropOutput, DataIoError> {
             store_bytes,
         });
     }
+    // Telemetry lines are optional (absent in pre-telemetry manifests —
+    // the report then carries the empty default), but a present-yet-
+    // malformed value is corruption, like any other field.
+    let mut telemetry = crate::preprocess::PrepTelemetry::default();
+    if let Some(v) = text
+        .lines()
+        .find_map(|l| l.strip_prefix("telemetry_hop_ns="))
+    {
+        telemetry.hop_ns = v
+            .split(':')
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| DataIoError::BadManifest("bad telemetry_hop_ns".into()))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+    }
+    if let Some(v) = text
+        .lines()
+        .find_map(|l| l.strip_prefix("telemetry_writer="))
+    {
+        let bad = || DataIoError::BadManifest("bad telemetry_writer".into());
+        let (hwm, block) = v.split_once(':').ok_or_else(bad)?;
+        telemetry.writer_queue_hwm = hwm.parse().map_err(|_| bad())?;
+        telemetry.writer_block_ns = block.parse().map_err(|_| bad())?;
+    }
     let expansion = ExpansionReport {
         raw_bytes: field("raw_bytes")? as u64,
         expanded_bytes: field("expanded_bytes")? as u64,
@@ -167,6 +203,7 @@ pub fn load(dir: impl AsRef<Path>) -> Result<PrepropOutput, DataIoError> {
         num_operators: field("num_operators")? as usize,
         hops: field("hops")? as usize,
         partitions,
+        telemetry,
     };
     let mut it = parts.into_iter();
     Ok(PrepropOutput {
@@ -237,6 +274,19 @@ mod tests {
         fs::write(&manifest_path, stripped).unwrap();
         let legacy = load(&dir).unwrap();
         assert_eq!(legacy.expansion, out.expansion);
+        // Pre-telemetry manifests load too, carrying the empty default.
+        let text = fs::read_to_string(&manifest_path).unwrap();
+        let no_telemetry: String = text
+            .lines()
+            .filter(|l| !l.starts_with("telemetry_"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&manifest_path, no_telemetry).unwrap();
+        let pre_telemetry = load(&dir).unwrap();
+        assert_eq!(
+            pre_telemetry.expansion.telemetry,
+            crate::preprocess::PrepTelemetry::default()
+        );
         // A present-but-malformed value is corruption, not a legacy
         // manifest: it must fail like any other field.
         let mut corrupted = fs::read_to_string(&manifest_path).unwrap();

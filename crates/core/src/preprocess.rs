@@ -31,6 +31,11 @@ use ppgnn_graph::{Operator, Partitioner, RangeCutPartitioner, ShardPlan, Weighte
 use ppgnn_partition::{PartitionStat, PartitionedDiffusion};
 use ppgnn_tensor::{knobs, pool, Matrix, StoreDtype, WorkerPool};
 
+/// Per-hop diffusion wall time mirrored into the telemetry registry
+/// (also carried per run in [`PrepTelemetry::hop_ns`]).
+static PREP_HOP_NS: ppgnn_telemetry::Histogram =
+    ppgnn_telemetry::Histogram::new("preprocess.hop_ns");
+
 /// Hop features plus labels for one node partition (train/val/test).
 ///
 /// Row `i` of every hop matrix corresponds to `node_ids[i]`.
@@ -70,6 +75,28 @@ impl PrepropFeatures {
     }
 }
 
+/// Observability payload of one preprocessing run: the per-hop stage
+/// breakdown and write-backpressure signals the `exp_*` binaries and
+/// bench artifacts report alongside the expansion accounting.
+///
+/// Times come from wall-clock instants taken once per hop (negligible
+/// against a diffusion pass), so they are populated whether or not the
+/// `PPGNN_TRACE` tracer is enabled; two runs of the same configuration
+/// therefore differ here even when their features are bit-identical —
+/// equivalence tests compare reports with `telemetry` reset to default.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrepTelemetry {
+    /// Wall nanoseconds spent producing each hop (index = hop; hop 0 is
+    /// the raw-feature gather), accumulated across operator groups.
+    pub hop_ns: Vec<u64>,
+    /// Async hop-writer queue high-water mark (0 for in-memory runs);
+    /// the max across partition writers for sharded-store runs.
+    pub writer_queue_hwm: u64,
+    /// Total nanoseconds hop submission blocked on write backpressure,
+    /// summed across partition writers for sharded-store runs.
+    pub writer_block_ns: u64,
+}
+
 /// The Section 3.4 quantity: how preprocessing expands the input.
 ///
 /// All byte counts are derived from the rows the run **actually
@@ -95,6 +122,10 @@ pub struct ExpansionReport {
     /// empty for single-domain runs. The `exp_*` binaries print this as
     /// the partition balance table.
     pub partitions: Vec<PartitionStat>,
+    /// Per-hop timings and writer-backpressure signals of the run that
+    /// produced this report (empty/zero for reports rebuilt from legacy
+    /// persisted manifests).
+    pub telemetry: PrepTelemetry,
 }
 
 impl ExpansionReport {
@@ -375,7 +406,10 @@ impl Preprocessor {
         };
         let mut writer = AsyncHopWriter::create(dir, meta, self.resolved_writer_queue())?;
         match self.run_streaming(data, Some(&mut writer), pool::pool()) {
-            Ok(out) => {
+            Ok(mut out) => {
+                let stats = writer.stats();
+                out.expansion.telemetry.writer_queue_hwm = stats.queue_hwm as u64;
+                out.expansion.telemetry.writer_block_ns = stats.submit_block_ns;
                 let store = writer.finish()?;
                 Ok((out, store))
             }
@@ -392,10 +426,15 @@ impl Preprocessor {
         pool: &WorkerPool,
     ) -> Result<PrepropOutput, DataIoError> {
         let start = Instant::now();
+        let _prep_span = ppgnn_telemetry::span("preprocess");
         let n = data.graph.num_nodes();
         let f = data.features.cols();
         let k_ops = self.operators.len();
         let kf = k_ops * f;
+        // Per-hop wall time, accumulated across operator groups. One
+        // `Instant` pair per (group, hop) — negligible against a
+        // diffusion pass, so it is unconditional, not trace-gated.
+        let mut hop_ns = vec![0u64; self.hops + 1];
 
         let ids_by_part: [&[usize]; 3] = [&data.split.train, &data.split.val, &data.split.test];
         let mut hops_by_part: Vec<Vec<Matrix>> = ids_by_part
@@ -418,6 +457,7 @@ impl Preprocessor {
 
         for (gi, group) in groups.iter().enumerate() {
             let last_group = gi + 1 == num_groups;
+            let hop0_t0 = Instant::now();
             // Hop 0 is the raw features, gathered directly from the input
             // into each group member's column block.
             for &ki in group {
@@ -434,6 +474,7 @@ impl Preprocessor {
                     writer.submit(0, hops_by_part[0][0].clone())?;
                 }
             }
+            hop_ns[0] += hop0_t0.elapsed().as_nanos() as u64;
             if self.hops == 0 {
                 continue;
             }
@@ -461,6 +502,9 @@ impl Preprocessor {
             let plan = ShardPlan::for_operator(&bases[0], num_shards);
 
             for r in 1..=self.hops {
+                let hop_t0 = Instant::now();
+                let _hop_span =
+                    ppgnn_telemetry::span_with("hop", &[("r", r as u64), ("group", gi as u64)]);
                 if sharded {
                     let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
                         Vec::with_capacity(group.len() * plan.num_shards());
@@ -505,6 +549,7 @@ impl Preprocessor {
                         writer.submit(r, hops_by_part[0][r].clone())?;
                     }
                 }
+                hop_ns[r] += hop_t0.elapsed().as_nanos() as u64;
             }
         }
 
@@ -521,6 +566,9 @@ impl Preprocessor {
         let test = extract(&data.split.test);
 
         let preprocess_seconds = start.elapsed().as_secs_f64();
+        for &ns in &hop_ns {
+            PREP_HOP_NS.record(ns);
+        }
         // Account what the run materialized, not what a formula predicts:
         // retained rows and expanded bytes come from the three partitions'
         // actual hop matrices.
@@ -532,6 +580,10 @@ impl Preprocessor {
             num_operators: k_ops,
             hops: self.hops,
             partitions: Vec::new(),
+            telemetry: PrepTelemetry {
+                hop_ns,
+                ..PrepTelemetry::default()
+            },
         };
         Ok(PrepropOutput {
             train,
@@ -650,6 +702,9 @@ impl Preprocessor {
             pool,
         ) {
             Ok(mut out) => {
+                let stats = writer.writer_stats();
+                out.expansion.telemetry.writer_queue_hwm = stats.queue_hwm as u64;
+                out.expansion.telemetry.writer_block_ns = stats.submit_block_ns;
                 let store = writer.finish()?;
                 for stat in &mut out.expansion.partitions {
                     stat.store_bytes = store.partition_meta(stat.partition).total_bytes();
@@ -684,9 +739,16 @@ impl Preprocessor {
         pool: &WorkerPool,
     ) -> Result<PrepropOutput, DataIoError> {
         let start = Instant::now();
+        let _prep_span = ppgnn_telemetry::span("preprocess");
         let f = data.features.cols();
         let k_ops = self.operators.len();
         let kf = k_ops * f;
+        // Hop `r`'s time is the wall clock between successive hop
+        // callbacks (the engine invokes the callback once per finished
+        // hop, hop 0 first), so diffusion and the ghost exchange are
+        // attributed to the hop they produced.
+        let mut hop_ns = vec![0u64; self.hops + 1];
+        let mut hop_clock = Instant::now();
         let ids_by_part: [&[usize]; 3] = [&data.split.train, &data.split.val, &data.split.test];
         let mut hops_by_part: Vec<Vec<Matrix>> = ids_by_part
             .iter()
@@ -702,6 +764,8 @@ impl Preprocessor {
         // results.
         let (task_shards, _) = self.resolved_num_shards(pool);
         engine.run::<DataIoError>(&data.features, pool, task_shards, |r, view| {
+            hop_ns[r] += hop_clock.elapsed().as_nanos() as u64;
+            let _hop_span = ppgnn_telemetry::span_with("hop_gather", &[("r", r as u64)]);
             for k in 0..k_ops {
                 let col = k * f;
                 for (ids, hops) in ids_by_part.iter().zip(hops_by_part.iter_mut()) {
@@ -717,6 +781,7 @@ impl Preprocessor {
                     writer.submit(p, r, rows)?;
                 }
             }
+            hop_clock = Instant::now();
             Ok(())
         })?;
 
@@ -739,6 +804,9 @@ impl Preprocessor {
         }
 
         let preprocess_seconds = start.elapsed().as_secs_f64();
+        for &ns in &hop_ns {
+            PREP_HOP_NS.record(ns);
+        }
         let retained_rows = (train.len() + val.len() + test.len()) as u64;
         let expansion = ExpansionReport {
             raw_bytes: retained_rows * (f as u64) * 4,
@@ -747,6 +815,10 @@ impl Preprocessor {
             num_operators: k_ops,
             hops: self.hops,
             partitions,
+            telemetry: PrepTelemetry {
+                hop_ns,
+                ..PrepTelemetry::default()
+            },
         };
         Ok(PrepropOutput {
             train,
@@ -999,10 +1071,14 @@ mod tests {
                 .map(|s| s.train_rows)
                 .sum();
             assert_eq!(train_rows, data.split.train.len());
-            // Apart from the partition table, accounting matches.
+            // Apart from the partition table and run-specific timings,
+            // accounting matches.
             let mut expansion = partitioned.expansion.clone();
             expansion.partitions = Vec::new();
-            assert_eq!(expansion, reference.expansion);
+            expansion.telemetry = PrepTelemetry::default();
+            let mut ref_expansion = reference.expansion.clone();
+            ref_expansion.telemetry = PrepTelemetry::default();
+            assert_eq!(expansion, ref_expansion);
         }
     }
 

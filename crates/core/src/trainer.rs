@@ -23,6 +23,16 @@ use crate::loader::{
 };
 use crate::preprocess::{PrepropFeatures, PrepropOutput};
 
+/// Per-batch and per-epoch latency distributions mirrored into the
+/// telemetry registry. The phase timers ([`EpochStats`]) stay the
+/// Figure 5 source of truth; these add tail percentiles (p50/p90/p99)
+/// the mean-based phase accounting cannot express.
+static TRAIN_BATCH_NS: ppgnn_telemetry::Histogram =
+    ppgnn_telemetry::Histogram::new("train.batch_ns");
+static TRAIN_EPOCH_NS: ppgnn_telemetry::Histogram =
+    ppgnn_telemetry::Histogram::new("train.epoch_ns");
+static EVAL_BATCH_NS: ppgnn_telemetry::Histogram = ppgnn_telemetry::Histogram::new("eval.batch_ns");
+
 /// Which loader generation the trainer drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoaderKind {
@@ -270,9 +280,12 @@ impl Trainer {
         if data.train.is_empty() {
             return Err(TrainError::EmptyTrainSet);
         }
-        // ppgnn-analyze: allow(hot_path_alloc) -- one-time setup: the
-        // loader owns an Arc'd copy of the train partition for the run.
-        let mut loader = self.make_loader(Arc::new(data.train.clone()));
+        let mut loader = {
+            let _setup_span = ppgnn_telemetry::span("loader_setup");
+            // ppgnn-analyze: allow(hot_path_alloc) -- one-time setup: the
+            // loader owns an Arc'd copy of the train partition for the run.
+            self.make_loader(Arc::new(data.train.clone()))
+        };
         let mut opt = self.make_optimizer();
         let loss_fn = CrossEntropyLoss;
 
@@ -285,6 +298,7 @@ impl Trainer {
 
         for epoch in 0..self.config.epochs {
             let epoch_start = Instant::now();
+            let _epoch_span = ppgnn_telemetry::span_with("epoch", &[("epoch", epoch as u64)]);
             let mut loading_s = 0.0;
             let mut forward_s = 0.0;
             let mut backward_s = 0.0;
@@ -295,6 +309,7 @@ impl Trainer {
             loader.start_epoch();
             loop {
                 let t = Instant::now();
+                let batch_t0 = t;
                 let Some(batch) = loader.next_batch() else {
                     loading_s += t.elapsed().as_secs_f64();
                     break;
@@ -317,6 +332,7 @@ impl Trainer {
 
                 loss_sum += loss as f64;
                 batches += 1;
+                TRAIN_BATCH_NS.record(batch_t0.elapsed().as_nanos() as u64);
             }
             if let Some(msg) = loader.take_error() {
                 return Err(TrainError::Loader(msg));
@@ -343,6 +359,7 @@ impl Trainer {
                 optim_s,
                 total_s: epoch_start.elapsed().as_secs_f64(),
             });
+            TRAIN_EPOCH_NS.record(epoch_start.elapsed().as_nanos() as u64);
         }
 
         Ok(TrainReport {
@@ -365,12 +382,16 @@ pub fn evaluate(model: &mut dyn PpModel, data: &PrepropFeatures, batch_size: usi
     if data.is_empty() {
         return 0.0;
     }
+    let _eval_span = ppgnn_telemetry::span_with("eval", &[("rows", data.len() as u64)]);
     let n = data.len();
     let mut hits = 0usize;
     let mut start = 0;
     let mut hop_slices: Vec<Matrix> = data.hops.iter().map(|_| Matrix::default()).collect();
     let mut logits = Matrix::default();
     while start < n {
+        // Timed only when the tracer is on: the disabled-path cost of an
+        // eval batch stays one relaxed atomic load.
+        let batch_t0 = ppgnn_telemetry::enabled().then(Instant::now);
         let end = (start + batch_size).min(n);
         let rows = end - start;
         for (hop, slice) in data.hops.iter().zip(&mut hop_slices) {
@@ -381,6 +402,9 @@ pub fn evaluate(model: &mut dyn PpModel, data: &PrepropFeatures, batch_size: usi
         let labels = &data.labels[start..end];
         hits += (metrics::accuracy(&logits, labels) * labels.len() as f64).round() as usize;
         start = end;
+        if let Some(t0) = batch_t0 {
+            EVAL_BATCH_NS.record(t0.elapsed().as_nanos() as u64);
+        }
     }
     hits as f64 / n as f64
 }

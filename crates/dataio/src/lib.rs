@@ -38,4 +38,4 @@ pub use error::DataIoError;
 pub use ppgnn_tensor::StoreDtype;
 pub use sharded::{ShardedFeatureStore, ShardedStoreManifest, ShardedStoreWriter};
 pub use store::{AccessPath, FeatureStore, FeatureStoreWriter, IoCounters, StoreMeta};
-pub use writer::{AsyncHopWriter, DEFAULT_WRITER_QUEUE};
+pub use writer::{AsyncHopWriter, WriterStats, DEFAULT_WRITER_QUEUE};

@@ -22,7 +22,9 @@ use std::path::{Path, PathBuf};
 
 use ppgnn_tensor::{io as tio, Matrix};
 
-use crate::{AccessPath, AsyncHopWriter, DataIoError, FeatureStore, IoCounters, StoreMeta};
+use crate::{
+    AccessPath, AsyncHopWriter, DataIoError, FeatureStore, IoCounters, StoreMeta, WriterStats,
+};
 
 const SHARDED_MANIFEST: &str = "sharded.txt";
 const ROWS_SIDECAR: &str = "rows.ppgt";
@@ -242,6 +244,20 @@ impl ShardedStoreWriter {
             ))
         })?;
         writer.submit(k, features)
+    }
+
+    /// Queue-pressure stats aggregated across the per-partition writer
+    /// threads: submissions and block time summed, high-water mark taken
+    /// as the max over partitions.
+    pub fn writer_stats(&self) -> WriterStats {
+        let mut total = WriterStats::default();
+        for w in &self.writers {
+            let s = w.stats();
+            total.submitted += s.submitted;
+            total.submit_block_ns += s.submit_block_ns;
+            total.queue_hwm = total.queue_hwm.max(s.queue_hwm);
+        }
+        total
     }
 
     /// Consumes the writer and returns the first latched write failure
@@ -484,6 +500,19 @@ impl ShardedFeatureStore {
         for store in &mut self.stores {
             store.reset_counters();
         }
+    }
+
+    /// Per-epoch counter delta aggregated across every partition store:
+    /// each partition's [`FeatureStore::take_epoch_counters`] summed.
+    /// Cumulative totals from [`ShardedFeatureStore::counters`] are
+    /// untouched, so epoch-over-epoch read amplification is reportable
+    /// without a process restart.
+    pub fn take_epoch_counters(&mut self) -> IoCounters {
+        let mut total = IoCounters::default();
+        for store in &mut self.stores {
+            total.accumulate(&store.take_epoch_counters());
+        }
+        total
     }
 }
 

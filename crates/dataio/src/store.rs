@@ -7,6 +7,17 @@ use ppgnn_tensor::{io as tio, Matrix};
 
 use crate::DataIoError;
 
+/// Global telemetry mirrors of the per-store [`IoCounters`], so traced
+/// runs see storage traffic in the metrics registry without plumbing a
+/// store handle to the report site. Counters only — the per-row read
+/// loop is a hot path, so values are accumulated locally and flushed
+/// once per call.
+static STORE_SEQ_BYTES: ppgnn_telemetry::Counter = ppgnn_telemetry::Counter::new("store.seq_bytes");
+static STORE_RAND_BYTES: ppgnn_telemetry::Counter =
+    ppgnn_telemetry::Counter::new("store.rand_bytes");
+static STORE_LOGICAL_BYTES: ppgnn_telemetry::Counter =
+    ppgnn_telemetry::Counter::new("store.logical_bytes");
+
 const MANIFEST: &str = "manifest.txt";
 
 /// Magic of the compressed (`f16`/`bf16`/`int8`) hop-file format. `f32`
@@ -226,6 +237,27 @@ impl IoCounters {
         self.bounce_bytes += other.bounce_bytes;
         self.logical_bytes += other.logical_bytes;
     }
+
+    /// Zeroes every count in place.
+    pub fn reset(&mut self) {
+        *self = IoCounters::default();
+    }
+
+    /// The counts accumulated since `earlier` was snapshotted — the
+    /// per-epoch delta behind epoch-over-epoch read-amplification
+    /// reporting. Counters are monotonic, so every field of `earlier`
+    /// must be ≤ the corresponding field of `self` (saturating
+    /// otherwise, so a stale snapshot degrades to zero, not underflow).
+    pub fn delta_since(&self, earlier: &IoCounters) -> IoCounters {
+        IoCounters {
+            seq_requests: self.seq_requests.saturating_sub(earlier.seq_requests),
+            seq_bytes: self.seq_bytes.saturating_sub(earlier.seq_bytes),
+            rand_requests: self.rand_requests.saturating_sub(earlier.rand_requests),
+            rand_bytes: self.rand_bytes.saturating_sub(earlier.rand_bytes),
+            bounce_bytes: self.bounce_bytes.saturating_sub(earlier.bounce_bytes),
+            logical_bytes: self.logical_bytes.saturating_sub(earlier.logical_bytes),
+        }
+    }
 }
 
 /// Writes a feature store to a directory: `manifest.txt` + one
@@ -355,6 +387,9 @@ pub struct FeatureStore {
     /// monotonically to the largest read seen.
     scratch: Vec<u8>,
     counters: IoCounters,
+    /// Snapshot of `counters` at the last [`FeatureStore::take_epoch_counters`]
+    /// call, so per-epoch deltas never disturb the cumulative totals.
+    epoch_mark: IoCounters,
 }
 
 impl FeatureStore {
@@ -404,6 +439,7 @@ impl FeatureStore {
             files,
             scratch,
             counters: IoCounters::default(),
+            epoch_mark: IoCounters::default(),
         })
     }
 
@@ -420,6 +456,18 @@ impl FeatureStore {
     /// Resets the I/O counters (between measured epochs).
     pub fn reset_counters(&mut self) {
         self.counters = IoCounters::default();
+        self.epoch_mark = IoCounters::default();
+    }
+
+    /// The counters accumulated since the previous call (or since open /
+    /// the last [`FeatureStore::reset_counters`]) — the per-epoch delta.
+    /// Cumulative totals from [`FeatureStore::counters`] are untouched,
+    /// so epoch-over-epoch read amplification is reportable without a
+    /// process restart or a destructive reset.
+    pub fn take_epoch_counters(&mut self) -> IoCounters {
+        let delta = self.counters.delta_since(&self.epoch_mark);
+        self.epoch_mark = self.counters;
+        delta
     }
 
     /// Randomly reads individual `rows` of hop `k` — the SGD-RR storage
@@ -458,8 +506,11 @@ impl FeatureStore {
         self.check_hop(k)?;
         out.resize_to(rows.len(), self.meta.cols);
         let logical = (self.meta.cols * 4) as u64;
+        let mut physical_total = 0u64;
         for (i, &r) in rows.iter().enumerate() {
             if r >= self.meta.rows {
+                STORE_RAND_BYTES.add(physical_total);
+                STORE_LOGICAL_BYTES.add(logical * i as u64);
                 return Err(DataIoError::OutOfRange(format!(
                     "row {r} out of range ({} rows)",
                     self.meta.rows
@@ -469,10 +520,13 @@ impl FeatureStore {
             self.counters.rand_requests += 1;
             self.counters.rand_bytes += physical;
             self.counters.logical_bytes += logical;
+            physical_total += physical;
             if path == AccessPath::HostBounce {
                 self.counters.bounce_bytes += physical;
             }
         }
+        STORE_RAND_BYTES.add(physical_total);
+        STORE_LOGICAL_BYTES.add(logical * rows.len() as u64);
         Ok(())
     }
 
@@ -521,6 +575,8 @@ impl FeatureStore {
         self.counters.seq_requests += 1;
         self.counters.seq_bytes += physical;
         self.counters.logical_bytes += (rows * self.meta.cols * 4) as u64;
+        STORE_SEQ_BYTES.add(physical);
+        STORE_LOGICAL_BYTES.add((rows * self.meta.cols * 4) as u64);
         if path == AccessPath::HostBounce {
             self.counters.bounce_bytes += physical;
         }
@@ -621,6 +677,8 @@ impl FeatureStore {
         self.counters.seq_requests += 1;
         self.counters.seq_bytes += physical;
         self.counters.logical_bytes += (self.meta.rows * self.meta.cols * 4) as u64;
+        STORE_SEQ_BYTES.add(physical);
+        STORE_LOGICAL_BYTES.add((self.meta.rows * self.meta.cols * 4) as u64);
         if path == AccessPath::HostBounce {
             self.counters.bounce_bytes += physical;
         }

@@ -11,18 +11,52 @@
 //! many extra hop matrices can be in flight — backpressure, not unbounded
 //! queuing, when storage is slower than compute.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ppgnn_tensor::Matrix;
 
 use crate::{DataIoError, FeatureStore, FeatureStoreWriter, StoreMeta};
 
+/// Telemetry mirrors of the per-writer [`WriterStats`], so traced runs
+/// see write-side backpressure in the metrics registry.
+static WRITER_SUBMIT_BLOCK_NS: ppgnn_telemetry::Counter =
+    ppgnn_telemetry::Counter::new("writer.submit_block_ns");
+static WRITER_QUEUE_HWM: ppgnn_telemetry::Counter =
+    ppgnn_telemetry::Counter::new("writer.queue_hwm");
+
 /// Default bounded-channel depth: two in-flight hop matrices — the
 /// write-side software double buffer.
 pub const DEFAULT_WRITER_QUEUE: usize = 2;
+
+/// Queue-pressure accounting for one [`AsyncHopWriter`] — the signal the
+/// original writer dropped entirely. A saturated queue (`queue_hwm` at
+/// capacity, growing `submit_block_ns`) means storage is the bottleneck
+/// and diffusion is stalling on write backpressure; an idle queue means
+/// the async writer fully hides I/O behind compute.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Hop matrices accepted by [`AsyncHopWriter::submit`].
+    pub submitted: u64,
+    /// High-water mark of in-flight hop matrices (queued plus the one
+    /// entering the queue), observed at submit time.
+    pub queue_hwm: usize,
+    /// Total nanoseconds `submit` spent blocked on a full queue.
+    pub submit_block_ns: u64,
+}
+
+/// Shared mutable stats cells: the producer bumps them in `submit`, the
+/// writer thread decrements the in-flight depth as it drains.
+#[derive(Debug, Default)]
+struct StatsCells {
+    depth: AtomicUsize,
+    queue_hwm: AtomicUsize,
+    submit_block_ns: AtomicU64,
+    submitted: AtomicU64,
+}
 
 /// A [`FeatureStoreWriter`] running on its own thread behind a bounded
 /// channel.
@@ -40,6 +74,7 @@ pub struct AsyncHopWriter {
     tx: Option<SyncSender<(usize, Matrix)>>,
     worker: Option<JoinHandle<Result<FeatureStoreWriter, DataIoError>>>,
     failed: Arc<AtomicBool>,
+    stats: Arc<StatsCells>,
 }
 
 impl AsyncHopWriter {
@@ -65,6 +100,8 @@ impl AsyncHopWriter {
     pub fn wrap(writer: FeatureStoreWriter, queue_depth: usize) -> Self {
         let failed = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&failed);
+        let stats = Arc::new(StatsCells::default());
+        let drain_stats = Arc::clone(&stats);
         let (tx, rx) = sync_channel::<(usize, Matrix)>(queue_depth.max(1));
         let worker = std::thread::Builder::new()
             .name("ppgnn-hop-writer".into())
@@ -72,6 +109,7 @@ impl AsyncHopWriter {
                 let mut writer = writer;
                 let mut first_err: Option<DataIoError> = None;
                 while let Ok((k, features)) = rx.recv() {
+                    drain_stats.depth.fetch_sub(1, Ordering::AcqRel);
                     if first_err.is_some() {
                         // Latched failure: drain so producers never block
                         // on a queue nobody is emptying.
@@ -92,6 +130,16 @@ impl AsyncHopWriter {
             tx: Some(tx),
             worker: Some(worker),
             failed,
+            stats,
+        }
+    }
+
+    /// Snapshot of the queue-pressure stats accumulated so far.
+    pub fn stats(&self) -> WriterStats {
+        WriterStats {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            queue_hwm: self.stats.queue_hwm.load(Ordering::Relaxed),
+            submit_block_ns: self.stats.submit_block_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -117,8 +165,31 @@ impl AsyncHopWriter {
             .tx
             .as_ref()
             .ok_or_else(|| DataIoError::Io("async hop writer already finished".into()))?;
-        tx.send((k, features))
-            .map_err(|_| DataIoError::Io("hop-writer thread terminated early".into()))
+        let depth = self.stats.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        self.stats.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+        let sent = match tx.try_send((k, features)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(payload)) => {
+                // Queue full: storage is behind compute. Fall back to the
+                // blocking send and charge the wait to `submit_block_ns`.
+                let t0 = Instant::now();
+                let res = tx.send(payload);
+                let blocked = t0.elapsed().as_nanos() as u64;
+                self.stats
+                    .submit_block_ns
+                    .fetch_add(blocked, Ordering::Relaxed);
+                WRITER_SUBMIT_BLOCK_NS.add(blocked);
+                res.map_err(|_| ())
+            }
+            Err(TrySendError::Disconnected(_)) => Err(()),
+        };
+        if sent.is_err() {
+            self.stats.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(DataIoError::Io("hop-writer thread terminated early".into()));
+        }
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        WRITER_QUEUE_HWM.record_max(depth as u64);
+        Ok(())
     }
 
     /// `true` once a write has failed (or the writer thread died):
@@ -259,6 +330,33 @@ mod tests {
         let mut w = AsyncHopWriter::create(&dir, meta(6, 2, 2), 1).unwrap();
         w.submit(0, hop_matrix(0, 6, 2)).unwrap();
         drop(w); // must join cleanly, not hang or leak the thread
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slow_writer_records_block_time_and_queue_high_water_mark() {
+        let dir = temp_dir("slowwriter");
+        // Depth-1 queue with hop matrices large enough (~1 MiB each) that
+        // disk writes trail a tight submit loop: some submit must find the
+        // queue full, take the blocking path, and accumulate block time.
+        let (rows, cols, hops) = (4096, 64, 8);
+        let mut w = AsyncHopWriter::create(&dir, meta(rows, cols, hops), 1).unwrap();
+        let matrices: Vec<Matrix> = (0..hops).map(|k| hop_matrix(k, rows, cols)).collect();
+        for (k, m) in matrices.into_iter().enumerate() {
+            w.submit(k, m).unwrap();
+        }
+        let stats = w.stats();
+        assert_eq!(stats.submitted, hops as u64);
+        assert!(
+            stats.queue_hwm >= 1,
+            "at least one hop must have been observed in flight"
+        );
+        assert!(
+            stats.submit_block_ns > 0,
+            "a depth-1 queue behind {hops} ~1MiB hops must block at least once"
+        );
+        let store = w.finish().unwrap();
+        assert_eq!(store.meta().num_hops, hops);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,6 +18,14 @@ use ppgnn_tensor::{pool, Matrix};
 
 use crate::{CsrGraph, GraphError};
 
+/// Telemetry totals for the whole-matrix SpMM driver. Counters only on
+/// this path's inner layers — span guards are allowed at the driver
+/// (one per full SpMM call) but statically forbidden inside
+/// `spmm_rows_into`/`spmm_row` by the `telemetry_span` lint, where a
+/// per-row guard would cost more than the row.
+static SPMM_CALLS: ppgnn_telemetry::Counter = ppgnn_telemetry::Counter::new("spmm.calls");
+static SPMM_MADDS: ppgnn_telemetry::Counter = ppgnn_telemetry::Counter::new("spmm.madds");
+
 /// Splits CSR rows into at most `parts` contiguous blocks of near-equal
 /// **non-zero count**, using the `indptr` prefix-sum array.
 ///
@@ -304,6 +312,10 @@ impl WeightedCsr {
         if f == 0 {
             return;
         }
+        SPMM_CALLS.add(1);
+        SPMM_MADDS.add(work as u64);
+        let _span =
+            ppgnn_telemetry::span_with("spmm", &[("rows", rows as u64), ("cols_f", f as u64)]);
 
         if nthreads <= 1 || rows <= 1 {
             let out_data = out.as_mut_slice();

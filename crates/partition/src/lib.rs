@@ -286,9 +286,12 @@ impl PartitionedDiffusion {
             // Simple operators: exchange every ghost region, then submit
             // ONE task batch across all (op, partition, block) triples so
             // operator passes overlap on the pool.
-            for k in 0..k_ops {
-                if !self.operators[k].is_diffusion_series() {
-                    exchange(&mut locals[k], &self.fetches[k]);
+            {
+                let _xch_span = ppgnn_telemetry::span_with("ghost_exchange", &[("r", r as u64)]);
+                for k in 0..k_ops {
+                    if !self.operators[k].is_diffusion_series() {
+                        exchange(&mut locals[k], &self.fetches[k]);
+                    }
                 }
             }
             {
@@ -372,7 +375,13 @@ impl PartitionedDiffusion {
                 }
                 let mut coeff = alpha;
                 for term_i in 1..=op.series_terms() {
-                    exchange(&mut series_term, &self.fetches[k]);
+                    {
+                        let _xch_span = ppgnn_telemetry::span_with(
+                            "ghost_exchange",
+                            &[("r", r as u64), ("term", term_i as u64)],
+                        );
+                        exchange(&mut series_term, &self.fetches[k]);
+                    }
                     {
                         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
                         for (p, next) in nexts[k].iter_mut().enumerate() {

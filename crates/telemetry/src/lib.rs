@@ -1,0 +1,159 @@
+//! Unified tracing and metrics substrate for the PP-GNN pipeline.
+//!
+//! The source paper is first a *characterization* study: its conclusions
+//! come from attributing wall time to pipeline stages (diffusion SpMM,
+//! host-side data movement, dense training compute). This crate is the
+//! reproduction's equivalent instrument — one process-wide switch, two
+//! recording primitives, and export plumbing:
+//!
+//! * **Span tracer** ([`span`] / [`span_with`]) — RAII guards that record
+//!   `{name, tid, start_ns, dur_ns, args}` events into per-thread ring
+//!   buffers, exported as Chrome `trace_event` JSON
+//!   ([`chrome_trace_json`], loadable in `chrome://tracing` / Perfetto)
+//!   or a hierarchical text summary ([`trace_summary`]).
+//! * **Metrics registry** ([`Counter`] / [`Histogram`]) — named atomic
+//!   counters and log₂-bucketed latency histograms with p50/p90/p99
+//!   readout ([`metrics_summary`], [`metrics_json`]), declared as
+//!   `static`s at the recording site and registered lazily on first use.
+//!
+//! Everything is gated on one process-global switch: the `PPGNN_TRACE`
+//! environment knob (or [`set_enabled`] programmatically). **Disabled
+//! instrumentation costs one relaxed atomic load** — no allocation, no
+//! clock read, no lock — so span guards and counter bumps may sit on
+//! paths that the residency suite pins allocation-free. When enabled,
+//! recording allocates only on first touch (ring buffers and registry
+//! slots are grown once per thread / metric) and then runs
+//! allocation-free too.
+//!
+//! This crate sits at the bottom of the workspace dependency order
+//! (below `ppgnn-tensor`), so it deliberately has **zero dependencies**
+//! and reads its two environment knobs directly instead of through
+//! `ppgnn_tensor::knobs` — the same arrangement as the vendored proptest
+//! shim's `PPGNN_PROPTEST_SEED`. Both knobs are still declared in the
+//! registry so the generated EXPERIMENTS.md table stays complete, and
+//! this file is exempted from the `env_knob` lint in the
+//! `ppgnn-analyze` config.
+
+#![deny(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    counters_snapshot, histograms_snapshot, metrics_json, metrics_summary, reset_metrics, Counter,
+    Histogram, HistogramSnapshot,
+};
+pub use trace::{
+    chrome_trace_json, dropped_events, reset_trace, span, span_with, take_events, trace_summary,
+    write_chrome_trace, SpanEvent, SpanGuard, SPAN_ARGS,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Environment knob that switches telemetry on (`"1"`).
+pub const TRACE_ENV: &str = "PPGNN_TRACE";
+/// Environment knob naming the Chrome-trace output path.
+pub const TRACE_OUT_ENV: &str = "PPGNN_TRACE_OUT";
+/// Default Chrome-trace output path when `PPGNN_TRACE_OUT` is unset.
+pub const DEFAULT_TRACE_OUT: &str = "trace.json";
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Tri-state switch: uninitialized until the first [`enabled`] call reads
+/// the environment, then latched off/on (still overridable via
+/// [`set_enabled`]).
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Whether telemetry is recording. This is the single gate every
+/// recording primitive checks first; on the steady state it is one
+/// relaxed atomic load and a compare.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// One-time slow path of [`enabled`]: latch the `PPGNN_TRACE` value.
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var(TRACE_ENV).is_ok_and(|v| v == "1");
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically switches telemetry on or off, overriding
+/// `PPGNN_TRACE`. Tests and profiling binaries use this instead of
+/// mutating the process environment.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// The Chrome-trace output path: `PPGNN_TRACE_OUT` if set and non-empty,
+/// else [`DEFAULT_TRACE_OUT`].
+pub fn trace_out_path() -> String {
+    std::env::var(TRACE_OUT_ENV)
+        .ok()
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| DEFAULT_TRACE_OUT.to_string())
+}
+
+/// Process-wide monotonic epoch all span timestamps are relative to.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process's telemetry epoch (first call).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    //! The enable switch, rings, and metric registries are process-global;
+    //! tests that toggle or read them serialize on this lock.
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    /// Acquires the global test lock (poison-tolerant).
+    pub fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_enabled_overrides_and_latches() {
+        let _guard = test_lock::hold();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn trace_out_defaults_to_trace_json() {
+        // PPGNN_TRACE_OUT is not set in the test environment.
+        if std::env::var(TRACE_OUT_ENV).is_err() {
+            assert_eq!(trace_out_path(), DEFAULT_TRACE_OUT);
+        }
+    }
+}

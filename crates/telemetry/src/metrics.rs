@@ -1,0 +1,408 @@
+//! The metrics registry: named atomic counters and log₂-bucketed
+//! latency histograms with percentile readout.
+//!
+//! Metrics are declared as `static` items at their recording site
+//! (`static MADDS: Counter = Counter::new("gemm.madds");`) and register
+//! themselves into a process-global registry on first *enabled* record,
+//! so readout code can enumerate every metric the run actually touched
+//! without a central declaration list. All recording is gated on
+//! [`crate::enabled`]: disabled cost is one relaxed atomic load.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Log₂ bucket count: bucket 0 holds value 0, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`, up to bucket 64 for values ≥ `2^63`.
+pub const NUM_BUCKETS: usize = 65;
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// A named monotonic (or gauge-style, via [`Counter::set`] /
+/// [`Counter::record_max`]) atomic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter; `const` so it can be a `static` at the use site.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            COUNTERS
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(self);
+        }
+    }
+
+    /// Adds `delta` when telemetry is enabled.
+    #[inline]
+    pub fn add(&'static self, delta: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to `v` if larger (high-water marks), when
+    /// telemetry is enabled.
+    #[inline]
+    pub fn record_max(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Overwrites the counter (gauges published at export time), when
+    /// telemetry is enabled.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index of `v`: 0 for 0, else `64 - leading_zeros(v)` — so
+/// `v ∈ [2^(i-1), 2^i)` lands in bucket `i`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `i` — the value percentile queries
+/// report for samples landing in that bucket.
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A named log₂-bucketed histogram with count/sum and percentile
+/// readout. Percentiles report the matched bucket's inclusive upper
+/// edge, so they over- rather than under-estimate by at most 2×.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A new histogram; `const` so it can be a `static` at the use site.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            HISTOGRAMS
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(self);
+        }
+    }
+
+    /// Records one sample when telemetry is enabled.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper edge of the first
+    /// bucket whose cumulative count reaches `⌈q·count⌉`; 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_upper_edge(i);
+            }
+        }
+        bucket_upper_edge(NUM_BUCKETS - 1)
+    }
+}
+
+/// Point-in-time readout of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: &'static str,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// 50th percentile (bucket upper edge).
+    pub p50: u64,
+    /// 90th percentile (bucket upper edge).
+    pub p90: u64,
+    /// 99th percentile (bucket upper edge).
+    pub p99: u64,
+}
+
+/// Every registered counter as `(name, value)`, sorted by name.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = COUNTERS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|c| (c.name, c.get()))
+        .collect();
+    out.sort_by_key(|&(n, _)| n);
+    out
+}
+
+/// Every registered histogram's snapshot, sorted by name.
+pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
+    let mut out: Vec<HistogramSnapshot> = HISTOGRAMS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|h| HistogramSnapshot {
+            name: h.name,
+            count: h.count(),
+            sum: h.sum(),
+            p50: h.percentile(0.50),
+            p90: h.percentile(0.90),
+            p99: h.percentile(0.99),
+        })
+        .collect();
+    out.sort_by_key(|s| s.name);
+    out
+}
+
+/// Zeroes every registered counter and histogram (registrations persist).
+pub fn reset_metrics() {
+    for c in COUNTERS.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Human-readable metrics readout: one line per counter, one per
+/// histogram with count/sum and p50/p90/p99.
+pub fn metrics_summary() -> String {
+    let mut out = String::from("counters:\n");
+    for (name, value) in counters_snapshot() {
+        let _ = writeln!(out, "  {name:<40} {value}");
+    }
+    out.push_str("histograms (count | sum | p50 | p90 | p99):\n");
+    for s in histograms_snapshot() {
+        let _ = writeln!(
+            out,
+            "  {:<40} {} | {} | {} | {} | {}",
+            s.name, s.count, s.sum, s.p50, s.p90, s.p99
+        );
+    }
+    out
+}
+
+/// Machine-readable metrics readout as a JSON object
+/// `{"counters":{...},"histograms":{name:{count,sum,p50,p90,p99}}}` —
+/// the `telemetry` section the bench artifacts embed. `indent` prefixes
+/// every line (for splicing into a hand-rolled artifact).
+pub fn metrics_json(indent: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{indent}{{");
+    let _ = writeln!(out, "{indent}  \"counters\": {{");
+    let counters = counters_snapshot();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        let _ = writeln!(out, "{indent}    \"{name}\": {value}{comma}");
+    }
+    let _ = writeln!(out, "{indent}  }},");
+    let _ = writeln!(out, "{indent}  \"histograms\": {{");
+    let hists = histograms_snapshot();
+    for (i, s) in hists.iter().enumerate() {
+        let comma = if i + 1 < hists.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "{indent}    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}{comma}",
+            s.name, s.count, s.sum, s.p50, s.p90, s.p99
+        );
+    }
+    let _ = writeln!(out, "{indent}  }}");
+    let _ = write!(out, "{indent}}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn bucket_index_and_edges_cover_the_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_edge(0), 0);
+        assert_eq!(bucket_upper_edge(1), 1);
+        assert_eq!(bucket_upper_edge(2), 3);
+        assert_eq!(bucket_upper_edge(3), 7);
+        assert_eq!(bucket_upper_edge(64), u64::MAX);
+        // Every value's bucket edge is >= the value (percentiles
+        // over-estimate, never under-estimate).
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 1023, 1024, 1025] {
+            assert!(bucket_upper_edge(bucket_index(v)) >= v, "{v}");
+        }
+    }
+
+    #[test]
+    fn counters_gate_on_the_enable_switch() {
+        let _guard = test_lock::hold();
+        static C: Counter = Counter::new("test.gated_counter");
+        crate::set_enabled(false);
+        C.add(5);
+        assert_eq!(C.get(), 0);
+        crate::set_enabled(true);
+        C.add(5);
+        C.add(2);
+        C.record_max(3); // below current 7: no-op
+        assert_eq!(C.get(), 7);
+        C.record_max(100);
+        assert_eq!(C.get(), 100);
+        crate::set_enabled(false);
+        assert!(counters_snapshot()
+            .iter()
+            .any(|&(n, v)| n == "test.gated_counter" && v == 100));
+        C.value.store(0, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn histogram_percentiles_at_bucket_edges() {
+        let _guard = test_lock::hold();
+        static H: Histogram = Histogram::new("test.edges_hist");
+        crate::set_enabled(true);
+        // Samples 1, 2, 4 land in buckets 1, 2, 3 (edges 1, 3, 7).
+        H.record(1);
+        H.record(2);
+        H.record(4);
+        crate::set_enabled(false);
+        assert_eq!(H.count(), 3);
+        assert_eq!(H.sum(), 7);
+        // p50 → target ⌈1.5⌉ = 2nd sample → bucket 2 → edge 3.
+        assert_eq!(H.percentile(0.50), 3);
+        // p90/p99 → 3rd sample → bucket 3 → edge 7.
+        assert_eq!(H.percentile(0.90), 7);
+        assert_eq!(H.percentile(0.99), 7);
+        // p at or below 1/count → first sample → edge 1.
+        assert_eq!(H.percentile(0.333), 1);
+        // Exact powers of two sit in the bucket whose edge is 2·v − 1.
+        static H2: Histogram = Histogram::new("test.pow2_hist");
+        crate::set_enabled(true);
+        H2.record(8);
+        crate::set_enabled(false);
+        assert_eq!(H2.percentile(0.5), 15);
+        // Zero-only histograms report edge 0 everywhere.
+        static H0: Histogram = Histogram::new("test.zero_hist");
+        crate::set_enabled(true);
+        H0.record(0);
+        crate::set_enabled(false);
+        assert_eq!(H0.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        static H: Histogram = Histogram::new("test.empty_hist");
+        assert_eq!(H.percentile(0.5), 0);
+        assert_eq!(H.count(), 0);
+    }
+
+    #[test]
+    fn metrics_json_is_shaped() {
+        let _guard = test_lock::hold();
+        static C: Counter = Counter::new("test.json_counter");
+        static H: Histogram = Histogram::new("test.json_hist");
+        crate::set_enabled(true);
+        C.add(9);
+        H.record(100);
+        crate::set_enabled(false);
+        let json = metrics_json("  ");
+        assert!(json.contains("\"counters\": {"));
+        assert!(json.contains("\"test.json_counter\": 9"));
+        assert!(json.contains("\"test.json_hist\": {\"count\": 1,"));
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.ends_with('}'));
+        let text = metrics_summary();
+        assert!(text.contains("test.json_counter"));
+        C.value.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,442 @@
+//! The span tracer: RAII guards, per-thread ring buffers, Chrome
+//! `trace_event` export, and the hierarchical text summary.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maximum key/value argument pairs a span carries. Fixed so guards are
+/// plain `Copy` data with no heap side — unused slots have an empty key.
+pub const SPAN_ARGS: usize = 2;
+
+/// Per-thread ring capacity in events. At ~48 bytes per event this is
+/// under 1 MiB per recording thread; overflow overwrites the oldest
+/// events and counts them as dropped.
+const RING_CAPACITY: usize = 1 << 14;
+
+/// One completed span, as stored in the ring buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (static, by construction of the API).
+    pub name: &'static str,
+    /// Telemetry thread id (sequential, assigned at first record).
+    pub tid: u32,
+    /// Start, nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Up to [`SPAN_ARGS`] key/value pairs; empty keys are unused slots.
+    pub args: [(&'static str, u64); SPAN_ARGS],
+}
+
+/// Fixed-capacity overwrite-oldest event buffer, one per thread.
+struct Ring {
+    events: Vec<SpanEvent>,
+    /// Next overwrite position once `events` is at capacity.
+    head: usize,
+    /// Events lost to overwriting.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, e: SpanEvent) {
+        if self.events.len() < RING_CAPACITY {
+            // Grow-once path: reserve the full capacity on first use so
+            // steady-state recording never reallocates.
+            if self.events.is_empty() {
+                self.events.reserve_exact(RING_CAPACITY);
+            }
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Every thread's ring, for export from any thread.
+static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static LOCAL: (u32, Arc<Mutex<Ring>>) = register_thread();
+}
+
+fn register_thread() -> (u32, Arc<Mutex<Ring>>) {
+    let ring = Arc::new(Mutex::new(Ring::new()));
+    RINGS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::clone(&ring));
+    (NEXT_TID.fetch_add(1, Ordering::Relaxed), ring)
+}
+
+fn record(name: &'static str, start_ns: u64, dur_ns: u64, args: [(&'static str, u64); SPAN_ARGS]) {
+    LOCAL.with(|(tid, ring)| {
+        ring.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SpanEvent {
+                name,
+                tid: *tid,
+                start_ns,
+                dur_ns,
+                args,
+            });
+    });
+}
+
+/// RAII span guard: records one [`SpanEvent`] covering its lifetime when
+/// telemetry is enabled, and is a pure no-op (no clock read, no lock)
+/// when disabled.
+#[must_use = "a span measures its guard's lifetime; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    args: [(&'static str, u64); SPAN_ARGS],
+    active: bool,
+}
+
+/// Opens a span named `name`; the span closes (and records) when the
+/// returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Opens a span carrying up to [`SPAN_ARGS`] key/value arguments
+/// (extras are silently dropped).
+#[inline]
+pub fn span_with(name: &'static str, args: &[(&'static str, u64)]) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            name,
+            start_ns: 0,
+            args: [("", 0); SPAN_ARGS],
+            active: false,
+        };
+    }
+    let mut slots = [("", 0u64); SPAN_ARGS];
+    for (slot, kv) in slots.iter_mut().zip(args) {
+        *slot = *kv;
+    }
+    SpanGuard {
+        name,
+        start_ns: crate::now_ns(),
+        args: slots,
+        active: true,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur = crate::now_ns().saturating_sub(self.start_ns);
+        record(self.name, self.start_ns, dur, self.args);
+    }
+}
+
+/// Copies every recorded event out of every thread's ring, sorted by
+/// `(start_ns, tid)` — globally monotonic start order.
+pub fn take_events() -> Vec<SpanEvent> {
+    let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        let r = ring.lock().unwrap_or_else(|e| e.into_inner());
+        out.extend_from_slice(&r.events);
+    }
+    out.sort_by_key(|e| (e.start_ns, e.tid));
+    out
+}
+
+/// Total events lost to ring overwriting, across threads.
+pub fn dropped_events() -> u64 {
+    let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+    rings
+        .iter()
+        .map(|r| r.lock().unwrap_or_else(|e| e.into_inner()).dropped)
+        .sum()
+}
+
+/// Clears every ring (events and drop counts). Thread registrations and
+/// tids persist.
+pub fn reset_trace() {
+    let rings = RINGS.lock().unwrap_or_else(|e| e.into_inner());
+    for ring in rings.iter() {
+        let mut r = ring.lock().unwrap_or_else(|e| e.into_inner());
+        r.events.clear();
+        r.head = 0;
+        r.dropped = 0;
+    }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders every recorded span as Chrome `trace_event` JSON — complete
+/// (`"ph":"X"`) events with microsecond `ts`/`dur` (3 decimal places, so
+/// nanosecond precision survives), sorted by start time. The output
+/// loads in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json() -> String {
+    let events = take_events();
+    let mut out = String::with_capacity(events.len() * 110 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        push_json_escaped(&mut out, e.name);
+        let _ = write!(
+            out,
+            "\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{",
+            e.tid,
+            e.start_ns / 1000,
+            e.start_ns % 1000,
+            e.dur_ns / 1000,
+            e.dur_ns % 1000,
+        );
+        let mut first = true;
+        for &(k, v) in &e.args {
+            if k.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            push_json_escaped(&mut out, k);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`, or to [`crate::trace_out_path`]
+/// when `path` is `None`. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(path: Option<&Path>) -> io::Result<PathBuf> {
+    let path = match path {
+        Some(p) => p.to_path_buf(),
+        None => PathBuf::from(crate::trace_out_path()),
+    };
+    std::fs::write(&path, chrome_trace_json())?;
+    Ok(path)
+}
+
+/// Renders a hierarchical text summary of the recorded spans: per-thread
+/// containment rebuilds the nesting, identical paths aggregate, and each
+/// line shows total time, call count, and mean duration.
+pub fn trace_summary() -> String {
+    let mut events = take_events();
+    // Parents before their children: same start → longer span first.
+    events.sort_by_key(|e| (e.tid, e.start_ns, std::cmp::Reverse(e.dur_ns)));
+
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<Vec<&'static str>, (u64, u64)> = BTreeMap::new();
+    let mut stack: Vec<(u64, &'static str)> = Vec::new();
+    let mut cur_tid = u32::MAX;
+    for e in &events {
+        if e.tid != cur_tid {
+            stack.clear();
+            cur_tid = e.tid;
+        }
+        while let Some(&(end, _)) = stack.last() {
+            if e.start_ns >= end {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        stack.push((e.start_ns + e.dur_ns, e.name));
+        let path: Vec<&'static str> = stack.iter().map(|&(_, n)| n).collect();
+        let entry = agg.entry(path).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += e.dur_ns;
+    }
+
+    let mut out = String::from("span summary (total ms | calls | mean µs)\n");
+    for (path, (count, total_ns)) in &agg {
+        let depth = path.len() - 1;
+        let name = path.last().copied().unwrap_or("");
+        let mean_us = *total_ns as f64 / 1e3 / (*count).max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:indent$}{name:<32} {:>10.3} | {count:>7} | {mean_us:>10.1}",
+            "",
+            *total_ns as f64 / 1e6,
+            indent = depth * 2,
+        );
+    }
+    let dropped = dropped_events();
+    if dropped > 0 {
+        let _ = writeln!(out, "({dropped} events dropped by ring overflow)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(false);
+        reset_trace();
+        {
+            let _s = span("dead");
+        }
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_args() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_trace();
+        {
+            let _outer = span("outer");
+            for r in 0..3u64 {
+                let _inner = span_with("inner", &[("hop", r)]);
+            }
+        }
+        crate::set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 4);
+        let outer = events
+            .iter()
+            .find(|e| e.name == "outer")
+            .expect("outer span recorded");
+        let inners: Vec<_> = events.iter().filter(|e| e.name == "inner").collect();
+        assert_eq!(inners.len(), 3);
+        for (i, e) in inners.iter().enumerate() {
+            assert_eq!(e.args[0], ("hop", i as u64));
+            // Inner spans are contained in the outer span.
+            assert!(e.start_ns >= outer.start_ns);
+            assert!(e.start_ns + e.dur_ns <= outer.start_ns + outer.dur_ns);
+        }
+        reset_trace();
+    }
+
+    #[test]
+    fn chrome_trace_json_has_complete_monotonic_events() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_trace();
+        {
+            let _a = span("alpha");
+            let _b = span_with("beta", &[("k", 7)]);
+        }
+        crate::set_enabled(false);
+        let json = chrome_trace_json();
+        reset_trace();
+
+        // Envelope and event shape: every event is a complete "X" phase
+        // carrying name/pid/tid/ts/dur/args.
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        let event_lines: Vec<&str> = json
+            .lines()
+            .filter(|l| l.starts_with('{') && l.contains("\"ph\""))
+            .collect();
+        assert_eq!(event_lines.len(), 2);
+        for line in &event_lines {
+            for field in [
+                "\"name\":",
+                "\"ph\":\"X\"",
+                "\"pid\":",
+                "\"tid\":",
+                "\"ts\":",
+                "\"dur\":",
+                "\"args\":",
+            ] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+        }
+        assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"k\":7"));
+
+        // ts values are monotonic non-decreasing across the file.
+        let mut last = f64::MIN;
+        for line in &event_lines {
+            let ts = line
+                .split("\"ts\":")
+                .nth(1)
+                .and_then(|t| t.split(',').next())
+                .and_then(|t| t.parse::<f64>().ok())
+                .expect("ts parses as a number");
+            assert!(ts >= last, "ts went backwards: {ts} < {last}");
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn summary_nests_by_containment() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_trace();
+        {
+            let _outer = span("parent");
+            let _inner = span("child");
+        }
+        crate::set_enabled(false);
+        let text = trace_summary();
+        reset_trace();
+        let parent_line = text
+            .lines()
+            .find(|l| l.contains("parent"))
+            .expect("parent line present");
+        let child_line = text
+            .lines()
+            .find(|l| l.contains("child"))
+            .expect("child line present");
+        // The child renders indented under its parent.
+        assert!(child_line.starts_with("  "));
+        assert!(!parent_line.starts_with(' '));
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_trace();
+        for _ in 0..(RING_CAPACITY + 10) {
+            let _s = span("spin");
+        }
+        crate::set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), RING_CAPACITY);
+        assert!(dropped_events() >= 10);
+        reset_trace();
+    }
+}

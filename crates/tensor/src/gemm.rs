@@ -77,6 +77,30 @@
 
 use crate::pool::{pool, threads_for, PackBuf, PackWorkspace};
 use crate::Matrix;
+use ppgnn_telemetry::Counter;
+
+/// Telemetry counters bumped at the shared dispatch point of every packed
+/// GEMM call (and the batched entry). Recording is a relaxed atomic add
+/// gated on `ppgnn_telemetry::enabled()`, so the disabled cost on this
+/// hot path is one atomic load — spans are deliberately absent here (and
+/// statically forbidden by the `telemetry_span` lint): per-call guards at
+/// micro-kernel granularity would dominate small products.
+static GEMM_CALLS: Counter = Counter::new("gemm.calls");
+static GEMM_MADDS: Counter = Counter::new("gemm.madds");
+static GEMM_BATCHED_CALLS: Counter = Counter::new("gemm.batched_calls");
+static GEMM_BATCHED_MADDS: Counter = Counter::new("gemm.batched_madds");
+static GEMM_DISPATCH_PORTABLE: Counter = Counter::new("gemm.dispatch.portable");
+static GEMM_DISPATCH_AVX2: Counter = Counter::new("gemm.dispatch.avx2");
+static GEMM_DISPATCH_AVX512: Counter = Counter::new("gemm.dispatch.avx512");
+
+/// The dispatch-choice counter for `kind`.
+fn kernel_dispatch_counter(kind: KernelKind) -> &'static Counter {
+    match kind {
+        KernelKind::Portable => &GEMM_DISPATCH_PORTABLE,
+        KernelKind::Avx2 => &GEMM_DISPATCH_AVX2,
+        KernelKind::Avx512 => &GEMM_DISPATCH_AVX512,
+    }
+}
 
 /// Identifies one compiled-in [`MicroKernel`] instantiation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -873,6 +897,9 @@ fn gemm_dispatch(
     nthreads: usize,
     c: &mut [f32],
 ) {
+    GEMM_CALLS.add(1);
+    GEMM_MADDS.add((m * n * k) as u64);
+    kernel_dispatch_counter(cfg.kernel).add(1);
     with_kernel!(cfg.kernel, K, {
         gemm_run::<K>(a, b, m, n, k, apack, bpack, cfg.kc, cfg.nc, nthreads, c)
     });
@@ -1069,6 +1096,9 @@ pub fn matmul_batched_into(a: &[Matrix], b: &[Matrix], c: &mut [Matrix]) {
     }
     let cfg = block::tile_config();
     let ntasks = threads_for(a.len() * m * n * k).min(a.len());
+    GEMM_BATCHED_CALLS.add(1);
+    GEMM_BATCHED_MADDS.add((a.len() * m * n * k) as u64);
+    kernel_dispatch_counter(cfg.kernel).add(1);
     with_kernel!(cfg.kernel, K, {
         batched_run::<K>(a, b, c, cfg.kc, cfg.nc, ntasks)
     });

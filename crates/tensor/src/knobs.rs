@@ -17,9 +17,10 @@
 //! `PPGNN_NUM_PARTITIONS` unclamped while the preprocessing builder
 //! clamped it to `1..=4096`.
 //!
-//! The one read outside this module is `PPGNN_PROPTEST_SEED` in the
-//! vendored proptest shim: vendored crates sit below `ppgnn-tensor` in
-//! the dependency order and cannot call into it. The knob is still
+//! The reads outside this module are `PPGNN_PROPTEST_SEED` in the
+//! vendored proptest shim and `PPGNN_TRACE` / `PPGNN_TRACE_OUT` in
+//! `ppgnn-telemetry`: both crates sit below `ppgnn-tensor` in the
+//! dependency order and cannot call into it. The knobs are still
 //! declared here so the table stays complete.
 
 /// How a knob's raw string is interpreted.
@@ -84,6 +85,10 @@ pub const STORE_DTYPE: &str = "PPGNN_STORE_DTYPE";
 pub const STORE_BENCH_ARTIFACT: &str = "PPGNN_STORE_BENCH_ARTIFACT";
 /// `PPGNN_PROPTEST_SEED`.
 pub const PROPTEST_SEED: &str = "PPGNN_PROPTEST_SEED";
+/// `PPGNN_TRACE`.
+pub const TRACE: &str = "PPGNN_TRACE";
+/// `PPGNN_TRACE_OUT`.
+pub const TRACE_OUT: &str = "PPGNN_TRACE_OUT";
 
 /// Every `PPGNN_*` knob the workspace reads, in table order.
 pub const REGISTRY: &[KnobDef] = &[
@@ -176,6 +181,18 @@ pub const REGISTRY: &[KnobDef] = &[
         kind: KnobKind::U64,
         default: "0 (deterministic)",
         doc: "Base seed of the vendored proptest runner (parsed in the shim).",
+    },
+    KnobDef {
+        name: TRACE,
+        kind: KnobKind::Flag,
+        default: "off",
+        doc: "Enables the ppgnn-telemetry span tracer and metrics registry (read in the telemetry crate).",
+    },
+    KnobDef {
+        name: TRACE_OUT,
+        kind: KnobKind::Path,
+        default: "`trace.json`",
+        doc: "Output path of the Chrome-trace JSON export (read in the telemetry crate).",
     },
 ];
 

@@ -19,9 +19,40 @@
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ppgnn_telemetry::Counter;
+
+/// Pool-wide telemetry totals, mirrored from the per-worker accumulators
+/// as jobs complete. Recording happens only while telemetry is enabled
+/// (the worker loop skips its clock reads entirely otherwise).
+static POOL_TASKS: Counter = Counter::new("pool.tasks");
+static POOL_BUSY_NS: Counter = Counter::new("pool.busy_ns");
+static POOL_IDLE_NS: Counter = Counter::new("pool.idle_ns");
+
+/// Telemetry accumulators for one spawned worker thread: nanoseconds
+/// spent executing jobs, nanoseconds parked waiting for work, and jobs
+/// executed. Populated only while `ppgnn_telemetry::enabled()`.
+#[derive(Debug, Default)]
+pub struct WorkerStat {
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    tasks: AtomicU64,
+}
+
+impl WorkerStat {
+    /// `(busy_ns, idle_ns, tasks)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.busy_ns.load(Ordering::Relaxed),
+            self.idle_ns.load(Ordering::Relaxed),
+            self.tasks.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// A task as it travels through the pool's queue.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -158,6 +189,9 @@ pub struct WorkerPool {
     queue: Arc<SharedQueue>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// One accumulator per spawned worker (`threads - 1` entries; the
+    /// participating caller is not a pool-owned thread).
+    stats: Arc<Vec<WorkerStat>>,
 }
 
 impl std::fmt::Debug for SharedQueue {
@@ -173,14 +207,47 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let queue = Arc::new(SharedQueue::default());
+        let stats: Arc<Vec<WorkerStat>> = Arc::new(
+            (1..threads)
+                .map(|_| WorkerStat::default())
+                .collect::<Vec<_>>(),
+        );
         let workers = (1..threads)
             .map(|i| {
                 let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("ppgnn-worker-{i}"))
                     .spawn(move || {
-                        while let Some(job) = queue.pop_or_shutdown() {
-                            job();
+                        let stat = &stats[i - 1];
+                        loop {
+                            // Clock reads are skipped entirely when
+                            // telemetry is off; the switch may flip
+                            // mid-run, so re-check per job.
+                            let idle_from = if ppgnn_telemetry::enabled() {
+                                Some(Instant::now())
+                            } else {
+                                None
+                            };
+                            let Some(job) = queue.pop_or_shutdown() else {
+                                break;
+                            };
+                            if let Some(t) = idle_from {
+                                let ns = t.elapsed().as_nanos() as u64;
+                                stat.idle_ns.fetch_add(ns, Ordering::Relaxed);
+                                POOL_IDLE_NS.add(ns);
+                            }
+                            if ppgnn_telemetry::enabled() {
+                                let t = Instant::now();
+                                job();
+                                let ns = t.elapsed().as_nanos() as u64;
+                                stat.busy_ns.fetch_add(ns, Ordering::Relaxed);
+                                stat.tasks.fetch_add(1, Ordering::Relaxed);
+                                POOL_BUSY_NS.add(ns);
+                                POOL_TASKS.add(1);
+                            } else {
+                                job();
+                            }
                         }
                     })
                     .expect("failed to spawn pool worker")
@@ -190,12 +257,19 @@ impl WorkerPool {
             queue,
             workers,
             threads,
+            stats,
         }
     }
 
     /// Pool width: worker threads plus the participating caller.
     pub fn num_threads(&self) -> usize {
         self.threads
+    }
+
+    /// Per-worker telemetry accumulators (`threads - 1` entries), live —
+    /// they keep counting while telemetry is enabled.
+    pub fn worker_stats(&self) -> &[WorkerStat] {
+        &self.stats
     }
 
     /// Number of tasks a kernel with `work` multiply-adds should split

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fails (exit 1) when the disabled telemetry path costs >3% wall time.
+
+Usage: check_trace_overhead.py <BENCH_trace_profile.json>
+
+`exp_trace_profile` measures one pipeline iteration three ways: before any
+tracing ran (`untraced_seconds`), with tracing on (`traced_seconds`,
+informational — spans are expected to cost something), and with tracing
+switched off again (`traced_off_seconds`). The gate compares the last
+against the first: both are best-of-k in the same process on the same
+machine, so runner speed cancels out and what remains is the cost of the
+instrumentation's disabled path (one relaxed atomic load per probe). An
+absolute slack floor keeps the 3% band from flaking on smoke-scale
+iterations of a few milliseconds, where a single scheduler hiccup exceeds
+any percentage of the wall time.
+
+The stage-coverage number (top-level span time / traced wall) is also
+checked: spans that stop explaining the traced wall time mean a pipeline
+stage lost its instrumentation.
+"""
+
+import json
+import sys
+
+# Traced-off wall may exceed the untraced baseline by 3%, plus an absolute
+# slack so millisecond-scale smoke iterations don't flake on timer noise.
+RELATIVE_TOLERANCE = 0.03
+ABSOLUTE_SLACK_S = 0.005
+# Top-level spans must account for the traced wall time to within 10%.
+MIN_STAGE_COVERAGE = 0.90
+MAX_STAGE_COVERAGE = 1.10
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+
+    failed = False
+    untraced = float(fresh["untraced_seconds"])
+    traced_off = float(fresh["traced_off_seconds"])
+    ceiling = untraced * (1.0 + RELATIVE_TOLERANCE) + ABSOLUTE_SLACK_S
+    status = "OK " if traced_off <= ceiling else "FAIL"
+    if traced_off > ceiling:
+        failed = True
+    print(
+        f"{status} traced-off wall: {traced_off:.4f}s vs untraced {untraced:.4f}s "
+        f"(ceiling {ceiling:.4f}s)"
+    )
+
+    coverage = float(fresh.get("stage_coverage", 0.0))
+    in_band = MIN_STAGE_COVERAGE <= coverage <= MAX_STAGE_COVERAGE
+    status = "OK " if in_band else "FAIL"
+    if not in_band:
+        failed = True
+    print(
+        f"{status} stage coverage: {coverage:.2%} of traced wall "
+        f"(band {MIN_STAGE_COVERAGE:.0%}-{MAX_STAGE_COVERAGE:.0%})"
+    )
+
+    for field in ["traced_seconds", "span_events", "span_events_dropped"]:
+        value = fresh.get(field)
+        if value is not None:
+            print(f"INFO {field}: {value}")
+
+    if failed:
+        print("Telemetry disabled-path overhead or span coverage regressed.")
+        print("Check for unguarded Instant::now()/allocation on PPGNN_TRACE=0 paths.")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

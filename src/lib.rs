@@ -1,13 +1,15 @@
 //! Umbrella crate for the PP-GNN reproduction workspace.
 //!
-//! This crate re-exports the ten `ppgnn-*` crates under one roof so the
+//! This crate re-exports the `ppgnn-*` crates under one roof so the
 //! repository-level integration tests (`tests/`) and examples (`examples/`)
 //! have a package to live in, and so downstream users can depend on a
 //! single crate.
 //!
 //! Layer order (each layer depends only on the ones before it):
 //!
-//! 1. [`tensor`] — dense row-major `f32` matrices and kernels
+//! 1. [`telemetry`] — zero-dependency tracing spans, counters, and
+//!    histograms (everything else may instrument through it), and
+//!    [`tensor`] — dense row-major `f32` matrices and kernels
 //! 2. [`graph`] — CSR graphs, SpMM operators, partition plans, synthetic
 //!    datasets, and [`partition`] — ghost-exchange partitioned diffusion
 //! 3. [`nn`] / [`models`] / [`sampler`] — modules, the PP/MP model zoo,
@@ -38,4 +40,5 @@ pub use ppgnn_models as models;
 pub use ppgnn_nn as nn;
 pub use ppgnn_partition as partition;
 pub use ppgnn_sampler as sampler;
+pub use ppgnn_telemetry as telemetry;
 pub use ppgnn_tensor as tensor;

@@ -323,6 +323,74 @@ fn compressed_store_reads_are_allocation_free_once_warm() {
 }
 
 #[test]
+fn disabled_telemetry_adds_no_allocations_to_hot_paths() {
+    use ppgnn_graph::WeightedCsr;
+    use ppgnn_models::{PpModel, Sign};
+    use ppgnn_nn::Mode;
+    use ppgnn_tensor::Matrix;
+
+    static PROBE_COUNTER: ppgnn_telemetry::Counter = ppgnn_telemetry::Counter::new("test.probe");
+    static PROBE_HIST: ppgnn_telemetry::Histogram =
+        ppgnn_telemetry::Histogram::new("test.probe_ns");
+
+    let _guard = SERIAL.lock().unwrap();
+    // The PPGNN_TRACE=0 contract: every instrumentation site the pipeline
+    // hot paths pass through — span guards in SpMM/preprocess/trainer,
+    // counter adds in GEMM dispatch, histogram records per batch — must
+    // cost one relaxed atomic load and zero allocations when tracing is
+    // off. This is the runtime twin of the `telemetry_span` lint.
+    ppgnn_telemetry::set_enabled(false);
+
+    let data = SynthDataset::generate(DatasetProfile::pokec_sim().scaled(0.02), 5)
+        .expect("generation succeeds");
+    let op = WeightedCsr::sym_norm(&data.graph, true);
+    let x = data.features.clone();
+    let mut y = Matrix::zeros(x.rows(), x.cols());
+
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(23)
+    };
+    let mut model = Sign::new(2, 16, 32, 4, 0.1, &mut rng);
+    let hops: Vec<Matrix> = (0..3)
+        .map(|h| {
+            Matrix::from_fn(128, 16, |r, c| {
+                ((r * 13 + c * 7 + h) % 29) as f32 * 0.03 - 0.4
+            })
+        })
+        .collect();
+    let mut logits = Matrix::default();
+
+    // Warm every scratch slot first — steady state is what epochs live in.
+    for _ in 0..3 {
+        op.spmm_into(&x, &mut y);
+        model.forward_into(&hops, Mode::Eval, &mut logits);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for round in 0..10u64 {
+        // Raw instrumentation primitives, as the hot loops call them.
+        let _span = ppgnn_telemetry::span("resid");
+        let _span2 = ppgnn_telemetry::span_with("resid2", &[("round", round)]);
+        PROBE_COUNTER.add(1);
+        PROBE_HIST.record(round);
+        // Instrumented kernels: the SpMM driver span and the GEMM
+        // dispatch counters sit on these paths.
+        op.spmm_into(&x, &mut y);
+        model.forward_into(&hops, Mode::Eval, &mut logits);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "disabled-telemetry hot paths allocated {allocs} times over 10 rounds; \
+         an instrumentation site does work when PPGNN_TRACE=0"
+    );
+    // Disabled probes must also record nothing (no lazy registration).
+    assert_eq!(PROBE_COUNTER.get(), 0);
+    assert_eq!(PROBE_HIST.count(), 0);
+}
+
+#[test]
 fn streaming_run_matches_reference_chain_under_tracking() {
     // The allocator is process-global, so also pin correctness here: hop r
     // equals r explicit applications of the operator.
