@@ -16,6 +16,11 @@ pub const L_UNWRAP: &str = "unwrap";
 /// the configured inner-kernel functions — tracing belongs at task/hop
 /// granularity, never per row or per tile.
 pub const L_TELEMETRY_SPAN: &str = "telemetry_span";
+/// L7: no bare `File::create` / `fs::rename` / `fs::write` in the
+/// store/manifest write paths — durable writes must route through the
+/// atomic-commit funnel (`ppgnn_dataio::commit::write_bytes_atomic`),
+/// which is the only write path that survives a crash cleanly.
+pub const L_COMMIT: &str = "atomic_commit";
 /// The EXPERIMENTS.md knob table matches the registry.
 pub const L_KNOB_TABLE: &str = "knob_table";
 /// A source file failed to lex.
@@ -78,6 +83,13 @@ pub struct Config {
     /// span per call would mean thousands of ring-buffer pushes per
     /// matmul. Counters are fine there; spans are not.
     pub span_forbidden_exact: Vec<String>,
+    /// Path prefixes whose library code must route durable writes
+    /// through the atomic-commit funnel (L7): the store/manifest write
+    /// paths where a bare create/rename can leave a half-written file
+    /// visible after a crash.
+    pub commit_scoped_prefixes: Vec<String>,
+    /// Path suffixes exempt from L7 — the funnel itself.
+    pub commit_exempt_suffixes: Vec<String>,
 }
 
 impl Config {
@@ -95,6 +107,15 @@ impl Config {
     /// Whether span creation is forbidden inside fn `name` (L6).
     pub fn is_span_forbidden(&self, name: &str) -> bool {
         self.span_forbidden_exact.iter().any(|e| e == name)
+    }
+
+    /// Whether `rel` is inside the atomic-commit scope (L7): under a
+    /// scoped prefix and not the funnel module itself.
+    pub fn commit_scoped(&self, rel: &str) -> bool {
+        self.commit_scoped_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p))
+            && !self.commit_exempt_suffixes.iter().any(|s| rel.ends_with(s))
     }
 }
 
@@ -202,6 +223,11 @@ impl Default for Config {
                 "spmm_row",
                 "spmm_row_untiled",
             ]),
+            // Store and manifest write paths: everything dataio writes,
+            // plus the preprocessed-output persister. `commit.rs` is the
+            // funnel — the one place bare create/rename is the point.
+            commit_scoped_prefixes: s(&["crates/dataio/src/", "crates/core/src/persist.rs"]),
+            commit_exempt_suffixes: s(&["crates/dataio/src/commit.rs"]),
         }
     }
 }

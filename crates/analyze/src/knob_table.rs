@@ -31,6 +31,7 @@ fn kind_cell(d: &KnobDef) -> String {
         KnobKind::U64 => "u64".to_string(),
         KnobKind::Flag => "flag (`1` = on)".to_string(),
         KnobKind::Path => "path".to_string(),
+        KnobKind::Text => "string".to_string(),
         KnobKind::Enum(values) => values.join(" \\| "),
     }
 }

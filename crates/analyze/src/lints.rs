@@ -1,4 +1,4 @@
-//! The five workspace lints, implemented as token-pattern scans over
+//! The workspace lints, implemented as token-pattern scans over
 //! the coarse `syn` item model.
 //!
 //! Heuristics are documented per lint; each diagnostic can be silenced
@@ -10,7 +10,7 @@ use proc_macro2::{Delimiter, Group, Span, TokenTree};
 use syn::{Attribute, Item, ItemFn};
 
 use crate::config::{
-    Config, FileKind, L_ALLOC, L_ENV, L_FMA, L_SAFETY, L_TELEMETRY_SPAN, L_UNWRAP,
+    Config, FileKind, L_ALLOC, L_COMMIT, L_ENV, L_FMA, L_SAFETY, L_TELEMETRY_SPAN, L_UNWRAP,
 };
 use crate::source::SourceText;
 use crate::Diagnostic;
@@ -120,6 +120,14 @@ impl<'a> FilePass<'a> {
                 .allowed_above_item(L_TELEMETRY_SPAN, f.start_line())
         {
             self.l6_scan(body, &f.sig.ident.to_string());
+        }
+
+        if self.kind == FileKind::Lib
+            && !in_test
+            && self.config.commit_scoped(self.path)
+            && !self.src.allowed_above_item(L_COMMIT, f.start_line())
+        {
+            self.l7_scan(body, &f.sig.ident.to_string());
         }
 
         if self.lint_l5_here(in_test) && !self.src.allowed_above_item(L_UNWRAP, f.start_line()) {
@@ -268,6 +276,35 @@ impl<'a> FilePass<'a> {
         for t in toks {
             if let TokenTree::Group(g) = t {
                 self.l6_scan(g.stream().trees(), fn_name);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // L7 — store writes go through the atomic-commit funnel.
+    // ------------------------------------------------------------------
+
+    /// Bare durable-write calls (`File::create`, `fs::rename`,
+    /// `fs::write`) at any token depth inside library functions of the
+    /// commit-scoped paths. Reads (`File::open`, `fs::read*`) and test
+    /// scopes never match; the funnel module itself is exempt by path.
+    fn l7_scan(&mut self, toks: &[TokenTree], fn_name: &str) {
+        for i in 0..toks.len() {
+            let Some((span, what)) = match_bare_write_call(toks, i) else {
+                continue;
+            };
+            self.emit(
+                L_COMMIT,
+                span,
+                format!(
+                    "bare {what} on a store path in fn `{fn_name}`; route durable \
+                     writes through ppgnn_dataio::commit::write_bytes_atomic"
+                ),
+            );
+        }
+        for t in toks {
+            if let TokenTree::Group(g) = t {
+                self.l7_scan(g.stream().trees(), fn_name);
             }
         }
     }
@@ -440,6 +477,32 @@ fn match_alloc_call(toks: &[TokenTree], i: usize) -> Option<(Span, &'static str)
         if method == "to_vec" {
             return Some((span, "`.to_vec()`"));
         }
+    }
+    None
+}
+
+/// A non-atomic durable-write call starting at position `i`:
+/// `File::create`, `fs::rename`, or `fs::write` (path-qualified with
+/// any leading segments — the scan only needs the final
+/// `seg :: name ( … )` shape).
+fn match_bare_write_call(toks: &[TokenTree], i: usize) -> Option<(Span, &'static str)> {
+    let seg_call = |seg: &str, name: &str| -> bool {
+        is_ident(&toks[i], seg)
+            && toks.len() > i + 4
+            && is_punct(&toks[i + 1], ':')
+            && is_punct(&toks[i + 2], ':')
+            && is_ident(&toks[i + 3], name)
+            && matches!(&toks[i + 4], TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis)
+    };
+    if seg_call("File", "create") {
+        return Some((toks[i].span(), "`File::create`"));
+    }
+    if seg_call("fs", "rename") {
+        return Some((toks[i].span(), "`fs::rename`"));
+    }
+    if seg_call("fs", "write") {
+        return Some((toks[i].span(), "`fs::write`"));
     }
     None
 }

@@ -1,0 +1,38 @@
+//! Fixture for the `atomic_commit` lint. Not compiled — scanned by
+//! crates/analyze/tests/lints.rs.
+
+pub fn fires_on_create(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)
+}
+
+pub fn fires_on_rename(tmp: &Path, path: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, path)
+}
+
+pub fn fires_on_fs_write(path: &Path) -> std::io::Result<()> {
+    fs::write(path, b"manifest")
+}
+
+pub fn reads_are_fine(path: &Path) -> std::io::Result<String> {
+    let _f = File::open(path)?;
+    fs::read_to_string(path)
+}
+
+pub fn funnel_is_fine(path: &Path, bytes: &[u8]) -> Result<(), DataIoError> {
+    crate::commit::write_bytes_atomic("manifest", path, bytes)
+}
+
+// ppgnn-analyze: allow(atomic_commit) -- fixture fn-level escape hatch.
+pub fn escaped(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scope_is_exempt() {
+        let _f = std::fs::File::create("/tmp/fixture").unwrap();
+        fs::rename("/tmp/fixture", "/tmp/fixture2").unwrap();
+    }
+}

@@ -2,7 +2,7 @@
 //! hatches, and scopes to the right file kinds.
 
 use ppgnn_analyze::config::{
-    Config, FileKind, L_ALLOC, L_ENV, L_FMA, L_SAFETY, L_TELEMETRY_SPAN, L_UNWRAP,
+    Config, FileKind, L_ALLOC, L_COMMIT, L_ENV, L_FMA, L_SAFETY, L_TELEMETRY_SPAN, L_UNWRAP,
 };
 use ppgnn_analyze::{analyze_source, Diagnostic};
 
@@ -117,6 +117,39 @@ fn l6_telemetry_span_fires_in_forbidden_kernels_only() {
         diags.iter().all(|d| d.lint != L_TELEMETRY_SPAN),
         "{diags:?}"
     );
+}
+
+#[test]
+fn l7_atomic_commit_fires_on_commit_scoped_store_paths_only() {
+    let src = include_str!("fixtures/l7_commit.rs");
+    let config = Config::default();
+    // A dataio store module is commit-scoped: the three bare write calls
+    // fire; reads, the funnel call, the escaped fn, and the
+    // #[cfg(test)] mod pass.
+    let (diags, _) = analyze_source("crates/dataio/src/store.rs", src, FileKind::Lib, &config);
+    let l7: Vec<_> = diags.iter().filter(|d| d.lint == L_COMMIT).collect();
+    assert_eq!(l7.len(), 3, "{l7:?}");
+    assert!(l7.iter().any(|d| d.message.contains("`File::create`")));
+    assert!(l7.iter().any(|d| d.message.contains("`fs::rename`")));
+    assert!(l7.iter().any(|d| d.message.contains("`fs::write`")));
+    assert!(l7.iter().all(|d| d.message.contains("write_bytes_atomic")));
+
+    // The funnel module itself is exempt by path.
+    let (diags, _) = analyze_source("crates/dataio/src/commit.rs", src, FileKind::Lib, &config);
+    assert!(diags.iter().all(|d| d.lint != L_COMMIT), "{diags:?}");
+
+    // Paths outside the commit scope are exempt.
+    let (diags, _) = analyze_source("crates/x/src/lib.rs", src, FileKind::Lib, &config);
+    assert!(diags.iter().all(|d| d.lint != L_COMMIT), "{diags:?}");
+
+    // The same text in a test file is exempt.
+    let (diags, _) = analyze_source(
+        "crates/dataio/tests/commit.rs",
+        src,
+        FileKind::Test,
+        &config,
+    );
+    assert!(diags.iter().all(|d| d.lint != L_COMMIT), "{diags:?}");
 }
 
 #[test]

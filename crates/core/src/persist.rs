@@ -15,7 +15,7 @@
 use std::fs;
 use std::path::Path;
 
-use ppgnn_dataio::{DataIoError, FeatureStore, FeatureStoreWriter, StoreMeta};
+use ppgnn_dataio::{commit, DataIoError, FeatureStore, FeatureStoreWriter, StoreMeta};
 use ppgnn_tensor::{io as tio, Matrix};
 
 use crate::preprocess::{ExpansionReport, PrepropFeatures, PrepropOutput};
@@ -23,7 +23,10 @@ use crate::preprocess::{ExpansionReport, PrepropFeatures, PrepropOutput};
 const MANIFEST: &str = "preprop.txt";
 const PARTS: [&str; 3] = ["train", "val", "test"];
 
-/// Saves `out` under `dir` (created if needed).
+/// Saves `out` under `dir` (created if needed). The `preprop.txt`
+/// manifest is committed last, atomically, so an interrupted save is
+/// always detectable: [`load`] fails on the missing manifest rather than
+/// returning partial data.
 ///
 /// # Errors
 ///
@@ -65,10 +68,13 @@ pub fn save(
         "telemetry_writer={}:{}\n",
         t.writer_queue_hwm, t.writer_block_ns
     ));
-    fs::write(dir.join(MANIFEST), manifest)?;
     for (part, features) in PARTS.iter().zip([&out.train, &out.val, &out.test]) {
         save_partition(features, dir, part, chunk_size)?;
     }
+    // The manifest is the commit point: written last, atomically, so an
+    // interrupted save never leaves a manifest pointing at incomplete
+    // partition stores.
+    commit::write_bytes_atomic("manifest", &dir.join(MANIFEST), manifest.as_bytes())?;
     Ok(())
 }
 
@@ -105,15 +111,16 @@ fn save_partition(
 }
 
 fn write_sidecar(path: &Path, m: &Matrix) -> Result<(), DataIoError> {
-    let file = fs::File::create(path)?;
-    let mut w = std::io::BufWriter::new(file);
-    tio::write_matrix(&mut w, m).map_err(|e| DataIoError::Io(e.to_string()))?;
-    Ok(())
+    let mut buf = Vec::new();
+    tio::write_matrix(&mut buf, m).map_err(|e| DataIoError::Io(e.to_string()))?;
+    commit::write_bytes_atomic("sidecar", path, &buf)
 }
 
 fn read_sidecar(path: &Path) -> Result<Matrix, DataIoError> {
     let mut f = fs::File::open(path)?;
-    tio::read_matrix(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))
+    tio::read_matrix(&mut f)
+        .map_err(|e| ppgnn_dataio::CorruptError::new(e.to_string()).with_path(path))
+        .map_err(DataIoError::from)
 }
 
 /// Loads a [`PrepropOutput`] previously written by [`save`].

@@ -385,6 +385,12 @@ impl Preprocessor {
     /// [`PrepropOutput::write_store`], without holding the store contents
     /// twice — and byte-identical to the synchronous path on disk.
     ///
+    /// The run is **resumable**: each committed hop file is journaled, so
+    /// if a previous run of the same geometry was interrupted (crash,
+    /// injected fault), this call re-diffuses but skips re-writing the
+    /// hops the journal proves complete — the finished store is
+    /// byte-identical to an uninterrupted run.
+    ///
     /// # Errors
     ///
     /// Propagates store-creation and write failures.
@@ -404,7 +410,7 @@ impl Preprocessor {
             chunk_size,
             dtype: self.resolved_store_dtype(),
         };
-        let mut writer = AsyncHopWriter::create(dir, meta, self.resolved_writer_queue())?;
+        let mut writer = AsyncHopWriter::create_or_resume(dir, meta, self.resolved_writer_queue())?;
         match self.run_streaming(data, Some(&mut writer), pool::pool()) {
             Ok(mut out) => {
                 let stats = writer.stats();
@@ -469,9 +475,13 @@ impl Preprocessor {
             }
             if last_group {
                 // Every operator has filled its hop-0 column block by now
-                // (earlier groups ran to completion first).
+                // (earlier groups ran to completion first). Hops an
+                // interrupted run already committed (per the journal) are
+                // not resubmitted — their bytes are on disk.
                 if let Some(writer) = sink.as_deref_mut() {
-                    writer.submit(0, hops_by_part[0][0].clone())?;
+                    if !writer.resumed_hops()[0] {
+                        writer.submit(0, hops_by_part[0][0].clone())?;
+                    }
                 }
             }
             hop_ns[0] += hop0_t0.elapsed().as_nanos() as u64;
@@ -546,7 +556,10 @@ impl Preprocessor {
                         // queue-depth + 1 extra train-hop matrices are in
                         // flight, owned by the writer thread while diffusion
                         // continues — train-partition-sized, not full-graph.
-                        writer.submit(r, hops_by_part[0][r].clone())?;
+                        // Journaled (resumed) hops skip the clone + write.
+                        if !writer.resumed_hops()[r] {
+                            writer.submit(r, hops_by_part[0][r].clone())?;
+                        }
                     }
                 }
                 hop_ns[r] += hop_t0.elapsed().as_nanos() as u64;
@@ -636,6 +649,11 @@ impl Preprocessor {
     /// single-store layout; with `P = 1` the lone partition store's hop
     /// files are byte-identical to [`Preprocessor::run_with_store`]'s.
     ///
+    /// Like [`Preprocessor::run_with_store`], the run is resumable: each
+    /// partition journals its committed hops, and an interrupted run of
+    /// the same geometry skips re-writing the `(partition, hop)` units
+    /// already proven complete.
+    ///
     /// # Errors
     ///
     /// Propagates store-creation and write failures (reporting the
@@ -693,8 +711,12 @@ impl Preprocessor {
             chunk_size,
             dtype: self.resolved_store_dtype(),
         };
-        let mut writer =
-            ShardedStoreWriter::create(dir, meta, &rows_by_part, self.resolved_writer_queue())?;
+        let mut writer = ShardedStoreWriter::create_or_resume(
+            dir,
+            meta,
+            &rows_by_part,
+            self.resolved_writer_queue(),
+        )?;
         match self.run_partitioned_streaming(
             data,
             &engine,
@@ -774,6 +796,12 @@ impl Preprocessor {
             }
             if let Some((writer, nodes_by_part)) = sink.as_mut() {
                 for (p, nodes) in nodes_by_part.iter().enumerate() {
+                    // (partition, hop) units an interrupted run already
+                    // committed (per that partition's journal) are not
+                    // regathered or resubmitted.
+                    if writer.resumed_hops(p)[r] {
+                        continue;
+                    }
                     let mut rows = Matrix::zeros(nodes.len(), kf);
                     for k in 0..k_ops {
                         view.gather_rows_into_offset(k, nodes, &mut rows, k * f);

@@ -21,6 +21,13 @@
 //! (mirroring the generation-2 double-buffer loader on the read side), so
 //! the preprocessor's hop `r + 1` diffusion overlaps hop `r` persistence.
 //!
+//! Stores are crash-safe: every file lands via the atomic-commit funnel
+//! in [`commit`] (temp + fsync + rename, manifest written last as the
+//! commit point), hop payloads carry per-chunk checksums verified on
+//! read, writers journal completed hops for resume, and the whole stack
+//! is testable under the deterministic [`fault`] injection facility
+//! (`PPGNN_FAULTS`).
+//!
 //! For partition-parallel preprocessing the store itself shards:
 //! [`ShardedStoreWriter`] runs one async writer per graph partition and
 //! [`ShardedFeatureStore`] serves global-row reads across the per-partition
@@ -29,12 +36,14 @@
 
 #![deny(missing_docs)]
 
+pub mod commit;
 mod error;
+pub mod fault;
 mod sharded;
 mod store;
 mod writer;
 
-pub use error::DataIoError;
+pub use error::{CorruptError, DataIoError};
 pub use ppgnn_tensor::StoreDtype;
 pub use sharded::{ShardedFeatureStore, ShardedStoreManifest, ShardedStoreWriter};
 pub use store::{AccessPath, FeatureStore, FeatureStoreWriter, IoCounters, StoreMeta};

